@@ -1,0 +1,66 @@
+"""Experiment: Theorem 4.10 — boundedness under word equalities.
+
+The decision procedure builds the K-sphere of the Armstrong instance (whose
+size grows exponentially with the constraint alphabet and linearly with the
+collapse depth) and tests finiteness of a quotient language; the constructed
+equivalent query is also reported.  The benchmark scales the collapse depth
+and the alphabet size.
+"""
+
+import pytest
+
+from repro.constraints import decide_boundedness
+from repro.regex import to_string
+from repro.workloads import chained_idempotence_constraints, collapsing_constraints
+
+
+@pytest.mark.experiment("theorem-4.10")
+@pytest.mark.parametrize("depth", [2, 3, 4, 5])
+def bench_boundedness_vs_collapse_depth(benchmark, record, depth):
+    constraints = collapsing_constraints(depth)
+
+    result = benchmark(lambda: decide_boundedness(constraints, "a*", radius=depth + 2))
+    record(
+        depth=depth,
+        bounded=result.bounded,
+        answer_classes=len(result.answer_class_words),
+        equivalent_query=(
+            to_string(result.equivalent_query) if result.equivalent_query else None
+        ),
+        sphere_size=result.sphere_size,
+    )
+    assert result.bounded
+    assert len(result.answer_class_words) == depth
+
+
+@pytest.mark.experiment("theorem-4.10")
+@pytest.mark.parametrize("labels", [1, 2, 3])
+def bench_boundedness_vs_alphabet(benchmark, record, labels):
+    """The query stays ``l0*`` (bounded); extra idempotent labels only grow the sphere.
+
+    The K-sphere is built over the whole constraint alphabet, so this axis
+    isolates the exponential dependence of the sphere on the alphabet size
+    that the paper's EXPTIME bound reflects.
+    """
+    constraints = chained_idempotence_constraints(labels)
+    query = "l0*"
+
+    result = benchmark(lambda: decide_boundedness(constraints, query, radius=4))
+    record(
+        alphabet_size=labels,
+        bounded=result.bounded,
+        answer_classes=len(result.answer_class_words),
+        sphere_size=result.sphere_size,
+    )
+    assert result.bounded
+    assert len(result.answer_class_words) == 2
+
+
+@pytest.mark.experiment("theorem-4.10")
+def bench_unbounded_query_detection(benchmark, record):
+    """The negative case: a free star over an unconstrained label."""
+    constraints = collapsing_constraints(2)
+
+    result = benchmark(lambda: decide_boundedness(constraints, "(a b)*", radius=4))
+    record(bounded=result.bounded)
+    assert not result.bounded

@@ -1,0 +1,49 @@
+"""Experiment: Figures 2 and 3 — the distributed run of ``a b*`` on graph I.
+
+Figure 3 shows the full message exchange: 4 subquery, 2 answer, 2 ack and
+4 done messages, ending with the termination-detecting done at the asking
+node ``d``.  The benchmark measures a complete protocol run and records the
+message counts so they can be compared against the figure.
+"""
+
+import pytest
+
+from repro.distributed import run_distributed_query
+from repro.graph import figure2_graph
+from repro.query import answer_set
+
+PAPER_MESSAGE_COUNTS = {"subquery": 4, "answer": 2, "ack": 2, "done": 4}
+
+
+@pytest.mark.experiment("figures-2-3")
+def bench_figure3_protocol_run(benchmark, record):
+    instance, source = figure2_graph()
+
+    def run():
+        return run_distributed_query("a b*", source, instance, asker="d")
+
+    result = benchmark(run)
+    record(
+        answers=sorted(result.answers),
+        message_counts=result.message_counts(),
+        paper_message_counts=PAPER_MESSAGE_COUNTS,
+        termination_detected=result.terminated,
+        agrees_with_centralized=result.answers
+        == answer_set("a b*", source, instance),
+    )
+    assert result.message_counts() == PAPER_MESSAGE_COUNTS
+    assert result.terminated
+
+
+@pytest.mark.experiment("figures-2-3")
+@pytest.mark.parametrize("order,seed", [("fifo", 0), ("lifo", 0), ("random", 7)])
+def bench_figure3_delivery_orders(benchmark, record, order, seed):
+    """Arbitrary asynchronous interleavings deliver the same answers."""
+    instance, source = figure2_graph()
+    result = benchmark(
+        lambda: run_distributed_query(
+            "a b*", source, instance, asker="d", order=order, seed=seed
+        )
+    )
+    record(order=order, answers=sorted(result.answers), terminated=result.terminated)
+    assert result.answers == {"o2", "o3"}

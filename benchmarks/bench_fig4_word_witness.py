@@ -1,0 +1,46 @@
+"""Experiment: Figure 4 / Lemma 4.4 — the witness instance for E = {a·a ⊆ a}, k = 3.
+
+The paper reports four classes (ε, a, a², a³), their obj sets, and the answer
+sets a(o,I) ⊇ a²(o,I) ⊇ a³(o,I).  The benchmark measures the construction of
+the witness (for the figure's parameters and for growing bounds) and records
+the reproduced facts.
+"""
+
+import pytest
+
+from repro.constraints import ConstraintSet, figure4_instance, lemma44_witness, word_inclusion
+from repro.query import answer_set
+from repro.regex import word as word_expr
+
+
+@pytest.mark.experiment("figure-4")
+def bench_figure4_construction(benchmark, record):
+    witness = benchmark(figure4_instance)
+    answers = {
+        "a": answer_set(word_expr("a"), witness.source, witness.instance),
+        "a a": answer_set(word_expr("a a"), witness.source, witness.instance),
+        "a a a": answer_set(word_expr("a a a"), witness.source, witness.instance),
+    }
+    record(
+        classes=[" ".join(c) or "ε" for c in witness.classes()],
+        paper_classes=["ε", "a", "a a", "a a a"],
+        answer_sizes={key: len(value) for key, value in answers.items()},
+        paper_answer_sizes={"a": 3, "a a": 2, "a a a": 1},
+        nested_chain=answers["a a a"] < answers["a a"] < answers["a"],
+    )
+    assert [len(answers[k]) for k in ("a", "a a", "a a a")] == [3, 2, 1]
+
+
+@pytest.mark.experiment("figure-4")
+@pytest.mark.parametrize("bound", [2, 3, 4, 5])
+def bench_witness_construction_scaling(benchmark, record, bound):
+    """Witness construction cost grows with the word-length bound k."""
+    constraints = ConstraintSet([word_inclusion("a a", "a"), word_inclusion("b a", "a b")])
+
+    witness = benchmark(lambda: lemma44_witness(constraints, bound, alphabet={"a", "b"}))
+    record(
+        bound=bound,
+        classes=len(witness.classes()),
+        vertices=len(witness.instance),
+        edges=witness.instance.edge_count(),
+    )

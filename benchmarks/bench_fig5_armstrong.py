@@ -1,0 +1,55 @@
+"""Experiment: Figure 5 / Prop. 4.8 + Lemma 4.9 — Armstrong instances and K-spheres.
+
+The paper's Figure 5 depicts the structure of the Armstrong instance for a set
+of word equalities: a bounded K-sphere containing all the "interesting"
+structure, with indegree-1 trees hanging off it and no edge returning.  The
+benchmark builds spheres for the collapsing-constraint family (a^d = a^(d-1)),
+measures the construction, and records that the Lemma 4.9 properties hold.
+"""
+
+import pytest
+
+from repro.constraints import ConstraintSet, word_equality
+from repro.constraints.armstrong import WordEqualityTheory
+from repro.workloads import collapsing_constraints
+
+
+@pytest.mark.experiment("figure-5")
+@pytest.mark.parametrize("depth", [2, 3, 4])
+def bench_armstrong_sphere_construction(benchmark, record, depth):
+    constraints = collapsing_constraints(depth)
+    theory = WordEqualityTheory(constraints, alphabet={"a", "b"})
+    radius = min(theory.default_sphere_radius(), depth + 3)
+
+    sphere, source = benchmark(lambda: theory.sphere(radius))
+    properties = theory.check_sphere_properties(radius, extra_depth=2)
+    record(
+        collapse_depth=depth,
+        sphere_radius=radius,
+        sphere_classes=len(sphere),
+        sphere_edges=sphere.edge_count(),
+        outside_indegree_one=properties["outside_indegree_one"],
+        no_reentry=properties["no_reentry"],
+    )
+    assert properties["outside_indegree_one"] and properties["no_reentry"]
+
+
+@pytest.mark.experiment("figure-5")
+def bench_canonical_form_computation(benchmark, record):
+    """Canonicalization (the congruence test of Prop. 4.8) on a batch of words."""
+    constraints = ConstraintSet(
+        [word_equality("a a", "a"), word_equality("b a b", "b b")]
+    )
+    theory = WordEqualityTheory(constraints, alphabet={"a", "b"})
+    words = [tuple("ab"[i % 2] for i in range(length)) for length in range(1, 9)]
+
+    def canonicalize_batch():
+        fresh = WordEqualityTheory(constraints, alphabet={"a", "b"})
+        return [fresh.canonical_form(word) for word in words]
+
+    canonical = benchmark(canonicalize_batch)
+    record(
+        inputs=[" ".join(w) for w in words],
+        canonical_forms=[" ".join(c) or "ε" for c in canonical],
+    )
+    assert theory.equivalent(("a", "a", "a"), ("a",))

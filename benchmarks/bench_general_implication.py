@@ -1,0 +1,70 @@
+"""Experiment: Theorem 4.2 — general path-constraint implication.
+
+The general problem is decidable only via a doubly-exponential witness search;
+the reproduction's tiered procedure (language inclusion → complete word-
+constraint procedures → sound prover → bounded counterexample search) settles
+practical instances quickly but its cost grows steeply with the search budget
+when the cheap tiers do not apply — the qualitative gap the theorem predicts
+between the general case and the PTIME/PSPACE special cases.
+"""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintSet,
+    SearchBudget,
+    Verdict,
+    decide_implication,
+    path_equality,
+    path_inclusion,
+    word_inclusion,
+)
+
+
+@pytest.mark.experiment("theorem-4.2")
+def bench_general_tier1_language_inclusion(benchmark, record):
+    constraints = ConstraintSet([path_equality("l", "(a b)*")])
+    result = benchmark(
+        lambda: decide_implication(constraints, path_inclusion("a b a b", "(a b)*"))
+    )
+    record(tier="language-inclusion", verdict=result.verdict.value)
+    assert result.verdict is Verdict.IMPLIED
+
+
+@pytest.mark.experiment("theorem-4.2")
+def bench_general_tier2_word_constraints(benchmark, record):
+    constraints = ConstraintSet([word_inclusion("l l", "l")])
+    result = benchmark(
+        lambda: decide_implication(constraints, path_equality("l*", "l + %"))
+    )
+    record(tier="word-constraints (complete)", verdict=result.verdict.value)
+    assert result.verdict is Verdict.IMPLIED
+
+
+@pytest.mark.experiment("theorem-4.2")
+def bench_general_tier3_substitution_prover(benchmark, record):
+    constraints = ConstraintSet([path_equality("l", "(a b)*")])
+    result = benchmark(
+        lambda: decide_implication(
+            constraints, path_equality("a (b a)* c", "l a c")
+        )
+    )
+    record(tier="prefix-substitution prover", verdict=result.verdict.value)
+    assert result.verdict is Verdict.IMPLIED
+
+
+@pytest.mark.experiment("theorem-4.2")
+@pytest.mark.parametrize("random_instances", [50, 200, 800])
+def bench_general_counterexample_search_budget(benchmark, record, random_instances):
+    """Cost of the bounded counterexample search as its budget grows."""
+    constraints = ConstraintSet([path_inclusion("(a b)* a", "m"), path_inclusion("m", "n")])
+    conclusion = path_inclusion("n", "(a b)* a")
+    budget = SearchBudget(random_instances=random_instances, seed=3)
+
+    result = benchmark(lambda: decide_implication(constraints, conclusion, budget))
+    record(
+        random_instances=random_instances,
+        verdict=result.verdict.value,
+        method=result.method,
+    )
+    assert result.verdict is not Verdict.IMPLIED

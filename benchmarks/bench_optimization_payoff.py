@@ -1,0 +1,90 @@
+"""Experiment: Section 3.2 — the payoff of constraint-aware optimization.
+
+The motivating claim of the paper is that local path constraints let a site
+answer a query with a cheaper equivalent query.  The benchmark quantifies the
+payoff on two concrete scenarios:
+
+* the CS-department site, where the structural word equalities let the long
+  "through the research group" path be answered by the short catalog path;
+* a cached-query site, where ``l = (a b)*`` lets a recursive query be answered
+  through the cache label.
+
+For each scenario the benchmark runs evaluation with and without the rewrite
+and records visited-pair and message savings.
+"""
+
+import pytest
+
+from repro.constraints import ConstraintSet
+from repro.distributed import run_distributed_query
+from repro.graph import Instance
+from repro.optimize import CostModel, materialize_cache, plan_and_evaluate, rewrite_query
+from repro.query import evaluate
+from repro.regex import to_string
+from repro.workloads import cs_department_site
+
+
+@pytest.mark.experiment("section-3.2-payoff")
+def bench_website_rewrite_payoff(benchmark, record):
+    workload = cs_department_site(group_count=2, faculty_per_group=2, courses_per_faculty=2)
+    course = workload.course_ids[-1]
+    faculty = workload.faculty_names[-1]
+    long_query = f"CS-Department group-1 {faculty} Classes {course}"
+
+    report = benchmark(
+        lambda: plan_and_evaluate(
+            long_query,
+            workload.root,
+            workload.instance,
+            workload.constraints,
+            measure_distributed=True,
+        )
+    )
+    record(
+        original_query=long_query,
+        optimized_query=to_string(report.rewrite.best),
+        improved=report.rewrite.improved,
+        visited_pairs=[report.original_visited_pairs, report.optimized_visited_pairs],
+        messages=[report.original_messages, report.optimized_messages],
+    )
+    assert report.rewrite.improved
+    assert report.optimized_messages <= report.original_messages
+
+
+@pytest.mark.experiment("section-3.2-payoff")
+def bench_cached_query_payoff(benchmark, record):
+    site = Instance(
+        [("o", "a", "x"), ("x", "b", "o"), ("x", "c", "y"), ("o", "d", "z"), ("z", "c", "w")]
+    )
+    cached_site, cached = materialize_cache(site, "o", "(a b)*", "l")
+    constraints = ConstraintSet([cached.constraint()])
+    model = CostModel().with_cached({"l"})
+
+    def optimize_and_run():
+        outcome = rewrite_query("a (b a)* c", constraints, model)
+        original = run_distributed_query("a (b a)* c", "o", cached_site, asker="client")
+        optimized = run_distributed_query(outcome.best, "o", cached_site, asker="client")
+        return outcome, original, optimized
+
+    outcome, original, optimized = benchmark(optimize_and_run)
+    record(
+        original_query="a (b a)* c",
+        optimized_query=to_string(outcome.best),
+        original_messages=original.messages_delivered,
+        optimized_messages=optimized.messages_delivered,
+        answers_agree=original.answers == optimized.answers,
+    )
+    assert original.answers == optimized.answers
+    assert optimized.messages_delivered <= original.messages_delivered
+
+
+@pytest.mark.experiment("section-3.2-payoff")
+def bench_no_constraint_baseline(benchmark, record):
+    """Baseline: the same long query evaluated without any rewriting."""
+    workload = cs_department_site(group_count=2, faculty_per_group=2, courses_per_faculty=2)
+    course = workload.course_ids[-1]
+    faculty = workload.faculty_names[-1]
+    long_query = f"CS-Department group-1 {faculty} Classes {course}"
+
+    result = benchmark(lambda: evaluate(long_query, workload.root, workload.instance))
+    record(visited_pairs=result.visited_pairs, answers=len(result.answers))

@@ -1,0 +1,61 @@
+"""Experiment: Theorem 4.3(ii) — path-by-word implication is PSPACE.
+
+Two scaling axes are shown:
+
+* against the number of word constraints, with a fixed pair of path
+  expressions: cost grows moderately (the RewriteTo construction stays
+  polynomial);
+* against the size parameter of a family whose inclusion check requires
+  determinization-style work (the ``(a+b)* a (a+b)^n`` language): cost grows
+  exponentially in ``n``, the shape the PSPACE lower bound predicts (regular
+  expression equivalence is already PSPACE-complete without constraints).
+"""
+
+import pytest
+
+from repro.constraints import ConstraintSet, implies_path_inclusion, word_inclusion
+from repro.workloads import pspace_hard_inclusion, random_word_constraints
+
+
+@pytest.mark.experiment("theorem-4.3ii")
+@pytest.mark.parametrize("constraint_count", [2, 4, 8, 16])
+def bench_path_by_word_vs_constraint_count(benchmark, record, constraint_count):
+    constraints = random_word_constraints(
+        constraint_count, alphabet_size=2, max_word_length=2, seed=5
+    )
+    lhs, rhs = "(l0 + l1)* l0", "(l0 + l1)*"
+
+    result = benchmark(lambda: implies_path_inclusion(constraints, lhs, rhs))
+    record(constraint_count=constraint_count, implied=result.implied)
+    assert result.implied  # the right side is universal over the alphabet
+
+
+@pytest.mark.experiment("theorem-4.3ii")
+@pytest.mark.parametrize("size", [2, 4, 6, 8])
+def bench_path_by_word_exponential_family(benchmark, record, size):
+    constraints = ConstraintSet([word_inclusion("a a", "a")])
+    lhs, rhs = pspace_hard_inclusion(size)
+
+    result = benchmark(lambda: implies_path_inclusion(constraints, lhs, rhs))
+    record(size=size, implied=result.implied)
+    assert result.implied
+
+
+@pytest.mark.experiment("theorem-4.3ii")
+@pytest.mark.parametrize("size", [2, 4, 6])
+def bench_path_by_word_refutation(benchmark, record, size):
+    """Refutations also report a counterexample word (used to build witnesses)."""
+    constraints = ConstraintSet([word_inclusion("a a", "a")])
+    lhs, rhs = pspace_hard_inclusion(size)
+
+    result = benchmark(lambda: implies_path_inclusion(constraints, rhs, lhs))
+    record(
+        size=size,
+        implied=result.implied,
+        counterexample_length=(
+            len(result.counterexample_word)
+            if result.counterexample_word is not None
+            else None
+        ),
+    )
+    assert not result.implied

@@ -1,0 +1,45 @@
+"""Experiment: Section 2.2 — complexity of centralized path-query evaluation.
+
+The paper states that path queries have polynomial combined complexity and
+NLOGSPACE (hence NC) data complexity via the product-automaton algorithm.  The
+benchmark scales the instance size (data complexity axis) and the query size
+(query complexity axis) and also compares the product evaluator with the
+quotient-based recursive evaluator of equation (†).
+"""
+
+import pytest
+
+from repro.graph import random_graph, web_like_graph
+from repro.query import answer_set, answer_set_by_quotients
+from repro.workloads import star_chain_query
+
+QUERY = "a (b + c)* a"
+
+
+@pytest.mark.experiment("section-2.2-evaluation")
+@pytest.mark.parametrize("nodes", [50, 100, 200, 400])
+def bench_evaluation_vs_instance_size(benchmark, record, nodes):
+    instance, source = web_like_graph(nodes, ["a", "b", "c"], seed=13)
+
+    answers = benchmark(lambda: answer_set(QUERY, source, instance))
+    record(nodes=nodes, edges=instance.edge_count(), answers=len(answers))
+
+
+@pytest.mark.experiment("section-2.2-evaluation")
+@pytest.mark.parametrize("query_size", [1, 2, 3, 4])
+def bench_evaluation_vs_query_size(benchmark, record, query_size):
+    instance, source = random_graph(100, 3, ["l0", "l1", "l2"], seed=13)
+    query = star_chain_query(query_size, alphabet_size=3)
+
+    answers = benchmark(lambda: answer_set(query, source, instance))
+    record(query_size=query_size, answers=len(answers))
+
+
+@pytest.mark.experiment("section-2.2-evaluation")
+@pytest.mark.parametrize("evaluator", ["product-automaton", "quotient-recursive"])
+def bench_product_vs_quotient_evaluator(benchmark, record, evaluator):
+    instance, source = random_graph(150, 3, ["a", "b", "c"], seed=29)
+    run = answer_set if evaluator == "product-automaton" else answer_set_by_quotients
+
+    answers = benchmark(lambda: run(QUERY, source, instance))
+    record(evaluator=evaluator, answers=len(answers))

@@ -1,0 +1,54 @@
+"""Experiment: Theorem 4.3(i) — word-constraint implication is PTIME.
+
+The benchmark scales the number of random word constraints and the length of
+the probed words; the measured time should grow polynomially (roughly linearly
+in the constraint count for fixed word length), in contrast with the
+exponential blow-ups exhibited by the PSPACE and general benchmarks.
+"""
+
+import pytest
+
+from repro.constraints import PrefixRewriteSystem, implies_word_inclusion, rewrite_to_word_nfa
+from repro.workloads import random_word_constraints
+
+
+@pytest.mark.experiment("theorem-4.3i")
+@pytest.mark.parametrize("constraint_count", [2, 4, 8, 16, 32])
+def bench_word_implication_vs_constraint_count(benchmark, record, constraint_count):
+    constraints = random_word_constraints(
+        constraint_count, alphabet_size=3, max_word_length=3, seed=17
+    )
+    lhs = ("l0", "l1", "l2", "l0", "l1")
+    rhs = ("l0",)
+
+    implied = benchmark(lambda: implies_word_inclusion(constraints, lhs, rhs))
+    record(constraint_count=constraint_count, implied=implied)
+
+
+@pytest.mark.experiment("theorem-4.3i")
+@pytest.mark.parametrize("word_length", [2, 4, 8, 16, 32])
+def bench_word_implication_vs_word_length(benchmark, record, word_length):
+    constraints = random_word_constraints(6, alphabet_size=3, max_word_length=3, seed=23)
+    lhs = tuple(f"l{i % 3}" for i in range(word_length))
+    rhs = tuple(f"l{i % 3}" for i in range(max(1, word_length // 2)))
+
+    implied = benchmark(lambda: implies_word_inclusion(constraints, lhs, rhs))
+    record(word_length=word_length, implied=implied)
+
+
+@pytest.mark.experiment("theorem-4.3i")
+@pytest.mark.parametrize("constraint_count", [4, 8, 16])
+def bench_rewrite_to_saturation(benchmark, record, constraint_count):
+    """Cost of constructing the RewriteTo(v) automaton itself (Lemma 4.5)."""
+    constraints = random_word_constraints(
+        constraint_count, alphabet_size=3, max_word_length=3, seed=31
+    )
+    system = PrefixRewriteSystem.from_constraints(constraints)
+    target = ("l0", "l1")
+
+    automaton = benchmark(lambda: rewrite_to_word_nfa(system, target))
+    record(
+        constraint_count=constraint_count,
+        automaton_states=len(automaton),
+        automaton_transitions=automaton.transition_count(),
+    )

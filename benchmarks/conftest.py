@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one experiment of the paper (a figure, a
+worked example, or a complexity claim); see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for the mapping.  Benchmarks record qualitative results in
+``benchmark.extra_info`` so that the JSON output of
+``pytest benchmarks/ --benchmark-only --benchmark-json=out.json`` contains the
+reproduced "rows" alongside the timings.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks are registered under their experiment id for discoverability:
+    # pytest benchmarks/ -k fig4
+    config.addinivalue_line("markers", "experiment(id): paper experiment id")
+
+
+@pytest.fixture
+def record(benchmark):
+    """Helper to attach qualitative reproduction facts to a benchmark."""
+
+    def _record(**facts):
+        for key, value in facts.items():
+            benchmark.extra_info[key] = value
+
+    return _record

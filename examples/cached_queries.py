@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Cached queries, mirror sites, and recursion elimination (Section 3.2).
+
+Three optimizations from the paper, end to end:
+
+* **Example 3 (cached query).**  The site caches the answers of ``(a b)*``
+  under the label ``l``; the constraint ``l = (a b)*`` then lets the recursive
+  query ``a (b a)* c`` be answered as ``l a c`` through the cache.
+* **Example 2 / Theorem 4.10 (recursion elimination).**  Under the word
+  equality ``l l = l`` the query ``l*`` is *bounded*: it is equivalent to the
+  non-recursive ``ε + l``, which is guaranteed to terminate even on an
+  infinite Web.
+* **Mirror sites.**  A mirrored section satisfies ``main = mirror`` and the
+  optimizer may route queries through either name.
+
+Run it with ``python examples/cached_queries.py``.
+"""
+
+from repro.constraints import ConstraintSet, decide_boundedness, word_equality
+from repro.graph import Instance, mirror_site_graph
+from repro.optimize import CostModel, QueryCache, install_mirror, rewrite_query
+from repro.query import answer_set
+from repro.regex import to_string
+
+
+def cached_query_example() -> None:
+    print("== Example 3: answering a recursive query through a cache ==")
+    site = Instance(
+        [("o", "a", "x"), ("x", "b", "o"), ("x", "c", "report"), ("o", "d", "misc")]
+    )
+    cache = QueryCache("o")
+    site, entry = cache.install(site, "(a b)*", "l")
+    print(f"cached: {cache.describe()}")
+
+    constraints = cache.constraints()
+    model = CostModel().with_cached(cache.labels())
+    outcome = rewrite_query("a (b a)* c", constraints, model)
+    print(f"query    : a (b a)* c")
+    print(f"rewritten: {to_string(outcome.best)}   (cost {outcome.original_cost:.1f} -> {outcome.best_cost:.1f})")
+    same = answer_set("a (b a)* c", "o", site) == answer_set(outcome.best, "o", site)
+    print(f"answers unchanged on the cached site: {same}")
+
+
+def boundedness_example() -> None:
+    print("\n== Example 2 / Theorem 4.10: recursion elimination ==")
+    constraints = ConstraintSet([word_equality("l l", "l")])
+    result = decide_boundedness(constraints, "l*")
+    print(f"constraints        : {constraints}")
+    print(f"query              : l*")
+    print(f"bounded            : {result.bounded}")
+    print(f"equivalent query   : {to_string(result.equivalent_query)}")
+    print(f"answer classes     : {[' '.join(w) or 'ε' for w in result.answer_class_words]}")
+    print(f"K-sphere           : radius {result.sphere_radius}, {result.sphere_size} classes")
+
+
+def mirror_example() -> None:
+    print("\n== Mirror sites ==")
+    site, root = mirror_site_graph(section_count=2, pages_per_section=2)
+    site, constraints = install_mirror(site, root, "main", "mirror")
+    outcome = rewrite_query("main section0 page1", constraints,
+                            CostModel().with_cached({"mirror"}))
+    print(f"constraint : main = mirror")
+    print(f"query      : main section0 page1")
+    print(f"rewritten  : {to_string(outcome.best)}")
+    print(f"answers    : {sorted(answer_set(outcome.best, root, site))}")
+
+
+def main() -> None:
+    cached_query_example()
+    boundedness_example()
+    mirror_example()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""A tour of the implication problem (Section 4): PTIME, PSPACE and beyond.
+
+The central technical contribution of the paper is the implication problem
+for path constraints.  This example walks through its three regimes:
+
+1. **word constraints / word conclusion** — decided in PTIME by the prefix
+   rewrite system (with an explicit derivation printed as the explanation);
+2. **word constraints / path conclusion** — decided in PSPACE via the
+   ``RewriteTo`` automaton and an inclusion test (with a counterexample word
+   and a concrete counterexample *instance* when refuted);
+3. **general path constraints** — attacked by the tiered bounded procedure
+   (sound prover + counterexample search), reporting which tier settled each
+   question.
+
+Run it with ``python examples/constraint_implication_tour.py``.
+"""
+
+from repro.constraints import (
+    ConstraintSet,
+    decide_implication,
+    explain_word_inclusion,
+    implies_path_inclusion,
+    implies_word_inclusion,
+    counterexample_instance_for_word_refutation,
+    path_equality,
+    path_inclusion,
+    word_inclusion,
+)
+
+from repro.regex import parse
+
+
+def ptime_regime() -> None:
+    print("== 1. Word constraints, word conclusions (PTIME) ==")
+    constraints = ConstraintSet(
+        [word_inclusion("u1", "u2"), word_inclusion("u2 u3", "u4")]
+    )
+    print(f"E = {constraints}")
+    for lhs, rhs in [("u1 u3 u5", "u4 u5"), ("u4 u5", "u1 u3 u5")]:
+        lhs_word, rhs_word = tuple(lhs.split()), tuple(rhs.split())
+        implied = implies_word_inclusion(constraints, lhs_word, rhs_word)
+        print(f"E |= {lhs} <= {rhs} ?  {implied}")
+        if implied:
+            derivation = explain_word_inclusion(constraints, lhs_word, rhs_word)
+            for step in derivation:
+                print(f"      {' '.join(step.before)}  --[{step.rule}]-->  {' '.join(step.after)}")
+
+
+def pspace_regime() -> None:
+    print("\n== 2. Word constraints, path conclusions (PSPACE) ==")
+    constraints = ConstraintSet([word_inclusion("l l", "l")])
+    print(f"E = {constraints}")
+    positive = implies_path_inclusion(constraints, "l*", "l + %")
+    print(f"E |= l* <= l + ε ?  {positive.implied}")
+
+    negative = implies_path_inclusion(constraints, "l + %", "l l")
+    print(f"E |= l + ε <= l l ?  {negative.implied}")
+    witness_word = negative.counterexample_word
+    print(f"   refuting word: {' '.join(witness_word) or 'ε'}")
+    instance, source = counterexample_instance_for_word_refutation(
+        constraints, witness_word, parse("l l").alphabet()
+    )
+
+    def vertex_name(oid) -> str:
+        return "o_" + ("".join(oid[1:]) or "ε")
+
+    print(f"   counterexample instance (source {vertex_name(source)}):")
+    for edge_source, label, destination in instance.edges():
+        print(f"      {vertex_name(edge_source)} --{label}--> {vertex_name(destination)}")
+
+
+def general_regime() -> None:
+    print("\n== 3. General path constraints (bounded tiered procedure) ==")
+    cases = [
+        (
+            ConstraintSet([path_equality("l", "(a b)*")]),
+            path_equality("a (b a)* c", "l a c"),
+        ),
+        (
+            ConstraintSet([path_inclusion("(a b)* a", "m"), path_inclusion("m", "n")]),
+            path_inclusion("(a b)* a c", "n c"),
+        ),
+        (
+            ConstraintSet([path_inclusion("a", "b")]),
+            path_inclusion("b", "a"),
+        ),
+    ]
+    for constraints, conclusion in cases:
+        result = decide_implication(constraints, conclusion)
+        print(f"E = {constraints}")
+        print(f"   {conclusion} ?  {result.verdict.value}  (via {result.method})")
+        if result.counterexample is not None:
+            instance, source = result.counterexample
+            print(f"   counterexample with {len(instance)} objects, source {source}")
+
+
+def main() -> None:
+    ptime_regime()
+    pspace_regime()
+    general_regime()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Finite-automata substrate: NFAs, DFAs, constructions and decision procedures."""
+
+from .determinize import nfa_to_dfa
+from .dfa import DFA
+from .glushkov import regex_to_glushkov_nfa
+from .minimize import canonical_dfa, minimize_dfa
+from .nfa import EPSILON, NFA, single_word_nfa
+from .operations import (
+    complement_nfa,
+    concat_nfa,
+    dfa_intersection,
+    difference_nfa,
+    intersection_nfa,
+    left_quotient_by_language_nfa,
+    left_quotient_nfa,
+    reverse_nfa,
+    star_nfa,
+    union_nfa,
+)
+from .product import product_nfa, product_of_many
+from .properties import (
+    accepted_language_up_to,
+    count_words_of_length,
+    dfa_equivalent,
+    enumerate_accepted_words,
+    equivalent,
+    finite_language,
+    includes,
+    inclusion_counterexample,
+    is_empty,
+    is_finite_language,
+    is_universal,
+    shortest_accepted_word,
+)
+from .state_elimination import nfa_to_regex
+from .thompson import regex_to_nfa
+
+__all__ = [
+    "DFA",
+    "EPSILON",
+    "NFA",
+    "accepted_language_up_to",
+    "canonical_dfa",
+    "complement_nfa",
+    "concat_nfa",
+    "count_words_of_length",
+    "dfa_equivalent",
+    "dfa_intersection",
+    "difference_nfa",
+    "enumerate_accepted_words",
+    "equivalent",
+    "finite_language",
+    "includes",
+    "inclusion_counterexample",
+    "intersection_nfa",
+    "is_empty",
+    "is_finite_language",
+    "is_universal",
+    "left_quotient_by_language_nfa",
+    "left_quotient_nfa",
+    "minimize_dfa",
+    "nfa_to_dfa",
+    "nfa_to_regex",
+    "product_nfa",
+    "product_of_many",
+    "regex_to_glushkov_nfa",
+    "regex_to_nfa",
+    "reverse_nfa",
+    "shortest_accepted_word",
+    "single_word_nfa",
+    "star_nfa",
+    "union_nfa",
+]

@@ -1,0 +1,42 @@
+"""Subset construction: ε-NFA → DFA.
+
+Determinization only ever constructs the *reachable* part of the subset
+automaton, which is what keeps the PSPACE inclusion test of Theorem 4.3(ii)
+practical on the benchmark inputs even though the worst case is exponential.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .dfa import DFA
+from .nfa import NFA
+
+
+def nfa_to_dfa(nfa: NFA, alphabet: "set[str] | None" = None) -> DFA:
+    """Determinize ``nfa`` over ``alphabet`` (default: the NFA's own alphabet).
+
+    States of the resulting DFA are frozensets of NFA states; callers that
+    prefer small hashable states can chain :meth:`DFA.relabel_states`.
+    """
+    labels = set(alphabet) if alphabet is not None else set(nfa.alphabet)
+    start = nfa.initial_closure()
+    dfa = DFA(initial=start, alphabet=set(labels))
+    dfa.states.add(start)
+    if start & nfa.accepting:
+        dfa.accepting.add(start)
+    queue: deque[frozenset] = deque([start])
+    seen = {start}
+    while queue:
+        current = queue.popleft()
+        for label in labels:
+            successor = nfa.step(current, label)
+            if not successor:
+                continue
+            dfa.add_transition(current, label, successor)
+            if successor not in seen:
+                seen.add(successor)
+                if successor & nfa.accepting:
+                    dfa.accepting.add(successor)
+                queue.append(successor)
+    return dfa

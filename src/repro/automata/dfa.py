@@ -1,0 +1,177 @@
+"""Deterministic finite automata.
+
+DFAs appear in the library wherever complementation or minimization is
+needed: language inclusion/equivalence checks (the PSPACE test of
+Theorem 4.3(ii) reduces to an inclusion between an NFA and a saturated NFA),
+and canonical minimal automata used by tests to compare languages.
+
+A DFA here may be *partial*: a missing transition means the word is rejected.
+:meth:`DFA.completed` adds an explicit sink when a total transition function
+is required (e.g. before complementation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator
+
+from ..exceptions import AutomatonError
+
+State = Hashable
+
+_SINK = ("__sink__",)
+
+
+@dataclass
+class DFA:
+    """A (possibly partial) deterministic finite automaton."""
+
+    states: set[State] = field(default_factory=set)
+    alphabet: set[str] = field(default_factory=set)
+    initial: State = 0
+    accepting: set[State] = field(default_factory=set)
+    transitions: dict[State, dict[str, State]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.states = set(self.states)
+        self.states.add(self.initial)
+        self.states |= set(self.accepting)
+        for source, by_label in self.transitions.items():
+            self.states.add(source)
+            for label, target in by_label.items():
+                if not label:
+                    raise AutomatonError("DFA labels must be non-empty strings")
+                self.alphabet.add(label)
+                self.states.add(target)
+
+    # -- construction ---------------------------------------------------------
+    def add_transition(self, source: State, label: str, target: State) -> None:
+        if not label:
+            raise AutomatonError("DFA labels must be non-empty strings")
+        self.states.add(source)
+        self.states.add(target)
+        self.alphabet.add(label)
+        row = self.transitions.setdefault(source, {})
+        existing = row.get(label)
+        if existing is not None and existing != target:
+            raise AutomatonError(
+                f"conflicting transition from {source!r} on {label!r}"
+            )
+        row[label] = target
+
+    # -- execution ------------------------------------------------------------
+    def delta(self, state: State, label: str) -> State | None:
+        return self.transitions.get(state, {}).get(label)
+
+    def run(self, word: Iterable[str]) -> State | None:
+        state: State | None = self.initial
+        for label in word:
+            if state is None:
+                return None
+            state = self.delta(state, label)
+        return state
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        state = self.run(word)
+        return state is not None and state in self.accepting
+
+    # -- structure ------------------------------------------------------------
+    def completed(self, alphabet: "set[str] | None" = None) -> "DFA":
+        """Return a total DFA over ``alphabet`` (default: own alphabet).
+
+        Missing transitions are routed to a fresh non-accepting sink state.
+        """
+        full_alphabet = set(self.alphabet) | (alphabet or set())
+        completed = DFA(initial=self.initial, alphabet=set(full_alphabet))
+        completed.states = set(self.states)
+        completed.accepting = set(self.accepting)
+        needs_sink = False
+        for state in self.states:
+            for label in full_alphabet:
+                target = self.delta(state, label)
+                if target is None:
+                    needs_sink = True
+                    completed.add_transition(state, label, _SINK)
+                else:
+                    completed.add_transition(state, label, target)
+        if needs_sink:
+            for label in full_alphabet:
+                completed.add_transition(_SINK, label, _SINK)
+        return completed
+
+    def complement(self, alphabet: "set[str] | None" = None) -> "DFA":
+        """Return a DFA for the complement language over the given alphabet."""
+        total = self.completed(alphabet)
+        complemented = DFA(
+            initial=total.initial,
+            alphabet=set(total.alphabet),
+            transitions={s: dict(row) for s, row in total.transitions.items()},
+        )
+        complemented.states = set(total.states)
+        complemented.accepting = {s for s in total.states if s not in total.accepting}
+        return complemented
+
+    def reachable_states(self) -> set[State]:
+        seen = {self.initial}
+        queue: deque[State] = deque([self.initial])
+        while queue:
+            state = queue.popleft()
+            for target in self.transitions.get(state, {}).values():
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return seen
+
+    def trim(self) -> "DFA":
+        """Restrict to reachable states (keeps partiality)."""
+        reachable = self.reachable_states()
+        trimmed = DFA(initial=self.initial, alphabet=set(self.alphabet))
+        trimmed.states = set(reachable)
+        trimmed.accepting = {s for s in self.accepting if s in reachable}
+        for source in reachable:
+            for label, target in self.transitions.get(source, {}).items():
+                if target in reachable:
+                    trimmed.add_transition(source, label, target)
+        return trimmed
+
+    def relabel_states(self) -> "DFA":
+        """Return an isomorphic DFA with integer states (BFS numbering)."""
+        mapping: dict[State, int] = {self.initial: 0}
+        order: deque[State] = deque([self.initial])
+        while order:
+            state = order.popleft()
+            for label in sorted(self.transitions.get(state, {})):
+                target = self.transitions[state][label]
+                if target not in mapping:
+                    mapping[target] = len(mapping)
+                    order.append(target)
+        for state in self.states:
+            if state not in mapping:
+                mapping[state] = len(mapping)
+        renamed = DFA(initial=0, alphabet=set(self.alphabet))
+        renamed.states = set(mapping.values())
+        renamed.accepting = {mapping[s] for s in self.accepting}
+        for source, row in self.transitions.items():
+            for label, target in row.items():
+                renamed.add_transition(mapping[source], label, mapping[target])
+        return renamed
+
+    def iter_transitions(self) -> Iterator[tuple[State, str, State]]:
+        for source, row in self.transitions.items():
+            for label, target in row.items():
+                yield (source, label, target)
+
+    def to_nfa(self) -> "NFA":
+        """View this DFA as an NFA (no ε transitions)."""
+        from .nfa import NFA
+
+        nfa = NFA(initial=self.initial, alphabet=set(self.alphabet))
+        nfa.states = set(self.states)
+        nfa.accepting = set(self.accepting)
+        for source, label, target in self.iter_transitions():
+            nfa.add_transition(source, label, target)
+        return nfa
+
+    def __len__(self) -> int:
+        return len(self.states)

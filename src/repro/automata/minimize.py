@@ -1,0 +1,103 @@
+"""DFA minimization (Hopcroft's partition-refinement algorithm).
+
+Minimal DFAs give a canonical representation of a regular language (up to
+state naming), which the test suite uses to compare languages produced by
+different pipelines (Thompson vs Glushkov vs derivatives) and which the
+boundedness machinery uses to keep intermediate automata small.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from .dfa import DFA
+
+
+def minimize_dfa(dfa: DFA) -> DFA:
+    """Return the minimal DFA equivalent to ``dfa``.
+
+    The input is first completed (total transition function) and restricted to
+    reachable states; the result is relabeled with integers in BFS order so
+    that two equivalent languages yield *identical* (not merely isomorphic)
+    automata, giving a cheap canonical form.
+    """
+    total = dfa.completed().trim()
+    states = list(total.states)
+    alphabet = sorted(total.alphabet)
+
+    if not alphabet:
+        # Language is either {} or {ε}; return the canonical 1-state DFA.
+        minimal = DFA(initial=0)
+        minimal.states = {0}
+        if total.initial in total.accepting:
+            minimal.accepting = {0}
+        return minimal
+
+    accepting = frozenset(s for s in states if s in total.accepting)
+    rejecting = frozenset(s for s in states if s not in total.accepting)
+
+    partition: set[frozenset] = set()
+    if accepting:
+        partition.add(accepting)
+    if rejecting:
+        partition.add(rejecting)
+
+    worklist: deque[frozenset] = deque(partition)
+
+    # Precompute reverse transitions for the refinement loop.
+    reverse: dict[tuple[str, object], set[object]] = defaultdict(set)
+    for source in states:
+        for label in alphabet:
+            target = total.delta(source, label)
+            if target is not None:
+                reverse[(label, target)].add(source)
+
+    while worklist:
+        splitter = worklist.popleft()
+        for label in alphabet:
+            predecessors: set[object] = set()
+            for state in splitter:
+                predecessors |= reverse.get((label, state), set())
+            if not predecessors:
+                continue
+            new_partition: set[frozenset] = set()
+            for block in partition:
+                inside = block & predecessors
+                outside = block - predecessors
+                if inside and outside:
+                    inside_f = frozenset(inside)
+                    outside_f = frozenset(outside)
+                    new_partition.add(inside_f)
+                    new_partition.add(outside_f)
+                    if block in worklist:
+                        worklist.remove(block)
+                        worklist.append(inside_f)
+                        worklist.append(outside_f)
+                    else:
+                        worklist.append(
+                            inside_f if len(inside_f) <= len(outside_f) else outside_f
+                        )
+                else:
+                    new_partition.add(block)
+            partition = new_partition
+
+    block_of: dict[object, frozenset] = {}
+    for block in partition:
+        for state in block:
+            block_of[state] = block
+
+    minimal = DFA(initial=block_of[total.initial], alphabet=set(total.alphabet))
+    minimal.states = set(partition)
+    minimal.accepting = {block for block in partition if block & total.accepting}
+    for block in partition:
+        representative = next(iter(block))
+        for label in alphabet:
+            target = total.delta(representative, label)
+            if target is not None:
+                minimal.add_transition(block, label, block_of[target])
+    return minimal.trim().relabel_states()
+
+
+def canonical_dfa(dfa: DFA) -> DFA:
+    """Alias of :func:`minimize_dfa`, emphasizing its use as a canonical form."""
+    return minimize_dfa(dfa)

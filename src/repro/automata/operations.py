@@ -1,0 +1,181 @@
+"""Boolean and rational operations on automata.
+
+These combinators implement the closure properties of regular languages used
+throughout Section 4: union, intersection, complement, difference,
+concatenation, reversal and left quotients.  All operations work on NFAs and
+return NFAs (complement and difference determinize internally).
+"""
+
+from __future__ import annotations
+
+from .determinize import nfa_to_dfa
+from .dfa import DFA
+from .nfa import EPSILON, NFA
+
+
+def _disjoint_copy(nfa: NFA, tag: str) -> NFA:
+    """Copy an NFA with states wrapped as ``(tag, state)`` to avoid clashes."""
+    copy = NFA(initial=(tag, nfa.initial), alphabet=set(nfa.alphabet))
+    for state in nfa.states:
+        copy.add_state((tag, state))
+    for source, label, target in nfa.iter_transitions():
+        copy.add_transition((tag, source), label, (tag, target))
+    copy.accepting = {(tag, state) for state in nfa.accepting}
+    return copy
+
+
+def union_nfa(first: NFA, second: NFA) -> NFA:
+    """NFA for ``L(first) ∪ L(second)``."""
+    left = _disjoint_copy(first, "L")
+    right = _disjoint_copy(second, "R")
+    result = NFA(initial=("U", 0), alphabet=set(left.alphabet) | set(right.alphabet))
+    result.add_state(("U", 0))
+    for part in (left, right):
+        for source, label, target in part.iter_transitions():
+            result.add_transition(source, label, target)
+        result.states |= part.states
+        result.accepting |= part.accepting
+    result.add_transition(("U", 0), EPSILON, left.initial)
+    result.add_transition(("U", 0), EPSILON, right.initial)
+    return result
+
+
+def concat_nfa(first: NFA, second: NFA) -> NFA:
+    """NFA for the concatenation ``L(first) · L(second)``."""
+    left = _disjoint_copy(first, "L")
+    right = _disjoint_copy(second, "R")
+    result = NFA(initial=left.initial, alphabet=set(left.alphabet) | set(right.alphabet))
+    for part in (left, right):
+        for source, label, target in part.iter_transitions():
+            result.add_transition(source, label, target)
+        result.states |= part.states
+    for state in left.accepting:
+        result.add_transition(state, EPSILON, right.initial)
+    result.accepting = set(right.accepting)
+    return result
+
+
+def star_nfa(nfa: NFA) -> NFA:
+    """NFA for the Kleene closure ``L(nfa)*``."""
+    inner = _disjoint_copy(nfa, "S")
+    result = NFA(initial=("K", 0), alphabet=set(inner.alphabet))
+    result.add_state(("K", 0))
+    for source, label, target in inner.iter_transitions():
+        result.add_transition(source, label, target)
+    result.states |= inner.states
+    result.add_transition(("K", 0), EPSILON, inner.initial)
+    for state in inner.accepting:
+        result.add_transition(state, EPSILON, ("K", 0))
+    result.accepting = {("K", 0)}
+    return result
+
+
+def intersection_nfa(first: NFA, second: NFA) -> NFA:
+    """NFA for ``L(first) ∩ L(second)`` via the synchronous product."""
+    from .product import product_nfa
+
+    return product_nfa(first, second, accept_mode="both")
+
+
+def complement_nfa(nfa: NFA, alphabet: "set[str] | None" = None) -> NFA:
+    """NFA (actually a DFA viewed as an NFA) for the complement language."""
+    labels = set(nfa.alphabet) | (alphabet or set())
+    dfa = nfa_to_dfa(nfa, labels)
+    return dfa.complement(labels).to_nfa()
+
+
+def difference_nfa(first: NFA, second: NFA) -> NFA:
+    """NFA for ``L(first) \\ L(second)``."""
+    labels = set(first.alphabet) | set(second.alphabet)
+    return intersection_nfa(first, complement_nfa(second, labels))
+
+
+def reverse_nfa(nfa: NFA) -> NFA:
+    """NFA for the reversal of the language (all transitions flipped)."""
+    result = NFA(initial=("rev", "start"), alphabet=set(nfa.alphabet))
+    result.add_state(("rev", "start"))
+    for state in nfa.states:
+        result.add_state(state)
+    for source, label, target in nfa.iter_transitions():
+        result.add_transition(target, label, source)
+    for state in nfa.accepting:
+        result.add_transition(("rev", "start"), EPSILON, state)
+    result.accepting = {nfa.initial}
+    return result
+
+
+def left_quotient_nfa(nfa: NFA, word: "tuple[str, ...] | list[str]") -> NFA:
+    """NFA for the quotient ``L(nfa) / word = { w | word·w ∈ L }``.
+
+    This is the automaton-level counterpart of the Brzozowski derivative used
+    by the paper's recursive evaluation (†): as the paper notes, the quotient
+    of a regular language is regular, obtained simply by shifting the start
+    state set.
+    """
+    start_states = nfa.run(word)
+    result = nfa.copy()
+    fresh = ("quot", "start")
+    result.add_state(fresh)
+    result.initial = fresh
+    for state in start_states:
+        result.add_transition(fresh, EPSILON, state)
+    return result
+
+
+def left_quotient_by_language_nfa(target: NFA, prefixes: NFA) -> NFA:
+    """NFA for ``{ w | ∃u ∈ L(prefixes), u·w ∈ L(target) }``.
+
+    Theorem 4.10 uses exactly this quotient (of ``L(p)`` by ``L(F)``) to test
+    boundedness.  The construction runs the product of ``prefixes`` and
+    ``target`` and starts the result from every target-state reachable while
+    the prefix automaton is in an accepting state.
+    """
+    from .product import product_nfa
+
+    product = product_nfa(prefixes, target, accept_mode="both")
+    # States of the product are pairs of ε-closed state *sets*
+    # (prefix_states, target_states).  The quotient starts from every target
+    # state occurring in a reachable pair whose prefix component contains an
+    # accepting prefix state (i.e. the word read so far belongs to L(prefixes)).
+    reachable = product.reachable_states()
+    result = target.copy()
+    fresh = ("lquot", "start")
+    result.add_state(fresh)
+    result.initial = fresh
+    for state in reachable:
+        if not isinstance(state, tuple) or len(state) != 2:
+            continue
+        prefix_states, target_states = state
+        if not isinstance(prefix_states, frozenset) or not isinstance(
+            target_states, frozenset
+        ):
+            continue
+        if prefix_states & prefixes.accepting:
+            for target_state in target_states:
+                result.add_transition(fresh, EPSILON, target_state)
+    return result
+
+
+def dfa_intersection(first: DFA, second: DFA) -> DFA:
+    """Product DFA for the intersection of two DFA languages."""
+    labels = set(first.alphabet) | set(second.alphabet)
+    first_total = first.completed(labels)
+    second_total = second.completed(labels)
+    initial = (first_total.initial, second_total.initial)
+    result = DFA(initial=initial, alphabet=set(labels))
+    stack = [initial]
+    seen = {initial}
+    while stack:
+        state = stack.pop()
+        left, right = state
+        if left in first_total.accepting and right in second_total.accepting:
+            result.accepting.add(state)
+        for label in labels:
+            target = (first_total.delta(left, label), second_total.delta(right, label))
+            if target[0] is None or target[1] is None:
+                continue
+            result.add_transition(state, label, target)
+            if target not in seen:
+                seen.add(target)
+                stack.append(target)
+    return result

@@ -1,0 +1,109 @@
+"""Synchronous products of NFAs.
+
+Two constructions are provided:
+
+* :func:`product_nfa` — the binary product, used for intersection and for the
+  quotient-by-language construction;
+* :func:`product_of_many` — the n-ary product of the automata of all
+  constraints and queries involved in an implication question, which is the
+  automaton ``F`` at the heart of the Theorem 4.2 witness construction (the
+  vertices of the small counterexample are sets of states of ``F``).
+
+Because the component NFAs may use ε-transitions, the product is built over
+ε-closed "macro moves": a product transition on label ``a`` moves every
+component by its own ``step`` (one ``a`` plus ε-closure).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .nfa import NFA
+
+
+def product_nfa(first: NFA, second: NFA, accept_mode: str = "both") -> NFA:
+    """Binary synchronous product.
+
+    ``accept_mode`` is ``"both"`` (intersection), ``"first"`` or ``"second"``
+    (accept according to one component only — useful for quotients where the
+    other component merely tracks context).
+
+    The product runs over *sets* of component states (because of ε moves) but
+    exposes plain pairs ``(frozenset, frozenset)`` as its states.
+    """
+    labels = set(first.alphabet) | set(second.alphabet)
+    start = (first.initial_closure(), second.initial_closure())
+    result = NFA(initial=start, alphabet=set(labels))
+    result.add_state(start)
+
+    def is_accepting(state: tuple[frozenset, frozenset]) -> bool:
+        left_ok = bool(state[0] & first.accepting)
+        right_ok = bool(state[1] & second.accepting)
+        if accept_mode == "both":
+            return left_ok and right_ok
+        if accept_mode == "first":
+            return left_ok
+        if accept_mode == "second":
+            return right_ok
+        raise ValueError(f"unknown accept_mode: {accept_mode!r}")
+
+    if is_accepting(start):
+        result.accepting.add(start)
+
+    queue: deque[tuple[frozenset, frozenset]] = deque([start])
+    seen = {start}
+    while queue:
+        current = queue.popleft()
+        left_states, right_states = current
+        for label in labels:
+            left_next = first.step(left_states, label)
+            right_next = second.step(right_states, label)
+            if not left_next and accept_mode in ("both", "first"):
+                continue
+            if not right_next and accept_mode in ("both", "second"):
+                continue
+            successor = (left_next, right_next)
+            result.add_transition(current, label, successor)
+            if successor not in seen:
+                seen.add(successor)
+                if is_accepting(successor):
+                    result.accepting.add(successor)
+                queue.append(successor)
+    return result
+
+
+def product_of_many(automata: "list[NFA]", alphabet: "set[str] | None" = None) -> NFA:
+    """n-ary synchronous product used by the Theorem 4.2 construction.
+
+    The state of the product is a tuple of frozensets — one ε-closed state
+    set per component automaton.  *No* acceptance condition is imposed: the
+    product is used to track, for each vertex of a counterexample instance,
+    the set of product states reachable from the source (the ``states(o')``
+    map of the proof), so every state is marked accepting for convenience.
+    """
+    if not automata:
+        raise ValueError("product_of_many requires at least one automaton")
+    labels: set[str] = set(alphabet) if alphabet is not None else set()
+    for nfa in automata:
+        labels |= set(nfa.alphabet)
+
+    start = tuple(nfa.initial_closure() for nfa in automata)
+    result = NFA(initial=start, alphabet=set(labels))
+    result.add_state(start)
+    result.accepting.add(start)
+
+    queue: deque[tuple] = deque([start])
+    seen = {start}
+    while queue:
+        current = queue.popleft()
+        for label in labels:
+            successor = tuple(
+                nfa.step(component, label)
+                for nfa, component in zip(automata, current)
+            )
+            result.add_transition(current, label, successor)
+            if successor not in seen:
+                seen.add(successor)
+                result.accepting.add(successor)
+                queue.append(successor)
+    return result

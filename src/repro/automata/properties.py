@@ -1,0 +1,220 @@
+"""Decision procedures on automata languages.
+
+Emptiness, finiteness, universality, inclusion and equivalence — the
+building blocks behind the paper's decision procedures:
+
+* Theorem 4.3(ii) reduces implication of a path constraint by word
+  constraints to the inclusion ``L(p) ⊆ RewriteTo(q)``;
+* Theorem 4.10 reduces boundedness to *finiteness* of a quotient language;
+* the paper notes (after Lemma 4.7) that the inclusion can be decided by
+  checking ``L(F_q) = L(F_{p+q})``, i.e. an equivalence test — both routes
+  are provided here and cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import islice
+from typing import Iterator
+
+from .determinize import nfa_to_dfa
+from .dfa import DFA
+from .nfa import NFA
+
+
+def is_empty(nfa: NFA) -> bool:
+    """Return ``True`` iff the automaton accepts no word."""
+    return not (nfa.reachable_states() & nfa.accepting)
+
+
+def shortest_accepted_word(nfa: NFA) -> tuple[str, ...] | None:
+    """Return a shortest accepted word (ties broken lexicographically), or ``None``.
+
+    Used to produce counterexample words for failed inclusions and to compute
+    canonical representatives of congruence classes (Armstrong instances).
+    """
+    start = nfa.initial_closure()
+    if start & nfa.accepting:
+        return ()
+    labels = sorted(nfa.alphabet)
+    queue: deque[tuple[frozenset, tuple[str, ...]]] = deque([(start, ())])
+    seen = {start}
+    while queue:
+        states, word = queue.popleft()
+        for label in labels:
+            successor = nfa.step(states, label)
+            if not successor or successor in seen:
+                continue
+            extended = word + (label,)
+            if successor & nfa.accepting:
+                return extended
+            seen.add(successor)
+            queue.append((successor, extended))
+    return None
+
+
+def is_finite_language(nfa: NFA) -> bool:
+    """Return ``True`` iff the accepted language is finite.
+
+    The language is infinite iff some useful state (reachable and
+    co-reachable) lies on a cycle that reads at least one symbol.
+    """
+    trimmed = nfa.trim()
+    useful = trimmed.reachable_states() & trimmed.coreachable_states()
+    # Build the label-reading reachability graph restricted to useful states;
+    # ε-transitions participate in cycles only if combined with a symbol, so we
+    # detect cycles in the graph where an edge exists when a path with ≥ 1
+    # symbol connects two states.  Simpler equivalent: detect any cycle in the
+    # graph of (symbol or ε) edges that contains at least one symbol edge.
+    symbol_edges: dict[object, set[object]] = {}
+    all_edges: dict[object, set[object]] = {}
+    for source, label, target in trimmed.iter_transitions():
+        if source not in useful or target not in useful:
+            continue
+        all_edges.setdefault(source, set()).add(target)
+        if label != "":
+            symbol_edges.setdefault(source, set()).add(target)
+    # For every symbol edge (u -> v), the language is infinite iff u is
+    # reachable from v (closing a cycle through that symbol edge).
+    for source, targets in symbol_edges.items():
+        for target in targets:
+            if _reaches(all_edges, target, source):
+                return False
+    return True
+
+
+def _reaches(edges: dict[object, set[object]], start: object, goal: object) -> bool:
+    if start == goal:
+        return True
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for successor in edges.get(node, ()):
+            if successor == goal:
+                return True
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return False
+
+
+def enumerate_accepted_words(nfa: NFA, max_length: int) -> Iterator[tuple[str, ...]]:
+    """Yield accepted words of length ≤ ``max_length`` in shortlex order."""
+    labels = sorted(nfa.alphabet)
+    start = nfa.initial_closure()
+    layer: list[tuple[tuple[str, ...], frozenset]] = [((), start)]
+    seen_words: set[tuple[str, ...]] = set()
+    for length in range(max_length + 1):
+        next_layer: list[tuple[tuple[str, ...], frozenset]] = []
+        for word, states in layer:
+            if states & nfa.accepting and word not in seen_words:
+                seen_words.add(word)
+                yield word
+            if length < max_length:
+                for label in labels:
+                    successor = nfa.step(states, label)
+                    if successor:
+                        next_layer.append((word + (label,), successor))
+        layer = next_layer
+
+
+def accepted_language_up_to(nfa: NFA, max_length: int) -> set[tuple[str, ...]]:
+    return set(enumerate_accepted_words(nfa, max_length))
+
+
+def finite_language(nfa: NFA, safety_bound: int = 10_000) -> set[tuple[str, ...]]:
+    """Return the full language of an automaton known to be finite.
+
+    Raises ``ValueError`` when the language is infinite.  ``safety_bound``
+    caps the number of enumerated words as a defensive measure.
+    """
+    if not is_finite_language(nfa):
+        raise ValueError("automaton accepts an infinite language")
+    # For a finite language every word has length < number of useful states.
+    bound = max(1, len(nfa.trim()))
+    words = set(islice(enumerate_accepted_words(nfa, bound), safety_bound + 1))
+    if len(words) > safety_bound:
+        raise ValueError("finite language exceeds the safety bound")
+    return words
+
+
+def is_universal(nfa: NFA, alphabet: "set[str] | None" = None) -> bool:
+    """Return ``True`` iff the automaton accepts every word over ``alphabet``."""
+    labels = set(nfa.alphabet) | (alphabet or set())
+    dfa = nfa_to_dfa(nfa, labels).completed(labels)
+    return all(state in dfa.accepting for state in dfa.reachable_states())
+
+
+def includes(container: NFA, contained: NFA, alphabet: "set[str] | None" = None) -> bool:
+    """Return ``True`` iff ``L(contained) ⊆ L(container)``."""
+    return inclusion_counterexample(container, contained, alphabet) is None
+
+
+def inclusion_counterexample(
+    container: NFA, contained: NFA, alphabet: "set[str] | None" = None
+) -> tuple[str, ...] | None:
+    """Return a word in ``L(contained) \\ L(container)``, or ``None`` if included.
+
+    The check explores the product of ``contained`` with the *determinized*
+    complement of ``container`` on the fly, so it constructs only the
+    reachable part of the (worst-case exponential) subset automaton — this is
+    the standard PSPACE-style on-the-fly inclusion test.
+    """
+    labels = set(container.alphabet) | set(contained.alphabet) | (alphabet or set())
+    start = (contained.initial_closure(), container.initial_closure())
+
+    def violates(state: tuple[frozenset, frozenset]) -> bool:
+        left, right = state
+        return bool(left & contained.accepting) and not (right & container.accepting)
+
+    if violates(start):
+        return ()
+    queue: deque[tuple[tuple[frozenset, frozenset], tuple[str, ...]]] = deque(
+        [(start, ())]
+    )
+    seen = {start}
+    ordered_labels = sorted(labels)
+    while queue:
+        (left, right), word = queue.popleft()
+        for label in ordered_labels:
+            left_next = contained.step(left, label)
+            if not left_next:
+                continue
+            right_next = container.step(right, label)
+            successor = (left_next, right_next)
+            if successor in seen:
+                continue
+            extended = word + (label,)
+            if violates(successor):
+                return extended
+            seen.add(successor)
+            queue.append((successor, extended))
+    return None
+
+
+def equivalent(first: NFA, second: NFA, alphabet: "set[str] | None" = None) -> bool:
+    """Return ``True`` iff the two automata accept the same language."""
+    return includes(first, second, alphabet) and includes(second, first, alphabet)
+
+
+def dfa_equivalent(first: DFA, second: DFA) -> bool:
+    """Language equivalence of two DFAs (via mutual inclusion of their NFAs)."""
+    return equivalent(first.to_nfa(), second.to_nfa())
+
+
+def count_words_of_length(nfa: NFA, length: int) -> int:
+    """Count the accepted words of exactly the given length.
+
+    Used by benchmarks to characterize workloads (e.g. number of candidate
+    paths of a given length) without enumerating them.
+    """
+    dfa = nfa_to_dfa(nfa)
+    counts: dict[object, int] = {dfa.initial: 1}
+    for _ in range(length):
+        next_counts: dict[object, int] = {}
+        for state, count in counts.items():
+            for target in dfa.transitions.get(state, {}).values():
+                next_counts[target] = next_counts.get(target, 0) + count
+        counts = next_counts
+    return sum(count for state, count in counts.items() if state in dfa.accepting)

@@ -1,0 +1,66 @@
+"""Automaton → regular expression via state elimination.
+
+Theorem 4.10 promises not only a decision procedure for boundedness but also
+the *construction* of an equivalent non-recursive query.  The boundedness
+module assembles that query directly from enumerated answer-class
+representatives, but a general automaton-to-regex conversion is independently
+useful (e.g. to show users the rewritten query produced by the optimizer) and
+rounds out the automata substrate.
+
+The algorithm is the classical generalized-NFA state elimination: states are
+removed one at a time, transitions being relabeled with regular expressions.
+"""
+
+from __future__ import annotations
+
+from ..regex.ast import EmptySet, Epsilon, Regex, Symbol, concat, star, union
+from ..regex.simplify import simplify
+from .nfa import EPSILON, NFA
+
+
+def nfa_to_regex(nfa: NFA) -> Regex:
+    """Return a regular expression denoting the language of ``nfa``."""
+    trimmed = nfa.trim().relabel_states()
+
+    # Generalized NFA: unique initial state "I" and final state "F" with
+    # ε-edges to/from the original ones; edge labels are Regex objects.
+    initial = "I"
+    final = "F"
+    edges: dict[tuple[object, object], Regex] = {}
+
+    def add_edge(source: object, target: object, expression: Regex) -> None:
+        key = (source, target)
+        existing = edges.get(key, EmptySet())
+        edges[key] = simplify(union(existing, expression))
+
+    add_edge(initial, trimmed.initial, Epsilon())
+    for state in trimmed.accepting:
+        add_edge(state, final, Epsilon())
+    for source, label, target in trimmed.iter_transitions():
+        expression: Regex = Epsilon() if label == EPSILON else Symbol(label)
+        add_edge(source, target, expression)
+
+    interior = [state for state in trimmed.states]
+    # Eliminate states in a heuristic order: fewer incident edges first keeps
+    # intermediate expressions smaller.
+    def degree(state: object) -> int:
+        return sum(1 for (s, t) in edges if s == state or t == state)
+
+    for state in sorted(interior, key=degree):
+        self_loop = edges.pop((state, state), EmptySet())
+        loop = star(self_loop) if not isinstance(self_loop, EmptySet) else Epsilon()
+        incoming = [(s, e) for (s, t), e in list(edges.items()) if t == state and s != state]
+        outgoing = [(t, e) for (s, t), e in list(edges.items()) if s == state and t != state]
+        for (source, _) in incoming:
+            edges.pop((source, state), None)
+        for (target, _) in outgoing:
+            edges.pop((state, target), None)
+        for source, in_expr in incoming:
+            for target, out_expr in outgoing:
+                through = simplify(concat(concat(in_expr, loop), out_expr))
+                if isinstance(through, EmptySet):
+                    continue
+                add_edge(source, target, through)
+
+    result = edges.get((initial, final), EmptySet())
+    return simplify(result)

@@ -1,0 +1,78 @@
+"""Thompson construction: regular expression → ε-NFA.
+
+The construction is the textbook one (Hopcroft & Ullman, the paper's [18]):
+each AST node contributes a constant number of states and ε-transitions, so
+the resulting NFA has size linear in the expression.  This is the "economical
+approach" the paper advocates in Section 2.2 — build the NFA rather than the
+(possibly exponential) DFA, and evaluate path queries by carrying sets of NFA
+states along graph paths.
+"""
+
+from __future__ import annotations
+
+from ..regex.ast import Concat, EmptySet, Epsilon, Regex, Star, Symbol, Union
+from .nfa import EPSILON, NFA
+
+
+class _Builder:
+    """Allocates integer states and accumulates transitions."""
+
+    def __init__(self) -> None:
+        self.nfa = NFA(initial=0)
+        self._next_state = 0
+
+    def fresh(self) -> int:
+        state = self._next_state
+        self._next_state += 1
+        self.nfa.add_state(state)
+        return state
+
+    def edge(self, source: int, label: str, target: int) -> None:
+        self.nfa.add_transition(source, label, target)
+
+    def build(self, expression: Regex) -> tuple[int, int]:
+        """Return (entry, exit) states of the fragment for ``expression``."""
+        if isinstance(expression, EmptySet):
+            entry, exit_ = self.fresh(), self.fresh()
+            return entry, exit_
+        if isinstance(expression, Epsilon):
+            entry, exit_ = self.fresh(), self.fresh()
+            self.edge(entry, EPSILON, exit_)
+            return entry, exit_
+        if isinstance(expression, Symbol):
+            entry, exit_ = self.fresh(), self.fresh()
+            self.edge(entry, expression.label, exit_)
+            return entry, exit_
+        if isinstance(expression, Concat):
+            left_entry, left_exit = self.build(expression.left)
+            right_entry, right_exit = self.build(expression.right)
+            self.edge(left_exit, EPSILON, right_entry)
+            return left_entry, right_exit
+        if isinstance(expression, Union):
+            entry, exit_ = self.fresh(), self.fresh()
+            left_entry, left_exit = self.build(expression.left)
+            right_entry, right_exit = self.build(expression.right)
+            self.edge(entry, EPSILON, left_entry)
+            self.edge(entry, EPSILON, right_entry)
+            self.edge(left_exit, EPSILON, exit_)
+            self.edge(right_exit, EPSILON, exit_)
+            return entry, exit_
+        if isinstance(expression, Star):
+            entry, exit_ = self.fresh(), self.fresh()
+            inner_entry, inner_exit = self.build(expression.inner)
+            self.edge(entry, EPSILON, inner_entry)
+            self.edge(entry, EPSILON, exit_)
+            self.edge(inner_exit, EPSILON, inner_entry)
+            self.edge(inner_exit, EPSILON, exit_)
+            return entry, exit_
+        raise TypeError(f"unknown regex node: {expression!r}")
+
+
+def regex_to_nfa(expression: Regex) -> NFA:
+    """Compile a regular expression into an ε-NFA accepting its language."""
+    builder = _Builder()
+    entry, exit_ = builder.build(expression)
+    nfa = builder.nfa
+    nfa.initial = entry
+    nfa.accepting = {exit_}
+    return nfa

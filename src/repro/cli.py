@@ -1,0 +1,183 @@
+"""Command-line interface: evaluate queries and check constraints from the shell.
+
+The CLI makes the library usable without writing Python, in the spirit of a
+small graph-database tool:
+
+* ``python -m repro eval GRAPH SOURCE QUERY`` — evaluate a regular path query
+  on a graph stored as an edge list (``source label destination`` per line);
+* ``python -m repro check GRAPH SOURCE CONSTRAINT...`` — check which of the
+  given path constraints hold at the source;
+* ``python -m repro implies CONCLUSION --constraint C ...`` — run the
+  implication procedure (Section 4) without any graph at all;
+* ``python -m repro rewrite QUERY --constraint C ... [--cached LABEL]`` — ask
+  the optimizer for an equivalent cheaper query;
+* ``python -m repro distributed GRAPH SOURCE QUERY`` — run the Section 3.1
+  protocol and print the message trace.
+
+All commands exit with status 0 on success, 1 on a "negative" outcome (e.g. a
+constraint that does not hold, an implication that is refuted), and 2 on bad
+input, so the CLI can be scripted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .constraints import (
+    ConstraintSet,
+    Verdict,
+    decide_implication,
+    parse_constraint,
+    satisfies,
+)
+from .distributed import format_trace, run_distributed_query
+from .exceptions import ReproError
+from .graph import Instance, instance_from_edge_list
+from .optimize import CostModel, rewrite_query
+from .query import evaluate
+from .regex import to_string
+
+
+def _load_instance(path: str) -> Instance:
+    text = Path(path).read_text(encoding="utf-8")
+    return instance_from_edge_list(text)
+
+
+def _constraint_set(texts: Sequence[str]) -> ConstraintSet:
+    return ConstraintSet([parse_constraint(text) for text in texts])
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.graph)
+    result = evaluate(args.query, args.source, instance)
+    for answer in sorted(result.answers, key=str):
+        print(answer)
+    if args.stats:
+        print(
+            f"# visited pairs: {result.visited_pairs}, "
+            f"objects: {result.visited_objects}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.graph)
+    all_hold = True
+    for text in args.constraints:
+        constraint = parse_constraint(text)
+        holds = satisfies(instance, args.source, constraint)
+        all_hold &= holds
+        print(f"{'OK  ' if holds else 'FAIL'} {constraint}")
+    return 0 if all_hold else 1
+
+
+def _cmd_implies(args: argparse.Namespace) -> int:
+    constraints = _constraint_set(args.constraint or [])
+    result = decide_implication(constraints, args.conclusion)
+    print(f"{result.verdict.value} (via {result.method})")
+    if result.notes:
+        print(f"# {result.notes}", file=sys.stderr)
+    if result.verdict is Verdict.IMPLIED:
+        return 0
+    return 1
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    constraints = _constraint_set(args.constraint or [])
+    model = CostModel().with_cached(set(args.cached or []))
+    outcome = rewrite_query(args.query, constraints, model)
+    print(to_string(outcome.best))
+    if args.verbose:
+        for candidate in outcome.candidates:
+            print(f"# {candidate}", file=sys.stderr)
+    return 0 if outcome.improved else 1
+
+
+def _cmd_distributed(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.graph)
+    result = run_distributed_query(
+        args.query,
+        args.source,
+        instance,
+        asker=args.asker,
+        max_messages=args.max_messages,
+    )
+    if args.trace:
+        print(format_trace(result.trace))
+    print(f"answers: {sorted(map(str, result.answers))}")
+    print(f"messages: {result.message_counts()} (total {result.messages_delivered})")
+    print(f"terminated: {result.terminated}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regular path queries with constraints (Abiteboul & Vianu, PODS 1997)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    eval_parser = subparsers.add_parser("eval", help="evaluate a path query on a graph")
+    eval_parser.add_argument("graph", help="edge-list file: 'source label destination' per line")
+    eval_parser.add_argument("source", help="source object identifier")
+    eval_parser.add_argument("query", help="regular path expression, e.g. 'a (b + c)*'")
+    eval_parser.add_argument("--stats", action="store_true", help="print evaluation statistics")
+    eval_parser.set_defaults(handler=_cmd_eval)
+
+    check_parser = subparsers.add_parser("check", help="check path constraints at a source")
+    check_parser.add_argument("graph")
+    check_parser.add_argument("source")
+    check_parser.add_argument("constraints", nargs="+", help="constraints like 'a b <= c' or 'p = q'")
+    check_parser.set_defaults(handler=_cmd_check)
+
+    implies_parser = subparsers.add_parser("implies", help="decide constraint implication")
+    implies_parser.add_argument("conclusion", help="the constraint to test, e.g. 'l* = l + %%'")
+    implies_parser.add_argument(
+        "--constraint", "-c", action="append", help="a premise constraint (repeatable)"
+    )
+    implies_parser.set_defaults(handler=_cmd_implies)
+
+    rewrite_parser = subparsers.add_parser("rewrite", help="optimize a query under constraints")
+    rewrite_parser.add_argument("query")
+    rewrite_parser.add_argument(
+        "--constraint", "-c", action="append", help="a premise constraint (repeatable)"
+    )
+    rewrite_parser.add_argument(
+        "--cached", action="append", help="label of a cached link (cheap to follow)"
+    )
+    rewrite_parser.add_argument("--verbose", "-v", action="store_true")
+    rewrite_parser.set_defaults(handler=_cmd_rewrite)
+
+    distributed_parser = subparsers.add_parser(
+        "distributed", help="run the distributed evaluation protocol"
+    )
+    distributed_parser.add_argument("graph")
+    distributed_parser.add_argument("source")
+    distributed_parser.add_argument("query")
+    distributed_parser.add_argument("--asker", default="client")
+    distributed_parser.add_argument("--max-messages", type=int, default=100_000)
+    distributed_parser.add_argument("--trace", action="store_true", help="print the message trace")
+    distributed_parser.set_defaults(handler=_cmd_distributed)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Path constraints and the implication problem (Section 4 of the paper)."""
+
+from .armstrong import WordEqualityTheory
+from .boundedness import BoundednessResult, decide_boundedness, is_bounded_under
+from .constraint import (
+    ConstraintSet,
+    PathConstraint,
+    PathEquality,
+    PathInclusion,
+    parse_constraint,
+    path_equality,
+    path_inclusion,
+    word_equality,
+    word_inclusion,
+)
+from .general_implication import (
+    ImplicationResult,
+    SearchBudget,
+    Verdict,
+    decide_implication,
+)
+from .path_by_word import (
+    PathByWordResult,
+    implies_path_constraint,
+    implies_path_equality,
+    implies_path_inclusion,
+    implies_path_inclusion_via_union,
+    rewrite_target_nfa,
+)
+from .rewrite_system import PrefixRewriteSystem, RewriteRule, RewriteStep
+from .rewrite_to import (
+    SaturationStatistics,
+    rewrite_to_language_nfa,
+    rewrite_to_with_statistics,
+    rewrite_to_word_nfa,
+    saturate_pre_star,
+)
+from .satisfaction import (
+    is_counterexample,
+    satisfies,
+    satisfies_all,
+    violated_constraints,
+    violates_conclusion,
+)
+from .witness import (
+    Lemma44Witness,
+    counterexample_instance_for_word_refutation,
+    figure4_instance,
+    lemma44_witness,
+)
+from .word_implication import (
+    WordImplicationOracle,
+    explain_word_inclusion,
+    implies_word_equality,
+    implies_word_inclusion,
+)
+
+__all__ = [
+    "BoundednessResult",
+    "ConstraintSet",
+    "ImplicationResult",
+    "Lemma44Witness",
+    "PathByWordResult",
+    "PathConstraint",
+    "PathEquality",
+    "PathInclusion",
+    "PrefixRewriteSystem",
+    "RewriteRule",
+    "RewriteStep",
+    "SaturationStatistics",
+    "SearchBudget",
+    "Verdict",
+    "WordEqualityTheory",
+    "WordImplicationOracle",
+    "counterexample_instance_for_word_refutation",
+    "decide_boundedness",
+    "decide_implication",
+    "explain_word_inclusion",
+    "figure4_instance",
+    "implies_path_constraint",
+    "implies_path_equality",
+    "implies_path_inclusion",
+    "implies_path_inclusion_via_union",
+    "implies_word_equality",
+    "implies_word_inclusion",
+    "is_bounded_under",
+    "is_counterexample",
+    "lemma44_witness",
+    "parse_constraint",
+    "path_equality",
+    "path_inclusion",
+    "rewrite_target_nfa",
+    "rewrite_to_language_nfa",
+    "rewrite_to_with_statistics",
+    "rewrite_to_word_nfa",
+    "satisfies",
+    "satisfies_all",
+    "saturate_pre_star",
+    "violated_constraints",
+    "violates_conclusion",
+    "word_equality",
+    "word_inclusion",
+]

@@ -1,0 +1,227 @@
+"""Boundedness of path queries under word equalities (Theorem 4.10).
+
+A path query ``p`` is *bounded* under a finite set ``E`` of word equalities
+when ``E ⊨ p = q`` for some query ``q`` whose language is finite — i.e. the
+recursion in ``p`` can be eliminated, which (Section 3.2, Example 2) makes
+the query guaranteed to terminate and typically much cheaper to evaluate.
+
+The decision procedure follows the paper exactly:
+
+1. build the K-sphere of the Armstrong instance of ``E`` (Lemma 4.9);
+2. build the finite automaton ``F`` whose states are the sphere vertices plus
+   a single absorbing ``out`` state, accepting exactly the words whose path
+   leaves the sphere;
+3. ``p`` is bounded iff the quotient language
+   ``{ v | u·v ∈ L(p), u ∈ L(F) }`` is finite.
+
+When the query is bounded, an equivalent finite query is *constructed* by
+enumerating the answer classes of ``p`` on the Armstrong instance: classes
+inside the sphere are tracked exactly, classes outside are identified by the
+pair (exit vertex, outside suffix) — correct because outside the sphere every
+vertex has indegree 1 and no path returns (Lemma 4.9).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..automata import (
+    NFA,
+    is_finite_language,
+    left_quotient_by_language_nfa,
+    regex_to_nfa,
+)
+from ..exceptions import BoundednessError
+from ..regex import Regex, parse, simplify, union_all, word as word_expr
+from .armstrong import WordEqualityTheory
+from .constraint import ConstraintSet, Word
+
+
+@dataclass
+class BoundednessResult:
+    """Outcome of the boundedness test for ``(E, p)``.
+
+    Attributes:
+        bounded: whether ``p`` is equivalent, under ``E``, to a finite query.
+        equivalent_query: when bounded, a query with finite language such that
+            ``E ⊨ p = equivalent_query`` (one representative word per answer
+            class); ``None`` otherwise.
+        answer_class_words: the representative words, one per answer class of
+            ``p`` on the Armstrong instance (empty when unbounded).
+        sphere_radius: the K used for the sphere.
+        sphere_size: number of congruence classes inside the sphere.
+    """
+
+    bounded: bool
+    equivalent_query: Regex | None = None
+    answer_class_words: list[Word] = field(default_factory=list)
+    sphere_radius: int = 0
+    sphere_size: int = 0
+
+
+def _sphere_automaton(
+    theory: WordEqualityTheory,
+    radius: int,
+    alphabet: frozenset[str],
+    max_classes: int | None = None,
+) -> NFA:
+    """The automaton ``F`` of Theorem 4.10 (sphere vertices + absorbing ``out``)."""
+    sphere, source = theory.sphere(radius, max_classes=max_classes)
+    out_state = ("out",)
+    automaton = NFA(initial=("v", source), alphabet=set(alphabet))
+    for oid in sphere.objects:
+        automaton.add_state(("v", oid))
+    automaton.add_state(out_state)
+    for oid in sphere.objects:
+        representative = tuple(oid)
+        for label in sorted(alphabet):
+            successor = theory.canonical_form(representative + (label,))
+            if len(successor) <= radius:
+                automaton.add_transition(("v", oid), label, ("v", successor))
+            else:
+                automaton.add_transition(("v", oid), label, out_state)
+    for label in sorted(alphabet):
+        automaton.add_transition(out_state, label, out_state)
+    automaton.accepting = {out_state}
+    return automaton
+
+
+def decide_boundedness(
+    constraints: ConstraintSet,
+    query: "Regex | str",
+    radius: int | None = None,
+    max_outside_length: int | None = None,
+    max_sphere_classes: int | None = None,
+) -> BoundednessResult:
+    """Decide boundedness of ``query`` under word equalities ``constraints``.
+
+    ``radius`` overrides the default (safe) K-sphere radius; the default is
+    the over-approximation computed by
+    :meth:`WordEqualityTheory.default_sphere_radius`.  ``max_outside_length``
+    bounds the enumeration of outside suffixes during construction of the
+    equivalent query; it defaults to a value derived from the quotient
+    language and only acts as a defensive assertion.  ``max_sphere_classes``
+    caps the size of the materialized K-sphere (which is exponential in the
+    constraint alphabet in the worst case); exceeding the cap raises
+    :class:`~repro.exceptions.BoundednessError` rather than silently running
+    for an unbounded amount of time.
+    """
+    expression = query if isinstance(query, Regex) else parse(query)
+    expression = simplify(expression)
+    alphabet = frozenset(constraints.alphabet() | expression.alphabet())
+    theory = WordEqualityTheory(constraints, alphabet=alphabet)
+    if radius is None:
+        radius = theory.default_sphere_radius()
+
+    sphere_instance, source = theory.sphere(radius, max_classes=max_sphere_classes)
+    sphere_size = len(sphere_instance)
+
+    query_nfa = regex_to_nfa(expression)
+    sphere_automaton = _sphere_automaton(
+        theory, radius, alphabet, max_classes=max_sphere_classes
+    )
+
+    # The paper's criterion: bounded iff the quotient of L(p) by L(F) is finite.
+    quotient = left_quotient_by_language_nfa(query_nfa, sphere_automaton)
+    bounded = is_finite_language(quotient)
+    if not bounded:
+        return BoundednessResult(
+            bounded=False, sphere_radius=radius, sphere_size=sphere_size
+        )
+
+    answer_words = _enumerate_answer_classes(
+        theory, expression, radius, alphabet, max_outside_length
+    )
+    equivalent = simplify(union_all([word_expr(word) for word in sorted(answer_words)]))
+    return BoundednessResult(
+        bounded=True,
+        equivalent_query=equivalent,
+        answer_class_words=sorted(answer_words),
+        sphere_radius=radius,
+        sphere_size=sphere_size,
+    )
+
+
+def _enumerate_answer_classes(
+    theory: WordEqualityTheory,
+    expression: Regex,
+    radius: int,
+    alphabet: frozenset[str],
+    max_outside_length: int | None,
+) -> set[Word]:
+    """Enumerate one representative word per answer class of the query.
+
+    The traversal runs the query NFA over the Armstrong instance.  Inside the
+    sphere, vertices are canonical class representatives; outside, a vertex is
+    uniquely identified by its exit vertex and the suffix read since exiting
+    (indegree 1 + no re-entry, Lemma 4.9), and its representative word is
+    ``exit_representative + suffix``.
+    """
+    nfa = regex_to_nfa(expression)
+    if max_outside_length is None:
+        # Outside suffixes cannot exceed the longest word of the (finite)
+        # quotient language; a generous syntactic bound is enough here because
+        # the traversal below only extends a suffix while the query NFA can
+        # still make progress, and boundedness has already been established.
+        max_outside_length = radius + sum(
+            1 for _ in expression.subexpressions()
+        ) + len(nfa.states) + 2
+
+    answers: set[Word] = set()
+    start_vertex = theory.canonical_form(())
+    start = ("in", start_vertex, nfa.initial_closure())
+    queue: deque[tuple] = deque([start])
+    seen = {start}
+
+    def record(representative: Word, states: frozenset) -> None:
+        if states & nfa.accepting:
+            answers.add(theory.canonical_form(representative))
+
+    record(start_vertex, start[2])
+
+    while queue:
+        kind, vertex, states = queue.popleft()
+        if kind == "in":
+            representative = tuple(vertex)
+            for label in sorted(alphabet):
+                next_states = nfa.step(states, label)
+                if not next_states:
+                    continue
+                successor = theory.canonical_form(representative + (label,))
+                if len(successor) <= radius:
+                    item = ("in", successor, next_states)
+                    if item not in seen:
+                        seen.add(item)
+                        record(successor, next_states)
+                        queue.append(item)
+                else:
+                    item = ("out", (representative, (label,)), next_states)
+                    if item not in seen:
+                        seen.add(item)
+                        record(representative + (label,), next_states)
+                        queue.append(item)
+        else:
+            exit_representative, suffix = vertex
+            if len(suffix) > max_outside_length:
+                raise BoundednessError(
+                    "outside-suffix enumeration exceeded its bound; "
+                    "this indicates an internal inconsistency with the "
+                    "finiteness test"
+                )
+            for label in sorted(alphabet):
+                next_states = nfa.step(states, label)
+                if not next_states:
+                    continue
+                extended = suffix + (label,)
+                item = ("out", (exit_representative, extended), next_states)
+                if item not in seen:
+                    seen.add(item)
+                    record(exit_representative + extended, next_states)
+                    queue.append(item)
+    return answers
+
+
+def is_bounded_under(constraints: ConstraintSet, query: "Regex | str") -> bool:
+    """Convenience wrapper returning only the yes/no boundedness answer."""
+    return decide_boundedness(constraints, query).bounded

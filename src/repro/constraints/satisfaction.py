@@ -1,0 +1,78 @@
+"""Constraint satisfaction on a concrete instance: ``(o, I) ⊨ E``.
+
+Satisfaction is defined pointwise (Definition 4.1): an inclusion ``p ⊆ q``
+holds at ``(o, I)`` when the answer of ``p`` is a subset of the answer of
+``q``.  These checks are used in three places:
+
+* validating the witness/counterexample instances produced by the
+  implication machinery (every counterexample returned to a user is
+  re-checked here before being reported);
+* the property-based tests, which compare the decision procedures against
+  brute-force semantics on random instances;
+* the optimizer, which may verify that a rewritten query agrees with the
+  original on a given concrete site before installing the rewrite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graph.instance import Instance, Oid
+from ..query.evaluation import answer_set
+from .constraint import ConstraintSet, PathConstraint, PathEquality, PathInclusion
+
+
+def satisfies(instance: Instance, source: Oid, constraint: PathConstraint) -> bool:
+    """Does ``(source, instance)`` satisfy the constraint?"""
+    lhs_answers = answer_set(constraint.lhs, source, instance)
+    rhs_answers = answer_set(constraint.rhs, source, instance)
+    if isinstance(constraint, PathEquality):
+        return lhs_answers == rhs_answers
+    if isinstance(constraint, PathInclusion):
+        return lhs_answers <= rhs_answers
+    raise TypeError(f"unknown constraint type: {constraint!r}")
+
+
+def satisfies_all(
+    instance: Instance,
+    source: Oid,
+    constraints: "ConstraintSet | Iterable[PathConstraint]",
+) -> bool:
+    """Does ``(source, instance)`` satisfy every constraint in the set?"""
+    return all(satisfies(instance, source, constraint) for constraint in constraints)
+
+
+def violated_constraints(
+    instance: Instance,
+    source: Oid,
+    constraints: "ConstraintSet | Iterable[PathConstraint]",
+) -> list[PathConstraint]:
+    """Return the constraints that fail at ``(source, instance)`` (possibly empty)."""
+    return [
+        constraint
+        for constraint in constraints
+        if not satisfies(instance, source, constraint)
+    ]
+
+
+def violates_conclusion(
+    instance: Instance, source: Oid, conclusion: PathConstraint
+) -> bool:
+    """Does the instance *falsify* the conclusion constraint?
+
+    A valid counterexample to ``E ⊨ c`` must satisfy every constraint of ``E``
+    (checked with :func:`satisfies_all`) and violate ``c`` (checked here).
+    """
+    return not satisfies(instance, source, conclusion)
+
+
+def is_counterexample(
+    instance: Instance,
+    source: Oid,
+    premises: "ConstraintSet | Iterable[PathConstraint]",
+    conclusion: PathConstraint,
+) -> bool:
+    """Full counterexample check: premises hold, conclusion fails."""
+    return satisfies_all(instance, source, premises) and violates_conclusion(
+        instance, source, conclusion
+    )

@@ -1,0 +1,49 @@
+"""Datalog substrate and the path-query-to-Datalog translations (Section 2.3)."""
+
+from .analysis import (
+    ProgramProfile,
+    is_chain_program,
+    is_linear,
+    is_monadic,
+    profile,
+    recursive_predicates,
+)
+from .engine import (
+    EvaluationStats,
+    answers_from,
+    edb_from_instance,
+    evaluate_naive,
+    evaluate_seminaive,
+    query_relation,
+)
+from .magic import magic_transform, unrestricted_variant
+from .syntax import Atom, Constant, Program, Rule, Variable, atom, const, var
+from .translate import TranslationResult, quotient_translation, state_translation
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "EvaluationStats",
+    "Program",
+    "ProgramProfile",
+    "Rule",
+    "TranslationResult",
+    "Variable",
+    "answers_from",
+    "atom",
+    "const",
+    "edb_from_instance",
+    "evaluate_naive",
+    "evaluate_seminaive",
+    "is_chain_program",
+    "is_linear",
+    "is_monadic",
+    "magic_transform",
+    "profile",
+    "query_relation",
+    "quotient_translation",
+    "recursive_predicates",
+    "state_translation",
+    "unrestricted_variant",
+    "var",
+]

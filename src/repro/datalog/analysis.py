@@ -1,0 +1,113 @@
+"""Structural analysis of Datalog programs.
+
+The paper's point in Section 2.3 is that path queries land in a *very*
+restricted Datalog fragment: the programs are **linear** (at most one IDB
+atom per rule body) and **monadic** (all IDB predicates unary), and they are
+*chain programs* over the binary ``Ref`` relation.  Linearity gives the NC
+upper bound the paper cites; monadicity matters for known optimization
+results.  These analyses are exposed so the tests can verify that both
+translations produce programs in the fragment, and so the benchmark can
+report the fragment membership of generated programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .syntax import Program, Rule
+
+
+@dataclass(frozen=True)
+class ProgramProfile:
+    """Summary of the structural properties of a program."""
+
+    linear: bool
+    monadic: bool
+    chain: bool
+    rule_count: int
+    idb_count: int
+
+    def in_paper_fragment(self) -> bool:
+        """Linear + monadic: the fragment the paper's translation targets."""
+        return self.linear and self.monadic
+
+
+def is_linear(program: Program) -> bool:
+    """At most one IDB atom in every rule body."""
+    idb = program.idb_predicates()
+    for rule in program:
+        idb_atoms = [body_atom for body_atom in rule.body if body_atom.predicate in idb]
+        if len(idb_atoms) > 1:
+            return False
+    return True
+
+
+def is_monadic(program: Program) -> bool:
+    """Every IDB predicate is unary."""
+    idb = program.idb_predicates()
+    for rule in program:
+        if rule.head.predicate in idb and rule.head.arity != 1:
+            return False
+        for body_atom in rule.body:
+            if body_atom.predicate in idb and body_atom.arity != 1:
+                return False
+    return True
+
+
+def is_chain_rule(rule: Rule, idb: set[str]) -> bool:
+    """A chain rule propagates a unary IDB fact across one ``Ref`` edge.
+
+    Shape: ``p(X) :- q(Y), Ref(Y, l, X)`` (possibly with the label as a
+    variable), or an initialization/projection rule with a single body atom.
+    """
+    if len(rule.body) <= 1:
+        return True
+    if len(rule.body) != 2:
+        return False
+    first, second = rule.body
+    idb_atoms = [a for a in (first, second) if a.predicate in idb]
+    ref_atoms = [a for a in (first, second) if a.predicate == "Ref"]
+    if len(idb_atoms) != 1 or len(ref_atoms) != 1:
+        return False
+    return idb_atoms[0].arity == 1 and ref_atoms[0].arity == 3
+
+
+def is_chain_program(program: Program) -> bool:
+    idb = program.idb_predicates()
+    return all(is_chain_rule(rule, idb) for rule in program)
+
+
+def recursive_predicates(program: Program) -> set[str]:
+    """IDB predicates involved in a dependency cycle (directly or mutually)."""
+    idb = program.idb_predicates()
+    edges: dict[str, set[str]] = {predicate: set() for predicate in idb}
+    for rule in program:
+        for body_atom in rule.body:
+            if body_atom.predicate in idb:
+                edges[rule.head.predicate].add(body_atom.predicate)
+
+    recursive: set[str] = set()
+    for start in idb:
+        stack = list(edges[start])
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current == start:
+                recursive.add(start)
+                break
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(edges[current])
+    return recursive
+
+
+def profile(program: Program) -> ProgramProfile:
+    """Compute the full structural profile of a program."""
+    return ProgramProfile(
+        linear=is_linear(program),
+        monadic=is_monadic(program),
+        chain=is_chain_program(program),
+        rule_count=len(program),
+        idb_count=len(program.idb_predicates()),
+    )

@@ -1,0 +1,156 @@
+"""Datalog syntax: terms, atoms, rules and programs.
+
+Section 2.3 of the paper expresses regular path queries as Datalog programs
+with two EDB relations (``Ref`` holding the graph, ``source`` holding the
+start object) and unary IDB relations — one per quotient of the query, or one
+per automaton state.  This module provides just enough Datalog to host those
+programs (and the magic-set-style variants): positive Datalog, no negation,
+no function symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..exceptions import DatalogError
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A Datalog variable (conventionally capitalized: ``X``, ``Y``...)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A Datalog constant (object identifiers, labels)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Term = "Variable | Constant"
+
+
+def var(name: str) -> Variable:
+    return Variable(name)
+
+
+def const(value: object) -> Constant:
+    return Constant(value)
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A predicate applied to terms, e.g. ``Ref(Y, 'a', X)``."""
+
+    predicate: str
+    terms: tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        for term in self.terms:
+            if not isinstance(term, (Variable, Constant)):
+                raise DatalogError(
+                    f"atom terms must be Variable or Constant, got {term!r}"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> set[Variable]:
+        return {term for term in self.terms if isinstance(term, Variable)}
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(term) for term in self.terms)
+        return f"{self.predicate}({rendered})"
+
+
+def atom(predicate: str, *terms: "Variable | Constant | object") -> Atom:
+    """Build an atom, coercing raw Python values to constants."""
+    coerced = tuple(
+        term if isinstance(term, (Variable, Constant)) else Constant(term)
+        for term in terms
+    )
+    return Atom(predicate, coerced)
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A Horn rule ``head :- body1, ..., bodyn`` (facts have an empty body)."""
+
+    head: Atom
+    body: tuple[Atom, ...] = ()
+
+    def __post_init__(self) -> None:
+        head_variables = self.head.variables()
+        body_variables: set[Variable] = set()
+        for body_atom in self.body:
+            body_variables |= body_atom.variables()
+        unsafe = head_variables - body_variables
+        if self.body and unsafe:
+            raise DatalogError(
+                f"unsafe rule: head variables {sorted(v.name for v in unsafe)} "
+                "do not occur in the body"
+            )
+        if not self.body and head_variables:
+            raise DatalogError("a fact (empty body) may not contain variables")
+
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        rendered = ", ".join(str(body_atom) for body_atom in self.body)
+        return f"{self.head} :- {rendered}."
+
+
+class Program:
+    """A Datalog program: a list of rules plus EDB/IDB classification."""
+
+    def __init__(self, rules: Iterable[Rule] = (), edb: Iterable[str] = ()) -> None:
+        self.rules: list[Rule] = list(rules)
+        self._declared_edb: set[str] = set(edb)
+        self._validate()
+
+    def _validate(self) -> None:
+        for predicate in self._declared_edb & self.idb_predicates():
+            raise DatalogError(
+                f"predicate {predicate!r} is declared EDB but appears in a rule head"
+            )
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+        self._validate()
+
+    def idb_predicates(self) -> set[str]:
+        """Predicates defined by some rule head."""
+        return {rule.head.predicate for rule in self.rules}
+
+    def edb_predicates(self) -> set[str]:
+        """Predicates that only ever occur in rule bodies (plus declared EDBs)."""
+        mentioned: set[str] = set(self._declared_edb)
+        for rule in self.rules:
+            for body_atom in rule.body:
+                mentioned.add(body_atom.predicate)
+        return mentioned - self.idb_predicates()
+
+    def rules_for(self, predicate: str) -> list[Rule]:
+        return [rule for rule in self.rules if rule.head.predicate == predicate]
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)

@@ -1,0 +1,113 @@
+"""Translating regular path queries to Datalog (Section 2.3).
+
+The paper gives two syntactic variants of the same translation:
+
+* the **quotient encoding**: one unary IDB predicate ``still_left_q`` per
+  iterated quotient ``q`` of the query, with rules
+
+  - ``still_left_p(o) :- source(o)``                       (initialization)
+  - ``still_left_r(X) :- still_left_q(Y), Ref(Y, l, X)``    for ``r = q/l``
+  - ``answer(X) :- still_left_q(X)``                        when ``ε ∈ L(q)``
+
+* the **state encoding**: one unary IDB predicate ``state_h`` per state of an
+  automaton for the query, with the analogous rules driven by the transition
+  function.
+
+Both yield linear, monadic chain programs; the tests verify this via
+:mod:`repro.datalog.analysis` and verify that bottom-up evaluation of either
+program computes exactly ``p(o, I)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata import NFA, nfa_to_dfa, regex_to_glushkov_nfa
+from ..regex import Regex, all_quotients, parse, simplify, to_string
+from .syntax import Program, Rule, atom, var
+
+
+@dataclass
+class TranslationResult:
+    """A generated program plus the name of its answer predicate and metadata."""
+
+    program: Program
+    answer_predicate: str
+    predicate_names: dict[object, str]
+
+    def predicate_count(self) -> int:
+        return len(self.predicate_names)
+
+
+def _coerce(query: "Regex | str") -> Regex:
+    return simplify(query if isinstance(query, Regex) else parse(query))
+
+
+def quotient_translation(query: "Regex | str") -> TranslationResult:
+    """The quotient encoding D_P of Section 2.3."""
+    expression = _coerce(query)
+    quotients = all_quotients(expression)
+
+    names: dict[object, str] = {}
+    for index, quotient in enumerate(sorted(quotients, key=to_string)):
+        names[quotient] = f"still_left_{index}"
+
+    rules: list[Rule] = []
+    x, y, o = var("X"), var("Y"), var("O")
+
+    # Initialization: the whole query is still left to evaluate at the source.
+    rules.append(Rule(atom(names[expression], o), (atom("source", o),)))
+
+    # Propagation: still_left_r(X) :- still_left_q(Y), Ref(Y, l, X) for r = q/l.
+    for quotient, by_label in quotients.items():
+        for label, successor in by_label.items():
+            if successor not in names:
+                continue
+            if successor.alphabet() == frozenset() and not successor.nullable():
+                # successor denotes the empty language; the rule can never
+                # contribute an answer, so it is omitted (harmless either way).
+                continue
+            rules.append(
+                Rule(
+                    atom(names[successor], x),
+                    (atom(names[quotient], y), atom("Ref", y, label, x)),
+                )
+            )
+
+    # Answers: answer(X) :- still_left_q(X) whenever ε ∈ L(q).
+    for quotient in quotients:
+        if quotient.nullable():
+            rules.append(Rule(atom("answer", x), (atom(names[quotient], x),)))
+
+    program = Program(rules, edb=("Ref", "source"))
+    return TranslationResult(program, "answer", names)
+
+
+def state_translation(query: "Regex | str", automaton: "NFA | None" = None) -> TranslationResult:
+    """The state encoding of Section 2.3 (deterministic automaton states).
+
+    The paper phrases this variant with a deterministic transition function
+    ``h = δ(j, l)``; we therefore determinize the (Glushkov) automaton first.
+    """
+    expression = _coerce(query)
+    nfa = automaton if automaton is not None else regex_to_glushkov_nfa(expression)
+    dfa = nfa_to_dfa(nfa).relabel_states()
+
+    names: dict[object, str] = {state: f"state_{state}" for state in dfa.states}
+
+    rules: list[Rule] = []
+    x, y, o = var("X"), var("Y"), var("O")
+
+    rules.append(Rule(atom(names[dfa.initial], o), (atom("source", o),)))
+    for state, label, target in dfa.iter_transitions():
+        rules.append(
+            Rule(
+                atom(names[target], x),
+                (atom(names[state], y), atom("Ref", y, label, x)),
+            )
+        )
+    for state in dfa.accepting:
+        rules.append(Rule(atom("answer", x), (atom(names[state], x),)))
+
+    program = Program(rules, edb=("Ref", "source"))
+    return TranslationResult(program, "answer", names)

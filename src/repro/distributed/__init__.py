@@ -1,0 +1,27 @@
+"""Distributed asynchronous evaluation of path queries (Section 3.1)."""
+
+from .coordinator import DistributedResult, compare_with_centralized, run_distributed_query
+from .messages import Ack, Answer, Done, Message, Subquery
+from .network import DeliveryRecord, Network, NetworkStatistics
+from .site import QueryTask, SiteAgent
+from .trace import answers_in_order, format_trace, termination_step, trace_summary
+
+__all__ = [
+    "Ack",
+    "Answer",
+    "DeliveryRecord",
+    "DistributedResult",
+    "Done",
+    "Message",
+    "Network",
+    "NetworkStatistics",
+    "QueryTask",
+    "SiteAgent",
+    "Subquery",
+    "answers_in_order",
+    "compare_with_centralized",
+    "format_trace",
+    "run_distributed_query",
+    "termination_step",
+    "trace_summary",
+]

@@ -1,0 +1,128 @@
+"""Running a distributed query end to end (the Figure 3 scenario).
+
+The coordinator plays the role of the node that *asks* the query (node ``d``
+in Figures 2/3): it injects the initial ``subquery`` message, lets the network
+deliver messages, collects the ``answer`` messages arriving at the asking
+node, and detects termination when the ``done`` for the root subquery comes
+back.  The paper's correctness claim — the algorithm terminates and computes
+exactly ``p(o, I)`` — is checked in the integration tests by comparing the
+collected answers against the centralized evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import DistributedProtocolError
+from ..graph.instance import Instance, LazyInstance, Oid
+from ..query.path_query import RegularPathQuery
+from ..regex import Regex
+from .messages import Done, Subquery
+from .network import DeliveryRecord, Network, NetworkStatistics
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of a distributed query evaluation."""
+
+    answers: set[Oid]
+    terminated: bool
+    messages_delivered: int
+    statistics: NetworkStatistics
+    trace: list[DeliveryRecord] = field(default_factory=list)
+    sites_contacted: set[Oid] = field(default_factory=set)
+
+    def message_counts(self) -> dict[str, int]:
+        return dict(self.statistics.by_kind)
+
+
+def run_distributed_query(
+    query: "RegularPathQuery | Regex | str",
+    source: Oid,
+    instance: "Instance | LazyInstance",
+    asker: Oid = "client",
+    order: str = "fifo",
+    seed: int = 0,
+    max_messages: int = 100_000,
+    stop_on_termination: bool = True,
+) -> DistributedResult:
+    """Evaluate ``query`` at ``source``, asked by ``asker``, over the network.
+
+    ``order`` selects the delivery policy (``fifo``, ``lifo`` or ``random``
+    with ``seed``); the answers are independent of the policy, which the
+    robustness tests verify.  ``max_messages`` bounds the run so that queries
+    whose reachable portion is infinite (on a lazy instance) fail loudly
+    instead of hanging.
+    """
+    rpq = query if isinstance(query, RegularPathQuery) else RegularPathQuery.of(query)
+    if asker == source:
+        raise DistributedProtocolError(
+            "the asking node must be distinct from the queried source in this "
+            "simulator (use any fresh identifier for the asker)"
+        )
+
+    network = Network(instance, order=order, seed=seed, external_sites={asker})
+    root_mid = f"{asker}#root"
+    network.send(Subquery(root_mid, asker, source, asker, rpq.expression))
+
+    def root_done_delivered(net: Network) -> bool:
+        if not net.trace:
+            return False
+        message = net.trace[-1].message
+        return (
+            isinstance(message, Done)
+            and message.mid == root_mid
+            and message.receiver == asker
+        )
+
+    # With stop_on_termination the run stops the moment the asker learns the
+    # query is complete (the paper's termination-detection event); otherwise
+    # the pool is drained fully so the trace shows the entire exchange.
+    delivered = network.run(
+        max_messages=max_messages,
+        stop_when=root_done_delivered if stop_on_termination else None,
+    )
+    terminated = any(
+        isinstance(record.message, Done)
+        and record.message.mid == root_mid
+        and record.message.receiver == asker
+        for record in network.trace
+    )
+
+    asker_site = network.site(asker)
+    return DistributedResult(
+        answers=set(asker_site.received_answers),
+        terminated=terminated,
+        messages_delivered=delivered,
+        statistics=network.statistics,
+        trace=list(network.trace),
+        sites_contacted=network.sites_contacted() - {asker},
+    )
+
+
+def compare_with_centralized(
+    query: "RegularPathQuery | Regex | str",
+    source: Oid,
+    instance: Instance,
+    asker: Oid = "client",
+) -> dict[str, object]:
+    """Run both evaluators and report agreement plus cost metrics.
+
+    Returns a dictionary with the distributed answer set, the centralized
+    answer set, whether they agree, and the distributed message counts —
+    the raw material of the Section 3.1 benchmark.
+    """
+    from ..query.evaluation import evaluate
+
+    distributed = run_distributed_query(query, source, instance, asker=asker)
+    centralized = evaluate(query, source, instance)
+    return {
+        "agree": distributed.answers == centralized.answers,
+        "distributed_answers": set(distributed.answers),
+        "centralized_answers": set(centralized.answers),
+        "messages": distributed.message_counts(),
+        "messages_total": distributed.messages_delivered,
+        "sites_contacted": len(distributed.sites_contacted),
+        "centralized_visited_pairs": centralized.visited_pairs,
+        "terminated": distributed.terminated,
+    }

@@ -1,0 +1,72 @@
+"""Messages of the distributed evaluation protocol (Section 3.1).
+
+The protocol uses exactly four message kinds, reproduced verbatim from the
+paper::
+
+    subquery(mid, sender, receiver, destination, q)
+    answer(mid, sender, receiver)
+    done(mid, sender, receiver)
+    ack(mid, sender, receiver)
+
+``mid`` uniquely identifies a subquery or answer message so that the matching
+``done`` / ``ack`` can be correlated.  The query payload ``q`` of a subquery
+is a regular expression (shipped in practice as a set of automaton states; we
+carry the expression itself for readability of traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.instance import Oid
+from ..regex import Regex, to_string
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class: every message has an id, a sender and a receiver."""
+
+    mid: str
+    sender: Oid
+    receiver: Oid
+
+    def kind(self) -> str:
+        return type(self).__name__.lower()
+
+
+@dataclass(frozen=True, slots=True)
+class Subquery(Message):
+    """Ask ``receiver`` to evaluate ``query`` and report answers to ``destination``."""
+
+    destination: Oid
+    query: Regex
+
+    def __str__(self) -> str:
+        return (
+            f"subquery({self.mid}, {self.sender}, {self.receiver}, "
+            f"{self.destination}, {to_string(self.query)})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Answer(Message):
+    """Report to the query's destination that ``sender`` is an answer object."""
+
+    def __str__(self) -> str:
+        return f"answer({self.mid}, {self.sender}, {self.receiver})"
+
+
+@dataclass(frozen=True, slots=True)
+class Done(Message):
+    """Notify the sender of a subquery that the subtask is fully processed."""
+
+    def __str__(self) -> str:
+        return f"done({self.mid}, {self.sender}, {self.receiver})"
+
+
+@dataclass(frozen=True, slots=True)
+class Ack(Message):
+    """Acknowledge the reception of an answer message."""
+
+    def __str__(self) -> str:
+        return f"ack({self.mid}, {self.sender}, {self.receiver})"

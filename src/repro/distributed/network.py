@@ -1,0 +1,161 @@
+"""An asynchronous network simulator for the distributed protocol.
+
+The paper assumes an asynchronous environment where every message eventually
+reaches its destination but nothing is said about order or timing.  The
+simulator makes that abstraction concrete and deterministic:
+
+* messages live in a pending pool;
+* a *delivery policy* picks which pending message is delivered next — FIFO
+  (queue order), LIFO, or seeded-random, the latter standing in for arbitrary
+  network interleavings in the robustness tests;
+* delivering a message runs the receiving site's handler, whose emitted
+  messages join the pool.
+
+Sites are created lazily the first time a message reaches them, so the same
+simulator works for finite instances and for lazy (infinite-Web) instances;
+an explicit message budget turns the paper's "non-terminating computation"
+into a detectable condition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..exceptions import DistributedProtocolError
+from ..graph.instance import Instance, LazyInstance, Oid
+from .messages import Ack, Answer, Done, Message, Subquery
+from .site import SiteAgent
+
+
+@dataclass
+class DeliveryRecord:
+    """One delivered message, with its position in the global delivery order."""
+
+    step: int
+    message: Message
+
+
+@dataclass
+class NetworkStatistics:
+    """Message counts by kind plus per-site totals."""
+
+    delivered: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    per_site: dict[Oid, int] = field(default_factory=dict)
+
+    def record(self, message: Message) -> None:
+        self.delivered += 1
+        kind = message.kind()
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        self.per_site[message.receiver] = self.per_site.get(message.receiver, 0) + 1
+
+
+class Network:
+    """The message pool, the sites, and the delivery loop."""
+
+    def __init__(
+        self,
+        instance: "Instance | LazyInstance",
+        order: str = "fifo",
+        seed: int = 0,
+        external_sites: "set[Oid] | None" = None,
+    ) -> None:
+        if order not in ("fifo", "lifo", "random"):
+            raise DistributedProtocolError(f"unknown delivery order: {order!r}")
+        self._instance = instance
+        self._order = order
+        self._rng = random.Random(seed)
+        self._pending: list[Message] = []
+        self._sites: dict[Oid, SiteAgent] = {}
+        # Sites that exist outside the data graph (e.g. the user node "d" of
+        # Figure 3 that poses the query but has no outgoing data edges).
+        self._external_sites: set[Oid] = set(external_sites or ())
+        self.trace: list[DeliveryRecord] = []
+        self.statistics = NetworkStatistics()
+
+    # -- site management -----------------------------------------------------------
+    def site(self, oid: Oid) -> SiteAgent:
+        if oid not in self._sites:
+            if oid in self._external_sites:
+                out_edges: list[tuple[str, Oid]] = []
+            else:
+                out_edges = self._instance.out_edges(oid)
+            self._sites[oid] = SiteAgent(oid, out_edges)
+        return self._sites[oid]
+
+    def sites_contacted(self) -> set[Oid]:
+        return set(self._sites)
+
+    # -- message handling ------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        self._pending.append(message)
+
+    def _pick_next(self) -> Message:
+        if self._order == "fifo":
+            return self._pending.pop(0)
+        if self._order == "lifo":
+            return self._pending.pop()
+        index = self._rng.randrange(len(self._pending))
+        return self._pending.pop(index)
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def deliver_one(self) -> DeliveryRecord:
+        """Deliver a single message and run the receiver's handler."""
+        if not self._pending:
+            raise DistributedProtocolError("no pending messages to deliver")
+        message = self._pick_next()
+        record = DeliveryRecord(step=len(self.trace) + 1, message=message)
+        self.trace.append(record)
+        self.statistics.record(message)
+        receiver = self.site(message.receiver)
+        for produced in receiver.handle(message):
+            self.send(produced)
+        return record
+
+    def run(
+        self,
+        max_messages: int = 100_000,
+        stop_when: "Callable[[Network], bool] | None" = None,
+    ) -> int:
+        """Deliver messages until the pool drains (or a stop condition holds).
+
+        Returns the number of messages delivered.  Raises
+        :class:`DistributedProtocolError` when the budget is exhausted with
+        messages still pending — the finite-budget rendition of a query that
+        would explore the Web forever.
+        """
+        delivered = 0
+        while self._pending:
+            if delivered >= max_messages:
+                raise DistributedProtocolError(
+                    "message budget exhausted; the evaluation does not terminate "
+                    "within the allotted number of messages"
+                )
+            self.deliver_one()
+            delivered += 1
+            if stop_when is not None and stop_when(self):
+                break
+        return delivered
+
+    # -- reporting ---------------------------------------------------------------------
+    def messages_by_kind(self) -> dict[str, int]:
+        return dict(self.statistics.by_kind)
+
+    def delivered_of_kind(self, kind: type) -> list[Message]:
+        return [record.message for record in self.trace if isinstance(record.message, kind)]
+
+    def subqueries(self) -> list[Subquery]:
+        return [m for m in self.delivered_of_kind(Subquery)]  # type: ignore[misc]
+
+    def answers(self) -> list[Answer]:
+        return [m for m in self.delivered_of_kind(Answer)]  # type: ignore[misc]
+
+    def dones(self) -> list[Done]:
+        return [m for m in self.delivered_of_kind(Done)]  # type: ignore[misc]
+
+    def acks(self) -> list[Ack]:
+        return [m for m in self.delivered_of_kind(Ack)]  # type: ignore[misc]

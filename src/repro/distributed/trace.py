@@ -1,0 +1,61 @@
+"""Rendering and summarizing protocol traces (Figure 3).
+
+Figure 3 of the paper shows a complete run of the protocol on the Figure 2
+graph — every message with its identifier, in delivery order, ending with the
+termination-detecting ``done`` back at the asking node.  These helpers format
+a recorded trace in the same spirit and compute the summary statistics used
+by the distributed-evaluation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .messages import Answer, Done, Subquery
+from .network import DeliveryRecord
+
+
+def format_trace(trace: list[DeliveryRecord], limit: int | None = None) -> str:
+    """Render a delivery trace, one message per line (optionally truncated)."""
+    lines = []
+    records = trace if limit is None else trace[:limit]
+    for record in records:
+        lines.append(f"{record.step:4d}  {record.message}")
+    if limit is not None and len(trace) > limit:
+        lines.append(f"...   ({len(trace) - limit} more messages)")
+    return "\n".join(lines)
+
+
+def trace_summary(trace: list[DeliveryRecord]) -> dict[str, object]:
+    """Counts by message kind, distinct subqueries, and per-site activity."""
+    kinds = Counter(record.message.kind() for record in trace)
+    subquery_texts = {
+        str(record.message)
+        for record in trace
+        if isinstance(record.message, Subquery)
+    }
+    receivers = Counter(record.message.receiver for record in trace)
+    return {
+        "messages_total": len(trace),
+        "by_kind": dict(kinds),
+        "distinct_subquery_messages": len(subquery_texts),
+        "busiest_sites": receivers.most_common(5),
+    }
+
+
+def answers_in_order(trace: list[DeliveryRecord]) -> list[object]:
+    """The answer objects in the order their answer messages were delivered."""
+    ordered = []
+    for record in trace:
+        if isinstance(record.message, Answer):
+            ordered.append(record.message.sender)
+    return ordered
+
+
+def termination_step(trace: list[DeliveryRecord], asker: object) -> int | None:
+    """Delivery step at which the asker learned the query had terminated."""
+    for record in trace:
+        message = record.message
+        if isinstance(message, Done) and message.receiver == asker:
+            return record.step
+    return None

@@ -1,0 +1,49 @@
+"""General path queries over string-pattern labels and the μ translation (§2.4)."""
+
+from .example21 import (
+    example21_expected_class_labels,
+    example21_instance,
+    example21_patterns,
+    example21_query,
+)
+from .label_classes import LabelClassification, Signature, classify_labels
+from .patterns import (
+    LabelPattern,
+    PatternSyntaxError,
+    content_label,
+    content_pattern,
+    literal_pattern,
+)
+from .translation import (
+    GeneralPathQuery,
+    build_classification,
+    evaluate_general_query,
+    evaluate_general_query_directly,
+    general_query,
+    pattern_symbol,
+    translate_instance,
+    translate_query,
+)
+
+__all__ = [
+    "GeneralPathQuery",
+    "LabelClassification",
+    "LabelPattern",
+    "PatternSyntaxError",
+    "Signature",
+    "build_classification",
+    "classify_labels",
+    "content_label",
+    "content_pattern",
+    "evaluate_general_query",
+    "evaluate_general_query_directly",
+    "example21_expected_class_labels",
+    "example21_instance",
+    "example21_patterns",
+    "example21_query",
+    "general_query",
+    "literal_pattern",
+    "pattern_symbol",
+    "translate_instance",
+    "translate_query",
+]

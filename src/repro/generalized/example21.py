@@ -1,0 +1,85 @@
+"""The worked Example 2.1 / Figure 1 of the paper.
+
+The general path expression of Example 2.1 is::
+
+    q = ("a*b" "ba*") + ("a*b" "c") + ("ba*" "c") + ("dd*")+
+
+over character-level patterns ``a*b``, ``ba*``, ``c`` and ``dd*``.  The paper
+identifies six label classes — ``b`` (= a*b ∩ ba*), ``ab`` (a*b \\ ba*), ``ba``
+(ba* \\ a*b), ``c``, ``d`` and the catch-all ``h`` — and translates the query
+into::
+
+    μ(q) = ((b+ab)(b+ba)) + ((b+ab) c) + ((b+ba) c) + d+
+
+This module builds the example's patterns, query and a small instance whose
+labels exercise every class, so that tests and the Figure 1 benchmark can
+check the classification and the equivalence ``q(o, I) = μ(q)(o, μ(I))``.
+"""
+
+from __future__ import annotations
+
+from ..graph.instance import Instance
+from ..regex.ast import Regex, concat, union_all
+from .patterns import LabelPattern
+from .translation import GeneralPathQuery, general_query, pattern_symbol
+
+
+def example21_query() -> GeneralPathQuery:
+    """The general path query ``q`` of Example 2.1."""
+    a_star_b, p1 = pattern_symbol("a*b")
+    b_a_star, p2 = pattern_symbol("ba*")
+    c_pattern, p3 = pattern_symbol("c")
+    d_plus, p4 = pattern_symbol("dd*")
+
+    branch1: Regex = concat(a_star_b, b_a_star)
+    branch2: Regex = concat(a_star_b, c_pattern)
+    branch3: Regex = concat(b_a_star, c_pattern)
+    branch4: Regex = concat(d_plus, d_plus.star())  # (dd*)+ = dd* (dd*)*
+
+    expression = union_all([branch1, branch2, branch3, branch4])
+    return general_query(expression, [p1, p2, p3, p4])
+
+
+def example21_expected_class_labels() -> dict[str, list[str]]:
+    """Representative members of the six classes named in the paper."""
+    return {
+        "b": ["b"],
+        "ab": ["ab", "aab", "aaab"],
+        "ba": ["ba", "baa"],
+        "c": ["c"],
+        "d": ["d", "dd", "ddd"],
+        "h": ["x", "ca", "e"],
+    }
+
+
+def example21_instance() -> tuple[Instance, str]:
+    """A small instance whose labels populate every class of Example 2.1.
+
+    The graph is a fan of short paths from the source, one per interesting
+    label combination, so each branch of the query has at least one witness
+    and the catch-all class ``h`` also appears on an edge.
+    """
+    instance = Instance()
+    source = "o"
+    instance.add_object(source)
+    # Branch 1 witnesses: a*b followed by ba*.
+    instance.add_edge(source, "aab", "n1")
+    instance.add_edge("n1", "baa", "n2")
+    # Branch 2 witnesses: a*b followed by c (sharing the first edge).
+    instance.add_edge("n1", "c", "n3")
+    # Branch 3 witnesses: ba* followed by c.
+    instance.add_edge(source, "ba", "n4")
+    instance.add_edge("n4", "c", "n5")
+    # The label "b" belongs to both a*b and ba*.
+    instance.add_edge(source, "b", "n6")
+    instance.add_edge("n6", "c", "n7")
+    # Branch 4 witnesses: a chain of d-like labels.
+    instance.add_edge(source, "d", "n8")
+    instance.add_edge("n8", "dd", "n9")
+    # An edge in the catch-all class h (matches no pattern).
+    instance.add_edge(source, "x", "n10")
+    return instance, source
+
+
+def example21_patterns() -> list[LabelPattern]:
+    return example21_query().pattern_list()

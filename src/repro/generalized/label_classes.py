@@ -1,0 +1,89 @@
+"""Equivalence classes of labels with respect to a set of patterns (§2.4).
+
+Given the set Π of string patterns occurring in a general path query, two
+labels are equivalent when they satisfy exactly the same patterns of Π.  The
+μ translation of Proposition 2.2 replaces every label by a representative of
+its class, reducing a query over an unbounded label universe to an ordinary
+regular path query over the finite alphabet of class representatives.
+
+Because the label universe is infinite, classes are represented by their
+*signature* — the subset of Π the class satisfies — rather than by
+enumerating members.  A representative label is chosen among the labels that
+actually occur in the instance being translated (plus one synthetic
+representative for the always-present "matches nothing" class ``h`` of
+Example 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .patterns import LabelPattern
+
+Signature = frozenset[int]
+
+
+@dataclass
+class LabelClassification:
+    """The partition of labels induced by a pattern set."""
+
+    patterns: list[LabelPattern]
+    # Signature -> chosen representative label.
+    representatives: dict[Signature, str] = field(default_factory=dict)
+    # Concrete labels seen so far -> their signature.
+    known_labels: dict[str, Signature] = field(default_factory=dict)
+
+    def signature(self, label: str) -> Signature:
+        """The set of pattern indices the label satisfies."""
+        if label not in self.known_labels:
+            matched = frozenset(
+                index for index, pattern in enumerate(self.patterns) if pattern.matches(label)
+            )
+            self.known_labels[label] = matched
+        return self.known_labels[label]
+
+    def representative(self, label: str) -> str:
+        """The class representative for a concrete label (μ on labels).
+
+        The first label observed with a given signature becomes the class
+        representative, so translation is deterministic for a fixed traversal
+        order of the instance.
+        """
+        signature = self.signature(label)
+        if signature not in self.representatives:
+            self.representatives[signature] = label
+        return self.representatives[signature]
+
+    def representatives_matching(self, pattern_index: int) -> list[str]:
+        """Representatives of all known classes satisfying the given pattern.
+
+        This is μ on patterns: a pattern ``s`` is translated into the union of
+        the representatives of the classes included in ``L(s)``.
+        """
+        return sorted(
+            representative
+            for signature, representative in self.representatives.items()
+            if pattern_index in signature
+        )
+
+    def class_count(self) -> int:
+        return len(self.representatives)
+
+    def signature_of_pattern(self, pattern: LabelPattern) -> int:
+        """Index of a pattern within the classification (for μ on queries)."""
+        return self.patterns.index(pattern)
+
+
+def classify_labels(
+    patterns: list[LabelPattern], labels: "list[str] | set[str] | frozenset[str]"
+) -> LabelClassification:
+    """Classify a concrete set of labels against the pattern set.
+
+    Every label is registered so that its class gains a representative; the
+    resulting classification is then ready to translate both the instance and
+    the query.
+    """
+    classification = LabelClassification(patterns=list(patterns))
+    for label in sorted(labels):
+        classification.representative(label)
+    return classification

@@ -1,0 +1,66 @@
+"""String patterns over labels (Section 2.4).
+
+Languages such as Lorel treat labels as character strings and allow regular
+expressions at *two* levels of granularity: over the characters of one label
+(``"[sS]ections?"``) and over the sequence of labels along a path.  A
+:class:`LabelPattern` captures the inner, character-level expression; the
+outer level is the ordinary :class:`~repro.regex.ast.Regex` over pattern
+atoms, represented by :class:`GeneralPathQuery` in
+:mod:`repro.generalized.translation`.
+
+Character-level patterns are implemented with Python's ``re`` module in
+fullmatch mode, which subsumes the grep-style syntax the paper quotes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..exceptions import ReproError
+
+
+class PatternSyntaxError(ReproError):
+    """Raised when a label pattern cannot be compiled."""
+
+
+@dataclass(frozen=True)
+class LabelPattern:
+    """A character-level pattern matched against entire labels."""
+
+    pattern: str
+
+    @cached_property
+    def _compiled(self) -> "re.Pattern[str]":
+        try:
+            return re.compile(self.pattern)
+        except re.error as error:
+            raise PatternSyntaxError(f"invalid label pattern {self.pattern!r}: {error}") from error
+
+    def matches(self, label: str) -> bool:
+        """Full-label match (the paper's patterns describe whole labels)."""
+        return self._compiled.fullmatch(label) is not None
+
+    def __str__(self) -> str:
+        return f'"{self.pattern}"'
+
+
+def literal_pattern(label: str) -> LabelPattern:
+    """A pattern matching exactly one literal label."""
+    return LabelPattern(re.escape(label))
+
+
+def content_pattern(substring: str) -> LabelPattern:
+    """The content-selection idiom of Section 2.4.
+
+    A vertex with textual content ``w`` is modeled by a self-loop labeled
+    ``content=w``; selecting vertices whose content mentions ``substring`` is
+    then the label pattern ``content=.*substring.*``.
+    """
+    return LabelPattern(f"content=.*{re.escape(substring)}.*")
+
+
+def content_label(text: str) -> str:
+    """The label encoding the textual content of a page (self-loop label)."""
+    return f"content={text}"

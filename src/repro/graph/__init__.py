@@ -1,0 +1,62 @@
+"""Semistructured data model: labeled graph instances, generators and traversal."""
+
+from .generators import (
+    chain_graph,
+    complete_tree,
+    cycle_graph,
+    figure2_graph,
+    infinite_binary_web,
+    layered_dag,
+    mirror_site_graph,
+    random_graph,
+    web_like_graph,
+)
+from .instance import Instance, LazyInstance, Oid, Ref
+from .io import (
+    instance_from_dict,
+    instance_from_edge_list,
+    instance_from_json,
+    instance_to_dict,
+    instance_to_edge_list,
+    instance_to_json,
+)
+from .paths import (
+    distance,
+    distances_from,
+    is_reachable,
+    k_sphere,
+    path_labels_exist,
+    reachable_objects,
+    some_path_word,
+    strongly_connected_components,
+)
+
+__all__ = [
+    "Instance",
+    "LazyInstance",
+    "Oid",
+    "Ref",
+    "chain_graph",
+    "complete_tree",
+    "cycle_graph",
+    "distance",
+    "distances_from",
+    "figure2_graph",
+    "infinite_binary_web",
+    "instance_from_dict",
+    "instance_from_edge_list",
+    "instance_from_json",
+    "instance_to_dict",
+    "instance_to_edge_list",
+    "instance_to_json",
+    "is_reachable",
+    "k_sphere",
+    "layered_dag",
+    "mirror_site_graph",
+    "path_labels_exist",
+    "random_graph",
+    "reachable_objects",
+    "some_path_word",
+    "strongly_connected_components",
+    "web_like_graph",
+]

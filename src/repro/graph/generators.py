@@ -1,0 +1,198 @@
+"""Instance generators: the paper's worked graphs plus synthetic workloads.
+
+The fixed graphs of the paper's figures live here (Fig. 2 for the distributed
+run, Fig. 4's Lemma-4.4 instance is built by the constraints package), and so
+do the parameterized random generators used by the scaling benchmarks:
+web-like graphs with skewed in-degrees, trees, cycles, and site structures
+with cached/mirrored sub-sites that naturally satisfy path constraints.
+
+All random generators take an explicit ``random.Random`` seed or instance so
+that benchmarks are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .instance import Instance, LazyInstance, Oid
+
+
+def figure2_graph() -> tuple[Instance, Oid]:
+    """The graph ``I`` of Figure 2, used by the distributed run of Figure 3.
+
+    The figure shows four nodes: the query ``a b*`` is asked by node ``d`` at
+    node ``o1``; ``o1`` has an ``a``-edge to ``o2``; ``o2`` and ``o3`` form a
+    ``b``-cycle (``o2 --b--> o3 --b--> o2``), so both are answers.  The
+    function returns ``(instance, source)`` with ``source = o1``.
+    """
+    instance = Instance()
+    for oid in ("o1", "o2", "o3", "d"):
+        instance.add_object(oid)
+    instance.add_edge("o1", "a", "o2")
+    instance.add_edge("o2", "b", "o3")
+    instance.add_edge("o3", "b", "o2")
+    return instance, "o1"
+
+
+def cycle_graph(length: int, label: str = "a", prefix: str = "n") -> tuple[Instance, Oid]:
+    """A directed cycle of ``length`` nodes, all edges labeled ``label``."""
+    instance = Instance()
+    nodes = [f"{prefix}{i}" for i in range(length)]
+    for index, node in enumerate(nodes):
+        instance.add_edge(node, label, nodes[(index + 1) % length])
+    return instance, nodes[0]
+
+
+def chain_graph(labels: Sequence[str], prefix: str = "n") -> tuple[Instance, Oid]:
+    """A simple path spelling exactly ``labels`` from the returned source."""
+    instance = Instance()
+    instance.add_object(f"{prefix}0")
+    for index, label in enumerate(labels):
+        instance.add_edge(f"{prefix}{index}", label, f"{prefix}{index + 1}")
+    return instance, f"{prefix}0"
+
+
+def complete_tree(depth: int, fanout: int, labels: Sequence[str]) -> tuple[Instance, Oid]:
+    """A complete tree of the given depth; child edges cycle through ``labels``."""
+    instance = Instance()
+    root = "t"
+    instance.add_object(root)
+    frontier = [root]
+    for _ in range(depth):
+        next_frontier: list[str] = []
+        for node in frontier:
+            for child_index in range(fanout):
+                child = f"{node}.{child_index}"
+                label = labels[child_index % len(labels)]
+                instance.add_edge(node, label, child)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return instance, root
+
+
+def random_graph(
+    node_count: int,
+    out_degree: int,
+    labels: Sequence[str],
+    seed: "int | random.Random" = 0,
+) -> tuple[Instance, Oid]:
+    """A random graph where every node has exactly ``out_degree`` out-edges.
+
+    Matches the paper's data model directly (small, fixed outdegree; arbitrary
+    indegree).  Targets are chosen uniformly, labels uniformly.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    instance = Instance()
+    nodes = [f"v{i}" for i in range(node_count)]
+    for node in nodes:
+        instance.add_object(node)
+    for node in nodes:
+        for _ in range(out_degree):
+            target = rng.choice(nodes)
+            label = rng.choice(list(labels))
+            instance.add_edge(node, label, target)
+    return instance, nodes[0]
+
+
+def web_like_graph(
+    node_count: int,
+    labels: Sequence[str],
+    seed: "int | random.Random" = 0,
+    hub_fraction: float = 0.05,
+    out_degree_range: tuple[int, int] = (1, 5),
+) -> tuple[Instance, Oid]:
+    """A Web-like graph: skewed in-degree (a few hub pages), small out-degree.
+
+    A ``hub_fraction`` of nodes is designated as hubs; every node links to a
+    hub with probability 0.5 per edge slot and to a uniformly random node
+    otherwise, giving the heavy-tailed in-degree distribution that motivates
+    the paper's "pages are referenced arbitrarily many times" remark.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    instance = Instance()
+    nodes = [f"p{i}" for i in range(node_count)]
+    hubs = nodes[: max(1, int(node_count * hub_fraction))]
+    for node in nodes:
+        instance.add_object(node)
+    low, high = out_degree_range
+    for node in nodes:
+        for _ in range(rng.randint(low, high)):
+            target = rng.choice(hubs) if rng.random() < 0.5 else rng.choice(nodes)
+            label = rng.choice(list(labels))
+            instance.add_edge(node, label, target)
+    return instance, nodes[0]
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    labels: Sequence[str],
+    seed: "int | random.Random" = 0,
+    edges_per_node: int = 2,
+) -> tuple[Instance, Oid]:
+    """A layered DAG: every node links only to nodes of the next layer.
+
+    DAG workloads terminate under any path query and are used by benchmarks
+    that compare distributed vs centralized evaluation message counts without
+    the confounding effect of cycles.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    instance = Instance()
+    grid = [[f"l{layer}_{i}" for i in range(width)] for layer in range(layers)]
+    source = "dag_source"
+    instance.add_object(source)
+    for node in grid[0]:
+        instance.add_edge(source, rng.choice(list(labels)), node)
+    for layer in range(layers - 1):
+        for node in grid[layer]:
+            for _ in range(edges_per_node):
+                target = rng.choice(grid[layer + 1])
+                instance.add_edge(node, rng.choice(list(labels)), target)
+    return instance, source
+
+
+def infinite_binary_web(labels: tuple[str, str] = ("a", "b")) -> tuple[LazyInstance, Oid]:
+    """A lazy, genuinely unbounded instance: the infinite binary tree.
+
+    Object identifiers are label strings; ``oid`` has children ``oid + 'a'``
+    and ``oid + 'b'``.  Used to exercise the infinite-Web behaviour of the
+    evaluators (Remark 2.1): a query whose prefix-reachable set is infinite
+    must be detected/bounded by the caller.
+    """
+    left, right = labels
+
+    def expander(oid: Oid) -> list[tuple[str, Oid]]:
+        text = str(oid)
+        return [(left, text + left), (right, text + right)]
+
+    return LazyInstance(expander), ""
+
+
+def mirror_site_graph(
+    section_count: int,
+    pages_per_section: int,
+    seed: "int | random.Random" = 0,
+) -> tuple[Instance, Oid]:
+    """A site with a mirrored copy of its content.
+
+    From the ``root``, the label ``main`` reaches the primary copy and
+    ``mirror`` reaches a mirror holding identical structure, so path
+    equalities like ``main section_i page_j = mirror section_i page_j`` hold
+    at the root.  This is the "mirror sites" scenario of Section 3.2.
+    """
+    instance = Instance()
+    root = "root"
+    instance.add_object(root)
+    for copy in ("main", "mirror"):
+        copy_node = f"{copy}_home"
+        instance.add_edge(root, copy, copy_node)
+        for section in range(section_count):
+            section_node = f"{copy}_s{section}"
+            instance.add_edge(copy_node, f"section{section}", section_node)
+            for page in range(pages_per_section):
+                # Both copies link to the *same* page objects, so the mirror
+                # equalities hold exactly.
+                page_node = f"page_{section}_{page}"
+                instance.add_edge(section_node, f"page{page}", page_node)
+    return instance, root

@@ -1,0 +1,83 @@
+"""Serialization of instances to and from plain-Python structures.
+
+The formats are intentionally boring: a dict with ``objects`` and ``edges``
+lists (JSON-friendly), and an edge-list text form ``source label destination``
+one edge per line.  They exist so that examples and benchmarks can persist
+workloads and so that users can load their own graphs without touching the
+API surface of :class:`~repro.graph.instance.Instance`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..exceptions import InstanceError
+from .instance import Instance
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    """Convert an instance to a JSON-serializable dict."""
+    return {
+        "objects": sorted((str(oid) for oid in instance.objects)),
+        "edges": [
+            {"source": str(source), "label": label, "destination": str(destination)}
+            for (source, label, destination) in instance.edges()
+        ],
+    }
+
+
+def instance_from_dict(payload: dict[str, Any]) -> Instance:
+    """Rebuild an instance from :func:`instance_to_dict` output."""
+    if "edges" not in payload:
+        raise InstanceError("payload is missing the 'edges' key")
+    instance = Instance()
+    for oid in payload.get("objects", []):
+        instance.add_object(oid)
+    for edge in payload["edges"]:
+        try:
+            instance.add_edge(edge["source"], edge["label"], edge["destination"])
+        except KeyError as error:
+            raise InstanceError(f"malformed edge record: {edge!r}") from error
+    return instance
+
+
+def instance_to_json(instance: Instance, indent: int = 2) -> str:
+    return json.dumps(instance_to_dict(instance), indent=indent, sort_keys=True)
+
+
+def instance_from_json(text: str) -> Instance:
+    return instance_from_dict(json.loads(text))
+
+
+def instance_to_edge_list(instance: Instance) -> str:
+    """One edge per line: ``source label destination`` (whitespace separated).
+
+    Object identifiers containing whitespace are rejected because the format
+    could not round-trip them.
+    """
+    lines = []
+    for source, label, destination in instance.edges():
+        for part in (source, label, destination):
+            if any(ch.isspace() for ch in str(part)):
+                raise InstanceError(
+                    "edge-list format cannot represent identifiers with whitespace"
+                )
+        lines.append(f"{source} {label} {destination}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def instance_from_edge_list(text: str) -> Instance:
+    instance = Instance()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise InstanceError(
+                f"line {line_number}: expected 'source label destination', got {raw_line!r}"
+            )
+        source, label, destination = parts
+        instance.add_edge(source, label, destination)
+    return instance

@@ -1,0 +1,151 @@
+"""Reachability, distances and spheres over instances.
+
+Section 2.1 defines reachability and distance with respect to the directed
+labeled graph; Section 4.3 (Lemma 4.9) works with the *K-sphere* around the
+source — the restriction of the instance to objects at distance at most K.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from .instance import Instance, LazyInstance, Oid
+
+GraphLike = "Instance | LazyInstance"
+
+
+def reachable_objects(instance: "Instance | LazyInstance", source: Oid, max_distance: int | None = None) -> set[Oid]:
+    """Objects reachable from ``source`` (optionally within ``max_distance`` hops)."""
+    return set(distances_from(instance, source, max_distance))
+
+
+def distances_from(
+    instance: "Instance | LazyInstance", source: Oid, max_distance: int | None = None
+) -> dict[Oid, int]:
+    """BFS distances from ``source``; unreachable objects are absent."""
+    distances: dict[Oid, int] = {source: 0}
+    queue: deque[Oid] = deque([source])
+    while queue:
+        current = queue.popleft()
+        depth = distances[current]
+        if max_distance is not None and depth >= max_distance:
+            continue
+        for _, destination in instance.out_edges(current):
+            if destination not in distances:
+                distances[destination] = depth + 1
+                queue.append(destination)
+    return distances
+
+
+def distance(instance: "Instance | LazyInstance", source: Oid, target: Oid) -> int | None:
+    """Length of a shortest directed path from ``source`` to ``target`` (or ``None``)."""
+    return distances_from(instance, source).get(target)
+
+
+def is_reachable(instance: "Instance | LazyInstance", source: Oid, target: Oid) -> bool:
+    return distance(instance, source, target) is not None
+
+
+def k_sphere(instance: Instance, source: Oid, radius: int) -> Instance:
+    """The K-sphere around ``source``: the sub-instance induced by objects at
+    distance ≤ ``radius`` (Lemma 4.9)."""
+    inside = {
+        oid for oid, dist in distances_from(instance, source, radius).items() if dist <= radius
+    }
+    return instance.restricted_to(inside)
+
+
+def path_labels_exist(
+    instance: "Instance | LazyInstance", source: Oid, labels: Iterable[str]
+) -> set[Oid]:
+    """Objects reached from ``source`` by a path spelling exactly ``labels``."""
+    current = {source}
+    for label in labels:
+        nxt: set[Oid] = set()
+        for oid in current:
+            nxt.update(instance.successors(oid, label))
+        current = nxt
+        if not current:
+            break
+    return current
+
+
+def some_path_word(
+    instance: Instance, source: Oid, target: Oid, max_length: int | None = None
+) -> tuple[str, ...] | None:
+    """Return the label word of some shortest path from ``source`` to ``target``."""
+    if source == target:
+        return ()
+    limit = max_length if max_length is not None else len(instance) + 1
+    queue: deque[tuple[Oid, tuple[str, ...]]] = deque([(source, ())])
+    seen = {source}
+    while queue:
+        oid, word = queue.popleft()
+        if len(word) >= limit:
+            continue
+        for label, destination in instance.out_edges(oid):
+            if destination == target:
+                return word + (label,)
+            if destination not in seen:
+                seen.add(destination)
+                queue.append((destination, word + (label,)))
+    return None
+
+
+def strongly_connected_components(instance: Instance) -> list[set[Oid]]:
+    """Tarjan's algorithm over the (label-blind) digraph of the instance.
+
+    Used by workload characterization and by the finiteness analysis in the
+    distributed benchmarks (a query explores finitely many objects iff the
+    prefix-reachable portion avoids label-compatible cycles).
+    """
+    index_counter = [0]
+    stack: list[Oid] = []
+    lowlink: dict[Oid, int] = {}
+    index: dict[Oid, int] = {}
+    on_stack: set[Oid] = set()
+    components: list[set[Oid]] = []
+
+    def visit(root: Oid) -> None:
+        work = [(root, iter([dest for _, dest in instance.out_edges(root)]))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append(
+                        (successor, iter([d for _, d in instance.out_edges(successor)]))
+                    )
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[Oid] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+    for oid in instance.objects:
+        if oid not in index:
+            visit(oid)
+    return components

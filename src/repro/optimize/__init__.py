@@ -1,0 +1,20 @@
+"""Constraint-aware optimization of path queries (Section 3.2)."""
+
+from .cache import CachedQuery, QueryCache, install_mirror, materialize_cache
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .planner import PlanReport, plan_and_evaluate
+from .rewriter import RewriteCandidate, RewriteOutcome, rewrite_query
+
+__all__ = [
+    "CachedQuery",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "PlanReport",
+    "QueryCache",
+    "RewriteCandidate",
+    "RewriteOutcome",
+    "install_mirror",
+    "materialize_cache",
+    "plan_and_evaluate",
+    "rewrite_query",
+]

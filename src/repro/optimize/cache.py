@@ -1,0 +1,117 @@
+"""Cached-query constraints (Section 3.2).
+
+"Path constraints also naturally arise from caching frequently asked queries:
+the answer to query ``q`` at site ``o`` could be saved and accessed from ``o``
+by links labeled ``l_q``, yielding the constraint ``q = l_q``."
+
+This module manages such caches on a concrete instance:
+
+* :func:`materialize_cache` evaluates a query once and installs the cache
+  links, returning the new instance together with the equality constraint the
+  links now satisfy;
+* :class:`QueryCache` keeps track of several cached queries and produces the
+  corresponding :class:`~repro.constraints.constraint.ConstraintSet` so that
+  the rewriter can exploit them;
+* mirror sites (a full duplicate reachable under a dedicated label) are a
+  special case provided for convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constraints.constraint import ConstraintSet, PathEquality, path_equality
+from ..graph.instance import Instance, Oid
+from ..query.evaluation import answer_set
+from ..regex import Regex, parse, sym, to_string
+
+
+@dataclass
+class CachedQuery:
+    """Bookkeeping for one cached query: its label, expression and size."""
+
+    label: str
+    query: Regex
+    answer_count: int
+
+    def constraint(self) -> PathEquality:
+        """The equality ``query = label`` that the cache links establish."""
+        return path_equality(self.query, sym(self.label))
+
+
+def materialize_cache(
+    instance: Instance,
+    source: Oid,
+    query: "Regex | str",
+    cache_label: str,
+) -> tuple[Instance, CachedQuery]:
+    """Install cache links for ``query`` at ``source`` on a copy of the instance.
+
+    The returned instance has one ``cache_label`` edge from ``source`` to each
+    answer of the query, so the path equality ``query = cache_label`` holds at
+    ``source`` by construction (the tests check this via the satisfaction
+    module).  The original instance is not modified.
+    """
+    expression = query if isinstance(query, Regex) else parse(query)
+    answers = answer_set(expression, source, instance)
+    cached_instance = instance.copy()
+    for answer in answers:
+        cached_instance.add_edge(source, cache_label, answer)
+    record = CachedQuery(label=cache_label, query=expression, answer_count=len(answers))
+    return cached_instance, record
+
+
+class QueryCache:
+    """A collection of cached queries at one site."""
+
+    def __init__(self, source: Oid) -> None:
+        self.source = source
+        self._entries: dict[str, CachedQuery] = {}
+        self._counter = 0
+
+    def fresh_label(self, hint: str = "cached") -> str:
+        self._counter += 1
+        return f"{hint}_{self._counter}"
+
+    def install(
+        self, instance: Instance, query: "Regex | str", label: str | None = None
+    ) -> tuple[Instance, CachedQuery]:
+        """Materialize one more cached query, returning the updated instance."""
+        cache_label = label or self.fresh_label()
+        updated, record = materialize_cache(instance, self.source, query, cache_label)
+        self._entries[cache_label] = record
+        return updated, record
+
+    def entries(self) -> list[CachedQuery]:
+        return list(self._entries.values())
+
+    def labels(self) -> frozenset[str]:
+        return frozenset(self._entries)
+
+    def constraints(self) -> ConstraintSet:
+        """The constraint set describing every installed cache."""
+        return ConstraintSet([entry.constraint() for entry in self._entries.values()])
+
+    def describe(self) -> str:
+        lines = [
+            f"{entry.label}: {to_string(entry.query)} ({entry.answer_count} answers)"
+            for entry in self._entries.values()
+        ]
+        return "\n".join(lines)
+
+
+def install_mirror(
+    instance: Instance, source: Oid, primary_label: str, mirror_label: str
+) -> tuple[Instance, ConstraintSet]:
+    """Declare a mirror: the ``mirror_label`` link duplicates ``primary_label``.
+
+    The helper adds, for every object reachable via ``primary_label`` from the
+    source, a ``mirror_label`` edge to the *same* object (the strongest form
+    of mirroring, where both names reach shared content), and returns the
+    constraint ``primary_label = mirror_label`` that now holds.
+    """
+    mirrored = instance.copy()
+    for target in answer_set(sym(primary_label), source, instance):
+        mirrored.add_edge(source, mirror_label, target)
+    constraints = ConstraintSet([path_equality(sym(primary_label), sym(mirror_label))])
+    return mirrored, constraints

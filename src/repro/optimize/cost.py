@@ -1,0 +1,86 @@
+"""A simple cost model for path queries.
+
+The paper deliberately leaves "simpler" open — the right cost measure depends
+on locality, network prices, cache placement and so on (Section 3.2).  The
+model implemented here captures the factors the paper's examples appeal to:
+
+* **recursion**: a query with Kleene recursion may explore unboundedly far
+  (and does not terminate on an infinite Web), so recursion carries a large
+  penalty — eliminating it is the point of Example 1 and Theorem 4.10;
+* **length**: longer paths mean more hops, i.e. more remote sites contacted;
+* **fan-out**: unions multiply the number of candidate paths;
+* **cached labels**: edges whose label is declared cached (the ``lq`` links of
+  Section 3.2) are local accesses and cost a fraction of a remote hop.
+
+The absolute numbers are arbitrary; what the optimizer relies on — and what
+the tests pin down — are the *relative* orderings (non-recursive beats
+recursive, cached beats remote, shorter beats longer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..regex import Regex, parse
+from ..regex.ast import Concat, EmptySet, Epsilon, Star, Symbol, Union
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable weights of the query cost estimate."""
+
+    hop_cost: float = 1.0
+    cached_hop_cost: float = 0.1
+    union_cost: float = 0.5
+    recursion_penalty: float = 25.0
+    cached_labels: frozenset[str] = field(default_factory=frozenset)
+
+    def with_cached(self, labels: "set[str] | frozenset[str]") -> "CostModel":
+        return CostModel(
+            hop_cost=self.hop_cost,
+            cached_hop_cost=self.cached_hop_cost,
+            union_cost=self.union_cost,
+            recursion_penalty=self.recursion_penalty,
+            cached_labels=frozenset(labels) | self.cached_labels,
+        )
+
+    # -- the estimate ------------------------------------------------------------
+    def estimate(self, query: "Regex | str") -> float:
+        """Estimated evaluation cost of a query (unitless, lower is better)."""
+        expression = query if isinstance(query, Regex) else parse(query)
+        return self._estimate(expression)
+
+    def _estimate(self, expression: Regex) -> float:
+        if isinstance(expression, (EmptySet, Epsilon)):
+            return 0.0
+        if isinstance(expression, Symbol):
+            if expression.label in self.cached_labels:
+                return self.cached_hop_cost
+            return self.hop_cost
+        if isinstance(expression, Concat):
+            return self._estimate(expression.left) + self._estimate(expression.right)
+        if isinstance(expression, Union):
+            return (
+                self.union_cost
+                + self._estimate(expression.left)
+                + self._estimate(expression.right)
+            )
+        if isinstance(expression, Star):
+            inner = self._estimate(expression.inner)
+            if inner == 0.0:
+                return 0.0
+            return self.recursion_penalty + inner
+        raise TypeError(f"unknown regex node: {expression!r}")
+
+    def compare(self, first: "Regex | str", second: "Regex | str") -> int:
+        """Return -1/0/+1 depending on which query is estimated cheaper."""
+        first_cost = self.estimate(first)
+        second_cost = self.estimate(second)
+        if first_cost < second_cost:
+            return -1
+        if first_cost > second_cost:
+            return 1
+        return 0
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,264 @@
+"""Constraint-aware rewriting of path queries (Section 3.2).
+
+"The query processor at each site may use the path constraints holding at the
+site to replace the query to be executed by a simpler query."  The rewriter
+below implements that loop:
+
+1. generate candidate rewritings of the input query — prefix substitutions
+   using the constraints (sound by right-congruence), recursion elimination
+   via the boundedness procedure when the constraints are word equalities,
+   and the candidates contributed by cached-query labels;
+2. keep only candidates that are *provably* equivalent to the original under
+   the constraints (using the implication machinery — the tiered general
+   procedure, or the complete word-constraint procedures when applicable);
+3. rank the surviving candidates with the cost model and return the best.
+
+Every returned rewrite therefore comes with the evidence used to justify it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constraints.boundedness import decide_boundedness
+from ..constraints.constraint import ConstraintSet, PathEquality
+from ..constraints.general_implication import (
+    ImplicationResult,
+    SearchBudget,
+    Verdict,
+    decide_implication,
+)
+from ..regex import Regex, parse, simplify, to_string
+from ..regex.ast import Concat, concat
+from .cost import DEFAULT_COST_MODEL, CostModel
+
+
+@dataclass
+class RewriteCandidate:
+    """A candidate rewriting with its provenance and estimated cost."""
+
+    query: Regex
+    origin: str
+    cost: float
+    evidence: ImplicationResult | None = None
+
+    def __str__(self) -> str:
+        return f"{to_string(self.query)}  [{self.origin}, cost={self.cost:.2f}]"
+
+
+@dataclass
+class RewriteOutcome:
+    """Result of optimizing one query under one constraint set."""
+
+    original: Regex
+    best: Regex
+    original_cost: float
+    best_cost: float
+    improved: bool
+    candidates: list[RewriteCandidate] = field(default_factory=list)
+
+    def summary(self) -> str:
+        arrow = "=>" if self.improved else "(unchanged)"
+        return (
+            f"{to_string(self.original)} {arrow} {to_string(self.best)} "
+            f"[{self.original_cost:.2f} -> {self.best_cost:.2f}]"
+        )
+
+
+def _factors(expression: Regex) -> list[Regex]:
+    if isinstance(expression, Concat):
+        return _factors(expression.left) + _factors(expression.right)
+    return [expression]
+
+
+def _prefix_substitution_candidates(
+    expression: Regex, constraints: ConstraintSet
+) -> list[tuple[Regex, str]]:
+    """Rewrites obtained by replacing a prefix that matches one constraint side.
+
+    Only *equality* constraints generate candidates here: substituting via a
+    bare inclusion would change the answer set in one direction, which is not
+    an equivalence-preserving rewrite (the implication check would reject it
+    anyway; skipping it avoids wasted work).
+    """
+    from ..automata import equivalent as nfa_equivalent, regex_to_nfa
+
+    candidates: list[tuple[Regex, str]] = []
+    factors = _factors(expression)
+    equalities = [c for c in constraints if isinstance(c, PathEquality)]
+    for split in range(1, len(factors) + 1):
+        prefix = simplify(concat_all(factors[:split]))
+        suffix = simplify(concat_all(factors[split:]))
+        prefix_nfa = regex_to_nfa(prefix)
+        for equality in equalities:
+            for one_side, other_side in (
+                (equality.lhs, equality.rhs),
+                (equality.rhs, equality.lhs),
+            ):
+                if nfa_equivalent(prefix_nfa, regex_to_nfa(one_side)):
+                    rewritten = simplify(concat(other_side, suffix))
+                    candidates.append(
+                        (rewritten, f"prefix-substitution via {equality}")
+                    )
+    return candidates
+
+
+def concat_all(factors: list[Regex]) -> Regex:
+    from ..regex.ast import Epsilon
+
+    result: Regex = Epsilon()
+    for factor in factors:
+        result = concat(result, factor)
+    return result
+
+
+def _cached_decomposition_candidates(
+    expression: Regex, constraints: ConstraintSet
+) -> list[tuple[Regex, str]]:
+    """Rewrites that route a query through a cached/mirrored prefix.
+
+    For an equality ``s = r`` (typically ``s`` a recursive expression and
+    ``r`` the cache label, Section 3.2 Example 3), the query can be rewritten
+    to ``r · t`` whenever ``L(expression) = L(s) · L(t)``.  Two choices of
+    ``t`` are proposed:
+
+    * the full left quotient of the query language by ``L(s)``;
+    * when ``s`` is a starred expression ``u*``, the quotient with its leading
+      ``u``-repetitions stripped (the minimal remainder), which is what turns
+      ``a (b a)* c`` into ``l a c`` in the paper's example.
+    """
+    from ..automata import (
+        concat_nfa,
+        difference_nfa,
+        equivalent as nfa_equivalent,
+        is_empty,
+        left_quotient_by_language_nfa,
+        nfa_to_regex,
+        regex_to_nfa,
+        star_nfa,
+    )
+    from ..regex.ast import Star, Symbol, union_all
+
+    candidates: list[tuple[Regex, str]] = []
+    expression_nfa = regex_to_nfa(expression)
+    alphabet = sorted(expression.alphabet() | constraints.alphabet())
+    if not alphabet:
+        return candidates
+    sigma_star = star_nfa(regex_to_nfa(union_all([Symbol(label) for label in alphabet])))
+
+    equalities = [c for c in constraints if isinstance(c, PathEquality)]
+    for equality in equalities:
+        for cached_side, replacement in (
+            (equality.lhs, equality.rhs),
+            (equality.rhs, equality.lhs),
+        ):
+            cached_nfa = regex_to_nfa(cached_side)
+            quotient = left_quotient_by_language_nfa(expression_nfa, cached_nfa)
+            if is_empty(quotient):
+                continue
+            remainders = [quotient]
+            if isinstance(simplify(cached_side), Star):
+                body = simplify(cached_side).inner  # type: ignore[union-attr]
+                stripped = difference_nfa(
+                    quotient, concat_nfa(regex_to_nfa(body), sigma_star)
+                )
+                if not is_empty(stripped):
+                    remainders.insert(0, stripped)
+            for remainder in remainders:
+                if not nfa_equivalent(concat_nfa(cached_nfa, remainder), expression_nfa):
+                    continue
+                remainder_expression = simplify(nfa_to_regex(remainder))
+                rewritten = simplify(concat(replacement, remainder_expression))
+                candidates.append(
+                    (rewritten, f"cached-decomposition via {equality}")
+                )
+                break
+    return candidates
+
+
+def _boundedness_candidate(
+    expression: Regex, constraints: ConstraintSet
+) -> list[tuple[Regex, str]]:
+    """Recursion elimination via Theorem 4.10 (word equalities only).
+
+    The boundedness procedure materializes a K-sphere that is exponential in
+    the constraint alphabet, so the speculative call made here is capped: if
+    the query has no recursion there is nothing to eliminate, and if the
+    sphere exceeds the cap the candidate is simply skipped (the rewrite is an
+    optimization, not a completeness obligation).
+    """
+    from ..exceptions import BoundednessError
+    from ..regex import is_recursion_free
+
+    if not constraints.is_word_equality_set() or len(constraints) == 0:
+        return []
+    if is_recursion_free(expression):
+        return []
+    try:
+        result = decide_boundedness(constraints, expression, max_sphere_classes=20_000)
+    except BoundednessError:
+        return []
+    if result.bounded and result.equivalent_query is not None:
+        return [(simplify(result.equivalent_query), "boundedness (Theorem 4.10)")]
+    return []
+
+
+def rewrite_query(
+    query: "Regex | str",
+    constraints: ConstraintSet,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    budget: SearchBudget | None = None,
+    require_proof: bool = True,
+) -> RewriteOutcome:
+    """Optimize ``query`` under ``constraints``; return the best justified rewrite.
+
+    With ``require_proof`` (the default) a candidate is adopted only when the
+    implication machinery *proves* equivalence under the constraints; when the
+    proof attempt returns ``UNKNOWN`` the candidate is dropped.  Setting it to
+    ``False`` keeps candidates whose equivalence proof is pending, which is
+    only appropriate for exploratory use.
+    """
+    expression = simplify(query if isinstance(query, Regex) else parse(query))
+    original_cost = cost_model.estimate(expression)
+
+    raw_candidates: list[tuple[Regex, str]] = []
+    raw_candidates.extend(_prefix_substitution_candidates(expression, constraints))
+    raw_candidates.extend(_cached_decomposition_candidates(expression, constraints))
+    raw_candidates.extend(_boundedness_candidate(expression, constraints))
+
+    candidates: list[RewriteCandidate] = [
+        RewriteCandidate(expression, "original", original_cost)
+    ]
+    seen = {to_string(expression)}
+    for candidate_expression, origin in raw_candidates:
+        key = to_string(candidate_expression)
+        if key in seen:
+            continue
+        seen.add(key)
+        evidence: ImplicationResult | None = None
+        if require_proof:
+            evidence = decide_implication(
+                constraints,
+                PathEquality(expression, candidate_expression),
+                budget,
+            )
+            if evidence.verdict is not Verdict.IMPLIED:
+                continue
+        candidates.append(
+            RewriteCandidate(
+                candidate_expression,
+                origin,
+                cost_model.estimate(candidate_expression),
+                evidence,
+            )
+        )
+
+    best = min(candidates, key=lambda candidate: candidate.cost)
+    return RewriteOutcome(
+        original=expression,
+        best=best.query,
+        original_cost=original_cost,
+        best_cost=best.cost,
+        improved=best.cost < original_cost,
+        candidates=candidates,
+    )

@@ -1,0 +1,27 @@
+"""Regular path queries and their centralized evaluation."""
+
+from .evaluation import (
+    EvaluationResult,
+    answer_set,
+    evaluate,
+    evaluate_all_sources,
+    queries_agree_on,
+)
+from .path_query import RegularPathQuery
+from .quotient_eval import (
+    QuotientEvaluationResult,
+    answer_set_by_quotients,
+    evaluate_by_quotients,
+)
+
+__all__ = [
+    "EvaluationResult",
+    "QuotientEvaluationResult",
+    "RegularPathQuery",
+    "answer_set",
+    "answer_set_by_quotients",
+    "evaluate",
+    "evaluate_all_sources",
+    "evaluate_by_quotients",
+    "queries_agree_on",
+]

@@ -1,0 +1,146 @@
+"""Centralized evaluation of regular path queries.
+
+This module implements the "more economical approach" of Section 2.2: rather
+than materializing quotient expressions (which may require the exponential
+DFA), the evaluator carries, for every visited object, the set of NFA states
+corresponding to the path traveled so far — effectively constructing the
+reachable portion of the product of the query NFA with the instance.  The
+resulting algorithm has polynomial-time combined complexity and
+NLOGSPACE-style data complexity, exactly as the paper states.
+
+The evaluator works on both finite :class:`~repro.graph.instance.Instance`
+objects and lazy (potentially infinite) instances; for the latter an explicit
+exploration budget must be supplied, mirroring the paper's observation that a
+query terminates on an infinite Web iff its prefix-reachable portion is
+finite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..automata import NFA
+from ..exceptions import InstanceError
+from ..graph.instance import Instance, LazyInstance, Oid
+from ..regex import Regex
+from .path_query import RegularPathQuery
+
+
+@dataclass
+class EvaluationResult:
+    """Answer set plus evaluation statistics.
+
+    Attributes:
+        answers: the set of objects in ``p(o, I)``.
+        visited_pairs: number of (object, NFA-state-set) pairs expanded — the
+            quantity that governs the combined complexity bound.
+        visited_objects: number of distinct objects whose description was read.
+        witness_paths: for each answer, one witnessing label path (shortest
+            found first by the BFS).
+    """
+
+    answers: set[Oid] = field(default_factory=set)
+    visited_pairs: int = 0
+    visited_objects: int = 0
+    witness_paths: dict[Oid, tuple[str, ...]] = field(default_factory=dict)
+
+    def __contains__(self, oid: Oid) -> bool:
+        return oid in self.answers
+
+
+def evaluate(
+    query: "RegularPathQuery | Regex | str",
+    source: Oid,
+    instance: "Instance | LazyInstance",
+    max_objects: int | None = None,
+) -> EvaluationResult:
+    """Evaluate ``query(source, instance)`` by product-automaton search.
+
+    ``max_objects`` bounds the number of distinct objects explored; it is
+    required (and enforced) for :class:`LazyInstance` inputs, where an
+    unbounded search may not terminate.  Exceeding the bound raises
+    :class:`~repro.exceptions.InstanceError`.
+    """
+    rpq = RegularPathQuery.of(query if not isinstance(query, RegularPathQuery) else query.expression)
+    if isinstance(query, RegularPathQuery):
+        rpq = query
+    nfa: NFA = rpq.nfa
+
+    if isinstance(instance, LazyInstance) and max_objects is None:
+        raise InstanceError(
+            "evaluating on a lazy (potentially infinite) instance requires max_objects"
+        )
+
+    result = EvaluationResult()
+    start_states = nfa.initial_closure()
+    start_key = (source, start_states)
+    queue: deque[tuple[tuple[Oid, frozenset], tuple[str, ...]]] = deque([(start_key, ())])
+    seen_pairs = {start_key}
+    seen_objects = {source}
+
+    if start_states & nfa.accepting:
+        result.answers.add(source)
+        result.witness_paths[source] = ()
+
+    while queue:
+        (oid, states), word = queue.popleft()
+        result.visited_pairs += 1
+        for label, destination in instance.out_edges(oid):
+            next_states = nfa.step(states, label)
+            if not next_states:
+                continue
+            pair = (destination, next_states)
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            if destination not in seen_objects:
+                seen_objects.add(destination)
+                if max_objects is not None and len(seen_objects) > max_objects:
+                    raise InstanceError(
+                        "exploration budget exceeded while evaluating the query"
+                    )
+            extended = word + (label,)
+            if next_states & nfa.accepting and destination not in result.answers:
+                result.answers.add(destination)
+                result.witness_paths[destination] = extended
+            queue.append((pair, extended))
+
+    result.visited_objects = len(seen_objects)
+    return result
+
+
+def answer_set(
+    query: "RegularPathQuery | Regex | str",
+    source: Oid,
+    instance: "Instance | LazyInstance",
+    max_objects: int | None = None,
+) -> set[Oid]:
+    """Convenience wrapper returning only the answer set ``p(o, I)``."""
+    return evaluate(query, source, instance, max_objects).answers
+
+
+def queries_agree_on(
+    first: "RegularPathQuery | Regex | str",
+    second: "RegularPathQuery | Regex | str",
+    source: Oid,
+    instance: Instance,
+) -> bool:
+    """Do two queries return the same answers on this particular input?
+
+    Note the asymmetry with :meth:`RegularPathQuery.equivalent_to`: two
+    inequivalent queries may well agree on a specific instance — that is
+    precisely what path constraints exploit (Section 3.2).
+    """
+    return answer_set(first, source, instance) == answer_set(second, source, instance)
+
+
+def evaluate_all_sources(
+    query: "RegularPathQuery | Regex | str",
+    instance: Instance,
+) -> dict[Oid, set[Oid]]:
+    """Evaluate the query from every object of a finite instance.
+
+    Used by constraint *satisfaction* checking, which quantifies over sites.
+    """
+    return {oid: answer_set(query, oid, instance) for oid in instance.objects}

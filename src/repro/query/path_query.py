@@ -1,0 +1,79 @@
+"""Regular path queries (Section 2.2).
+
+A :class:`RegularPathQuery` wraps a regular expression over edge labels and
+gives it query semantics: evaluated on an input pair ``(o, I)`` it returns the
+set of objects reachable from ``o`` by a path whose labels spell a word of the
+expression's language.  Two queries are *equivalent* iff they return the same
+answer on every input, which (as the paper observes) holds iff their languages
+are equal — :meth:`RegularPathQuery.equivalent_to` implements exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..automata import NFA, equivalent, includes, regex_to_glushkov_nfa, regex_to_nfa
+from ..regex import Regex, is_recursion_free, parse, simplify, to_string
+
+
+@dataclass(frozen=True)
+class RegularPathQuery:
+    """A regular path query ``p``; evaluate it with :mod:`repro.query.evaluation`."""
+
+    expression: Regex
+
+    @classmethod
+    def from_string(cls, text: str) -> "RegularPathQuery":
+        """Parse a query from the surface syntax, e.g. ``"engine subpart* name"``."""
+        return cls(parse(text))
+
+    @classmethod
+    def of(cls, expression: "Regex | str") -> "RegularPathQuery":
+        """Coerce a :class:`Regex` or a string into a query."""
+        if isinstance(expression, Regex):
+            return cls(expression)
+        return cls.from_string(expression)
+
+    # -- derived automata (cached: queries are immutable) ----------------------
+    @cached_property
+    def nfa(self) -> NFA:
+        """Thompson ε-NFA for the query language."""
+        return regex_to_nfa(self.expression)
+
+    @cached_property
+    def glushkov(self) -> NFA:
+        """ε-free position automaton, used by the distributed evaluator."""
+        return regex_to_glushkov_nfa(self.expression)
+
+    # -- language-level facts ---------------------------------------------------
+    def alphabet(self) -> frozenset[str]:
+        return self.expression.alphabet()
+
+    def is_recursive(self) -> bool:
+        """Does the query use (non-trivial) Kleene recursion?
+
+        Non-recursive queries are guaranteed to terminate even on infinite
+        instances (Section 3.2, Example 1).
+        """
+        return not is_recursion_free(simplify(self.expression))
+
+    def accepts_word(self, word: "tuple[str, ...] | list[str]") -> bool:
+        return self.nfa.accepts(word)
+
+    def equivalent_to(self, other: "RegularPathQuery | Regex | str") -> bool:
+        """Query equivalence = language equality (no constraints assumed)."""
+        other_query = RegularPathQuery.of(
+            other.expression if isinstance(other, RegularPathQuery) else other
+        )
+        return equivalent(self.nfa, other_query.nfa)
+
+    def contained_in(self, other: "RegularPathQuery | Regex | str") -> bool:
+        """Query containment = language inclusion (no constraints assumed)."""
+        other_query = RegularPathQuery.of(
+            other.expression if isinstance(other, RegularPathQuery) else other
+        )
+        return includes(other_query.nfa, self.nfa)
+
+    def __str__(self) -> str:
+        return to_string(self.expression)

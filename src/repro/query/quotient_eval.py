@@ -1,0 +1,79 @@
+"""Quotient-based recursive evaluation of path queries (equation (†) of §2.2).
+
+The paper's first evaluation procedure rests on two observations::
+
+    if ε ∈ L(p)                 then o ∈ p(o, I)
+    if (o, l, o') ∈ I and x ∈ (q/l)(o', I)   then x ∈ q(o, I)
+
+so that ``p(o, I) = [o if ε ∈ L(p)] ∪ ⋃ { (p/l)(o', I) | Ref(o, l, o') }``.
+
+The evaluator below memoizes on (object, quotient) pairs; since a regular
+expression has only finitely many distinct (simplified) quotients, the
+memo table is polynomial in the instance and the quotient count.  The module
+exists both as a faithful rendition of the paper's derivation and as an
+independent oracle against which the product-automaton evaluator is tested.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..graph.instance import Instance, Oid
+from ..regex import Regex, derivative, simplify
+from .path_query import RegularPathQuery
+
+
+@dataclass
+class QuotientEvaluationResult:
+    """Answers plus the quotient table that the evaluation materialized."""
+
+    answers: set[Oid] = field(default_factory=set)
+    # Mapping (object, quotient expression) -> True when the object was reached
+    # with that residual query still left to evaluate (the paper's still-left_q).
+    still_left: set[tuple[Oid, Regex]] = field(default_factory=set)
+    distinct_quotients: int = 0
+
+
+def evaluate_by_quotients(
+    query: "RegularPathQuery | Regex | str",
+    source: Oid,
+    instance: Instance,
+) -> QuotientEvaluationResult:
+    """Evaluate a path query with the quotient-based recursive procedure."""
+    rpq = query if isinstance(query, RegularPathQuery) else RegularPathQuery.of(query)
+    start = simplify(rpq.expression)
+
+    result = QuotientEvaluationResult()
+    initial = (source, start)
+    queue: deque[tuple[Oid, Regex]] = deque([initial])
+    result.still_left.add(initial)
+
+    quotient_cache: dict[tuple[Regex, str], Regex] = {}
+
+    while queue:
+        oid, residual = queue.popleft()
+        if residual.nullable():
+            result.answers.add(oid)
+        for label, destination in instance.out_edges(oid):
+            key = (residual, label)
+            if key not in quotient_cache:
+                quotient_cache[key] = simplify(derivative(residual, label))
+            successor = quotient_cache[key]
+            if successor.alphabet() == frozenset() and not successor.nullable():
+                # The residual is the empty language; no need to continue.
+                continue
+            pair = (destination, successor)
+            if pair not in result.still_left:
+                result.still_left.add(pair)
+                queue.append(pair)
+
+    result.distinct_quotients = len({residual for (_, residual) in result.still_left})
+    return result
+
+
+def answer_set_by_quotients(
+    query: "RegularPathQuery | Regex | str", source: Oid, instance: Instance
+) -> set[Oid]:
+    """Convenience wrapper returning only the answers."""
+    return evaluate_by_quotients(query, source, instance).answers

@@ -1,0 +1,72 @@
+"""Regular path expressions: AST, parsing, printing, derivatives, language tools.
+
+This subpackage is the syntactic substrate for everything else in the
+library: path queries (Section 2.2), path constraints (Section 4) and the
+Datalog translation (Section 2.3) all manipulate the :class:`Regex` AST
+defined here.
+"""
+
+from .ast import (
+    Concat,
+    EmptySet,
+    Epsilon,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    concat_all,
+    star,
+    sym,
+    union,
+    union_all,
+    word,
+)
+from .derivatives import all_quotients, derivative, derivative_word, matches
+from .language import (
+    contains_word,
+    denotes_finite_language,
+    enumerate_words,
+    expression_length_bounds,
+    is_recursion_free,
+    language_up_to,
+    languages_equal_up_to,
+    shortest_word,
+)
+from .parser import parse, parse_word
+from .printer import to_string, word_to_string
+from .simplify import simplify
+
+__all__ = [
+    "Concat",
+    "EmptySet",
+    "Epsilon",
+    "Regex",
+    "Star",
+    "Symbol",
+    "Union",
+    "all_quotients",
+    "concat",
+    "concat_all",
+    "contains_word",
+    "denotes_finite_language",
+    "derivative",
+    "derivative_word",
+    "enumerate_words",
+    "expression_length_bounds",
+    "is_recursion_free",
+    "language_up_to",
+    "languages_equal_up_to",
+    "matches",
+    "parse",
+    "parse_word",
+    "shortest_word",
+    "simplify",
+    "star",
+    "sym",
+    "to_string",
+    "union",
+    "union_all",
+    "word",
+    "word_to_string",
+]

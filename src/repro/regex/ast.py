@@ -1,0 +1,363 @@
+"""Abstract syntax tree for regular path expressions.
+
+The paper (Section 2.2) uses regular expressions over a finite alphabet of
+edge labels, with ``+`` for union and ``*`` for Kleene closure.  The AST here
+is deliberately small and immutable:
+
+* :class:`EmptySet`   -- the empty language (no paths),
+* :class:`Epsilon`    -- the language containing only the empty word,
+* :class:`Symbol`     -- a single edge label,
+* :class:`Concat`     -- concatenation of two expressions,
+* :class:`Union`      -- union of two expressions,
+* :class:`Star`       -- Kleene closure.
+
+``Plus`` (one-or-more) and ``Optional`` (zero-or-one) are provided as thin
+derived constructors that expand to the core forms, so every downstream
+algorithm only has to handle the six core node types.
+
+Nodes are hashable and compare structurally, which lets them be used as
+dictionary keys (e.g. in the quotient-based Datalog translation of
+Section 2.3, where each residual expression becomes an IDB predicate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class Regex:
+    """Base class for all regular-expression AST nodes.
+
+    The class provides operator overloads so expressions can be composed
+    naturally in Python code::
+
+        from repro.regex import sym
+        p = (sym("a") | sym("b")).star() + sym("c")
+    """
+
+    __slots__ = ()
+
+    # -- composition helpers -------------------------------------------------
+    def __add__(self, other: "Regex") -> "Regex":
+        """Concatenation: ``p + q``."""
+        return concat(self, _coerce(other))
+
+    def __or__(self, other: "Regex") -> "Regex":
+        """Union: ``p | q`` (the paper writes ``p + q``)."""
+        return union(self, _coerce(other))
+
+    def star(self) -> "Regex":
+        """Kleene closure ``p*``."""
+        return star(self)
+
+    def plus(self) -> "Regex":
+        """One-or-more repetitions ``p p*``."""
+        return concat(self, star(self))
+
+    def optional(self) -> "Regex":
+        """Zero-or-one occurrence ``p + ε``."""
+        return union(self, Epsilon())
+
+    def repeat(self, n: int) -> "Regex":
+        """Exactly ``n`` concatenated copies of the expression."""
+        if n < 0:
+            raise ValueError("repeat count must be non-negative")
+        if n == 0:
+            return Epsilon()
+        result: Regex = self
+        for _ in range(n - 1):
+            result = concat(result, self)
+        return result
+
+    # -- structural queries ---------------------------------------------------
+    def nullable(self) -> bool:
+        """Return ``True`` iff the empty word belongs to the language."""
+        raise NotImplementedError
+
+    def alphabet(self) -> frozenset[str]:
+        """Return the set of labels mentioned by the expression."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Return the number of AST nodes (a syntactic size measure)."""
+        raise NotImplementedError
+
+    def subexpressions(self) -> Iterator["Regex"]:
+        """Yield every sub-expression (including ``self``), pre-order."""
+        raise NotImplementedError
+
+    def is_word(self) -> bool:
+        """Return ``True`` iff the expression denotes exactly one word.
+
+        Word constraints (Section 4.2) are constraints between expressions
+        that are plain concatenations of symbols (or ε).
+        """
+        return self.as_word() is not None
+
+    def as_word(self) -> tuple[str, ...] | None:
+        """Return the single word denoted by this expression, if syntactically
+        a word (concatenation of symbols / ε), otherwise ``None``."""
+        raise NotImplementedError
+
+
+def _coerce(value: "Regex | str") -> "Regex":
+    if isinstance(value, Regex):
+        return value
+    if isinstance(value, str):
+        return Symbol(value)
+    raise TypeError(f"cannot interpret {value!r} as a regular expression")
+
+
+@dataclass(frozen=True, slots=True)
+class EmptySet(Regex):
+    """The empty language ∅ (matches no path at all)."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset()
+
+    def size(self) -> int:
+        return 1
+
+    def subexpressions(self) -> Iterator[Regex]:
+        yield self
+
+    def as_word(self) -> tuple[str, ...] | None:
+        return None
+
+    def __repr__(self) -> str:
+        return "EmptySet()"
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Regex):
+    """The language {ε} containing only the empty word."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset()
+
+    def size(self) -> int:
+        return 1
+
+    def subexpressions(self) -> Iterator[Regex]:
+        yield self
+
+    def as_word(self) -> tuple[str, ...] | None:
+        return ()
+
+    def __repr__(self) -> str:
+        return "Epsilon()"
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol(Regex):
+    """A single edge label.
+
+    Labels are arbitrary non-empty strings: in the Web reading of the paper
+    a label such as ``CS-Department`` is one symbol of the path alphabet.
+    """
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.label, str) or not self.label:
+            raise ValueError("a Symbol label must be a non-empty string")
+
+    def nullable(self) -> bool:
+        return False
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset({self.label})
+
+    def size(self) -> int:
+        return 1
+
+    def subexpressions(self) -> Iterator[Regex]:
+        yield self
+
+    def as_word(self) -> tuple[str, ...] | None:
+        return (self.label,)
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.label!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Regex):
+    """Concatenation ``left . right``."""
+
+    left: Regex
+    right: Regex
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def alphabet(self) -> frozenset[str]:
+        return self.left.alphabet() | self.right.alphabet()
+
+    def size(self) -> int:
+        return 1 + self.left.size() + self.right.size()
+
+    def subexpressions(self) -> Iterator[Regex]:
+        yield self
+        yield from self.left.subexpressions()
+        yield from self.right.subexpressions()
+
+    def as_word(self) -> tuple[str, ...] | None:
+        left = self.left.as_word()
+        if left is None:
+            return None
+        right = self.right.as_word()
+        if right is None:
+            return None
+        return left + right
+
+    def __repr__(self) -> str:
+        return f"Concat({self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Regex):
+    """Union ``left + right`` (written ``+`` in the paper, ``|`` here)."""
+
+    left: Regex
+    right: Regex
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def alphabet(self) -> frozenset[str]:
+        return self.left.alphabet() | self.right.alphabet()
+
+    def size(self) -> int:
+        return 1 + self.left.size() + self.right.size()
+
+    def subexpressions(self) -> Iterator[Regex]:
+        yield self
+        yield from self.left.subexpressions()
+        yield from self.right.subexpressions()
+
+    def as_word(self) -> tuple[str, ...] | None:
+        # A union denotes a single word only when both branches denote the
+        # same single word (e.g. (a + a)); treat that degenerate case exactly.
+        left = self.left.as_word()
+        right = self.right.as_word()
+        if left is not None and left == right:
+            return left
+        return None
+
+    def __repr__(self) -> str:
+        return f"Union({self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Regex):
+    """Kleene closure ``inner*``."""
+
+    inner: Regex
+
+    def nullable(self) -> bool:
+        return True
+
+    def alphabet(self) -> frozenset[str]:
+        return self.inner.alphabet()
+
+    def size(self) -> int:
+        return 1 + self.inner.size()
+
+    def subexpressions(self) -> Iterator[Regex]:
+        yield self
+        yield from self.inner.subexpressions()
+
+    def as_word(self) -> tuple[str, ...] | None:
+        # p* denotes a single word only when p denotes ∅ or {ε}; then p* = {ε}.
+        inner_word = self.inner.as_word()
+        if isinstance(self.inner, EmptySet) or inner_word == ():
+            return ()
+        return None
+
+    def __repr__(self) -> str:
+        return f"Star({self.inner!r})"
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors.
+#
+# These apply only the cheap, always-valid algebraic identities so that
+# mechanically constructed expressions (e.g. from derivatives) do not blow up.
+# Deeper simplification lives in :mod:`repro.regex.simplify`.
+# ---------------------------------------------------------------------------
+
+def concat(left: Regex, right: Regex) -> Regex:
+    """Concatenate two expressions, applying unit/zero laws."""
+    if isinstance(left, EmptySet) or isinstance(right, EmptySet):
+        return EmptySet()
+    if isinstance(left, Epsilon):
+        return right
+    if isinstance(right, Epsilon):
+        return left
+    return Concat(left, right)
+
+
+def union(left: Regex, right: Regex) -> Regex:
+    """Union of two expressions, applying idempotence and zero laws."""
+    if isinstance(left, EmptySet):
+        return right
+    if isinstance(right, EmptySet):
+        return left
+    if left == right:
+        return left
+    return Union(left, right)
+
+
+def star(inner: Regex) -> Regex:
+    """Kleene closure, applying ``∅* = ε* = ε`` and ``(p*)* = p*``."""
+    if isinstance(inner, (EmptySet, Epsilon)):
+        return Epsilon()
+    if isinstance(inner, Star):
+        return inner
+    return Star(inner)
+
+
+def sym(label: str) -> Symbol:
+    """Shorthand constructor for a single-label expression."""
+    return Symbol(label)
+
+
+def word(labels: "str | tuple[str, ...] | list[str]") -> Regex:
+    """Build the expression denoting a single word.
+
+    Accepts either a sequence of labels or a whitespace-separated string, so
+    ``word("a b c")`` and ``word(["a", "b", "c"])`` are equivalent.  The empty
+    sequence yields ε.
+    """
+    if isinstance(labels, str):
+        parts: list[str] = labels.split()
+    else:
+        parts = list(labels)
+    result: Regex = Epsilon()
+    for part in parts:
+        result = concat(result, Symbol(part))
+    return result
+
+
+def union_all(expressions: "list[Regex]") -> Regex:
+    """Union of an arbitrary (possibly empty) collection of expressions."""
+    result: Regex = EmptySet()
+    for expression in expressions:
+        result = union(result, expression)
+    return result
+
+
+def concat_all(expressions: "list[Regex]") -> Regex:
+    """Concatenation of an arbitrary (possibly empty) collection."""
+    result: Regex = Epsilon()
+    for expression in expressions:
+        result = concat(result, expression)
+    return result

@@ -1,0 +1,105 @@
+"""Brzozowski derivatives and language quotients of regular expressions.
+
+Section 2.2 of the paper builds its recursive evaluation procedure (†) and
+the quotient-based Datalog translation on *quotients* of a regular language:
+for a language ``L`` and a label ``l``, the quotient ``L/l = { w | l·w ∈ L }``.
+For regular expressions the quotient is computed syntactically as the
+Brzozowski derivative, and — exactly as the paper notes — repeated quotients
+of a regular expression yield only finitely many distinct languages.
+
+This module provides:
+
+* :func:`derivative` — the derivative of an expression by a single label,
+* :func:`derivative_word` — iterated derivative by a word,
+* :func:`all_quotients` — the (finite) set of iterated quotients reachable
+  from an expression, computed up to the similarity-normalization of
+  :mod:`repro.regex.simplify` so that the set stays small,
+* :func:`matches` — membership of a word in the denoted language, decided
+  purely via derivatives (used as an independent oracle in tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .ast import Concat, EmptySet, Epsilon, Regex, Star, Symbol, Union, concat, union
+from .simplify import simplify
+
+
+def derivative(expression: Regex, label: str) -> Regex:
+    """Return the Brzozowski derivative of ``expression`` by ``label``.
+
+    The derivative denotes exactly the quotient language ``L(expression)/label``.
+    """
+    if isinstance(expression, (EmptySet, Epsilon)):
+        return EmptySet()
+    if isinstance(expression, Symbol):
+        return Epsilon() if expression.label == label else EmptySet()
+    if isinstance(expression, Union):
+        return union(derivative(expression.left, label), derivative(expression.right, label))
+    if isinstance(expression, Concat):
+        first = concat(derivative(expression.left, label), expression.right)
+        if expression.left.nullable():
+            return union(first, derivative(expression.right, label))
+        return first
+    if isinstance(expression, Star):
+        return concat(derivative(expression.inner, label), expression)
+    raise TypeError(f"unknown regex node: {expression!r}")
+
+
+def derivative_word(expression: Regex, labels: "tuple[str, ...] | list[str]") -> Regex:
+    """Iterated derivative by a word: ``L / l1 / l2 / ... / lk``."""
+    result = expression
+    for label in labels:
+        result = simplify(derivative(result, label))
+    return result
+
+
+def matches(expression: Regex, labels: "tuple[str, ...] | list[str]") -> bool:
+    """Decide whether the word ``labels`` belongs to ``L(expression)``.
+
+    This is the derivative-based membership test; the automaton-based path
+    query evaluator provides the same answer through a different route, which
+    the test suite exploits as a cross-check.
+    """
+    return derivative_word(expression, labels).nullable()
+
+
+def all_quotients(expression: Regex, alphabet: "frozenset[str] | set[str] | None" = None) -> dict[Regex, dict[str, Regex]]:
+    """Compute the set of iterated quotients of ``expression``.
+
+    Returns a mapping ``q -> {label -> q/label}`` where the keys range over
+    all quotients reachable from the (simplified) original expression by
+    repeatedly quotienting with labels from ``alphabet`` (defaulting to the
+    expression's own alphabet).  Quotients are normalized with
+    :func:`repro.regex.simplify.simplify`, which guarantees termination: the
+    number of distinct normalized quotients of a regular expression is finite
+    (this is the classical finiteness of Brzozowski derivatives up to
+    similarity, and the fact the paper relies on in Section 2.3 to obtain a
+    finite Datalog program).
+    """
+    if alphabet is None:
+        alphabet = expression.alphabet()
+    start = simplify(expression)
+    table: dict[Regex, dict[str, Regex]] = {}
+    queue: deque[Regex] = deque([start])
+    while queue:
+        current = queue.popleft()
+        if current in table:
+            continue
+        row: dict[str, Regex] = {}
+        for label in sorted(alphabet):
+            successor = simplify(derivative(current, label))
+            row[label] = successor
+            if successor not in table:
+                queue.append(successor)
+        table[current] = row
+    return table
+
+
+def quotient_alphabet_closure(expressions: "list[Regex]") -> set[Regex]:
+    """Union of all iterated quotients of each expression in ``expressions``."""
+    closure: set[Regex] = set()
+    for expression in expressions:
+        closure.update(all_quotients(expression).keys())
+    return closure

@@ -1,0 +1,174 @@
+"""Language-level utilities on regular expressions.
+
+These helpers operate on the *language* denoted by an expression rather than
+its syntax: enumerating words, sampling words, bounding word length, and
+checking simple structural facts (finite language, recursion-free).  They are
+used by the boundedness machinery (Theorem 4.10), by the optimization
+examples of Section 3.2 and, extensively, by the property-based tests as
+ground-truth oracles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from .ast import Concat, EmptySet, Epsilon, Regex, Star, Symbol, Union
+from .derivatives import derivative, matches
+from .simplify import simplify
+
+
+def is_recursion_free(expression: Regex) -> bool:
+    """Return ``True`` iff the expression contains no (non-trivial) Kleene star.
+
+    A path query without recursion is guaranteed to terminate on any instance
+    (Section 3.2, Example 1); Theorem 4.10 asks whether a query is equivalent,
+    under word equalities, to such a recursion-free query.
+    """
+    for sub in expression.subexpressions():
+        if isinstance(sub, Star) and not isinstance(sub.inner, (EmptySet, Epsilon)):
+            return False
+    return True
+
+
+def denotes_finite_language(expression: Regex) -> bool:
+    """Return ``True`` iff ``L(expression)`` is finite.
+
+    Syntactic criterion: the language is finite iff no star whose body can
+    produce a non-empty word is *reachable in a contributing position*.  We
+    use the simpler sound-and-complete check on the simplified expression:
+    after simplification, ``∅``-subtrees have been removed wherever they make
+    a branch empty, so a remaining non-trivial star implies infinitely many
+    words unless its whole branch is unreachable — which simplification also
+    removes.  Hence: finite iff the simplified expression is recursion-free.
+    """
+    return is_recursion_free(simplify(expression))
+
+
+def enumerate_words(
+    expression: Regex,
+    max_length: int,
+    alphabet: "frozenset[str] | set[str] | None" = None,
+) -> Iterator[tuple[str, ...]]:
+    """Yield all words of ``L(expression)`` of length at most ``max_length``.
+
+    Words are produced in shortlex order (by length, then lexicographically by
+    label).  The enumeration walks the derivative automaton breadth-first, so
+    its cost is proportional to the number of reachable (word, quotient)
+    pairs rather than to ``|Σ|^max_length`` when the language is sparse.
+    """
+    if alphabet is None:
+        alphabet = expression.alphabet()
+    labels = sorted(alphabet)
+    # Heap of (length, word, quotient); shortlex order via the tuple key.
+    start = simplify(expression)
+    heap: list[tuple[int, tuple[str, ...]]] = [(0, ())]
+    quotients: dict[tuple[str, ...], Regex] = {(): start}
+    emitted: set[tuple[str, ...]] = set()
+    while heap:
+        length, word = heapq.heappop(heap)
+        quotient = quotients.pop(word)
+        if quotient.nullable() and word not in emitted:
+            emitted.add(word)
+            yield word
+        if length == max_length:
+            continue
+        for label in labels:
+            successor = simplify(derivative(quotient, label))
+            if isinstance(successor, EmptySet):
+                continue
+            extended = word + (label,)
+            if extended not in quotients:
+                quotients[extended] = successor
+                heapq.heappush(heap, (length + 1, extended))
+
+
+def language_up_to(expression: Regex, max_length: int) -> set[tuple[str, ...]]:
+    """Return the set of words of ``L(expression)`` with length ≤ ``max_length``."""
+    return set(enumerate_words(expression, max_length))
+
+
+def shortest_word(expression: Regex, max_length: int = 64) -> tuple[str, ...] | None:
+    """Return a shortest word of the language, or ``None`` if empty.
+
+    ``max_length`` is a safety valve for expressions whose shortest word is
+    unexpectedly long; for expressions produced in this library the true
+    shortest word is always far below the default.
+    """
+    for word in enumerate_words(expression, max_length):
+        return word
+    return None
+
+
+def languages_equal_up_to(first: Regex, second: Regex, max_length: int) -> bool:
+    """Bounded language-equality check used by tests as a quick filter."""
+    return language_up_to(first, max_length) == language_up_to(second, max_length)
+
+
+def contains_word(expression: Regex, word: "tuple[str, ...] | list[str]") -> bool:
+    """Membership test (delegates to the derivative-based matcher)."""
+    return matches(expression, tuple(word))
+
+
+def expression_length_bounds(expression: Regex) -> tuple[int, int | None]:
+    """Return ``(shortest, longest)`` word lengths of the language.
+
+    ``longest`` is ``None`` when the language is infinite (or empty, in which
+    case ``shortest`` is reported as ``-1``).
+    """
+    shortest = _shortest_length(expression)
+    if shortest is None:
+        return (-1, None)
+    longest = _longest_length(expression)
+    return (shortest, longest)
+
+
+def _shortest_length(expression: Regex) -> int | None:
+    if isinstance(expression, EmptySet):
+        return None
+    if isinstance(expression, Epsilon):
+        return 0
+    if isinstance(expression, Symbol):
+        return 1
+    if isinstance(expression, Union):
+        left = _shortest_length(expression.left)
+        right = _shortest_length(expression.right)
+        candidates = [value for value in (left, right) if value is not None]
+        return min(candidates) if candidates else None
+    if isinstance(expression, Concat):
+        left = _shortest_length(expression.left)
+        right = _shortest_length(expression.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(expression, Star):
+        return 0
+    raise TypeError(f"unknown regex node: {expression!r}")
+
+
+def _longest_length(expression: Regex) -> int | None:
+    """Longest word length, ``None`` meaning unbounded.  Assumes non-empty."""
+    if isinstance(expression, EmptySet):
+        return 0
+    if isinstance(expression, Epsilon):
+        return 0
+    if isinstance(expression, Symbol):
+        return 1
+    if isinstance(expression, Union):
+        left = _longest_length(expression.left)
+        right = _longest_length(expression.right)
+        if left is None or right is None:
+            return None
+        return max(left, right)
+    if isinstance(expression, Concat):
+        left = _longest_length(expression.left)
+        right = _longest_length(expression.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(expression, Star):
+        inner = _longest_length(expression.inner)
+        if inner == 0:
+            return 0
+        return None
+    raise TypeError(f"unknown regex node: {expression!r}")

@@ -1,0 +1,185 @@
+"""Parser for the textual regular-path-expression syntax used by the paper.
+
+The grammar mirrors the notation of Section 2.2:
+
+* whitespace-separated identifiers are edge labels (``CS-Department``,
+  ``cs345``, single letters ...);
+* juxtaposition is concatenation (``a b c``); a ``.`` may also be used
+  explicitly (``a . b``);
+* ``+`` or ``|`` is union;
+* ``*`` is Kleene closure, ``^+`` / a postfix ``+`` immediately following a
+  parenthesis or label (without whitespace) would be ambiguous with union, so
+  one-or-more is written ``p^+`` and zero-or-one is ``p?``;
+* ``()`` groups; ``%`` denotes ε (the empty word); ``~`` denotes ∅.
+
+Examples::
+
+    parse("section (paragraph + figure) caption")
+    parse("engine subpart* name")
+    parse("(l a + l b)* d")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import RegexSyntaxError
+from .ast import EmptySet, Epsilon, Regex, Symbol, concat, star, union
+
+_POSTFIX_OPERATORS = {"*", "?"}
+_RESERVED = {"(", ")", "+", "|", "*", "?", ".", "%", "~", "^"}
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # "label", "(", ")", "+", "*", "?", ".", "%", "~", "plus"
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "()+|*?.%~":
+            kind = "+" if ch == "|" else ch
+            tokens.append(_Token(kind, ch, i))
+            i += 1
+            continue
+        if ch == "^":
+            if i + 1 < length and text[i + 1] == "+":
+                tokens.append(_Token("plus", "^+", i))
+                i += 2
+                continue
+            raise RegexSyntaxError("dangling '^' (one-or-more is written '^+')", i)
+        # Label: longest run of characters that are not whitespace/reserved.
+        start = i
+        while i < length and not text[i].isspace() and text[i] not in _RESERVED:
+            i += 1
+        label = text[start:i]
+        tokens.append(_Token("label", label, start))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[_Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    def parse(self) -> Regex:
+        if not self._tokens:
+            return Epsilon()
+        expression = self._parse_union()
+        if self._index != len(self._tokens):
+            token = self._tokens[self._index]
+            raise RegexSyntaxError(
+                f"unexpected token {token.text!r}", token.position
+            )
+        return expression
+
+    # -- grammar levels -------------------------------------------------------
+    def _parse_union(self) -> Regex:
+        expression = self._parse_concat()
+        while self._peek_kind() == "+":
+            self._advance()
+            expression = union(expression, self._parse_concat())
+        return expression
+
+    def _parse_concat(self) -> Regex:
+        expression = self._parse_postfix()
+        while True:
+            kind = self._peek_kind()
+            if kind == ".":
+                self._advance()
+                expression = concat(expression, self._parse_postfix())
+            elif kind in {"label", "(", "%", "~"}:
+                expression = concat(expression, self._parse_postfix())
+            else:
+                return expression
+
+    def _parse_postfix(self) -> Regex:
+        expression = self._parse_atom()
+        while True:
+            kind = self._peek_kind()
+            if kind == "*":
+                self._advance()
+                expression = star(expression)
+            elif kind == "plus":
+                self._advance()
+                expression = concat(expression, star(expression))
+            elif kind == "?":
+                self._advance()
+                expression = union(expression, Epsilon())
+            else:
+                return expression
+
+    def _parse_atom(self) -> Regex:
+        token = self._peek()
+        if token is None:
+            raise RegexSyntaxError("unexpected end of expression", len(self._text))
+        if token.kind == "label":
+            self._advance()
+            return Symbol(token.text)
+        if token.kind == "%":
+            self._advance()
+            return Epsilon()
+        if token.kind == "~":
+            self._advance()
+            return EmptySet()
+        if token.kind == "(":
+            self._advance()
+            inner = self._parse_union()
+            closing = self._peek()
+            if closing is None or closing.kind != ")":
+                raise RegexSyntaxError("missing closing parenthesis", token.position)
+            self._advance()
+            return inner
+        raise RegexSyntaxError(f"unexpected token {token.text!r}", token.position)
+
+    # -- token stream helpers -------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _peek_kind(self) -> str | None:
+        token = self._peek()
+        return token.kind if token else None
+
+    def _advance(self) -> None:
+        self._index += 1
+
+
+def parse(text: str) -> Regex:
+    """Parse a regular path expression from its textual form.
+
+    Raises :class:`~repro.exceptions.RegexSyntaxError` on malformed input.
+    An empty (or all-whitespace) string denotes ε, matching the convention
+    that an empty path query returns the source object itself.
+    """
+    tokens = _tokenize(text)
+    return _Parser(tokens, text).parse()
+
+
+def parse_word(text: str) -> tuple[str, ...]:
+    """Parse a *word* (a whitespace-separated sequence of labels).
+
+    Word constraints (Section 4.2) relate plain words; this helper bypasses
+    the full expression grammar and rejects any operator characters.
+    """
+    labels: list[str] = []
+    for part in text.split():
+        if any(ch in _RESERVED for ch in part):
+            raise RegexSyntaxError(
+                f"word labels may not contain operator characters: {part!r}"
+            )
+        labels.append(part)
+    return tuple(labels)

@@ -1,0 +1,62 @@
+"""Pretty-printing of regular path expressions.
+
+The printer emits the same surface syntax accepted by
+:func:`repro.regex.parser.parse`, so ``parse(to_string(r))`` is structurally
+equivalent to ``r`` (up to the cheap smart-constructor normalizations).
+"""
+
+from __future__ import annotations
+
+from .ast import Concat, EmptySet, Epsilon, Regex, Star, Symbol, Union
+
+# Precedence levels: union < concatenation < star/atom.
+_PREC_UNION = 0
+_PREC_CONCAT = 1
+_PREC_POSTFIX = 2
+
+
+def to_string(expression: Regex) -> str:
+    """Render an expression using the paper-style surface syntax."""
+    return _render(expression, _PREC_UNION)
+
+
+def _needs_space(label: str) -> bool:
+    """Multi-character labels are separated by spaces; single letters too,
+    for readability, so we always join with a space inside concatenations."""
+    return True
+
+
+def _render(expression: Regex, context_precedence: int) -> str:
+    if isinstance(expression, EmptySet):
+        return "~"
+    if isinstance(expression, Epsilon):
+        return "%"
+    if isinstance(expression, Symbol):
+        return expression.label
+    if isinstance(expression, Union):
+        text = f"{_render(expression.left, _PREC_UNION)} + {_render(expression.right, _PREC_UNION)}"
+        return _wrap(text, _PREC_UNION, context_precedence)
+    if isinstance(expression, Concat):
+        text = f"{_render(expression.left, _PREC_CONCAT)} {_render(expression.right, _PREC_CONCAT)}"
+        return _wrap(text, _PREC_CONCAT, context_precedence)
+    if isinstance(expression, Star):
+        inner = _render(expression.inner, _PREC_POSTFIX)
+        if isinstance(expression.inner, (Symbol, EmptySet, Epsilon)):
+            text = f"{inner}*"
+        else:
+            text = f"({_render(expression.inner, _PREC_UNION)})*"
+        return text
+    raise TypeError(f"unknown regex node: {expression!r}")
+
+
+def _wrap(text: str, own_precedence: int, context_precedence: int) -> str:
+    if own_precedence < context_precedence:
+        return f"({text})"
+    return text
+
+
+def word_to_string(labels: tuple[str, ...]) -> str:
+    """Render a word (sequence of labels); the empty word prints as ``%``."""
+    if not labels:
+        return "%"
+    return " ".join(labels)

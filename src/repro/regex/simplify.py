@@ -1,0 +1,132 @@
+"""Algebraic simplification (similarity normalization) of regular expressions.
+
+The simplifier applies the standard Kleene-algebra identities that are safe
+to apply unconditionally:
+
+* ``∅ + p = p``, ``p + p = p``, union is flattened and its operands sorted so
+  that union becomes associative/commutative/idempotent up to syntax;
+* ``ε · p = p``, ``∅ · p = ∅``;
+* ``∅* = ε* = ε``, ``(p*)* = p*``;
+* ``(ε + p)* = p*`` and ``p* p* = p*``.
+
+The purpose is twofold: keeping mechanically produced expressions (Brzozowski
+derivatives, automaton-to-regex state elimination) readable, and — crucially —
+bounding the set of iterated derivatives so that
+:func:`repro.regex.derivatives.all_quotients` terminates quickly.  The
+simplifier never changes the denoted language; the property-based tests check
+this against the automaton pipeline.
+"""
+
+from __future__ import annotations
+
+from .ast import Concat, EmptySet, Epsilon, Regex, Star, Symbol, Union
+
+
+def simplify(expression: Regex) -> Regex:
+    """Return a normalized expression denoting the same language."""
+    return _simplify(expression)
+
+
+def _simplify(expression: Regex) -> Regex:
+    if isinstance(expression, (EmptySet, Epsilon, Symbol)):
+        return expression
+    if isinstance(expression, Union):
+        return _simplify_union(expression)
+    if isinstance(expression, Concat):
+        return _simplify_concat(expression)
+    if isinstance(expression, Star):
+        return _simplify_star(expression)
+    raise TypeError(f"unknown regex node: {expression!r}")
+
+
+# -- union ------------------------------------------------------------------
+
+def _union_operands(expression: Regex) -> list[Regex]:
+    """Flatten nested unions into a list of operands."""
+    if isinstance(expression, Union):
+        return _union_operands(expression.left) + _union_operands(expression.right)
+    return [expression]
+
+
+def _sort_key(expression: Regex) -> tuple[int, str]:
+    # Deterministic ordering: by size then by repr; repr is structural for our
+    # frozen dataclasses so this is stable across runs.
+    return (expression.size(), repr(expression))
+
+
+def _simplify_union(expression: Union) -> Regex:
+    operands: list[Regex] = []
+    seen: set[Regex] = set()
+    has_epsilon = False
+    for raw in _union_operands(expression):
+        operand = _simplify(raw)
+        if isinstance(operand, EmptySet):
+            continue
+        if isinstance(operand, Epsilon):
+            has_epsilon = True
+            continue
+        for inner in _union_operands(operand):
+            if inner not in seen:
+                seen.add(inner)
+                operands.append(inner)
+    # ε is absorbed by any nullable operand.
+    if has_epsilon and not any(op.nullable() for op in operands):
+        operands.append(Epsilon())
+    if not operands:
+        return EmptySet()
+    operands.sort(key=_sort_key)
+    result = operands[0]
+    for operand in operands[1:]:
+        result = Union(result, operand)
+    return result
+
+
+# -- concatenation ------------------------------------------------------------
+
+def _concat_operands(expression: Regex) -> list[Regex]:
+    if isinstance(expression, Concat):
+        return _concat_operands(expression.left) + _concat_operands(expression.right)
+    return [expression]
+
+
+def _simplify_concat(expression: Concat) -> Regex:
+    operands: list[Regex] = []
+    for raw in _concat_operands(expression):
+        operand = _simplify(raw)
+        if isinstance(operand, EmptySet):
+            return EmptySet()
+        if isinstance(operand, Epsilon):
+            continue
+        # p* p* = p*
+        if (
+            operands
+            and isinstance(operand, Star)
+            and operands[-1] == operand
+        ):
+            continue
+        operands.extend(_concat_operands(operand))
+    if not operands:
+        return Epsilon()
+    result = operands[-1]
+    for operand in reversed(operands[:-1]):
+        result = Concat(operand, result)
+    return result
+
+
+# -- star ---------------------------------------------------------------------
+
+def _simplify_star(expression: Star) -> Regex:
+    inner = _simplify(expression.inner)
+    if isinstance(inner, (EmptySet, Epsilon)):
+        return Epsilon()
+    if isinstance(inner, Star):
+        return inner
+    # (ε + p)* = p*  — strip ε operands inside a starred union.
+    if isinstance(inner, Union):
+        operands = [op for op in _union_operands(inner) if not isinstance(op, Epsilon)]
+        if len(operands) != len(_union_operands(inner)):
+            rebuilt: Regex = operands[0]
+            for operand in operands[1:]:
+                rebuilt = Union(rebuilt, operand)
+            return _simplify_star(Star(rebuilt))
+    return Star(inner)

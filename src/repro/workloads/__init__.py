@@ -1,0 +1,28 @@
+"""Workload generators used by the examples and benchmarks."""
+
+from .synthetic import (
+    alphabet_of,
+    chained_idempotence_constraints,
+    collapsing_constraints,
+    pspace_hard_inclusion,
+    random_path_query,
+    random_word,
+    random_word_constraints,
+    star_chain_query,
+)
+from .website import WebsiteWorkload, cs_department_site, site_with_home_shortcut
+
+__all__ = [
+    "WebsiteWorkload",
+    "alphabet_of",
+    "chained_idempotence_constraints",
+    "collapsing_constraints",
+    "cs_department_site",
+    "pspace_hard_inclusion",
+    "random_path_query",
+    "random_word",
+    "random_word_constraints",
+    "star_chain_query",
+    "cs_department_site",
+    "site_with_home_shortcut",
+]

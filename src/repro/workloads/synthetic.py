@@ -1,0 +1,132 @@
+"""Synthetic workload families for the scaling benchmarks.
+
+Each generator produces a *family* indexed by a size parameter, so the
+benchmarks can plot cost against size and exhibit the complexity shape the
+theorems predict (PTIME word implication, PSPACE path-by-word implication,
+exponential boundedness machinery, polynomial query evaluation).
+All generators are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints.constraint import ConstraintSet, word_equality, word_inclusion
+from ..regex import Regex, parse
+from ..regex.ast import Symbol, concat_all, star, union_all
+
+
+def alphabet_of(size: int) -> list[str]:
+    """The standard benchmark alphabet: ``l0, l1, ...``."""
+    return [f"l{i}" for i in range(size)]
+
+
+def random_word(rng: random.Random, alphabet: list[str], max_length: int) -> tuple[str, ...]:
+    length = rng.randint(0, max_length)
+    return tuple(rng.choice(alphabet) for _ in range(length))
+
+
+def random_word_constraints(
+    constraint_count: int,
+    alphabet_size: int = 3,
+    max_word_length: int = 3,
+    seed: int = 0,
+    equalities: bool = False,
+) -> ConstraintSet:
+    """A random family of word constraints (inclusions or equalities).
+
+    Right-hand sides are biased to be no longer than left-hand sides so that
+    the rewrite systems tend to be "shrinking" and implication questions have
+    interesting positive instances.
+    """
+    rng = random.Random(seed)
+    alphabet = alphabet_of(alphabet_size)
+    constraints = ConstraintSet()
+    for _ in range(constraint_count):
+        lhs = random_word(rng, alphabet, max_word_length)
+        while not lhs:
+            lhs = random_word(rng, alphabet, max_word_length)
+        rhs = random_word(rng, alphabet, max(0, len(lhs) - rng.randint(0, len(lhs))))
+        if equalities:
+            constraints.add(word_equality(lhs, rhs))
+        else:
+            constraints.add(word_inclusion(lhs, rhs))
+    return constraints
+
+
+def chained_idempotence_constraints(chain_length: int) -> ConstraintSet:
+    """The family ``{l_i l_i = l_i}`` for ``i < chain_length``.
+
+    Every label is idempotent, so any query over these labels is bounded; the
+    boundedness benchmark scales ``chain_length`` to grow the sphere.
+    """
+    constraints = ConstraintSet()
+    for label in alphabet_of(chain_length):
+        constraints.add(word_equality(f"{label} {label}", label))
+    return constraints
+
+
+def collapsing_constraints(depth: int, label: str = "a") -> ConstraintSet:
+    """The family ``{a^depth = a^(depth-1)}``: words collapse after ``depth`` steps.
+
+    The congruence has exactly ``depth`` classes (ε, a, ..., a^(depth-1)), so
+    the Armstrong sphere grows linearly with ``depth`` — a clean knob for the
+    Figure 5 benchmark.
+    """
+    constraints = ConstraintSet()
+    lhs = " ".join([label] * depth)
+    rhs = " ".join([label] * (depth - 1)) if depth > 1 else "%"
+    constraints.add(word_equality(lhs, rhs) if depth > 1 else word_equality(label, ""))
+    return constraints
+
+
+def random_path_query(
+    rng_or_seed: "random.Random | int",
+    alphabet_size: int = 3,
+    depth: int = 3,
+) -> Regex:
+    """A random regular path expression of bounded syntactic depth."""
+    rng = (
+        rng_or_seed
+        if isinstance(rng_or_seed, random.Random)
+        else random.Random(rng_or_seed)
+    )
+    alphabet = alphabet_of(alphabet_size)
+
+    def build(level: int) -> Regex:
+        if level == 0 or rng.random() < 0.35:
+            return Symbol(rng.choice(alphabet))
+        choice = rng.random()
+        if choice < 0.4:
+            return concat_all([build(level - 1), build(level - 1)])
+        if choice < 0.8:
+            return union_all([build(level - 1), build(level - 1)])
+        return star(build(level - 1))
+
+    return build(depth)
+
+
+def star_chain_query(length: int, alphabet_size: int | None = None) -> Regex:
+    """The query ``(l0 + l1 + ... )* l0 (l0 + l1 + ...)*`` of growing alphabet.
+
+    Determinizing this kind of expression is cheap, but the path-by-word
+    benchmark concatenates several of them to grow the inclusion check.
+    """
+    size = alphabet_size if alphabet_size is not None else max(2, length)
+    labels = [Symbol(label) for label in alphabet_of(size)]
+    any_star = star(union_all(list(labels)))
+    middle = concat_all([any_star, labels[0], any_star])
+    return concat_all([middle] * max(1, length))
+
+
+def pspace_hard_inclusion(size: int) -> tuple[Regex, Regex]:
+    """A (lhs, rhs) pair whose inclusion check forces subset-construction work.
+
+    ``lhs = (a+b)* a (a+b)^size`` (the "a at position size+1 from the end"
+    language) requires a DFA with ~2^size states, so checking it against a
+    slightly perturbed rhs scales exponentially — the shape Theorem 4.3(ii)'s
+    PSPACE bound predicts.
+    """
+    lhs = parse("(a + b)* a " + " ".join(["(a + b)"] * size))
+    rhs = parse("(a + b)* (a + b) " + " ".join(["(a + b)"] * size))
+    return lhs, rhs

@@ -1,0 +1,155 @@
+"""The CS-department web-site workload from the paper's introduction.
+
+The introduction motivates path constraints with paths such as::
+
+    CS-Department DB-group Ullman Classes cs345
+    CS-Department Courses cs345
+    CS-Department Faculty Publications
+
+and constraints stating, e.g., that the first two paths lead to the same
+page.  This module builds a university web site in that spirit: a root
+(`Stanford`-like) page, a CS-Department page with groups, faculty, and a
+course catalog, plus the structural equalities that hold by construction.
+The workload is used by the quickstart example, the optimization-payoff
+benchmark, and several integration tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..constraints.constraint import ConstraintSet, path_equality, word_equality
+from ..graph.instance import Instance, Oid
+
+
+@dataclass
+class WebsiteWorkload:
+    """A generated site: the graph, its root and the constraints that hold."""
+
+    instance: Instance
+    root: Oid
+    constraints: ConstraintSet
+    course_ids: list[str] = field(default_factory=list)
+    faculty_names: list[str] = field(default_factory=list)
+
+
+def cs_department_site(
+    group_count: int = 2,
+    faculty_per_group: int = 2,
+    courses_per_faculty: int = 2,
+    seed: int = 0,
+) -> WebsiteWorkload:
+    """Build the CS-department site.
+
+    Structure (labels on edges)::
+
+        root --CS-Department--> cs
+        cs   --DB-group-->  group_i           (one per group)
+        group_i --<faculty name>--> person    (one per faculty member)
+        person  --Classes--> classes_page --<course id>--> course_page
+        cs   --Courses--> catalog --<course id>--> course_page   (same object!)
+        cs   --Faculty--> faculty_index --<name>--> person
+        person --Publications--> publications_page
+
+    Because the catalog and the per-faculty class lists point at the *same*
+    course objects, the word equality
+
+        ``CS-Department <group> <name> Classes <course>  =  CS-Department Courses <course>``
+
+    holds at the root for every faculty/course pair — exactly the first
+    example constraint of the paper's introduction.
+    """
+    rng = random.Random(seed)
+    instance = Instance()
+    root: Oid = "stanford"
+    cs: Oid = "cs_department"
+    catalog: Oid = "course_catalog"
+    faculty_index: Oid = "faculty_index"
+    instance.add_edge(root, "CS-Department", cs)
+    instance.add_edge(cs, "Courses", catalog)
+    instance.add_edge(cs, "Faculty", faculty_index)
+
+    constraints = ConstraintSet()
+    course_ids: list[str] = []
+    faculty_names: list[str] = []
+
+    person_counter = 0
+    course_counter = 0
+    for group_index in range(group_count):
+        group_label = "DB-group" if group_index == 0 else f"group-{group_index}"
+        group_page: Oid = f"group_{group_index}"
+        instance.add_edge(cs, group_label, group_page)
+        for _ in range(faculty_per_group):
+            person_counter += 1
+            name = f"prof{person_counter}"
+            faculty_names.append(name)
+            person: Oid = f"person_{name}"
+            classes_page: Oid = f"classes_{name}"
+            publications: Oid = f"pubs_{name}"
+            instance.add_edge(group_page, name, person)
+            instance.add_edge(faculty_index, name, person)
+            instance.add_edge(person, "Classes", classes_page)
+            instance.add_edge(person, "Publications", publications)
+            for _ in range(courses_per_faculty):
+                course_counter += 1
+                course_id = f"cs{300 + course_counter}"
+                course_ids.append(course_id)
+                course_page: Oid = f"course_{course_id}"
+                instance.add_edge(classes_page, course_id, course_page)
+                instance.add_edge(catalog, course_id, course_page)
+                # The structural equality of the introduction.
+                constraints.add(
+                    word_equality(
+                        f"CS-Department {group_label} {name} Classes {course_id}",
+                        f"CS-Department Courses {course_id}",
+                    )
+                )
+            # Reaching a person through a group or through the faculty index is
+            # the same (both edges point at the same object).
+            constraints.add(
+                word_equality(
+                    f"CS-Department {group_label} {name}",
+                    f"CS-Department Faculty {name}",
+                )
+            )
+
+    # A few unrelated pages so that queries have non-answers to skip.
+    for extra in range(group_count * 3):
+        instance.add_edge(root, f"misc{extra}", f"misc_page_{extra}")
+        if rng.random() < 0.5:
+            instance.add_edge(f"misc_page_{extra}", "link", root)
+
+    return WebsiteWorkload(
+        instance=instance,
+        root=root,
+        constraints=constraints,
+        course_ids=course_ids,
+        faculty_names=faculty_names,
+    )
+
+
+def site_with_home_shortcut(workload: WebsiteWorkload) -> tuple[Instance, ConstraintSet]:
+    """Add a ``Stanford-CS-Main`` backlink from every CS page to the department.
+
+    This realizes the introduction's second constraint pattern — every path
+    whose final label is the home link returns to a fixed page — as the path
+    equality ``(any)* Stanford-CS-Main = CS-Department`` holding at the root.
+    """
+    instance = workload.instance.copy()
+    cs_page = None
+    for label, destination in instance.out_edges(workload.root):
+        if label == "CS-Department":
+            cs_page = destination
+            break
+    if cs_page is None:
+        raise ValueError("workload has no CS-Department page")
+    for oid in list(instance.objects):
+        if str(oid).startswith(("group_", "person_", "classes_", "pubs_", "course_")):
+            instance.add_edge(oid, "Stanford-CS-Main", cs_page)
+    constraints = ConstraintSet(list(workload.constraints))
+    labels = " + ".join(sorted(instance.labels() - {"Stanford-CS-Main"}))
+    constraints.add(
+        path_equality(f"CS-Department ({labels})* Stanford-CS-Main", "CS-Department")
+    )
+    return instance, constraints

@@ -1,0 +1,86 @@
+"""Tests for regex → automaton constructions (Thompson, Glushkov) and back."""
+
+import pytest
+
+from repro.automata import (
+    accepted_language_up_to,
+    equivalent,
+    nfa_to_dfa,
+    nfa_to_regex,
+    regex_to_glushkov_nfa,
+    regex_to_nfa,
+    single_word_nfa,
+)
+from repro.regex import language_up_to, parse
+
+EXPRESSIONS = [
+    "a",
+    "%",
+    "~",
+    "a b c",
+    "a + b",
+    "a b* c",
+    "(a + b)* a",
+    "(a b)* + (b a)*",
+    "(l a + l b)* d",
+    "section (paragraph + figure) caption",
+]
+
+
+class TestThompson:
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_language_matches_derivative_semantics(self, text):
+        expression = parse(text)
+        nfa = regex_to_nfa(expression)
+        assert accepted_language_up_to(nfa, 4) == language_up_to(expression, 4)
+
+    def test_linear_size(self):
+        expression = parse("(a + b)* a (a + b) (a + b)")
+        nfa = regex_to_nfa(expression)
+        assert len(nfa) <= 4 * expression.size()
+
+
+class TestGlushkov:
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_equivalent_to_thompson(self, text):
+        expression = parse(text)
+        assert equivalent(regex_to_nfa(expression), regex_to_glushkov_nfa(expression))
+
+    def test_no_epsilon_transitions(self):
+        nfa = regex_to_glushkov_nfa(parse("(a + b)* c"))
+        for _, label, _ in nfa.iter_transitions():
+            assert label != ""
+
+    def test_state_count_is_positions_plus_one(self):
+        expression = parse("(a + b)* a b")
+        nfa = regex_to_glushkov_nfa(expression)
+        symbol_occurrences = 4
+        assert len(nfa.states) == symbol_occurrences + 1
+
+
+class TestSingleWord:
+    def test_accepts_only_the_word(self):
+        nfa = single_word_nfa(("a", "b", "c"))
+        assert nfa.accepts(("a", "b", "c"))
+        assert not nfa.accepts(("a", "b"))
+        assert not nfa.accepts(("a", "b", "c", "c"))
+
+    def test_empty_word(self):
+        nfa = single_word_nfa(())
+        assert nfa.accepts(())
+        assert not nfa.accepts(("a",))
+
+
+class TestStateElimination:
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_round_trip_preserves_language(self, text):
+        expression = parse(text)
+        nfa = regex_to_nfa(expression)
+        recovered = nfa_to_regex(nfa)
+        assert equivalent(regex_to_nfa(recovered), nfa)
+
+    def test_round_trip_through_dfa(self):
+        expression = parse("(a b)* + c")
+        dfa = nfa_to_dfa(regex_to_nfa(expression))
+        recovered = nfa_to_regex(dfa.to_nfa())
+        assert equivalent(regex_to_nfa(recovered), regex_to_nfa(expression))

@@ -1,0 +1,147 @@
+"""Tests for the NFA and DFA data structures themselves."""
+
+import pytest
+
+from repro.automata import DFA, EPSILON, NFA, nfa_to_dfa
+from repro.exceptions import AutomatonError
+
+
+class TestNFA:
+    def build_simple(self) -> NFA:
+        nfa = NFA(initial=0)
+        nfa.add_transition(0, "a", 1)
+        nfa.add_transition(1, EPSILON, 2)
+        nfa.add_transition(2, "b", 0)
+        nfa.accepting = {2}
+        return nfa
+
+    def test_epsilon_closure(self):
+        nfa = self.build_simple()
+        assert nfa.epsilon_closure({1}) == frozenset({1, 2})
+        assert nfa.epsilon_closure({0}) == frozenset({0})
+
+    def test_run_and_accepts(self):
+        nfa = self.build_simple()
+        assert nfa.accepts(("a",))
+        assert nfa.accepts(("a", "b", "a"))
+        assert not nfa.accepts(("b",))
+        assert nfa.run(("c",)) == frozenset()
+
+    def test_add_word_path(self):
+        nfa = NFA(initial=0)
+        nfa.add_state(9)
+        nfa.add_word_path(0, ("x", "y", "z"), 9)
+        nfa.accepting = {9}
+        assert nfa.accepts(("x", "y", "z"))
+        assert not nfa.accepts(("x", "y"))
+
+    def test_add_word_path_empty_word_is_epsilon(self):
+        nfa = NFA(initial=0)
+        nfa.add_state(1)
+        nfa.add_word_path(0, (), 1)
+        nfa.accepting = {1}
+        assert nfa.accepts(())
+
+    def test_labels_must_be_nonempty(self):
+        nfa = NFA(initial=0)
+        with pytest.raises(AutomatonError):
+            nfa.add_transition(0, None, 1)  # type: ignore[arg-type]
+
+    def test_trim_removes_useless_states(self):
+        nfa = self.build_simple()
+        nfa.add_transition(0, "c", 5)  # dead end, not co-reachable
+        trimmed = nfa.trim()
+        assert 5 not in trimmed.states
+        assert trimmed.accepts(("a",))
+
+    def test_reachable_and_coreachable(self):
+        nfa = self.build_simple()
+        nfa.add_state(99)
+        assert 99 not in nfa.reachable_states()
+        assert 0 in nfa.coreachable_states()
+
+    def test_relabel_states_preserves_language(self):
+        nfa = self.build_simple()
+        renamed = nfa.relabel_states()
+        for word in [(), ("a",), ("a", "b"), ("a", "b", "a")]:
+            assert nfa.accepts(word) == renamed.accepts(word)
+        assert all(isinstance(state, int) for state in renamed.states)
+
+    def test_copy_is_independent(self):
+        nfa = self.build_simple()
+        copy = nfa.copy()
+        copy.add_transition(0, "z", 7)
+        assert ("z" in {label for _, label, _ in nfa.iter_transitions()}) is False
+
+    def test_fresh_state_never_collides(self):
+        nfa = self.build_simple()
+        fresh = nfa.fresh_state()
+        assert fresh in nfa.states
+        assert nfa.fresh_state() != fresh
+
+    def test_transition_count(self):
+        assert self.build_simple().transition_count() == 3
+
+
+class TestDFA:
+    def build_simple(self) -> DFA:
+        dfa = DFA(initial="s")
+        dfa.add_transition("s", "a", "t")
+        dfa.add_transition("t", "b", "s")
+        dfa.accepting = {"t"}
+        return dfa
+
+    def test_run_and_accepts(self):
+        dfa = self.build_simple()
+        assert dfa.accepts(("a",))
+        assert dfa.accepts(("a", "b", "a"))
+        assert not dfa.accepts(())
+        assert not dfa.accepts(("b",))
+
+    def test_conflicting_transition_rejected(self):
+        dfa = self.build_simple()
+        with pytest.raises(AutomatonError):
+            dfa.add_transition("s", "a", "elsewhere")
+
+    def test_completed_adds_sink(self):
+        dfa = self.build_simple()
+        total = dfa.completed({"a", "b", "c"})
+        assert total.run(("c", "c")) is not None
+        assert not total.accepts(("c",))
+
+    def test_complement(self):
+        dfa = self.build_simple()
+        complement = dfa.complement()
+        for word in [(), ("a",), ("b",), ("a", "b"), ("a", "b", "a")]:
+            assert dfa.accepts(word) != complement.accepts(word)
+
+    def test_relabel_states(self):
+        renamed = self.build_simple().relabel_states()
+        assert renamed.initial == 0
+        assert renamed.accepts(("a",))
+
+    def test_to_nfa_round_trip(self):
+        dfa = self.build_simple()
+        nfa = dfa.to_nfa()
+        for word in [(), ("a",), ("a", "b"), ("a", "b", "a")]:
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+
+class TestDeterminization:
+    def test_subset_construction(self):
+        nfa = NFA(initial=0)
+        nfa.add_transition(0, "a", 0)
+        nfa.add_transition(0, "a", 1)
+        nfa.add_transition(1, "b", 2)
+        nfa.accepting = {2}
+        dfa = nfa_to_dfa(nfa)
+        for word in [("a", "b"), ("a", "a", "b"), ("b",), ("a",)]:
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_only_reachable_subsets_are_built(self):
+        nfa = NFA(initial=0)
+        for index in range(6):
+            nfa.add_transition(index, "a", index + 1)
+        nfa.accepting = {6}
+        dfa = nfa_to_dfa(nfa)
+        assert len(dfa) <= 8

@@ -1,0 +1,172 @@
+"""Tests for boolean/rational operations and decision procedures on automata."""
+
+import pytest
+
+from repro.automata import (
+    accepted_language_up_to,
+    complement_nfa,
+    concat_nfa,
+    count_words_of_length,
+    difference_nfa,
+    equivalent,
+    finite_language,
+    includes,
+    inclusion_counterexample,
+    intersection_nfa,
+    is_empty,
+    is_finite_language,
+    is_universal,
+    left_quotient_by_language_nfa,
+    left_quotient_nfa,
+    minimize_dfa,
+    nfa_to_dfa,
+    regex_to_nfa,
+    reverse_nfa,
+    shortest_accepted_word,
+    star_nfa,
+    union_nfa,
+)
+from repro.regex import language_up_to, parse
+
+
+def nfa(text):
+    return regex_to_nfa(parse(text))
+
+
+class TestBooleanOperations:
+    def test_union(self):
+        result = union_nfa(nfa("a b"), nfa("c*"))
+        assert accepted_language_up_to(result, 2) == language_up_to(parse("a b + c*"), 2)
+
+    def test_concat(self):
+        result = concat_nfa(nfa("a + b"), nfa("c"))
+        assert accepted_language_up_to(result, 2) == {("a", "c"), ("b", "c")}
+
+    def test_star(self):
+        result = star_nfa(nfa("a b"))
+        assert result.accepts(())
+        assert result.accepts(("a", "b", "a", "b"))
+        assert not result.accepts(("a",))
+
+    def test_intersection(self):
+        result = intersection_nfa(nfa("(a + b)* a"), nfa("a (a + b)*"))
+        assert result.accepts(("a",))
+        assert result.accepts(("a", "b", "a"))
+        assert not result.accepts(("b", "a"))
+        assert not result.accepts(("a", "b"))
+
+    def test_complement(self):
+        result = complement_nfa(nfa("a*"), alphabet={"a", "b"})
+        assert not result.accepts(())
+        assert not result.accepts(("a", "a"))
+        assert result.accepts(("b",))
+        assert result.accepts(("a", "b"))
+
+    def test_difference(self):
+        result = difference_nfa(nfa("(a + b)*"), nfa("a*"))
+        assert not result.accepts(())
+        assert not result.accepts(("a",))
+        assert result.accepts(("b",))
+        assert result.accepts(("a", "b"))
+
+    def test_reverse(self):
+        result = reverse_nfa(nfa("a b c"))
+        assert result.accepts(("c", "b", "a"))
+        assert not result.accepts(("a", "b", "c"))
+
+
+class TestQuotients:
+    def test_left_quotient_by_word(self):
+        result = left_quotient_nfa(nfa("a b* c"), ("a", "b"))
+        assert result.accepts(("c",))
+        assert result.accepts(("b", "c"))
+        assert not result.accepts(())
+
+    def test_left_quotient_by_language(self):
+        # Quotient of (a b)* a c by (a b)* is (a b)* a c itself (since ε ∈ (a b)*),
+        # and in particular contains a c.
+        result = left_quotient_by_language_nfa(nfa("(a b)* a c"), nfa("(a b)*"))
+        assert result.accepts(("a", "c"))
+        assert result.accepts(("a", "b", "a", "c"))
+        assert not result.accepts(("b", "c"))
+
+    def test_left_quotient_by_language_strict_prefix(self):
+        result = left_quotient_by_language_nfa(nfa("a b c"), nfa("a b"))
+        assert accepted_language_up_to(result, 3) == {("c",)}
+
+
+class TestDecisionProcedures:
+    def test_is_empty(self):
+        assert is_empty(nfa("~"))
+        assert is_empty(nfa("~ a"))
+        assert not is_empty(nfa("a*"))
+
+    def test_shortest_accepted_word(self):
+        assert shortest_accepted_word(nfa("a a + b")) == ("b",)
+        assert shortest_accepted_word(nfa("a*")) == ()
+        assert shortest_accepted_word(nfa("~")) is None
+
+    def test_shortest_word_lexicographic_tie_break(self):
+        assert shortest_accepted_word(nfa("b + a")) == ("a",)
+
+    def test_is_finite_language(self):
+        assert is_finite_language(nfa("a b + c d e"))
+        assert not is_finite_language(nfa("a b* c"))
+        assert is_finite_language(nfa("~"))
+        assert is_finite_language(nfa("%"))
+
+    def test_finite_language_enumeration(self):
+        assert finite_language(nfa("a (b + c)")) == {("a", "b"), ("a", "c")}
+        with pytest.raises(ValueError):
+            finite_language(nfa("a*"))
+
+    def test_is_universal(self):
+        assert is_universal(nfa("(a + b)*"), alphabet={"a", "b"})
+        assert not is_universal(nfa("(a + b)* a"), alphabet={"a", "b"})
+
+    def test_includes(self):
+        assert includes(nfa("(a + b)*"), nfa("a* b*"))
+        assert not includes(nfa("a* b*"), nfa("(a + b)*"))
+
+    def test_inclusion_counterexample_is_a_real_witness(self):
+        container = nfa("a* b*")
+        contained = nfa("(a + b)*")
+        witness = inclusion_counterexample(container, contained)
+        assert witness is not None
+        assert contained.accepts(witness)
+        assert not container.accepts(witness)
+
+    def test_equivalent(self):
+        assert equivalent(nfa("(a b)* a"), nfa("a (b a)*"))
+        assert not equivalent(nfa("(a b)*"), nfa("a (b a)*"))
+
+    def test_count_words_of_length(self):
+        assert count_words_of_length(nfa("(a + b)*"), 3) == 8
+        assert count_words_of_length(nfa("a b"), 2) == 1
+        assert count_words_of_length(nfa("a b"), 3) == 0
+
+
+class TestMinimization:
+    def test_minimal_dfa_is_canonical(self):
+        first = minimize_dfa(nfa_to_dfa(nfa("(a b)* a")))
+        second = minimize_dfa(nfa_to_dfa(nfa("a (b a)*")))
+        assert first.states == second.states
+        assert first.accepting == second.accepting
+        assert first.transitions == second.transitions
+
+    def test_minimization_preserves_language(self):
+        original = nfa("(a + b)* a (a + b)")
+        minimal = minimize_dfa(nfa_to_dfa(original))
+        assert equivalent(minimal.to_nfa(), original)
+
+    def test_known_minimal_size(self):
+        # The language (a|b)*a(a|b) needs exactly 4 DFA states (it is the
+        # "second symbol from the end is a" language, complete DFA).
+        minimal = minimize_dfa(nfa_to_dfa(nfa("(a + b)* a (a + b)")))
+        assert len(minimal) == 4
+
+    def test_empty_and_epsilon_languages(self):
+        assert len(minimize_dfa(nfa_to_dfa(nfa("~")))) == 1
+        epsilon_min = minimize_dfa(nfa_to_dfa(nfa("%")))
+        assert epsilon_min.accepts(())
+        assert not epsilon_min.accepts(("a",))

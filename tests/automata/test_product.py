@@ -1,0 +1,55 @@
+"""Tests for the synchronous product constructions."""
+
+from repro.automata import product_nfa, product_of_many, regex_to_nfa
+from repro.regex import parse
+
+
+def nfa(text):
+    return regex_to_nfa(parse(text))
+
+
+class TestBinaryProduct:
+    def test_both_mode_is_intersection(self):
+        product = product_nfa(nfa("(a + b)* a"), nfa("a (a + b)*"), accept_mode="both")
+        assert product.accepts(("a",))
+        assert product.accepts(("a", "b", "a"))
+        assert not product.accepts(("b", "a"))
+
+    def test_first_mode_tracks_only_first_component(self):
+        product = product_nfa(nfa("a b"), nfa("(a + b)*"), accept_mode="first")
+        assert product.accepts(("a", "b"))
+        assert not product.accepts(("a",))
+
+    def test_second_mode(self):
+        product = product_nfa(nfa("(a + b)*"), nfa("b*"), accept_mode="second")
+        assert product.accepts(("b", "b"))
+        assert not product.accepts(("a",))
+
+    def test_unknown_mode_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            product_nfa(nfa("a"), nfa("a"), accept_mode="neither")
+
+
+class TestProductOfMany:
+    def test_states_track_every_component(self):
+        product = product_of_many([nfa("a*"), nfa("(a b)*"), nfa("b a")])
+        # The product imposes no acceptance condition: every reachable state is
+        # accepting; what matters is the component tracking used by Theorem 4.2.
+        state = product.run(("a", "b"))
+        assert state  # still alive
+        # After "a b": the first component (a*) is dead, the second accepts,
+        # the third accepts only "b a" so it is dead too.
+        components = next(iter(state))
+        assert isinstance(components, tuple) and len(components) == 3
+
+    def test_alphabet_is_union_of_components(self):
+        product = product_of_many([nfa("a"), nfa("b"), nfa("c")])
+        assert product.alphabet == {"a", "b", "c"}
+
+    def test_requires_at_least_one_component(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            product_of_many([])

@@ -1,0 +1,134 @@
+"""Tests for the boundedness decision procedure (Theorem 4.10)."""
+
+import pytest
+
+from repro.automata import equivalent, regex_to_nfa
+from repro.constraints import (
+    ConstraintSet,
+    WordEqualityTheory,
+    decide_boundedness,
+    is_bounded_under,
+    word_equality,
+)
+from repro.query import answer_set
+from repro.regex import denotes_finite_language, parse, to_string
+
+
+class TestBoundednessDecision:
+    def test_idempotent_label_collapses_star(self):
+        constraints = ConstraintSet([word_equality("l l", "l")])
+        result = decide_boundedness(constraints, "l*")
+        assert result.bounded
+        assert result.answer_class_words == [(), ("l",)]
+        assert denotes_finite_language(result.equivalent_query)
+        assert equivalent(
+            regex_to_nfa(result.equivalent_query), regex_to_nfa(parse("% + l"))
+        )
+
+    def test_collapse_after_two_steps(self):
+        constraints = ConstraintSet([word_equality("a a a", "a a")])
+        result = decide_boundedness(constraints, "a*")
+        assert result.bounded
+        assert result.answer_class_words == [(), ("a",), ("a", "a")]
+
+    def test_unbounded_without_collapsing_equalities(self):
+        constraints = ConstraintSet([word_equality("l l", "l")])
+        result = decide_boundedness(constraints, "(l m)*")
+        assert not result.bounded
+        assert result.equivalent_query is None
+
+    def test_unbounded_free_star(self):
+        constraints = ConstraintSet([word_equality("a", "a")])
+        assert not is_bounded_under(constraints, "b*")
+
+    def test_finite_queries_are_trivially_bounded(self):
+        constraints = ConstraintSet([word_equality("a", "a")])
+        result = decide_boundedness(constraints, "a b + c")
+        assert result.bounded
+        assert denotes_finite_language(result.equivalent_query)
+
+    def test_two_label_collapse(self):
+        # a absorbs everything after it: a a = a and a b = a, so any word with
+        # an a prefix collapses to the class of a.
+        constraints = ConstraintSet(
+            [word_equality("a a", "a"), word_equality("a b", "a")]
+        )
+        result = decide_boundedness(constraints, "a a* b*")
+        assert result.bounded
+        assert result.answer_class_words == [("a",)]
+
+    def test_prefix_only_equalities_do_not_collapse_suffix_stars(self):
+        # The congruence is only a *right* congruence: the equality a b b = a b
+        # rewrites prefixes, so b* alone (no a prefix) keeps infinitely many
+        # classes and a* b* stays unbounded.
+        constraints = ConstraintSet(
+            [word_equality("a a", "a"), word_equality("a b b", "a b")]
+        )
+        result = decide_boundedness(constraints, "a* b*")
+        assert not result.bounded
+
+    def test_mixed_star_unbounded_in_free_direction(self):
+        # b* alone is unbounded when no equality constrains b.
+        constraints = ConstraintSet([word_equality("a a", "a")])
+        assert not is_bounded_under(constraints, "b*")
+        assert not is_bounded_under(constraints, "a* b*")
+
+    def test_bounded_query_is_equivalent_on_armstrong_sphere(self):
+        """E |= p = q: check answers agree on the Armstrong sphere instance."""
+        constraints = ConstraintSet([word_equality("l l", "l")])
+        result = decide_boundedness(constraints, "l* + l l l")
+        assert result.bounded
+        theory = WordEqualityTheory(constraints, alphabet={"l"})
+        sphere, source = theory.sphere(theory.default_sphere_radius())
+        original_answers = answer_set(parse("l* + l l l"), source, sphere)
+        rewritten_answers = answer_set(result.equivalent_query, source, sphere)
+        assert original_answers == rewritten_answers
+
+    def test_bounded_query_agrees_on_other_satisfying_instances(self):
+        """Soundness of the constructed query on instances satisfying E."""
+        from repro.graph import Instance
+
+        constraints = ConstraintSet([word_equality("l l", "l")])
+        result = decide_boundedness(constraints, "l*")
+        # An instance where l is idempotent: one l-edge into a self-loop.
+        instance = Instance([("o", "l", "x"), ("x", "l", "x")])
+        assert answer_set(parse("l*"), "o", instance) == answer_set(
+            result.equivalent_query, "o", instance
+        )
+
+    def test_radius_override(self):
+        constraints = ConstraintSet([word_equality("l l", "l")])
+        result = decide_boundedness(constraints, "l*", radius=2)
+        assert result.bounded
+        assert result.sphere_radius == 2
+
+    def test_sphere_size_reported(self):
+        constraints = ConstraintSet([word_equality("a a", "a")])
+        result = decide_boundedness(constraints, "a*")
+        assert result.sphere_size >= 2
+
+    def test_result_query_prints(self):
+        constraints = ConstraintSet([word_equality("l l", "l")])
+        result = decide_boundedness(constraints, "l*")
+        assert "l" in to_string(result.equivalent_query)
+
+
+class TestBoundednessEdgeCases:
+    def test_empty_language_query(self):
+        constraints = ConstraintSet([word_equality("a", "a")])
+        result = decide_boundedness(constraints, "~")
+        assert result.bounded
+        assert result.answer_class_words == []
+
+    def test_epsilon_query(self):
+        constraints = ConstraintSet([word_equality("a", "a")])
+        result = decide_boundedness(constraints, "%")
+        assert result.bounded
+        assert result.answer_class_words == [()]
+
+    def test_epsilon_collapse(self):
+        # l = ε: every l-path stays at the source, so l* collapses to ε.
+        constraints = ConstraintSet([word_equality("l", "")])
+        result = decide_boundedness(constraints, "l*")
+        assert result.bounded
+        assert result.answer_class_words == [()]

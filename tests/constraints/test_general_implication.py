@@ -1,0 +1,136 @@
+"""Tests for the tiered general implication procedure (Theorem 4.2)."""
+
+from repro.constraints import (
+    ConstraintSet,
+    SearchBudget,
+    Verdict,
+    decide_implication,
+    is_counterexample,
+    path_equality,
+    path_inclusion,
+    word_equality,
+    word_inclusion,
+)
+
+
+class TestLanguageTier:
+    def test_plain_language_inclusion(self):
+        constraints = ConstraintSet([word_inclusion("x", "y")])
+        result = decide_implication(constraints, path_inclusion("a b", "a (b + c)"))
+        assert result.verdict is Verdict.IMPLIED
+        assert result.method == "language-inclusion"
+
+    def test_language_equality(self):
+        constraints = ConstraintSet([])
+        result = decide_implication(constraints, path_equality("(a b)* a", "a (b a)*"))
+        assert result.verdict is Verdict.IMPLIED
+
+
+class TestWordConstraintTier:
+    def test_complete_positive(self):
+        constraints = ConstraintSet([word_inclusion("l l", "l")])
+        result = decide_implication(constraints, path_equality("l*", "l + %"))
+        assert result.verdict is Verdict.IMPLIED
+        assert "word-constraints" in result.method
+
+    def test_complete_negative_with_counterexample(self):
+        constraints = ConstraintSet([word_inclusion("a b", "c")])
+        conclusion = path_inclusion("c", "a b")
+        result = decide_implication(constraints, conclusion)
+        assert result.verdict is Verdict.NOT_IMPLIED
+        assert result.counterexample is not None
+        instance, source = result.counterexample
+        assert is_counterexample(instance, source, constraints, conclusion)
+
+    def test_equality_refuted_in_one_direction(self):
+        constraints = ConstraintSet([word_inclusion("a", "b")])
+        result = decide_implication(constraints, path_equality("a c", "b c"))
+        assert result.verdict is Verdict.NOT_IMPLIED
+
+
+class TestGeneralTier:
+    def test_cached_query_example_3(self):
+        # l = (a b)*  implies  a (b a)* c = l a c  (Section 3.2, Example 3).
+        constraints = ConstraintSet([path_equality("l", "(a b)*")])
+        result = decide_implication(constraints, path_equality("a (b a)* c", "l a c"))
+        assert result.verdict is Verdict.IMPLIED
+
+    def test_prefix_substitution_through_transitivity(self):
+        constraints = ConstraintSet(
+            [path_inclusion("a*", "m"), path_inclusion("m", "n")]
+        )
+        result = decide_implication(constraints, path_inclusion("a* c", "n c"))
+        assert result.verdict is Verdict.IMPLIED
+
+    def test_counterexample_found_for_unrelated_queries(self):
+        constraints = ConstraintSet([path_inclusion("x y", "y x")])
+        conclusion = path_inclusion("a", "b")
+        result = decide_implication(constraints, conclusion)
+        assert result.verdict is Verdict.NOT_IMPLIED
+        instance, source = result.counterexample
+        assert is_counterexample(instance, source, constraints, conclusion)
+
+    def test_counterexample_respects_premises(self):
+        # Premise a <= b (as *path* constraints, plus a star to keep it out of
+        # the word-constraint tier): a counterexample to a <= c must still
+        # satisfy the premise.
+        constraints = ConstraintSet([path_inclusion("a", "b"), path_inclusion("z*", "z*")])
+        conclusion = path_inclusion("a", "c")
+        result = decide_implication(constraints, conclusion)
+        assert result.verdict is Verdict.NOT_IMPLIED
+        instance, source = result.counterexample
+        assert is_counterexample(instance, source, constraints, conclusion)
+
+    def test_unknown_when_budget_too_small(self):
+        constraints = ConstraintSet([path_equality("l", "(a b)*")])
+        tiny = SearchBudget(
+            substitution_depth=0,
+            substitution_width=0,
+            word_enumeration_length=0,
+            random_instances=0,
+        )
+        result = decide_implication(
+            constraints, path_inclusion("l a c", "a (b a)* c"), budget=tiny
+        )
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.notes
+
+    def test_string_conclusions_are_parsed(self):
+        constraints = ConstraintSet([word_inclusion("l l", "l")])
+        result = decide_implication(constraints, "l l l <= l")
+        assert result.verdict is Verdict.IMPLIED
+
+    def test_result_implied_property(self):
+        constraints = ConstraintSet([])
+        assert decide_implication(constraints, "a <= a + b").implied
+        assert not decide_implication(constraints, "a + b <= a").implied
+
+
+class TestSoundness:
+    def test_implied_verdicts_hold_on_random_satisfying_instances(self):
+        """Spot-check soundness: IMPLIED conclusions hold wherever premises hold."""
+        import random
+
+        from repro.constraints import satisfies, satisfies_all
+        from repro.graph import Instance
+
+        constraints = ConstraintSet([word_equality("l", "a b")])
+        conclusion = path_equality("l c", "a b c")
+        result = decide_implication(constraints, conclusion)
+        assert result.verdict is Verdict.IMPLIED
+
+        rng = random.Random(5)
+        checked = 0
+        for _ in range(200):
+            instance = Instance()
+            nodes = list(range(rng.randint(2, 5)))
+            for node in nodes:
+                instance.add_object(node)
+            for _ in range(rng.randint(2, 8)):
+                instance.add_edge(
+                    rng.choice(nodes), rng.choice("labc"), rng.choice(nodes)
+                )
+            if satisfies_all(instance, 0, constraints):
+                checked += 1
+                assert satisfies(instance, 0, conclusion)
+        assert checked > 0

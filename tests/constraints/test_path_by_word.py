@@ -1,0 +1,114 @@
+"""Tests for PSPACE implication of path constraints by word constraints."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintSet,
+    counterexample_instance_for_word_refutation,
+    implies_path_constraint,
+    implies_path_equality,
+    implies_path_inclusion,
+    implies_path_inclusion_via_union,
+    is_counterexample,
+    path_equality,
+    path_inclusion,
+    word_equality,
+    word_inclusion,
+)
+from repro.exceptions import ConstraintError
+from repro.regex import parse
+
+
+class TestPathByWordImplication:
+    def test_paper_example_2_star_collapse(self):
+        # l l <= l implies l* = l + ε (Section 3.2, Example 2).
+        constraints = ConstraintSet([word_inclusion("l l", "l")])
+        assert implies_path_equality(constraints, "l*", "l + %").implied
+
+    def test_star_does_not_collapse_without_constraint(self):
+        constraints = ConstraintSet([word_inclusion("l l", "l l")])
+        outcome = implies_path_inclusion(constraints, "l*", "l + %")
+        assert not outcome.implied
+        assert outcome.counterexample_word is not None
+        assert len(outcome.counterexample_word) >= 2
+
+    def test_language_inclusion_is_always_implied(self):
+        constraints = ConstraintSet([word_inclusion("x", "y")])
+        assert implies_path_inclusion(constraints, "a b", "a (b + c)").implied
+        assert implies_path_inclusion(constraints, "a", "a*").implied
+
+    def test_inclusion_direction_matters(self):
+        constraints = ConstraintSet([word_inclusion("a", "b")])
+        assert implies_path_inclusion(constraints, "a c", "b c + a c").implied
+        assert implies_path_inclusion(constraints, "a c", "b c").implied
+        assert not implies_path_inclusion(constraints, "b c", "a c").implied
+
+    def test_union_on_left_checked_per_word(self):
+        constraints = ConstraintSet([word_inclusion("a", "c"), word_inclusion("b", "c")])
+        assert implies_path_inclusion(constraints, "a + b", "c").implied
+        weaker = ConstraintSet([word_inclusion("a", "c")])
+        assert not implies_path_inclusion(weaker, "a + b", "c").implied
+
+    def test_star_on_the_right(self):
+        constraints = ConstraintSet([word_inclusion("b", "a a")])
+        assert implies_path_inclusion(constraints, "b", "a*").implied
+        assert implies_path_inclusion(constraints, "b a", "a* a").implied
+
+    def test_equality_with_cached_word_label(self):
+        # Caching the (finite) query "a b" under label l: l = a b.
+        constraints = ConstraintSet([word_equality("l", "a b")])
+        assert implies_path_equality(constraints, "l c", "a b c").implied
+        assert implies_path_inclusion(constraints, "l c + a b c", "a b c").implied
+
+    def test_dispatch_on_constraint_kind(self):
+        constraints = ConstraintSet([word_inclusion("l l", "l")])
+        assert implies_path_constraint(constraints, path_equality("l*", "l + %")).implied
+        assert implies_path_constraint(constraints, path_inclusion("l l l", "l")).implied
+
+    def test_requires_word_constraints(self):
+        constraints = ConstraintSet([path_inclusion("a*", "b")])
+        with pytest.raises(ConstraintError):
+            implies_path_inclusion(constraints, "a", "b")
+
+    def test_union_formulation_agrees_with_direct_inclusion(self):
+        constraints = ConstraintSet([word_inclusion("l l", "l"), word_inclusion("a", "b")])
+        cases = [
+            ("l*", "l + %"),
+            ("l + %", "l*"),
+            ("a c", "b c"),
+            ("b c", "a c"),
+            ("(a + b)*", "b*"),
+        ]
+        for lhs, rhs in cases:
+            direct = implies_path_inclusion(constraints, lhs, rhs).implied
+            via_union = implies_path_inclusion_via_union(constraints, lhs, rhs)
+            assert direct == via_union, (lhs, rhs)
+
+
+class TestCounterexampleWitnesses:
+    def test_refuting_word_yields_concrete_counterexample_instance(self):
+        constraints = ConstraintSet([word_inclusion("a a", "a")])
+        conclusion_lhs, conclusion_rhs = "a*", "a a"
+        outcome = implies_path_inclusion(constraints, conclusion_lhs, conclusion_rhs)
+        assert not outcome.implied
+        refuting = outcome.counterexample_word
+        assert refuting is not None
+        instance, source = counterexample_instance_for_word_refutation(
+            constraints, refuting, parse(conclusion_rhs).alphabet()
+        )
+        assert is_counterexample(
+            instance, source, constraints, path_inclusion(conclusion_lhs, conclusion_rhs)
+        )
+
+    def test_lemma_4_6_property(self):
+        """If E |= p <= q then every word of L(p) rewrites into some word of L(q)."""
+        from repro.constraints import PrefixRewriteSystem, rewrite_to_language_nfa
+        from repro.regex import enumerate_words
+
+        constraints = ConstraintSet([word_inclusion("l l", "l")])
+        lhs, rhs = parse("l*"), parse("l + %")
+        assert implies_path_inclusion(constraints, lhs, rhs).implied
+        system = PrefixRewriteSystem.from_constraints(constraints)
+        rewrite_nfa = rewrite_to_language_nfa(system, rhs)
+        for word in enumerate_words(lhs, 5):
+            assert rewrite_nfa.accepts(word)

@@ -1,0 +1,139 @@
+"""Tests for the Lemma 4.4 witness construction and Armstrong instances (Prop 4.8)."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintSet,
+    WordEqualityTheory,
+    figure4_instance,
+    lemma44_witness,
+    satisfies_all,
+    word_equality,
+    word_inclusion,
+)
+from repro.exceptions import ConstraintError
+from repro.query import answer_set
+from repro.regex import word as word_expr
+
+
+class TestLemma44Witness:
+    def test_figure4_classes(self):
+        witness = figure4_instance()
+        assert witness.classes() == [(), ("a",), ("a", "a"), ("a", "a", "a")]
+
+    def test_figure4_obj_sets(self):
+        witness = figure4_instance()
+        v = witness.vertex_of
+        assert witness.obj[()] == frozenset({v(())})
+        assert witness.obj[("a", "a", "a")] == frozenset({v(("a", "a", "a"))})
+        assert witness.obj[("a", "a")] == frozenset({v(("a", "a")), v(("a", "a", "a"))})
+        assert witness.obj[("a",)] == frozenset(
+            {v(("a",)), v(("a", "a")), v(("a", "a", "a"))}
+        )
+
+    def test_figure4_answers_match_the_paper(self):
+        witness = figure4_instance()
+        instance, source = witness.instance, witness.source
+        assert answer_set(word_expr("a"), source, instance) == set(witness.obj[("a",)])
+        assert answer_set(word_expr("a a"), source, instance) == set(
+            witness.obj[("a", "a")]
+        )
+        assert answer_set(word_expr("a a a"), source, instance) == set(
+            witness.obj[("a", "a", "a")]
+        )
+        assert answer_set(word_expr(""), source, instance) == {source}
+
+    def test_figure4_satisfies_its_constraints(self):
+        witness = figure4_instance()
+        constraints = ConstraintSet([word_inclusion("a a", "a")])
+        assert satisfies_all(witness.instance, witness.source, constraints)
+
+    def test_witness_separates_non_implied_inclusions(self):
+        """The key property of Lemma 4.4: u(o,I) ⊆ v(o,I) only when E |= u <= v."""
+        from repro.constraints import implies_word_inclusion
+
+        constraints = ConstraintSet([word_inclusion("a a", "a"), word_inclusion("b", "a")])
+        bound = 3
+        witness = lemma44_witness(constraints, bound, alphabet={"a", "b"})
+        instance, source = witness.instance, witness.source
+        words = [(), ("a",), ("b",), ("a", "a"), ("a", "b"), ("b", "a")]
+        for u in words:
+            for v in words:
+                semantic = answer_set(word_expr(u), source, instance) <= answer_set(
+                    word_expr(v), source, instance
+                )
+                syntactic = implies_word_inclusion(constraints, u, v)
+                assert semantic == syntactic, (u, v)
+
+    def test_witness_over_enlarged_alphabet(self):
+        constraints = ConstraintSet([word_inclusion("a", "b")])
+        witness = lemma44_witness(constraints, 2, alphabet={"a", "b", "c"})
+        assert answer_set(word_expr("c"), witness.source, witness.instance)
+
+
+class TestWordEqualityTheory:
+    def test_requires_word_equalities(self):
+        with pytest.raises(ConstraintError):
+            WordEqualityTheory(ConstraintSet([word_inclusion("a", "b")]))
+
+    def test_canonical_forms(self):
+        theory = WordEqualityTheory(ConstraintSet([word_equality("l l", "l")]))
+        assert theory.canonical_form(("l", "l", "l")) == ("l",)
+        assert theory.canonical_form(()) == ()
+        assert theory.canonical_form(("l",)) == ("l",)
+
+    def test_equivalence_is_right_congruent(self):
+        theory = WordEqualityTheory(
+            ConstraintSet([word_equality("a b", "c")]), alphabet={"a", "b", "c", "d"}
+        )
+        assert theory.equivalent(("a", "b"), ("c",))
+        assert theory.equivalent(("a", "b", "d"), ("c", "d"))
+        assert not theory.equivalent(("a",), ("c",))
+
+    def test_armstrong_instance_satisfies_exactly_the_implied_equalities(self):
+        """Proposition 4.8 on a finite sample of words."""
+        constraints = ConstraintSet([word_equality("a a", "a")])
+        theory = WordEqualityTheory(constraints, alphabet={"a", "b"})
+        lazy, source = theory.lazy_armstrong_instance()
+        words = [(), ("a",), ("b",), ("a", "a"), ("a", "b"), ("b", "a"), ("a", "a", "b")]
+
+        def answer(word):
+            current = {source}
+            for label in word:
+                nxt = set()
+                for oid in current:
+                    nxt.update(lazy.successors(oid, label))
+                current = nxt
+            return current
+
+        for u in words:
+            for v in words:
+                semantically_equal = answer(u) == answer(v)
+                implied = theory.equivalent(u, v)
+                assert semantically_equal == implied, (u, v)
+
+    def test_sphere_structure_lemma_4_9(self):
+        constraints = ConstraintSet([word_equality("a a a", "a a"), word_equality("b b", "b")])
+        theory = WordEqualityTheory(constraints)
+        radius = theory.default_sphere_radius()
+        assert radius >= theory.max_constraint_length()
+        properties = theory.check_sphere_properties(radius)
+        assert properties["outside_indegree_one"]
+        assert properties["no_reentry"]
+
+    def test_sphere_contains_all_short_classes(self):
+        constraints = ConstraintSet([word_equality("a a", "a")])
+        theory = WordEqualityTheory(constraints, alphabet={"a", "b"})
+        sphere, source = theory.sphere(2)
+        assert source == ()
+        assert ("a",) in sphere.objects
+        assert ("b", "b") in sphere.objects
+        # Classes collapse: there is no vertex ("a", "a").
+        assert ("a", "a") not in sphere.objects
+
+    def test_sphere_edges_follow_the_congruence(self):
+        constraints = ConstraintSet([word_equality("a a", "a")])
+        theory = WordEqualityTheory(constraints)
+        sphere, _ = theory.sphere(3)
+        # The a-successor of class ("a",) is ("a",) itself (self-loop).
+        assert sphere.has_edge(("a",), "a", ("a",))

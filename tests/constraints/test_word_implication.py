@@ -1,0 +1,133 @@
+"""Tests for PTIME word-constraint implication (Theorem 4.3(i), Lemma 4.4/4.5)."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintSet,
+    WordImplicationOracle,
+    explain_word_inclusion,
+    implies_word_equality,
+    implies_word_inclusion,
+    path_inclusion,
+    word_equality,
+    word_inclusion,
+)
+from repro.exceptions import ConstraintError
+
+
+class TestWordImplication:
+    def test_member_constraints_are_implied(self):
+        constraints = ConstraintSet([word_inclusion("a b", "c")])
+        assert implies_word_inclusion(constraints, ("a", "b"), ("c",))
+
+    def test_reflexivity(self):
+        constraints = ConstraintSet([word_inclusion("a", "b")])
+        assert implies_word_inclusion(constraints, ("x", "y"), ("x", "y"))
+
+    def test_right_congruence(self):
+        # u <= v implies u w <= v w.
+        constraints = ConstraintSet([word_inclusion("a", "b")])
+        assert implies_word_inclusion(constraints, ("a", "z", "z"), ("b", "z", "z"))
+
+    def test_transitivity(self):
+        constraints = ConstraintSet(
+            [word_inclusion("a", "b"), word_inclusion("b", "c")]
+        )
+        assert implies_word_inclusion(constraints, ("a",), ("c",))
+
+    def test_paper_intro_inference(self):
+        # From u1 <= u2 and u2 u3 <= u4 infer u1 u3 u5 <= u4 u5.
+        constraints = ConstraintSet(
+            [word_inclusion("u1", "u2"), word_inclusion("u2 u3", "u4")]
+        )
+        assert implies_word_inclusion(
+            constraints, ("u1", "u3", "u5"), ("u4", "u5")
+        )
+
+    def test_non_implication(self):
+        constraints = ConstraintSet([word_inclusion("a", "b")])
+        assert not implies_word_inclusion(constraints, ("b",), ("a",))
+        assert not implies_word_inclusion(constraints, ("a",), ("c",))
+        assert not implies_word_inclusion(constraints, ("z", "a"), ("z", "b"))
+
+    def test_idempotence_example(self):
+        constraints = ConstraintSet([word_inclusion("l l", "l")])
+        assert implies_word_inclusion(constraints, ("l", "l", "l", "l"), ("l",))
+        assert not implies_word_inclusion(constraints, ("l",), ("l", "l"))
+
+    def test_equality_requires_both_directions(self):
+        inclusions = ConstraintSet([word_inclusion("a", "b")])
+        assert not implies_word_equality(inclusions, ("a",), ("b",))
+        equalities = ConstraintSet([word_equality("a", "b")])
+        assert implies_word_equality(equalities, ("a",), ("b",))
+        assert implies_word_equality(equalities, ("a", "c"), ("b", "c"))
+
+    def test_epsilon_constraints(self):
+        constraints = ConstraintSet([word_equality("l", "")])
+        assert implies_word_equality(constraints, ("l", "l"), ())
+        assert implies_word_inclusion(constraints, ("l", "a"), ("a",))
+
+    def test_requires_word_constraints(self):
+        constraints = ConstraintSet([path_inclusion("a*", "b")])
+        with pytest.raises(ConstraintError):
+            implies_word_inclusion(constraints, ("a",), ("b",))
+
+    def test_soundness_on_concrete_instances(self):
+        """Every implied word inclusion really holds on instances satisfying E."""
+        from repro.constraints import lemma44_witness, satisfies_all
+        from repro.query import answer_set
+        from repro.regex import word as word_expr
+
+        constraints = ConstraintSet([word_inclusion("a a", "a"), word_inclusion("b", "a b")])
+        witness = lemma44_witness(constraints, bound=3, alphabet={"a", "b"})
+        assert satisfies_all(witness.instance, witness.source, constraints)
+        checks = [
+            (("a", "a", "a"), ("a",)),
+            (("b", "a"), ("a", "b", "a")),
+            (("a", "b"), ("a", "b")),
+        ]
+        for lhs, rhs in checks:
+            if implies_word_inclusion(constraints, lhs, rhs):
+                lhs_answers = answer_set(word_expr(lhs), witness.source, witness.instance)
+                rhs_answers = answer_set(word_expr(rhs), witness.source, witness.instance)
+                assert lhs_answers <= rhs_answers
+
+
+class TestExplanations:
+    def test_explanation_for_implied_inclusion(self):
+        constraints = ConstraintSet([word_inclusion("a a", "a")])
+        derivation = explain_word_inclusion(constraints, ("a", "a", "a"), ("a",))
+        assert derivation is not None
+        assert derivation[0].before == ("a", "a", "a")
+        assert derivation[-1].after == ("a",)
+
+    def test_no_explanation_when_not_implied(self):
+        constraints = ConstraintSet([word_inclusion("a a", "a")])
+        assert explain_word_inclusion(constraints, ("a",), ("a", "a")) is None
+
+    def test_trivial_explanation_is_empty(self):
+        constraints = ConstraintSet([word_inclusion("a", "b")])
+        assert explain_word_inclusion(constraints, ("x",), ("x",)) == []
+
+
+class TestOracle:
+    def test_oracle_matches_direct_procedure(self):
+        constraints = ConstraintSet(
+            [word_inclusion("a a", "a"), word_inclusion("b a", "c")]
+        )
+        oracle = WordImplicationOracle(constraints)
+        cases = [
+            (("a", "a", "a"), ("a",)),
+            (("b", "a", "a"), ("c", "a")),
+            (("c",), ("b", "a")),
+            (("a",), ("b",)),
+        ]
+        for lhs, rhs in cases:
+            assert oracle.implies_inclusion(lhs, rhs) == implies_word_inclusion(
+                constraints, lhs, rhs
+            )
+
+    def test_oracle_equality(self):
+        oracle = WordImplicationOracle(ConstraintSet([word_equality("a", "b")]))
+        assert oracle.implies_equality(("a", "x"), ("b", "x"))
+        assert not oracle.implies_equality(("a",), ("x",))

@@ -1,0 +1,186 @@
+"""Tests for the Datalog substrate: syntax, engine, analysis and magic sets."""
+
+import pytest
+
+from repro.datalog import (
+    Program,
+    Rule,
+    answers_from,
+    atom,
+    edb_from_instance,
+    evaluate_naive,
+    evaluate_seminaive,
+    is_chain_program,
+    is_linear,
+    is_monadic,
+    magic_transform,
+    profile,
+    query_relation,
+    quotient_translation,
+    recursive_predicates,
+    state_translation,
+    var,
+)
+from repro.exceptions import DatalogError
+from repro.graph import figure2_graph, random_graph
+from repro.query import answer_set
+
+
+class TestSyntax:
+    def test_atom_coerces_constants(self):
+        a = atom("Ref", var("X"), "label", var("Y"))
+        assert a.arity == 3
+        assert {v.name for v in a.variables()} == {"X", "Y"}
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(DatalogError):
+            Rule(atom("p", var("X")), (atom("q", var("Y")),))
+
+    def test_fact_with_variables_rejected(self):
+        with pytest.raises(DatalogError):
+            Rule(atom("p", var("X")))
+
+    def test_fact_allowed(self):
+        fact = Rule(atom("p", "a"))
+        assert fact.is_fact()
+
+    def test_program_classifies_edb_idb(self):
+        program = Program(
+            [Rule(atom("t", var("X")), (atom("e", var("X"), var("Y")),))], edb=["e"]
+        )
+        assert program.idb_predicates() == {"t"}
+        assert "e" in program.edb_predicates()
+
+    def test_edb_predicate_in_head_rejected(self):
+        with pytest.raises(DatalogError):
+            Program([Rule(atom("e", var("X")), (atom("f", var("X")),))], edb=["e"])
+
+    def test_str_forms(self):
+        rule = Rule(atom("p", var("X")), (atom("q", var("X")),))
+        assert ":-" in str(rule)
+        assert str(Rule(atom("p", "a"))).endswith(".")
+
+
+class TestEngine:
+    def transitive_closure_program(self) -> Program:
+        x, y, z = var("X"), var("Y"), var("Z")
+        return Program(
+            [
+                Rule(atom("t", x, y), (atom("e", x, y),)),
+                Rule(atom("t", x, z), (atom("t", x, y), atom("e", y, z))),
+            ],
+            edb=["e"],
+        )
+
+    def test_transitive_closure_naive_and_seminaive_agree(self):
+        program = self.transitive_closure_program()
+        edb = {"e": {(1, 2), (2, 3), (3, 4)}}
+        naive, _ = evaluate_naive(program, edb)
+        seminaive, _ = evaluate_seminaive(program, edb)
+        expected = {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)}
+        assert query_relation(naive, "t") == expected
+        assert query_relation(seminaive, "t") == expected
+
+    def test_cyclic_edb_terminates(self):
+        program = self.transitive_closure_program()
+        edb = {"e": {(1, 2), (2, 1)}}
+        database, stats = evaluate_seminaive(program, edb)
+        assert query_relation(database, "t") == {(1, 2), (2, 1), (1, 1), (2, 2)}
+        assert stats.iterations < 10
+
+    def test_facts_in_program(self):
+        program = Program(
+            [
+                Rule(atom("base", "seed")),
+                Rule(atom("copy", var("X")), (atom("base", var("X")),)),
+            ]
+        )
+        database, _ = evaluate_seminaive(program, {})
+        assert query_relation(database, "copy") == {("seed",)}
+
+    def test_constants_in_rule_bodies_filter(self):
+        x = var("X")
+        program = Program(
+            [Rule(atom("hit", x), (atom("e", "root", "a", x),))], edb=["e"]
+        )
+        edb = {"e": {("root", "a", "v1"), ("root", "b", "v2"), ("other", "a", "v3")}}
+        database, _ = evaluate_seminaive(program, edb)
+        assert answers_from(database, "hit") == {"v1"}
+
+    def test_stats_populated(self):
+        program = self.transitive_closure_program()
+        _, stats = evaluate_seminaive(program, {"e": {(1, 2), (2, 3)}})
+        assert stats.facts_derived >= 3
+        assert stats.per_predicate["t"] == 3
+
+
+class TestTranslations:
+    @pytest.mark.parametrize("translate", [quotient_translation, state_translation])
+    def test_translation_matches_direct_evaluation_figure2(self, translate):
+        instance, source = figure2_graph()
+        result = translate("a b*")
+        database, _ = evaluate_seminaive(result.program, edb_from_instance(instance, source))
+        assert answers_from(database, result.answer_predicate) == answer_set(
+            "a b*", source, instance
+        )
+
+    @pytest.mark.parametrize("translate", [quotient_translation, state_translation])
+    @pytest.mark.parametrize("query_text", ["(a + b)* c", "a (b a)*", "a + b c"])
+    def test_translation_matches_direct_evaluation_random(self, translate, query_text):
+        instance, source = random_graph(15, 2, ["a", "b", "c"], seed=11)
+        result = translate(query_text)
+        database, _ = evaluate_seminaive(result.program, edb_from_instance(instance, source))
+        assert answers_from(database, result.answer_predicate) == answer_set(
+            query_text, source, instance
+        )
+
+    @pytest.mark.parametrize("translate", [quotient_translation, state_translation])
+    def test_programs_are_linear_monadic_chain(self, translate):
+        result = translate("(a + b)* a b")
+        program_profile = profile(result.program)
+        assert program_profile.linear
+        assert program_profile.monadic
+        assert program_profile.chain
+        assert program_profile.in_paper_fragment()
+
+    def test_recursive_predicates_detected(self):
+        result = quotient_translation("a b*")
+        assert recursive_predicates(result.program)
+        finite = quotient_translation("a b")
+        assert not recursive_predicates(finite.program)
+
+    def test_quotient_count_matches_derivative_closure(self):
+        from repro.regex import all_quotients, parse
+
+        result = quotient_translation("(a b)* a")
+        assert result.predicate_count() == len(all_quotients(parse("(a b)* a")))
+
+
+class TestAnalysisAndMagic:
+    def test_nonlinear_program_detected(self):
+        x, y, z = var("X"), var("Y"), var("Z")
+        program = Program(
+            [Rule(atom("t", x, z), (atom("t", x, y), atom("t", y, z)))], edb=["e"]
+        )
+        assert not is_linear(program)
+
+    def test_non_monadic_detected(self):
+        x, y = var("X"), var("Y")
+        program = Program([Rule(atom("t", x, y), (atom("e", x, y),))], edb=["e"])
+        assert not is_monadic(program)
+
+    def test_chain_check(self):
+        result = state_translation("a b*")
+        assert is_chain_program(result.program)
+
+    def test_magic_transform_preserves_answers(self):
+        instance, source = figure2_graph()
+        result = quotient_translation("a b*")
+        transformed = magic_transform(result.program)
+        database, _ = evaluate_seminaive(transformed, edb_from_instance(instance, source))
+        assert answers_from(database) == answer_set("a b*", source, instance)
+
+    def test_magic_transform_adds_guard_predicates(self):
+        result = quotient_translation("a b*")
+        transformed = magic_transform(result.program)
+        assert any(p.startswith("magic_") for p in transformed.idb_predicates())

@@ -1,0 +1,170 @@
+"""Tests for the distributed evaluation protocol (Section 3.1, Figures 2/3)."""
+
+import pytest
+
+from repro.distributed import (
+    Answer,
+    Done,
+    Network,
+    Subquery,
+    answers_in_order,
+    compare_with_centralized,
+    format_trace,
+    run_distributed_query,
+    termination_step,
+    trace_summary,
+)
+from repro.exceptions import DistributedProtocolError
+from repro.graph import (
+    cycle_graph,
+    figure2_graph,
+    infinite_binary_web,
+    layered_dag,
+    random_graph,
+    web_like_graph,
+)
+from repro.query import answer_set
+
+
+class TestFigure3Run:
+    def test_answers_and_termination(self, figure2):
+        instance, source = figure2
+        result = run_distributed_query("a b*", source, instance, asker="d")
+        assert result.answers == {"o2", "o3"}
+        assert result.terminated
+
+    def test_message_kinds_match_the_figure(self, figure2):
+        """The Figure 3 run: 4 subqueries, 2 answers, 2 acks, 4 dones."""
+        instance, source = figure2
+        result = run_distributed_query("a b*", source, instance, asker="d")
+        assert result.message_counts() == {
+            "subquery": 4,
+            "answer": 2,
+            "ack": 2,
+            "done": 4,
+        }
+
+    def test_root_done_is_the_last_message(self, figure2):
+        instance, source = figure2
+        result = run_distributed_query("a b*", source, instance, asker="d")
+        final = result.trace[-1].message
+        assert isinstance(final, Done)
+        assert final.receiver == "d"
+        assert termination_step(result.trace, "d") == len(result.trace)
+
+    def test_duplicate_subquery_answered_immediately(self, figure2):
+        """o2 asks o3, o3 asks o2 again; o2 replies done without re-processing."""
+        instance, source = figure2
+        result = run_distributed_query("a b*", source, instance, asker="d")
+        subqueries_to_o2 = [
+            record.message
+            for record in result.trace
+            if isinstance(record.message, Subquery) and record.message.receiver == "o2"
+        ]
+        assert len(subqueries_to_o2) == 2  # initial b* plus the duplicate from o3
+
+    def test_every_answer_is_acknowledged(self, figure2):
+        instance, source = figure2
+        result = run_distributed_query("a b*", source, instance, asker="d")
+        answer_mids = {m.mid for m in (r.message for r in result.trace) if isinstance(m, Answer)}
+        ack_mids = {
+            record.message.mid
+            for record in result.trace
+            if record.message.kind() == "ack"
+        }
+        assert answer_mids == ack_mids
+
+    def test_trace_formatting(self, figure2):
+        instance, source = figure2
+        result = run_distributed_query("a b*", source, instance, asker="d")
+        text = format_trace(result.trace)
+        assert "subquery(" in text and "done(" in text
+        truncated = format_trace(result.trace, limit=3)
+        assert "more messages" in truncated
+        summary = trace_summary(result.trace)
+        assert summary["messages_total"] == len(result.trace)
+        assert answers_in_order(result.trace) == ["o2", "o3"] or answers_in_order(
+            result.trace
+        ) == ["o3", "o2"]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "query_text", ["a b*", "(a + b)* c", "a (b + c) a", "b* a"]
+    )
+    def test_agrees_with_centralized_on_random_graphs(self, query_text):
+        for seed in range(3):
+            instance, source = random_graph(12, 2, ["a", "b", "c"], seed=seed)
+            report = compare_with_centralized(query_text, source, instance)
+            assert report["agree"], report
+
+    def test_agrees_on_web_like_graph(self):
+        instance, source = web_like_graph(50, ["a", "b"], seed=4)
+        report = compare_with_centralized("a (a + b)* b", source, instance)
+        assert report["agree"]
+
+    def test_agrees_on_dag(self):
+        instance, source = layered_dag(4, 4, ["a", "b"], seed=1)
+        report = compare_with_centralized("(a + b) (a + b) a", source, instance)
+        assert report["agree"]
+
+    def test_cycle_with_recursive_query_terminates(self):
+        instance, source = cycle_graph(6, "a")
+        result = run_distributed_query("a*", source, instance, asker="client")
+        assert result.terminated
+        assert result.answers == answer_set("a*", source, instance)
+
+    def test_source_itself_can_be_an_answer(self, figure2):
+        instance, source = figure2
+        result = run_distributed_query("%  + a", source, instance, asker="d")
+        assert source in result.answers
+
+    def test_delivery_order_does_not_change_answers(self, figure2):
+        instance, source = figure2
+        reference = run_distributed_query("a b*", source, instance, asker="d").answers
+        for order, seed in [("lifo", 0), ("random", 1), ("random", 2), ("random", 3)]:
+            result = run_distributed_query(
+                "a b*", source, instance, asker="d", order=order, seed=seed
+            )
+            assert result.answers == reference
+            assert result.terminated
+
+    def test_asker_must_differ_from_source(self, figure2):
+        instance, source = figure2
+        with pytest.raises(DistributedProtocolError):
+            run_distributed_query("a", source, instance, asker=source)
+
+
+class TestInfiniteWeb:
+    def test_bounded_query_terminates_on_infinite_web(self):
+        lazy, root = infinite_binary_web()
+        result = run_distributed_query("a b a", root, lazy, asker="client")
+        assert result.terminated
+        assert result.answers == {"aba"}
+
+    def test_exhaustive_query_exceeds_message_budget(self):
+        lazy, root = infinite_binary_web()
+        with pytest.raises(DistributedProtocolError):
+            run_distributed_query(
+                "(a + b)* a", root, lazy, asker="client", max_messages=500
+            )
+
+
+class TestNetworkPrimitives:
+    def test_unknown_order_rejected(self, figure2):
+        instance, _ = figure2
+        with pytest.raises(DistributedProtocolError):
+            Network(instance, order="round-robin")
+
+    def test_deliver_without_pending_raises(self, figure2):
+        instance, _ = figure2
+        network = Network(instance)
+        with pytest.raises(DistributedProtocolError):
+            network.deliver_one()
+
+    def test_statistics_per_site(self, figure2):
+        instance, source = figure2
+        result = run_distributed_query("a b*", source, instance, asker="d")
+        per_site = result.statistics.per_site
+        assert per_site["o1"] >= 1
+        assert sum(per_site.values()) == result.messages_delivered

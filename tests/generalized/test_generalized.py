@@ -1,0 +1,166 @@
+"""Tests for general path queries, label classes and the μ translation (§2.4)."""
+
+import pytest
+
+from repro.generalized import (
+    GeneralPathQuery,
+    LabelPattern,
+    PatternSyntaxError,
+    build_classification,
+    classify_labels,
+    content_label,
+    content_pattern,
+    evaluate_general_query,
+    evaluate_general_query_directly,
+    example21_expected_class_labels,
+    example21_instance,
+    example21_query,
+    general_query,
+    literal_pattern,
+    pattern_symbol,
+    translate_instance,
+    translate_query,
+)
+from repro.graph import Instance
+from repro.query import answer_set
+from repro.regex.ast import concat, star, union
+
+
+class TestPatterns:
+    def test_full_label_matching(self):
+        pattern = LabelPattern("a*b")
+        assert pattern.matches("b")
+        assert pattern.matches("aaab")
+        assert not pattern.matches("ba")
+        assert not pattern.matches("abx")
+
+    def test_grep_style_pattern_from_the_paper(self):
+        pattern = LabelPattern("[sS]ections?")
+        assert pattern.matches("section")
+        assert pattern.matches("Sections")
+        assert not pattern.matches("paragraph")
+
+    def test_literal_pattern_escapes(self):
+        pattern = literal_pattern("a.b*")
+        assert pattern.matches("a.b*")
+        assert not pattern.matches("axbb")
+
+    def test_invalid_pattern_raises(self):
+        with pytest.raises(PatternSyntaxError):
+            LabelPattern("[unclosed").matches("x")
+
+    def test_content_pattern(self):
+        pattern = content_pattern("SGML")
+        assert pattern.matches(content_label("all about SGML parsing"))
+        assert not pattern.matches(content_label("nothing relevant"))
+
+
+class TestLabelClassification:
+    def test_example21_has_six_classes(self):
+        query = example21_query()
+        labels = [member for members in example21_expected_class_labels().values() for member in members]
+        classification = classify_labels(query.pattern_list(), labels)
+        assert classification.class_count() == 6
+
+    def test_labels_in_same_class_share_signature(self):
+        query = example21_query()
+        classification = classify_labels(query.pattern_list(), ["ab", "aab", "b", "ba"])
+        assert classification.signature("ab") == classification.signature("aab")
+        assert classification.signature("ab") != classification.signature("b")
+        assert classification.signature("ba") != classification.signature("ab")
+
+    def test_representative_is_stable(self):
+        classification = classify_labels([LabelPattern("a*")], ["a", "aa", "b"])
+        assert classification.representative("aa") == classification.representative("a")
+
+    def test_representatives_matching_pattern(self):
+        classification = classify_labels([LabelPattern("a*"), LabelPattern("b")], ["a", "b", "c"])
+        matching = classification.representatives_matching(0)
+        assert "a" in matching and "b" not in matching
+
+
+class TestExample21:
+    def test_translation_equals_direct_evaluation(self):
+        query = example21_query()
+        instance, source = example21_instance()
+        assert evaluate_general_query(query, source, instance) == (
+            evaluate_general_query_directly(query, source, instance)
+        )
+
+    def test_translation_classification_size(self):
+        query = example21_query()
+        instance, _ = example21_instance()
+        classification = build_classification(query, instance)
+        assert classification.class_count() == 6
+
+    def test_translated_query_is_over_class_representatives(self):
+        query = example21_query()
+        instance, _ = example21_instance()
+        classification = build_classification(query, instance)
+        translated = translate_query(query, classification)
+        assert translated.alphabet() <= frozenset(classification.representatives.values())
+
+    def test_translated_instance_preserves_shape(self):
+        query = example21_query()
+        instance, _ = example21_instance()
+        classification = build_classification(query, instance)
+        translated = translate_instance(instance, classification)
+        assert len(translated) == len(instance)
+        assert translated.edge_count() == instance.edge_count()
+
+
+class TestProposition22:
+    def test_mu_translation_on_custom_queries(self):
+        """q(o, I) = μ(q)(o, μ(I)) on a hand-built query and instance."""
+        doc, p_doc = pattern_symbol("doc")
+        section, p_section = pattern_symbol("[sS]ections?")
+        text, p_text = pattern_symbol("text")
+        paragraph, p_para = pattern_symbol("[pP]aragraph")
+        expression = concat(doc, union(concat(section, text), paragraph))
+        query = general_query(expression, [p_doc, p_section, p_text, p_para])
+
+        instance = Instance(
+            [
+                ("o", "doc", "d1"),
+                ("d1", "Sections", "s1"),
+                ("s1", "text", "t1"),
+                ("d1", "paragraph", "p1"),
+                ("d1", "chapter", "c1"),
+            ]
+        )
+        expected = {"t1", "p1"}
+        assert evaluate_general_query_directly(query, "o", instance) == expected
+        assert evaluate_general_query(query, "o", instance) == expected
+
+    def test_star_of_patterns(self):
+        any_label, p_any = pattern_symbol(".*")
+        content, p_content = pattern_symbol("content=.*SGML.*")
+        expression = concat(star(any_label), content)
+        query = general_query(expression, [p_any, p_content])
+        instance = Instance(
+            [
+                ("o", "link", "x"),
+                ("x", "ref", "y"),
+                ("y", content_label("intro to SGML"), "y"),
+                ("x", content_label("plain page"), "x"),
+            ]
+        )
+        assert evaluate_general_query(query, "o", instance) == {"y"}
+        assert evaluate_general_query_directly(query, "o", instance) == {"y"}
+
+    def test_bare_labels_act_as_literal_patterns(self):
+        label, pattern = pattern_symbol("a")
+        query = GeneralPathQuery(label, (pattern,))
+        instance = Instance([("o", "a", "x"), ("o", "ab", "y")])
+        assert evaluate_general_query(query, "o", instance) == {"x"}
+
+    def test_plain_rpq_is_a_special_case(self):
+        """With literal patterns the general machinery reduces to ordinary RPQs."""
+        a, pa = pattern_symbol("a")
+        b, pb = pattern_symbol("b")
+        expression = concat(a, star(b))
+        query = general_query(expression, [pa, pb])
+        instance = Instance([("o", "a", "x"), ("x", "b", "y"), ("y", "b", "x")])
+        assert evaluate_general_query(query, "o", instance) == answer_set(
+            "a b*", "o", instance
+        )

@@ -1,0 +1,120 @@
+"""Tests for the semistructured data model (Instance, LazyInstance, Ref)."""
+
+import pytest
+
+from repro.exceptions import InstanceError
+from repro.graph import Instance, LazyInstance, Ref, infinite_binary_web
+
+
+class TestInstance:
+    def test_add_edge_registers_objects(self):
+        instance = Instance()
+        instance.add_edge("x", "a", "y")
+        assert "x" in instance and "y" in instance
+        assert instance.edge_count() == 1
+
+    def test_construction_from_edge_list_and_refs(self):
+        instance = Instance([("x", "a", "y"), Ref("y", "b", "z")])
+        assert instance.has_edge("x", "a", "y")
+        assert instance.has_edge("y", "b", "z")
+
+    def test_duplicate_edges_are_idempotent(self):
+        instance = Instance()
+        instance.add_edge("x", "a", "y")
+        instance.add_edge("x", "a", "y")
+        assert instance.edge_count() == 1
+        assert instance.out_degree("x") == 1
+
+    def test_labels_must_be_nonempty_strings(self):
+        instance = Instance()
+        with pytest.raises(InstanceError):
+            instance.add_edge("x", "", "y")
+
+    def test_out_edges_is_the_object_description(self):
+        instance = Instance([("x", "a", "y"), ("x", "b", "z")])
+        assert sorted(instance.out_edges("x")) == [("a", "y"), ("b", "z")]
+        assert instance.out_edges("unknown") == []
+
+    def test_in_degree_and_in_edges(self):
+        instance = Instance([("x", "a", "y"), ("z", "b", "y")])
+        assert instance.in_degree("y") == 2
+        assert set(instance.in_edges("y")) == {("x", "a"), ("z", "b")}
+
+    def test_successors_by_label(self):
+        instance = Instance([("x", "a", "y"), ("x", "a", "z"), ("x", "b", "w")])
+        assert set(instance.successors("x", "a")) == {"y", "z"}
+
+    def test_remove_edge(self):
+        instance = Instance([("x", "a", "y")])
+        instance.remove_edge("x", "a", "y")
+        assert instance.edge_count() == 0
+        with pytest.raises(InstanceError):
+            instance.remove_edge("x", "a", "y")
+
+    def test_labels(self):
+        instance = Instance([("x", "a", "y"), ("y", "b", "z")])
+        assert instance.labels() == frozenset({"a", "b"})
+
+    def test_map_objects_is_a_homomorphism(self):
+        instance = Instance([("x", "a", "y"), ("y", "a", "x")])
+        image = instance.map_objects(lambda oid: "merged")
+        assert image.objects == frozenset({"merged"})
+        assert image.has_edge("merged", "a", "merged")
+
+    def test_map_labels(self):
+        instance = Instance([("x", "a", "y")])
+        image = instance.map_labels(lambda label: label.upper())
+        assert image.has_edge("x", "A", "y")
+
+    def test_restricted_to(self):
+        instance = Instance([("x", "a", "y"), ("y", "a", "z")])
+        restricted = instance.restricted_to({"x", "y"})
+        assert restricted.has_edge("x", "a", "y")
+        assert not restricted.has_edge("y", "a", "z")
+        assert "z" not in restricted
+
+    def test_copy_and_equality(self):
+        instance = Instance([("x", "a", "y")])
+        duplicate = instance.copy()
+        assert instance == duplicate
+        duplicate.add_edge("y", "b", "z")
+        assert instance != duplicate
+
+    def test_instances_are_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Instance())
+
+
+class TestLazyInstance:
+    def test_out_edges_are_memoized(self):
+        calls = []
+
+        def expander(oid):
+            calls.append(oid)
+            return [("a", str(oid) + "a")]
+
+        lazy = LazyInstance(expander)
+        assert lazy.out_edges("x") == [("a", "xa")]
+        assert lazy.out_edges("x") == [("a", "xa")]
+        assert calls == ["x"]
+
+    def test_invalid_labels_rejected(self):
+        lazy = LazyInstance(lambda oid: [("", "y")])
+        with pytest.raises(InstanceError):
+            lazy.out_edges("x")
+
+    def test_materialize_within_budget(self):
+        lazy, root = infinite_binary_web()
+        with pytest.raises(InstanceError):
+            lazy.materialize([root], max_objects=20)
+
+    def test_materialize_finite_portion(self):
+        def expander(oid):
+            if len(str(oid)) >= 2:
+                return []
+            return [("a", str(oid) + "a")]
+
+        lazy = LazyInstance(expander)
+        finite = lazy.materialize(["x"], max_objects=10)
+        assert finite.has_edge("x", "a", "xa")
+        assert len(finite) == 2

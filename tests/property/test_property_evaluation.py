@@ -1,0 +1,71 @@
+"""Property-based tests for query evaluation across all four evaluators."""
+
+from hypothesis import given, settings
+
+from repro.datalog import (
+    answers_from,
+    edb_from_instance,
+    evaluate_seminaive,
+    quotient_translation,
+    state_translation,
+)
+from repro.distributed import run_distributed_query
+from repro.graph import path_labels_exist
+from repro.query import answer_set, answer_set_by_quotients
+from repro.regex import language_up_to
+
+from ..conftest import regexes, small_instances
+
+
+def brute_force(expression, source, instance, max_length=8):
+    answers = set()
+    for word in language_up_to(expression, max_length):
+        answers |= path_labels_exist(instance, source, word)
+    return answers
+
+
+@given(regexes(max_leaves=4), small_instances())
+@settings(max_examples=30)
+def test_product_evaluator_matches_brute_force(expression, instance_and_source):
+    instance, source = instance_and_source
+    # Bound chosen so that every simple path plus a couple of cycle traversals
+    # is covered: |V| * (expression size) is a generous over-approximation for
+    # graphs this small.
+    bound = max(8, len(instance) * 2 + 2)
+    assert answer_set(expression, source, instance) == brute_force(
+        expression, source, instance, bound
+    )
+
+
+@given(regexes(max_leaves=4), small_instances())
+@settings(max_examples=25)
+def test_quotient_evaluator_matches_product_evaluator(expression, instance_and_source):
+    instance, source = instance_and_source
+    assert answer_set_by_quotients(expression, source, instance) == answer_set(
+        expression, source, instance
+    )
+
+
+@given(regexes(max_leaves=4), small_instances())
+@settings(max_examples=20)
+def test_datalog_translations_match_product_evaluator(expression, instance_and_source):
+    instance, source = instance_and_source
+    expected = answer_set(expression, source, instance)
+    for translate in (quotient_translation, state_translation):
+        translated = translate(expression)
+        database, _ = evaluate_seminaive(
+            translated.program, edb_from_instance(instance, source)
+        )
+        assert answers_from(database, translated.answer_predicate) == expected
+
+
+@given(regexes(max_leaves=4), small_instances())
+@settings(max_examples=20)
+def test_distributed_evaluator_matches_product_evaluator(expression, instance_and_source):
+    instance, source = instance_and_source
+    expected = answer_set(expression, source, instance)
+    result = run_distributed_query(
+        expression, source, instance, asker="client", max_messages=20_000
+    )
+    assert result.answers == expected
+    assert result.terminated

@@ -1,0 +1,113 @@
+"""Property-based tests for the regex/automata substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    accepted_language_up_to,
+    complement_nfa,
+    equivalent,
+    includes,
+    intersection_nfa,
+    is_empty,
+    is_finite_language,
+    minimize_dfa,
+    nfa_to_dfa,
+    nfa_to_regex,
+    regex_to_glushkov_nfa,
+    regex_to_nfa,
+    union_nfa,
+)
+from repro.regex import (
+    derivative,
+    language_up_to,
+    matches,
+    parse,
+    simplify,
+    to_string,
+)
+
+from ..conftest import regexes, words
+
+
+@given(regexes(), words(max_size=4))
+def test_thompson_membership_equals_derivative_membership(expression, word):
+    """The automaton route and the derivative route agree on membership."""
+    assert regex_to_nfa(expression).accepts(word) == matches(expression, word)
+
+
+@given(regexes(), words(max_size=4))
+def test_glushkov_equals_thompson_membership(expression, word):
+    assert regex_to_glushkov_nfa(expression).accepts(word) == matches(expression, word)
+
+
+@given(regexes())
+def test_simplify_preserves_language(expression):
+    assert equivalent(regex_to_nfa(expression), regex_to_nfa(simplify(expression)))
+
+
+@given(regexes())
+def test_printer_parser_round_trip(expression):
+    assert equivalent(regex_to_nfa(parse(to_string(expression))), regex_to_nfa(expression))
+
+
+@given(regexes(), st.sampled_from(["a", "b", "c"]), words(max_size=3))
+def test_derivative_is_the_language_quotient(expression, label, word):
+    """w ∈ L(p)/l iff l·w ∈ L(p)."""
+    quotient = derivative(expression, label)
+    assert matches(quotient, word) == matches(expression, (label,) + tuple(word))
+
+
+@given(regexes())
+@settings(max_examples=25)
+def test_state_elimination_round_trip(expression):
+    nfa = regex_to_nfa(expression)
+    assert equivalent(regex_to_nfa(nfa_to_regex(nfa)), nfa)
+
+
+@given(regexes())
+@settings(max_examples=25)
+def test_minimized_dfa_preserves_language(expression):
+    nfa = regex_to_nfa(expression)
+    assert equivalent(minimize_dfa(nfa_to_dfa(nfa)).to_nfa(), nfa)
+
+
+@given(regexes(), regexes())
+@settings(max_examples=25)
+def test_union_and_intersection_are_boolean(first, second):
+    first_nfa, second_nfa = regex_to_nfa(first), regex_to_nfa(second)
+    union = union_nfa(first_nfa, second_nfa)
+    intersection = intersection_nfa(first_nfa, second_nfa)
+    first_words = language_up_to(first, 3)
+    second_words = language_up_to(second, 3)
+    assert accepted_language_up_to(union, 3) == first_words | second_words
+    assert accepted_language_up_to(intersection, 3) == first_words & second_words
+
+
+@given(regexes(), words(max_size=4))
+@settings(max_examples=25)
+def test_complement_flips_membership(expression, word):
+    nfa = regex_to_nfa(expression)
+    complement = complement_nfa(nfa, alphabet={"a", "b", "c"})
+    assert nfa.accepts(word) != complement.accepts(word)
+
+
+@given(regexes(), regexes())
+@settings(max_examples=25)
+def test_inclusion_is_consistent_with_bounded_languages(first, second):
+    if includes(regex_to_nfa(second), regex_to_nfa(first)):
+        assert language_up_to(first, 3) <= language_up_to(second, 3)
+
+
+@given(regexes())
+def test_empty_iff_no_short_words_and_finite(expression):
+    nfa = regex_to_nfa(expression)
+    if is_empty(nfa):
+        assert language_up_to(expression, 3) == set()
+    if is_finite_language(nfa):
+        # A finite language is fully contained within words shorter than the
+        # number of useful states.
+        bound = len(nfa.trim())
+        assert accepted_language_up_to(nfa, bound) == accepted_language_up_to(
+            nfa, bound + 2
+        )

@@ -1,0 +1,146 @@
+"""Tests for regular path queries and their centralized evaluation."""
+
+import pytest
+
+from repro.exceptions import InstanceError
+from repro.graph import Instance, figure2_graph, infinite_binary_web, random_graph
+from repro.query import (
+    RegularPathQuery,
+    answer_set,
+    answer_set_by_quotients,
+    evaluate,
+    evaluate_all_sources,
+    evaluate_by_quotients,
+    queries_agree_on,
+)
+from repro.regex import language_up_to, parse
+
+
+def brute_force_answers(query_text, source, instance, max_length=8):
+    """Ground-truth evaluation: enumerate words and follow concrete paths."""
+    from repro.graph import path_labels_exist
+
+    expression = parse(query_text)
+    answers = set()
+    for word in language_up_to(expression, max_length):
+        answers |= path_labels_exist(instance, source, word)
+    return answers
+
+
+class TestRegularPathQuery:
+    def test_from_string_and_str(self):
+        query = RegularPathQuery.from_string("a b*")
+        assert str(query) == "a b*"
+
+    def test_accepts_word(self):
+        query = RegularPathQuery.from_string("a b* c")
+        assert query.accepts_word(("a", "c"))
+        assert not query.accepts_word(("a", "b"))
+
+    def test_equivalence_is_language_equality(self):
+        assert RegularPathQuery.from_string("(a b)* a").equivalent_to("a (b a)*")
+        assert not RegularPathQuery.from_string("(a b)*").equivalent_to("a (b a)*")
+
+    def test_containment(self):
+        assert RegularPathQuery.from_string("a b").contained_in("a (b + c)")
+        assert not RegularPathQuery.from_string("a (b + c)").contained_in("a b")
+
+    def test_is_recursive(self):
+        assert RegularPathQuery.from_string("a b*").is_recursive()
+        assert not RegularPathQuery.from_string("a (b + c)").is_recursive()
+        assert not RegularPathQuery.from_string("(% + ~)*").is_recursive()
+
+    def test_alphabet(self):
+        assert RegularPathQuery.from_string("a (b + c)*").alphabet() == frozenset(
+            {"a", "b", "c"}
+        )
+
+
+class TestEvaluation:
+    def test_figure2_query(self, figure2):
+        instance, source = figure2
+        assert answer_set("a b*", source, instance) == {"o2", "o3"}
+
+    def test_epsilon_query_returns_source(self, figure2):
+        instance, source = figure2
+        assert answer_set("%", source, instance) == {source}
+
+    def test_empty_query_returns_nothing(self, figure2):
+        instance, source = figure2
+        assert answer_set("~", source, instance) == set()
+
+    def test_unreachable_labels(self, figure2):
+        instance, source = figure2
+        assert answer_set("z*z", source, instance) == set()
+
+    def test_witness_paths_spell_accepted_words(self, figure2):
+        instance, source = figure2
+        result = evaluate("a b*", source, instance)
+        query = RegularPathQuery.from_string("a b*")
+        for answer, path in result.witness_paths.items():
+            assert query.accepts_word(path)
+            assert answer in result.answers
+
+    def test_statistics_populated(self, figure2):
+        instance, source = figure2
+        result = evaluate("a b*", source, instance)
+        assert result.visited_objects >= 3
+        assert result.visited_pairs >= result.visited_objects - 1
+
+    @pytest.mark.parametrize(
+        "query_text",
+        ["a (b + c)*", "(a + b)* c", "a b a", "(a b)* + (c)*", "b* a b*"],
+    )
+    def test_matches_brute_force_on_random_graphs(self, query_text):
+        for seed in range(3):
+            instance, source = random_graph(12, 2, ["a", "b", "c"], seed=seed)
+            expected = brute_force_answers(query_text, source, instance, max_length=12)
+            assert answer_set(query_text, source, instance) == expected
+
+    def test_quotient_evaluator_agrees_with_product_evaluator(self):
+        for seed in range(3):
+            instance, source = random_graph(10, 2, ["a", "b"], seed=seed)
+            for query_text in ["a b*", "(a + b)* a", "a (b a)*"]:
+                assert answer_set(query_text, source, instance) == answer_set_by_quotients(
+                    query_text, source, instance
+                )
+
+    def test_quotient_evaluator_reports_finitely_many_quotients(self, figure2):
+        instance, source = figure2
+        result = evaluate_by_quotients("a b*", source, instance)
+        assert result.answers == {"o2", "o3"}
+        assert 1 <= result.distinct_quotients <= 4
+
+    def test_evaluate_all_sources(self, figure2):
+        instance, _ = figure2
+        table = evaluate_all_sources("b", instance)
+        assert table["o2"] == {"o3"}
+        assert table["o3"] == {"o2"}
+        assert table["o1"] == set()
+
+    def test_queries_agree_on_specific_instance_but_not_in_general(self, figure2):
+        instance, source = figure2
+        # On Figure 2, "a" and "a b" return different answers...
+        assert not queries_agree_on("a", "a b", source, instance)
+        # ...but the inequivalent queries "a b b" and "a" agree on this
+        # particular instance (both reach exactly o2) -- the kind of
+        # instance-specific coincidence that path constraints generalize.
+        assert queries_agree_on("a b b", "a", source, instance)
+        assert not RegularPathQuery.from_string("a b b").equivalent_to("a")
+
+
+class TestLazyEvaluation:
+    def test_requires_budget_on_lazy_instances(self):
+        lazy, root = infinite_binary_web()
+        with pytest.raises(InstanceError):
+            evaluate("a b", root, lazy)
+
+    def test_terminating_query_on_infinite_web(self):
+        lazy, root = infinite_binary_web()
+        result = evaluate("a b", root, lazy, max_objects=50)
+        assert result.answers == {"ab"}
+
+    def test_exhaustive_query_on_infinite_web_exceeds_budget(self):
+        lazy, root = infinite_binary_web()
+        with pytest.raises(InstanceError):
+            evaluate("(a + b)* a", root, lazy, max_objects=30)

@@ -1,0 +1,120 @@
+"""Tests for the regular-expression AST and smart constructors."""
+
+import pytest
+
+from repro.regex.ast import (
+    Concat,
+    EmptySet,
+    Epsilon,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    concat_all,
+    star,
+    sym,
+    union,
+    union_all,
+    word,
+)
+
+
+class TestNodes:
+    def test_symbol_requires_nonempty_label(self):
+        with pytest.raises(ValueError):
+            Symbol("")
+
+    def test_symbol_is_word(self):
+        assert Symbol("a").as_word() == ("a",)
+        assert Symbol("a").is_word()
+
+    def test_epsilon_is_the_empty_word(self):
+        assert Epsilon().as_word() == ()
+        assert Epsilon().nullable()
+
+    def test_empty_set_is_not_a_word(self):
+        assert EmptySet().as_word() is None
+        assert not EmptySet().nullable()
+
+    def test_concat_word(self):
+        expression = concat(Symbol("a"), concat(Symbol("b"), Symbol("c")))
+        assert expression.as_word() == ("a", "b", "c")
+
+    def test_union_is_not_a_word_in_general(self):
+        assert union(Symbol("a"), Symbol("b")).as_word() is None
+
+    def test_union_of_identical_words_is_a_word(self):
+        assert Union(Symbol("a"), Symbol("a")).as_word() == ("a",)
+
+    def test_star_of_epsilon_is_the_empty_word(self):
+        assert Star(Epsilon()).as_word() == ()
+
+    def test_star_is_not_a_word_in_general(self):
+        assert Star(Symbol("a")).as_word() is None
+
+    def test_nullable(self):
+        assert Star(Symbol("a")).nullable()
+        assert not Concat(Symbol("a"), Star(Symbol("b"))).nullable()
+        assert Concat(Star(Symbol("a")), Star(Symbol("b"))).nullable()
+        assert Union(Symbol("a"), Epsilon()).nullable()
+
+    def test_alphabet(self):
+        expression = union(concat(Symbol("a"), Symbol("b")), star(Symbol("c")))
+        assert expression.alphabet() == frozenset({"a", "b", "c"})
+
+    def test_size_counts_nodes(self):
+        expression = Union(Symbol("a"), Concat(Symbol("b"), Symbol("c")))
+        assert expression.size() == 5
+
+    def test_subexpressions_preorder(self):
+        expression = Concat(Symbol("a"), Symbol("b"))
+        subs = list(expression.subexpressions())
+        assert subs[0] == expression
+        assert Symbol("a") in subs and Symbol("b") in subs
+
+
+class TestSmartConstructors:
+    def test_concat_unit_laws(self):
+        assert concat(Epsilon(), Symbol("a")) == Symbol("a")
+        assert concat(Symbol("a"), Epsilon()) == Symbol("a")
+
+    def test_concat_zero_laws(self):
+        assert concat(EmptySet(), Symbol("a")) == EmptySet()
+        assert concat(Symbol("a"), EmptySet()) == EmptySet()
+
+    def test_union_zero_and_idempotence(self):
+        assert union(EmptySet(), Symbol("a")) == Symbol("a")
+        assert union(Symbol("a"), Symbol("a")) == Symbol("a")
+
+    def test_star_collapses(self):
+        assert star(EmptySet()) == Epsilon()
+        assert star(Epsilon()) == Epsilon()
+        assert star(Star(Symbol("a"))) == Star(Symbol("a"))
+
+    def test_word_from_string_and_list(self):
+        assert word("a b c") == word(["a", "b", "c"])
+        assert word("a b c").as_word() == ("a", "b", "c")
+        assert word("") == Epsilon()
+
+    def test_union_all_and_concat_all(self):
+        assert union_all([]) == EmptySet()
+        assert concat_all([]) == Epsilon()
+        expression = union_all([Symbol("a"), Symbol("b")])
+        assert expression.alphabet() == frozenset({"a", "b"})
+
+    def test_operator_overloads(self):
+        expression = (sym("a") | sym("b")) + sym("c")
+        assert expression.alphabet() == frozenset({"a", "b", "c"})
+        assert sym("a").plus().alphabet() == frozenset({"a"})
+        assert sym("a").optional().nullable()
+
+    def test_repeat(self):
+        assert sym("a").repeat(0) == Epsilon()
+        assert sym("a").repeat(3).as_word() == ("a", "a", "a")
+        with pytest.raises(ValueError):
+            sym("a").repeat(-1)
+
+    def test_nodes_are_hashable_and_structural(self):
+        assert hash(Symbol("a")) == hash(Symbol("a"))
+        assert Concat(Symbol("a"), Symbol("b")) == Concat(Symbol("a"), Symbol("b"))
+        assert {Symbol("a"), Symbol("a")} == {Symbol("a")}

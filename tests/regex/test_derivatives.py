@@ -1,0 +1,101 @@
+"""Tests for Brzozowski derivatives, quotients, and the language helpers."""
+
+from repro.regex import (
+    all_quotients,
+    denotes_finite_language,
+    derivative,
+    derivative_word,
+    enumerate_words,
+    expression_length_bounds,
+    is_recursion_free,
+    language_up_to,
+    matches,
+    parse,
+    shortest_word,
+    simplify,
+)
+from repro.regex.ast import EmptySet, Epsilon, Symbol
+
+
+class TestDerivative:
+    def test_symbol(self):
+        assert derivative(Symbol("a"), "a") == Epsilon()
+        assert derivative(Symbol("a"), "b") == EmptySet()
+
+    def test_quotient_semantics_on_examples(self):
+        # (a b)* / a = b (a b)*
+        expression = parse("(a b)*")
+        quotient = simplify(derivative(expression, "a"))
+        assert matches(quotient, ("b",))
+        assert matches(quotient, ("b", "a", "b"))
+        assert not matches(quotient, ())
+
+    def test_derivative_word(self):
+        expression = parse("a b* c")
+        residual = derivative_word(expression, ("a", "b", "b"))
+        assert matches(residual, ("c",))
+        assert not matches(residual, ())
+
+    def test_matches_agrees_with_language_enumeration(self):
+        expression = parse("a (b + c)* a")
+        words = language_up_to(expression, 4)
+        for word in words:
+            assert matches(expression, word)
+        assert ("a", "b", "a") in words
+        assert ("a",) not in words
+
+    def test_quotient_by_word_equals_paper_definition(self):
+        # L/l = {w | l·w ∈ L} -- check extensionally on bounded words.
+        expression = parse("a b* + c")
+        quotient = simplify(derivative(expression, "a"))
+        expected = {word[1:] for word in language_up_to(expression, 4) if word[:1] == ("a",)}
+        assert language_up_to(quotient, 3) == expected
+
+
+class TestAllQuotients:
+    def test_finitely_many_quotients(self):
+        expression = parse("(a + b)* a (a + b)")
+        table = all_quotients(expression)
+        # The set of simplified derivatives is finite and small for this input.
+        assert 1 <= len(table) <= 32
+        # Every entry maps every alphabet label to another entry.
+        for row in table.values():
+            for successor in row.values():
+                assert successor in table
+
+    def test_quotients_contain_the_expression_itself(self):
+        expression = simplify(parse("a b*"))
+        assert expression in all_quotients(expression)
+
+    def test_single_word_quotients(self):
+        table = all_quotients(parse("a b c"))
+        nullable = [q for q in table if q.nullable()]
+        assert Epsilon() in nullable
+
+
+class TestLanguageHelpers:
+    def test_is_recursion_free(self):
+        assert is_recursion_free(parse("a b + c"))
+        assert not is_recursion_free(parse("a b*"))
+
+    def test_denotes_finite_language(self):
+        assert denotes_finite_language(parse("a (b + c) d"))
+        assert not denotes_finite_language(parse("a b* c"))
+        # A star over the empty language is still finite.
+        assert denotes_finite_language(parse("~* a"))
+
+    def test_enumerate_words_shortlex(self):
+        words = list(enumerate_words(parse("a* b"), 3))
+        assert words == sorted(words, key=lambda w: (len(w), w))
+        assert ("b",) in words and ("a", "a", "b") in words
+
+    def test_shortest_word(self):
+        assert shortest_word(parse("a a + b")) == ("b",)
+        assert shortest_word(parse("a*")) == ()
+        assert shortest_word(parse("~")) is None
+
+    def test_expression_length_bounds(self):
+        assert expression_length_bounds(parse("a b + c")) == (1, 2)
+        assert expression_length_bounds(parse("a b*")) == (1, None)
+        assert expression_length_bounds(parse("~")) == (-1, None)
+        assert expression_length_bounds(parse("%")) == (0, 0)

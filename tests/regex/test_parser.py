@@ -1,0 +1,114 @@
+"""Tests for the regular path expression parser and printer round-trips."""
+
+import pytest
+
+from repro.exceptions import RegexSyntaxError
+from repro.regex import (
+    languages_equal_up_to,
+    matches,
+    parse,
+    parse_word,
+    to_string,
+    word_to_string,
+)
+from repro.regex.ast import Concat, Epsilon, EmptySet, Star, Symbol, Union
+
+
+class TestParsing:
+    def test_single_label(self):
+        assert parse("section") == Symbol("section")
+
+    def test_multi_character_labels(self):
+        expression = parse("CS-Department Courses cs345")
+        assert expression.as_word() == ("CS-Department", "Courses", "cs345")
+
+    def test_concatenation_by_juxtaposition(self):
+        assert parse("a b") == Concat(Symbol("a"), Symbol("b"))
+
+    def test_explicit_dot_concatenation(self):
+        assert parse("a . b") == parse("a b")
+
+    def test_union_plus_and_pipe(self):
+        assert parse("a + b") == parse("a | b") == Union(Symbol("a"), Symbol("b"))
+
+    def test_star(self):
+        assert parse("a*") == Star(Symbol("a"))
+
+    def test_plus_postfix(self):
+        expression = parse("a^+")
+        assert matches(expression, ("a",))
+        assert matches(expression, ("a", "a"))
+        assert not matches(expression, ())
+
+    def test_optional(self):
+        expression = parse("a?")
+        assert matches(expression, ())
+        assert matches(expression, ("a",))
+
+    def test_epsilon_and_empty(self):
+        assert parse("%") == Epsilon()
+        assert parse("~") == EmptySet()
+        assert parse("") == Epsilon()
+        assert parse("   ") == Epsilon()
+
+    def test_grouping(self):
+        expression = parse("section (paragraph + figure) caption")
+        assert matches(expression, ("section", "paragraph", "caption"))
+        assert matches(expression, ("section", "figure", "caption"))
+        assert not matches(expression, ("section", "caption"))
+
+    def test_paper_engine_example(self):
+        expression = parse("engine subpart* name")
+        assert matches(expression, ("engine", "name"))
+        assert matches(expression, ("engine", "subpart", "subpart", "name"))
+
+    def test_precedence_star_binds_tighter_than_concat(self):
+        expression = parse("a b*")
+        assert matches(expression, ("a",))
+        assert matches(expression, ("a", "b", "b"))
+        assert not matches(expression, ("a", "b", "a"))
+
+    def test_precedence_concat_binds_tighter_than_union(self):
+        expression = parse("a b + c")
+        assert matches(expression, ("a", "b"))
+        assert matches(expression, ("c",))
+        assert not matches(expression, ("a", "c"))
+
+    def test_errors(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(a b")
+        with pytest.raises(RegexSyntaxError):
+            parse("a )")
+        with pytest.raises(RegexSyntaxError):
+            parse("a ^ b")
+
+    def test_parse_word(self):
+        assert parse_word("a b c") == ("a", "b", "c")
+        assert parse_word("") == ()
+        with pytest.raises(RegexSyntaxError):
+            parse_word("a b*")
+
+
+class TestPrinting:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "a b c",
+            "a + b",
+            "(a + b) c",
+            "a b* + (c d)*",
+            "(l a + l b)* d",
+            "section (paragraph + figure) caption",
+            "%",
+            "~",
+        ],
+    )
+    def test_round_trip_preserves_language(self, text):
+        expression = parse(text)
+        reparsed = parse(to_string(expression))
+        assert languages_equal_up_to(expression, reparsed, 4)
+
+    def test_word_to_string(self):
+        assert word_to_string(()) == "%"
+        assert word_to_string(("a", "b")) == "a b"

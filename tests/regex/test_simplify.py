@@ -1,0 +1,72 @@
+"""Tests for algebraic simplification: language preservation and normalization."""
+
+import pytest
+
+from repro.regex import language_up_to, parse, simplify, to_string
+from repro.regex.ast import Epsilon, EmptySet, Star, Symbol, Union, concat, star, union
+
+
+class TestIdentities:
+    def test_union_idempotence_and_flattening(self):
+        expression = Union(Union(Symbol("a"), Symbol("a")), Symbol("a"))
+        assert simplify(expression) == Symbol("a")
+
+    def test_union_commutative_normal_form(self):
+        first = simplify(union(Symbol("b"), Symbol("a")))
+        second = simplify(union(Symbol("a"), Symbol("b")))
+        assert first == second
+
+    def test_epsilon_absorbed_by_nullable_operand(self):
+        expression = union(Epsilon(), star(Symbol("a")))
+        assert simplify(expression) == Star(Symbol("a"))
+
+    def test_epsilon_kept_when_needed(self):
+        expression = simplify(union(Epsilon(), Symbol("a")))
+        assert expression.nullable()
+        assert language_up_to(expression, 1) == {(), ("a",)}
+
+    def test_concat_with_empty_set_is_empty(self):
+        expression = concat(Symbol("a"), concat(EmptySet(), Symbol("b")))
+        assert simplify(expression) == EmptySet()
+
+    def test_star_of_union_with_epsilon(self):
+        assert simplify(parse("(% + a)*")) == Star(Symbol("a"))
+
+    def test_double_star(self):
+        assert simplify(Star(Star(Symbol("a")))) == Star(Symbol("a"))
+
+    def test_star_star_concat_collapses(self):
+        assert simplify(parse("a* a*")) == Star(Symbol("a"))
+
+
+class TestLanguagePreservation:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a b* + (c d)*",
+            "(a + b)* a",
+            "((a + %) (b + ~))*",
+            "a (b + c)* d + a d",
+            "(l a + l b)* d",
+            "% + ~ + a",
+            "(a*)* b",
+        ],
+    )
+    def test_simplify_preserves_bounded_language(self, text):
+        expression = parse(text)
+        simplified = simplify(expression)
+        assert language_up_to(expression, 4) == language_up_to(simplified, 4)
+
+    def test_simplify_is_idempotent(self):
+        for text in ["a b* + (c d)*", "(a + b)* a", "% + a + a"]:
+            once = simplify(parse(text))
+            assert simplify(once) == once
+
+    def test_simplified_form_does_not_grow(self):
+        expression = parse("(a + a + a) (b + b) + ~")
+        assert simplify(expression).size() <= expression.size()
+
+    def test_printer_of_simplified_is_parseable(self):
+        expression = simplify(parse("(a + %)* (b + ~)"))
+        reparsed = parse(to_string(expression))
+        assert language_up_to(expression, 3) == language_up_to(reparsed, 3)

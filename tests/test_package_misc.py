@@ -1,0 +1,122 @@
+"""Miscellaneous coverage: package exports, exceptions, and small helpers."""
+
+import pytest
+
+import repro
+from repro import exceptions
+from repro.datalog import (
+    answers_from,
+    edb_from_instance,
+    evaluate_seminaive,
+    quotient_translation,
+    unrestricted_variant,
+)
+from repro.distributed import SiteAgent, Subquery
+from repro.graph import figure2_graph
+from repro.regex import parse
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet_from_readme(self):
+        graph = repro.Instance([("home", "a", "x"), ("x", "b", "y")])
+        assert repro.answer_set("a b*", "home", graph) == {"x", "y"}
+
+    def test_subpackage_all_exports_resolve(self):
+        import importlib
+
+        for module_name in (
+            "repro.regex",
+            "repro.automata",
+            "repro.graph",
+            "repro.query",
+            "repro.datalog",
+            "repro.distributed",
+            "repro.constraints",
+            "repro.generalized",
+            "repro.optimize",
+            "repro.workloads",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        for error_type in (
+            exceptions.RegexSyntaxError,
+            exceptions.AutomatonError,
+            exceptions.InstanceError,
+            exceptions.ConstraintError,
+            exceptions.ImplicationUndecidedError,
+            exceptions.DatalogError,
+            exceptions.DistributedProtocolError,
+            exceptions.BoundednessError,
+        ):
+            assert issubclass(error_type, exceptions.ReproError)
+        assert issubclass(exceptions.ReproError, Exception)
+
+    def test_regex_syntax_error_records_position(self):
+        error = exceptions.RegexSyntaxError("bad token", position=7)
+        assert error.position == 7
+        assert "position 7" in str(error)
+
+    def test_regex_syntax_error_without_position(self):
+        assert exceptions.RegexSyntaxError("oops").position is None
+
+
+class TestSiteAgentUnit:
+    def test_duplicate_subquery_returns_done_immediately(self):
+        agent = SiteAgent("site", [("a", "next")])
+        first = agent.handle(Subquery("m1", "asker", "site", "asker", parse("a b")))
+        assert any(message.kind() == "subquery" for message in first)
+        duplicate = agent.handle(Subquery("m2", "other", "site", "asker", parse("a b")))
+        assert len(duplicate) == 1
+        assert duplicate[0].kind() == "done"
+        assert duplicate[0].receiver == "other"
+
+    def test_dead_subquery_is_done_at_once(self):
+        agent = SiteAgent("leaf", [])
+        messages = agent.handle(Subquery("m1", "asker", "leaf", "asker", parse("a b")))
+        assert [m.kind() for m in messages] == ["done"]
+
+    def test_self_answer_when_epsilon_in_language(self):
+        from repro.distributed import Ack
+
+        agent = SiteAgent("leaf", [])
+        messages = agent.handle(Subquery("m1", "asker", "leaf", "dest", parse("a*")))
+        assert [m.kind() for m in messages] == ["answer"]
+        # The done to the requester is deferred until the answer is acknowledged.
+        followup = agent.handle(Ack(messages[0].mid, "dest", "leaf"))
+        assert [m.kind() for m in followup] == ["done"]
+        assert followup[0].receiver == "asker"
+
+    def test_unmatched_completion_is_recorded_not_fatal(self):
+        agent = SiteAgent("site", [])
+        from repro.distributed import Done
+
+        assert agent.handle(Done("ghost", "x", "site")) == []
+        assert agent.unmatched_completions == ["ghost"]
+
+
+class TestDatalogUnrestrictedVariant:
+    def test_unrestricted_program_derives_at_least_the_seeded_answers(self):
+        instance, source = figure2_graph()
+        translated = quotient_translation("a b*")
+        seeded_db, _ = evaluate_seminaive(
+            translated.program, edb_from_instance(instance, source)
+        )
+        unrestricted = unrestricted_variant(translated.program)
+        # The unrestricted program seeds the recursion at every object with an
+        # outgoing edge, so it derives a superset of the source-seeded answers.
+        edb = edb_from_instance(instance, source)
+        edb.pop("source")
+        open_db, _ = evaluate_seminaive(unrestricted, edb)
+        assert answers_from(seeded_db) <= answers_from(open_db)

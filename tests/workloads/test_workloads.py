@@ -1,0 +1,95 @@
+"""Tests for the workload generators used by examples and benchmarks."""
+
+from repro.constraints import satisfies_all
+from repro.query import answer_set
+from repro.regex import denotes_finite_language, parse
+from repro.workloads import (
+    alphabet_of,
+    chained_idempotence_constraints,
+    collapsing_constraints,
+    cs_department_site,
+    pspace_hard_inclusion,
+    random_path_query,
+    random_word_constraints,
+    site_with_home_shortcut,
+    star_chain_query,
+)
+
+
+class TestWebsiteWorkload:
+    def test_constraints_hold_on_the_generated_site(self):
+        workload = cs_department_site()
+        assert satisfies_all(workload.instance, workload.root, workload.constraints)
+
+    def test_intro_paths_reach_the_same_course(self):
+        workload = cs_department_site()
+        course = workload.course_ids[0]
+        faculty = workload.faculty_names[0]
+        by_group = answer_set(
+            f"CS-Department DB-group {faculty} Classes {course}",
+            workload.root,
+            workload.instance,
+        )
+        by_catalog = answer_set(
+            f"CS-Department Courses {course}", workload.root, workload.instance
+        )
+        assert by_group == by_catalog != set()
+
+    def test_scaling_parameters(self):
+        small = cs_department_site(group_count=1, faculty_per_group=1, courses_per_faculty=1)
+        large = cs_department_site(group_count=3, faculty_per_group=3, courses_per_faculty=3)
+        assert len(large.instance) > len(small.instance)
+        assert len(large.constraints) > len(small.constraints)
+
+    def test_home_shortcut_constraint_holds(self):
+        workload = cs_department_site(group_count=1, faculty_per_group=1)
+        instance, constraints = site_with_home_shortcut(workload)
+        assert satisfies_all(instance, workload.root, constraints)
+
+    def test_deterministic_given_seed(self):
+        first = cs_department_site(seed=3)
+        second = cs_department_site(seed=3)
+        assert first.instance == second.instance
+
+
+class TestSyntheticWorkloads:
+    def test_alphabet(self):
+        assert alphabet_of(3) == ["l0", "l1", "l2"]
+
+    def test_random_word_constraints_are_word_constraints(self):
+        constraints = random_word_constraints(5, seed=2)
+        assert constraints.is_word_constraint_set()
+        assert len(constraints) == 5
+
+    def test_random_word_constraints_equalities(self):
+        constraints = random_word_constraints(4, seed=2, equalities=True)
+        assert constraints.is_word_equality_set()
+
+    def test_chained_idempotence(self):
+        constraints = chained_idempotence_constraints(3)
+        assert constraints.is_word_equality_set()
+        assert len(constraints) == 3
+
+    def test_collapsing_constraints_bound_the_star(self):
+        from repro.constraints import decide_boundedness
+
+        constraints = collapsing_constraints(3)
+        result = decide_boundedness(constraints, "a*")
+        assert result.bounded
+        assert len(result.answer_class_words) == 3
+
+    def test_random_path_query_deterministic(self):
+        assert random_path_query(7) == random_path_query(7)
+        assert random_path_query(7, depth=4).alphabet() <= set(alphabet_of(3))
+
+    def test_star_chain_query_shape(self):
+        query = star_chain_query(2, alphabet_size=2)
+        assert not denotes_finite_language(query)
+
+    def test_pspace_hard_inclusion_pair(self):
+        lhs, rhs = pspace_hard_inclusion(3)
+        from repro.automata import includes, regex_to_nfa
+
+        assert includes(regex_to_nfa(rhs), regex_to_nfa(lhs))
+        assert not includes(regex_to_nfa(lhs), regex_to_nfa(rhs))
+        assert lhs.alphabet() == {"a", "b"}
