@@ -11,7 +11,7 @@ import pytest
 
 from repro.distributed import run_distributed_query
 from repro.graph import layered_dag, web_like_graph
-from repro.query import evaluate
+from repro.query import evaluate_baseline
 
 QUERY = "a (b + c)* a"
 
@@ -24,7 +24,7 @@ def bench_distributed_run_web_graph(benchmark, record, nodes):
     result = benchmark(
         lambda: run_distributed_query(QUERY, source, instance, asker="client")
     )
-    centralized = evaluate(QUERY, source, instance)
+    centralized = evaluate_baseline(QUERY, source, instance)
     record(
         nodes=nodes,
         sites_contacted=len(result.sites_contacted),

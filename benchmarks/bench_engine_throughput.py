@@ -1,0 +1,140 @@
+"""Throughput comparison: baseline evaluator vs the compiled batch engine.
+
+Unlike the pytest-benchmark experiment files (which reproduce figures of the
+paper), this is a standalone, scriptable harness for the serving question the
+ROADMAP cares about: *queries per second* on a batched workload.  It runs the
+same (query, source) workload three ways —
+
+* ``baseline``   — ``query.evaluation.evaluate_baseline`` per source, the
+                   paper's product-automaton BFS;
+* ``engine cold``— a fresh ``Engine`` per batch: pays graph compilation and
+                   one DFA lowering per query, then batched execution;
+* ``engine warm``— the steady-state serving shape: compiled graph and query
+                   cache already hot, batched bitmask execution only;
+
+and reports queries/sec plus the speedup over baseline.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py          # full run
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --smoke  # CI-sized
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --check  # exit 1 if
+                                                                  warm speedup < 3x
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.engine import Engine
+from repro.graph import web_like_graph
+from repro.query import evaluate_baseline
+from repro.workloads import random_path_query, star_chain_query
+
+
+def build_workload(nodes: int, query_count: int, sources_per_query: int, seed: int):
+    instance, _ = web_like_graph(nodes, ["l0", "l1", "l2"], seed=seed)
+    queries = [random_path_query(seed + i, alphabet_size=3, depth=3) for i in range(query_count)]
+    queries.append(star_chain_query(2, alphabet_size=3))
+    objects = sorted(instance.objects, key=repr)
+    step = max(1, len(objects) // sources_per_query)
+    sources = objects[::step][:sources_per_query]
+    return instance, queries, sources
+
+
+def run_baseline(instance, queries, sources):
+    answers = {}
+    for query in queries:
+        for source in sources:
+            answers[(str(query), source)] = evaluate_baseline(query, source, instance).answers
+    return answers
+
+
+def run_engine_batched(engine, queries, sources):
+    answers = {}
+    for query in queries:
+        per_source = engine.query_batch(query, sources)
+        for source in sources:
+            answers[(str(query), source)] = per_source[source]
+    return answers
+
+
+def timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=1500, help="graph size")
+    parser.add_argument("--queries", type=int, default=6, help="distinct queries per batch")
+    parser.add_argument("--sources", type=int, default=48, help="batched sources per query")
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--repeat", type=int, default=3, help="timing repetitions (best-of)")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI: verifies the harness, not the numbers",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless the warm-cache batched speedup is at least 3x",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.nodes, args.queries, args.sources, args.repeat = 120, 3, 12, 1
+
+    instance, queries, sources = build_workload(
+        args.nodes, args.queries, args.sources, args.seed
+    )
+    total_queries = len(queries) * len(sources)
+    print(
+        f"workload: {args.nodes} nodes, {instance.edge_count()} edges, "
+        f"{len(queries)} queries x {len(sources)} sources = {total_queries} evaluations"
+    )
+
+    baseline_answers, baseline_time = None, float("inf")
+    for _ in range(args.repeat):
+        result, elapsed = timed(run_baseline, instance, queries, sources)
+        baseline_answers, baseline_time = result, min(baseline_time, elapsed)
+
+    cold_time = float("inf")
+    cold_answers = None
+    for _ in range(args.repeat):
+        def cold_run():
+            return run_engine_batched(Engine.open(instance), queries, sources)
+
+        result, elapsed = timed(cold_run)
+        cold_answers, cold_time = result, min(cold_time, elapsed)
+
+    warm_engine = Engine.open(instance)
+    run_engine_batched(warm_engine, queries, sources)  # prime graph + query cache
+    warm_time = float("inf")
+    warm_answers = None
+    for _ in range(args.repeat):
+        result, elapsed = timed(run_engine_batched, warm_engine, queries, sources)
+        warm_answers, warm_time = result, min(warm_time, elapsed)
+
+    if cold_answers != baseline_answers or warm_answers != baseline_answers:
+        print("FATAL: engine answers diverge from baseline", file=sys.stderr)
+        return 1
+
+    rows = [
+        ("baseline evaluate", baseline_time, 1.0),
+        ("engine (cold cache)", cold_time, baseline_time / cold_time),
+        ("engine (warm cache)", warm_time, baseline_time / warm_time),
+    ]
+    print(f"{'mode':<22}{'time (s)':>10}{'queries/s':>12}{'speedup':>9}")
+    for name, elapsed, speedup in rows:
+        print(f"{name:<22}{elapsed:>10.4f}{total_queries / elapsed:>12.1f}{speedup:>8.1f}x")
+    print(f"# engine stats: {warm_engine.describe()}")
+
+    warm_speedup = baseline_time / warm_time
+    if args.check and warm_speedup < 3.0:
+        print(f"CHECK FAILED: warm speedup {warm_speedup:.1f}x < 3x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ from repro.constraints import ConstraintSet
 from repro.distributed import run_distributed_query
 from repro.graph import Instance
 from repro.optimize import CostModel, materialize_cache, plan_and_evaluate, rewrite_query
-from repro.query import evaluate
+from repro.query import evaluate_baseline
 from repro.regex import to_string
 from repro.workloads import cs_department_site
 
@@ -86,5 +86,5 @@ def bench_no_constraint_baseline(benchmark, record):
     faculty = workload.faculty_names[-1]
     long_query = f"CS-Department group-1 {faculty} Classes {course}"
 
-    result = benchmark(lambda: evaluate(long_query, workload.root, workload.instance))
+    result = benchmark(lambda: evaluate_baseline(long_query, workload.root, workload.instance))
     record(visited_pairs=result.visited_pairs, answers=len(result.answers))

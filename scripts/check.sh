@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo health check: the tier-1 test suite plus a fast engine-benchmark smoke.
+#
+# Usage:  ./scripts/check.sh
+#
+# Exits non-zero if either step fails.  The benchmark smoke run uses tiny
+# sizes — it verifies the throughput harness end to end (and that engine
+# answers still match the baseline evaluator), not the performance numbers;
+# run `python benchmarks/bench_engine_throughput.py --check` for the real
+# measurement with the >= 3x warm-cache speedup gate.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: full test suite =="
+python -m pytest -x -q
+
+echo
+echo "== bench smoke: engine throughput harness =="
+python benchmarks/bench_engine_throughput.py --smoke
+
+echo
+echo "All checks passed."

@@ -112,10 +112,13 @@ def compare_with_centralized(
     answer set, whether they agree, and the distributed message counts —
     the raw material of the Section 3.1 benchmark.
     """
-    from ..query.evaluation import evaluate
+    # The baseline evaluator, explicitly: this comparison is against the
+    # paper's centralized product-automaton algorithm, so the engine
+    # delegation inside evaluate() would skew the visited-pairs metric.
+    from ..query.evaluation import evaluate_baseline
 
     distributed = run_distributed_query(query, source, instance, asker=asker)
-    centralized = evaluate(query, source, instance)
+    centralized = evaluate_baseline(query, source, instance)
     return {
         "agree": distributed.answers == centralized.answers,
         "distributed_answers": set(distributed.answers),

@@ -1,0 +1,36 @@
+"""Compiled batch evaluation engine: interning, CSR graphs, integer DFAs.
+
+This package is the performance substrate for serving path queries at scale:
+labels and object ids are interned to dense integers
+(:mod:`~repro.engine.interning`), the instance is compiled once into
+label-partitioned CSR adjacency (:mod:`~repro.engine.csr`), queries are
+lowered to integer DFA transition tables with an LRU compile cache
+(:mod:`~repro.engine.compiled_query`), and execution shares work across
+batched sources via bitmask frontiers (:mod:`~repro.engine.executor`).  The
+:class:`~repro.engine.session.Engine` façade ties it together and is what
+callers — the CLI's ``engine`` subcommand, the planner's engine backend, and
+the transparent delegation inside ``query.evaluation.evaluate`` — build on.
+"""
+
+from .compiled_query import CompiledQuery, QueryCompiler, lower_query, query_key
+from .csr import CompiledGraph
+from .executor import BatchRun, SingleRun, run_all_pairs, run_batch, run_single
+from .interning import Interner
+from .session import Engine, EngineStats, shared_engine
+
+__all__ = [
+    "BatchRun",
+    "CompiledGraph",
+    "CompiledQuery",
+    "Engine",
+    "EngineStats",
+    "Interner",
+    "QueryCompiler",
+    "SingleRun",
+    "lower_query",
+    "query_key",
+    "run_all_pairs",
+    "run_batch",
+    "run_single",
+    "shared_engine",
+]

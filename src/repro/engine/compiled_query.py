@@ -1,0 +1,169 @@
+"""Lowering a regular path query to an integer DFA transition table.
+
+The baseline evaluator re-derives NFA state *sets* (with ε-closures) at every
+edge of the product search.  The engine instead pays the subset construction
+once per query: the query's Thompson NFA is determinized and minimized with
+the existing automata machinery, then flattened into a dense table
+
+    ``table[state][label_id] -> next_state  (or -1)``
+
+whose columns are the *graph's* interned label ids.  Two prunings happen
+during lowering, both invisible to the language but important for traversal
+cost:
+
+* labels that occur in the graph but not in the query map to ``-1`` in every
+  row, so the executor never follows those edge partitions at all;
+* DFA states that cannot reach an accepting state *using only labels present
+  in the graph* are dead on this graph — transitions into them become ``-1``,
+  which cuts the product search off exactly where the baseline would keep
+  expanding non-empty-but-hopeless NFA state sets.
+
+Compiled tables are cached in an LRU keyed by the canonical expression string
+and the graph's label count; label ids are append-only, so a table is
+invalidated only when a genuinely new label shows up.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+from ..automata import minimize_dfa, nfa_to_dfa
+from ..query.path_query import RegularPathQuery
+from ..regex import Regex, to_string
+from .csr import CompiledGraph
+
+DEAD = -1
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A query lowered against one graph's label universe."""
+
+    expression: str
+    initial: int
+    accepting: tuple[bool, ...]
+    table: tuple[array, ...]
+    # Per state: live (label_id, next_state) pairs, precomputed so that the
+    # executor's inner loop iterates only over useful labels.
+    moves: tuple[tuple[tuple[int, int], ...], ...]
+    label_count: int
+    dfa_size: int
+
+    @property
+    def num_states(self) -> int:
+        return len(self.accepting)
+
+    def accepts_empty_word(self) -> bool:
+        return self.accepting[self.initial]
+
+
+def lower_query(
+    query: "RegularPathQuery | Regex | str", graph: CompiledGraph
+) -> CompiledQuery:
+    """Compile ``query`` into an integer transition table over ``graph``'s labels."""
+    rpq = query if isinstance(query, RegularPathQuery) else RegularPathQuery.of(query)
+    dfa = minimize_dfa(nfa_to_dfa(rpq.nfa))
+
+    states = sorted(dfa.states)
+    index = {state: position for position, state in enumerate(states)}
+    label_count = graph.num_labels
+
+    # Raw table over graph label ids (minimized DFAs are total over their own
+    # alphabet, so a missing entry simply means "label unknown to the query").
+    raw: list[list[int]] = [[DEAD] * label_count for _ in states]
+    for state in states:
+        row = dfa.transitions.get(state, {})
+        for label, target in row.items():
+            lid = graph.label_id(label)
+            if lid is not None:
+                raw[index[state]][lid] = index[target]
+
+    # Liveness over the graph-restricted transition relation: reverse BFS
+    # from accepting states.  (The minimized DFA's sink, and any state whose
+    # path to acceptance needs a label this graph does not have, both die.)
+    reverse: list[list[int]] = [[] for _ in states]
+    for source_position, row in enumerate(raw):
+        for target_position in row:
+            if target_position != DEAD:
+                reverse[target_position].append(source_position)
+    live = [dfa_state in dfa.accepting for dfa_state in states]
+    queue = deque(position for position, flag in enumerate(live) if flag)
+    while queue:
+        position = queue.popleft()
+        for predecessor in reverse[position]:
+            if not live[predecessor]:
+                live[predecessor] = True
+                queue.append(predecessor)
+
+    table = tuple(
+        array(
+            "q",
+            [
+                target if target != DEAD and live[target] else DEAD
+                for target in row
+            ],
+        )
+        for row in raw
+    )
+    moves = tuple(
+        tuple(
+            (lid, target)
+            for lid, target in enumerate(row)
+            if target != DEAD
+        )
+        for row in table
+    )
+    return CompiledQuery(
+        expression=to_string(rpq.expression),
+        initial=index[dfa.initial],
+        accepting=tuple(state in dfa.accepting for state in states),
+        table=table,
+        moves=moves,
+        label_count=label_count,
+        dfa_size=len(states),
+    )
+
+
+def query_key(query: "RegularPathQuery | Regex | str") -> str:
+    """Canonical cache key for a query: its printed expression."""
+    if isinstance(query, RegularPathQuery):
+        return to_string(query.expression)
+    if isinstance(query, Regex):
+        return to_string(query)
+    return to_string(RegularPathQuery.from_string(query).expression)
+
+
+class QueryCompiler:
+    """LRU cache of compiled queries, keyed by expression and label universe."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("compile cache capacity must be positive")
+        self.capacity = capacity
+        self._cache: "OrderedDict[tuple[str, int], CompiledQuery]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def compile(
+        self, query: "RegularPathQuery | Regex | str", graph: CompiledGraph
+    ) -> CompiledQuery:
+        key = (query_key(query), graph.num_labels)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        compiled = lower_query(query, graph)
+        self._cache[key] = compiled
+        if len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+        return compiled
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,216 @@
+"""Label-partitioned CSR adjacency compiled from an :class:`Instance`.
+
+The raw data model (:mod:`repro.graph.instance`) stores descriptions as
+Python lists of ``(label, destination)`` pairs — flexible, but every BFS step
+pays for hashing strings and boxing tuples.  The compiled form here stores,
+*per label*, a classic compressed-sparse-row pair ``(indptr, targets)`` over
+dense node ids, so that "successors of node v under label l" is one slice of
+a flat integer array.  Partitioning by label matters for path queries: a DFA
+state typically has live transitions on a small subset of the graph's labels,
+and the per-label layout lets the executor skip every other edge without
+even looking at it.
+
+Incremental growth: edges added after compilation go to a small per-label
+overflow adjacency that traversals consult alongside the CSR slices; once the
+overflow exceeds a fraction of the graph the structure compacts itself back
+into pure CSR.  Ids are append-only (see :mod:`repro.engine.interning`), so
+compiled query tables survive edge adds that introduce no new labels.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator
+
+from ..exceptions import InstanceError
+from ..graph.instance import Instance, Oid
+from .interning import Interner
+
+_EMPTY = array("q")
+
+
+class CompiledGraph:
+    """A finite instance compiled to per-label CSR over dense integer ids."""
+
+    __slots__ = (
+        "nodes",
+        "labels",
+        "_indptr",
+        "_targets",
+        "_csr_nodes",
+        "_overflow",
+        "_overflow_edges",
+        "_edge_set",
+        "version",
+    )
+
+    def __init__(self) -> None:
+        self.nodes: Interner[Oid] = Interner()
+        self.labels: Interner[str] = Interner()
+        # Per label id: CSR row pointers (length _csr_nodes + 1) and targets.
+        self._indptr: list[array] = []
+        self._targets: list[array] = []
+        # Number of nodes covered by the CSR arrays; nodes interned later are
+        # reachable only through the overflow until the next compaction.
+        self._csr_nodes = 0
+        # Per label id: {source node -> [target nodes]} for post-build adds.
+        self._overflow: list[dict[int, list[int]]] = []
+        self._overflow_edges = 0
+        self._edge_set: set[tuple[int, int, int]] = set()
+        self.version = 0
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_instance(cls, instance: Instance) -> "CompiledGraph":
+        """Compile ``instance`` into a fresh CSR graph.
+
+        Node ids are assigned in a deterministic order (sorted by ``repr`` of
+        the oid, matching :meth:`Instance.edges`) so that repeated builds of
+        the same instance produce identical compiled graphs.
+        """
+        graph = cls()
+        for oid in sorted(instance.objects, key=repr):
+            graph.nodes.intern(oid)
+        buckets: dict[int, list[tuple[int, int]]] = {}
+        for source, label, destination in instance.edges():
+            sid = graph.nodes.intern(source)
+            did = graph.nodes.intern(destination)
+            lid = graph.labels.intern(label)
+            buckets.setdefault(lid, []).append((sid, did))
+            graph._edge_set.add((sid, lid, did))
+        graph._build_csr(buckets)
+        return graph
+
+    def _build_csr(self, buckets: dict[int, list[tuple[int, int]]]) -> None:
+        n = len(self.nodes)
+        self._csr_nodes = n
+        self._indptr = []
+        self._targets = []
+        self._overflow = []
+        self._overflow_edges = 0
+        for lid in range(len(self.labels)):
+            edges = buckets.get(lid, ())
+            counts = [0] * (n + 1)
+            for sid, _ in edges:
+                counts[sid + 1] += 1
+            for i in range(1, n + 1):
+                counts[i] += counts[i - 1]
+            targets = array("q", bytes(8 * len(edges)))
+            cursor = counts[:]
+            for sid, did in edges:
+                targets[cursor[sid]] = did
+                cursor[sid] += 1
+            self._indptr.append(array("q", counts))
+            self._targets.append(targets)
+            self._overflow.append({})
+        self.version += 1
+
+    def add_edge(self, source: Oid, label: str, destination: Oid) -> None:
+        """Incrementally register one edge without rebuilding the CSR.
+
+        New labels and new nodes are interned on the fly; the edge lands in
+        the overflow adjacency, and the graph compacts itself once the
+        overflow grows past a quarter of the compiled edges.
+        """
+        if not isinstance(label, str) or not label:
+            raise InstanceError("edge labels must be non-empty strings")
+        sid = self.nodes.intern(source)
+        did = self.nodes.intern(destination)
+        lid = self.labels.intern(label)
+        while len(self._overflow) <= lid:
+            self._indptr.append(_EMPTY)
+            self._targets.append(_EMPTY)
+            self._overflow.append({})
+        key = (sid, lid, did)
+        if key in self._edge_set:
+            return
+        self._edge_set.add(key)
+        self._overflow[lid].setdefault(sid, []).append(did)
+        self._overflow_edges += 1
+        self.version += 1
+        if self._overflow_edges > max(64, self.edge_count() // 4):
+            self.compact()
+
+    def compact(self) -> None:
+        """Fold the overflow adjacency back into pure CSR arrays."""
+        if not self._overflow_edges and self._csr_nodes == len(self.nodes):
+            return
+        buckets: dict[int, list[tuple[int, int]]] = {}
+        for sid, lid, did in self._edge_set:
+            buckets.setdefault(lid, []).append((sid, did))
+        self._build_csr(buckets)
+
+    # -- shape ----------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_labels(self) -> int:
+        return len(self.labels)
+
+    def edge_count(self) -> int:
+        return len(self._edge_set)
+
+    def overflow_edge_count(self) -> int:
+        return self._overflow_edges
+
+    # -- traversal ------------------------------------------------------------
+    def successors(self, node: int, label_id: int) -> Iterator[int]:
+        """Targets of ``node`` under ``label_id`` (CSR slice + overflow)."""
+        indptr = self._indptr[label_id]
+        if node + 1 < len(indptr):
+            targets = self._targets[label_id]
+            yield from targets[indptr[node] : indptr[node + 1]]
+        extra = self._overflow[label_id].get(node)
+        if extra is not None:
+            yield from extra
+
+    def successor_slice(self, node: int, label_id: int) -> "tuple[array | list[int], int, int]":
+        """CSR bounds for hot loops: ``(buffer, start, stop)``.
+
+        Callers materialize ``buffer[start:stop]`` and iterate the copy
+        (fastest in CPython for the short runs typical of small out-degrees).
+        Overflow edges for the node, if any, must be fetched separately with
+        :meth:`overflow_successors`.
+        """
+        indptr = self._indptr[label_id]
+        if node + 1 < len(indptr):
+            return self._targets[label_id], indptr[node], indptr[node + 1]
+        return _EMPTY, 0, 0
+
+    def overflow_successors(self, node: int, label_id: int) -> "list[int] | None":
+        return self._overflow[label_id].get(node)
+
+    def has_overflow(self, label_id: int) -> bool:
+        return bool(self._overflow[label_id])
+
+    def out_edges(self, node: int) -> Iterator[tuple[int, int]]:
+        """All ``(label_id, target)`` pairs of one node (any label)."""
+        for lid in range(len(self.labels)):
+            for target in self.successors(node, lid):
+                yield (lid, target)
+
+    def iter_edges(self) -> Iterator[tuple[int, int, int]]:
+        """All compiled edges as ``(source, label_id, target)`` triples."""
+        return iter(self._edge_set)
+
+    # -- translation ----------------------------------------------------------
+    def node_id(self, oid: Oid) -> int | None:
+        return self.nodes.id_of(oid)
+
+    def oid_of(self, node: int) -> Oid:
+        return self.nodes.value_of(node)
+
+    def oids_of(self, node_ids: Iterable[int]) -> set[Oid]:
+        value_of = self.nodes.value_of
+        return {value_of(node) for node in node_ids}
+
+    def label_id(self, label: str) -> int | None:
+        return self.labels.id_of(label)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledGraph(nodes={self.num_nodes}, labels={self.num_labels}, "
+            f"edges={self.edge_count()}, overflow={self._overflow_edges})"
+        )

@@ -1,0 +1,279 @@
+"""The engine façade: one compiled graph, one query cache, many evaluations.
+
+``Engine.open(instance)`` compiles the instance once into the label-indexed
+CSR form and then serves any number of query evaluations against it —
+single-source, multi-source batched, or all-pairs — compiling each distinct
+query at most once (LRU).  The façade also owns the two cross-cutting
+concerns that individual executors should not:
+
+* **staleness** — the engine snapshots the instance's version counter and
+  transparently rebuilds the compiled graph when the instance has been
+  mutated behind its back; edges added *through* the engine
+  (:meth:`Engine.add_edge`) take the cheap incremental path instead;
+* **constraint pre-rewrite** — when opened with a
+  :class:`~repro.constraints.constraint.ConstraintSet`, each query is first
+  handed to :func:`repro.optimize.rewriter.rewrite_query` and the provably
+  equivalent cheapest form is what gets compiled, so the Section 3.2
+  optimization composes with the compiled execution path.
+
+Results mirror :class:`repro.query.evaluation.EvaluationResult`, including
+witness paths for single-source calls, so the engine is a drop-in backend
+for existing callers (see the delegation hook in ``query.evaluation`` and the
+``backend`` parameter of ``optimize.planner.plan_and_evaluate``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..graph.instance import Instance, Oid
+from ..query.evaluation import EvaluationResult
+from ..query.path_query import RegularPathQuery
+from ..regex import Regex
+from .compiled_query import CompiledQuery, QueryCompiler, query_key
+from .csr import CompiledGraph
+from .executor import run_all_pairs, run_batch, run_single
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..constraints.constraint import ConstraintSet
+    from ..optimize.cost import CostModel
+
+_SHARED_ENGINE_ATTR = "_repro_shared_engine"
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated across the lifetime of one engine session."""
+
+    graph_builds: int = 0
+    incremental_edges: int = 0
+    single_evaluations: int = 0
+    batch_evaluations: int = 0
+    batched_sources: int = 0
+    visited_pairs: int = 0
+    rewrites_applied: int = 0
+
+    def summary(self, engine: "Engine") -> str:
+        compiler = engine.compiler
+        return (
+            f"graph builds: {self.graph_builds} "
+            f"(+{self.incremental_edges} incremental edges); "
+            f"compiles: {compiler.misses}, cache hits: {compiler.hits}; "
+            f"evaluations: {self.single_evaluations} single, "
+            f"{self.batch_evaluations} batched "
+            f"({self.batched_sources} sources); "
+            f"visited pairs: {self.visited_pairs}; "
+            f"rewrites applied: {self.rewrites_applied}"
+        )
+
+
+class Engine:
+    """A compiled-evaluation session bound to one :class:`Instance`."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        *,
+        constraints: "ConstraintSet | None" = None,
+        cost_model: "CostModel | None" = None,
+        cache_capacity: int = 128,
+    ) -> None:
+        self.instance = instance
+        self.constraints = constraints
+        self.cost_model = cost_model
+        self.compiler = QueryCompiler(cache_capacity)
+        self.stats = EngineStats()
+        # Rewrite memo, LRU-bounded like the compile cache so a long-lived
+        # constrained session does not grow without limit.
+        self._rewrites: "OrderedDict[str, Regex]" = OrderedDict()
+        self._graph = CompiledGraph.from_instance(instance)
+        self._instance_version = instance.version
+        self.stats.graph_builds += 1
+
+    @classmethod
+    def open(
+        cls,
+        instance: Instance,
+        *,
+        constraints: "ConstraintSet | None" = None,
+        cost_model: "CostModel | None" = None,
+        cache_capacity: int = 128,
+    ) -> "Engine":
+        """Compile ``instance`` and return a ready-to-serve engine session."""
+        return cls(
+            instance,
+            constraints=constraints,
+            cost_model=cost_model,
+            cache_capacity=cache_capacity,
+        )
+
+    # -- graph lifecycle ------------------------------------------------------
+    @property
+    def graph(self) -> CompiledGraph:
+        return self._graph
+
+    def refresh(self) -> bool:
+        """Rebuild the compiled graph if the instance mutated behind our back.
+
+        Returns ``True`` when a rebuild happened.  Mutations routed through
+        :meth:`add_edge` keep the versions in sync and never trigger this.
+        """
+        if self.instance.version == self._instance_version:
+            return False
+        self._graph = CompiledGraph.from_instance(self.instance)
+        self._instance_version = self.instance.version
+        self.stats.graph_builds += 1
+        # A full rebuild may reassign label ids (interning follows edge
+        # iteration order), so every cached transition table is void — the
+        # cache key tracks only the label *count*, which is enough for the
+        # append-only incremental path but not for a rebuild.
+        self.compiler.clear()
+        return True
+
+    def add_edge(self, source: Oid, label: str, destination: Oid) -> None:
+        """Add one edge to both the instance and the compiled graph.
+
+        This is the incremental path: the CSR structure absorbs the edge via
+        its overflow adjacency instead of recompiling the whole graph.
+        """
+        self.refresh()
+        if self.instance.has_edge(source, label, destination):
+            return
+        self.instance.add_edge(source, label, destination)
+        self._graph.add_edge(source, label, destination)
+        self._instance_version = self.instance.version
+        self.stats.incremental_edges += 1
+
+    # -- query compilation ----------------------------------------------------
+    def _prepared(
+        self, query: "RegularPathQuery | Regex | str"
+    ) -> "RegularPathQuery | Regex | str":
+        if self.constraints is None or len(self.constraints) == 0:
+            return query
+        key = query_key(query)
+        rewritten = self._rewrites.get(key)
+        if rewritten is None:
+            from ..optimize.cost import DEFAULT_COST_MODEL
+            from ..optimize.rewriter import rewrite_query
+
+            outcome = rewrite_query(
+                query if isinstance(query, (Regex, str)) else query.expression,
+                self.constraints,
+                self.cost_model or DEFAULT_COST_MODEL,
+            )
+            rewritten = outcome.best
+            self._rewrites[key] = rewritten
+            if len(self._rewrites) > self.compiler.capacity:
+                self._rewrites.popitem(last=False)
+            if outcome.improved:
+                self.stats.rewrites_applied += 1
+        else:
+            self._rewrites.move_to_end(key)
+        return rewritten
+
+    def compiled(self, query: "RegularPathQuery | Regex | str") -> CompiledQuery:
+        """The integer transition table for ``query`` on the current graph."""
+        self.refresh()
+        return self.compiler.compile(self._prepared(query), self._graph)
+
+    # -- evaluation -----------------------------------------------------------
+    def query(
+        self, query: "RegularPathQuery | Regex | str", source: Oid
+    ) -> EvaluationResult:
+        """Single-source evaluation with witnesses, as an ``EvaluationResult``."""
+        compiled = self.compiled(query)
+        graph = self._graph
+        self.stats.single_evaluations += 1
+        node = graph.node_id(source)
+        if node is None:
+            # Unknown sources have an empty description; they answer
+            # themselves exactly when the query accepts the empty word.
+            result = EvaluationResult(visited_pairs=1, visited_objects=1)
+            if compiled.accepts_empty_word():
+                result.answers.add(source)
+                result.witness_paths[source] = ()
+            return result
+        run = run_single(graph, compiled, node)
+        self.stats.visited_pairs += run.visited_pairs
+        label_of = graph.labels.value_of
+        result = EvaluationResult(
+            answers=graph.oids_of(run.answers),
+            visited_pairs=run.visited_pairs,
+            visited_objects=run.visited_objects,
+        )
+        for node_id, labels in run.witness_paths.items():
+            result.witness_paths[graph.oid_of(node_id)] = tuple(
+                label_of(label_id) for label_id in labels
+            )
+        return result
+
+    def answer_set(
+        self, query: "RegularPathQuery | Regex | str", source: Oid
+    ) -> set[Oid]:
+        return self.query(query, source).answers
+
+    def query_batch(
+        self,
+        query: "RegularPathQuery | Regex | str",
+        sources: "Sequence[Oid] | Iterable[Oid]",
+    ) -> dict[Oid, set[Oid]]:
+        """Evaluate one query from many sources in one shared traversal."""
+        compiled = self.compiled(query)
+        graph = self._graph
+        source_list = list(sources)
+        self.stats.batch_evaluations += 1
+        self.stats.batched_sources += len(source_list)
+        known: list[int] = []
+        known_oids: list[Oid] = []
+        results: dict[Oid, set[Oid]] = {}
+        for source in source_list:
+            node = graph.node_id(source)
+            if node is None:
+                results[source] = {source} if compiled.accepts_empty_word() else set()
+            else:
+                known.append(node)
+                known_oids.append(source)
+        if known:
+            run = run_batch(graph, compiled, known)
+            self.stats.visited_pairs += run.visited_pairs
+            for oid, answer_nodes in zip(known_oids, run.answers):
+                results[oid] = graph.oids_of(answer_nodes)
+        return results
+
+    def query_all(
+        self, query: "RegularPathQuery | Regex | str"
+    ) -> dict[Oid, set[Oid]]:
+        """All-pairs evaluation: the answer set of every object of the graph."""
+        compiled = self.compiled(query)  # refreshes before the graph is read
+        graph = self._graph
+        run = run_all_pairs(graph, compiled)
+        self.stats.batch_evaluations += 1
+        self.stats.batched_sources += graph.num_nodes
+        self.stats.visited_pairs += run.visited_pairs
+        return {
+            graph.oid_of(node): graph.oids_of(answers)
+            for node, answers in zip(run.sources, run.answers)
+        }
+
+    def describe(self) -> str:
+        return self.stats.summary(self)
+
+    def __repr__(self) -> str:
+        return f"Engine({self._graph!r}, cached_queries={len(self.compiler)})"
+
+
+def shared_engine(instance: Instance) -> Engine:
+    """A per-instance engine memoized on the instance object itself.
+
+    Used by the delegation hook in :func:`repro.query.evaluation.evaluate`
+    so that repeated baseline-API calls against the same instance share one
+    compiled graph and one warm query cache.  The engine lives exactly as
+    long as the instance does.
+    """
+    engine = getattr(instance, _SHARED_ENGINE_ATTR, None)
+    if engine is None or engine.instance is not instance:
+        engine = Engine.open(instance)
+        setattr(instance, _SHARED_ENGINE_ATTR, engine)
+    return engine

@@ -48,6 +48,7 @@ class Instance:
         self._out: dict[Oid, list[tuple[str, Oid]]] = defaultdict(list)
         self._edge_set: set[Edge] = set()
         self._objects: set[Oid] = set()
+        self._version = 0
         if edges:
             for edge in edges:
                 if isinstance(edge, Ref):
@@ -59,7 +60,9 @@ class Instance:
     # -- construction ---------------------------------------------------------
     def add_object(self, oid: Oid) -> Oid:
         """Register an object even if it has no outgoing edges yet."""
-        self._objects.add(oid)
+        if oid not in self._objects:
+            self._objects.add(oid)
+            self._version += 1
         return oid
 
     def add_edge(self, source: Oid, label: str, destination: Oid) -> None:
@@ -73,6 +76,7 @@ class Instance:
         self._out[source].append((label, destination))
         self._objects.add(source)
         self._objects.add(destination)
+        self._version += 1
 
     def remove_edge(self, source: Oid, label: str, destination: Oid) -> None:
         edge = (source, label, destination)
@@ -80,8 +84,15 @@ class Instance:
             raise InstanceError(f"edge {edge!r} not present")
         self._edge_set.remove(edge)
         self._out[source].remove((label, destination))
+        self._version += 1
 
     # -- queries --------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter, used by compiled views (``repro.engine``)
+        to detect staleness without diffing edge sets."""
+        return self._version
+
     @property
     def objects(self) -> frozenset[Oid]:
         return frozenset(self._objects)

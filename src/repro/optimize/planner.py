@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from ..constraints.constraint import ConstraintSet
 from ..distributed.coordinator import run_distributed_query
 from ..graph.instance import Instance, Oid
-from ..query.evaluation import evaluate
+from ..query.evaluation import evaluate_baseline
 from ..regex import Regex, to_string
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .rewriter import RewriteOutcome, rewrite_query
@@ -31,6 +31,7 @@ class PlanReport:
     optimized_visited_pairs: int
     original_messages: int | None = None
     optimized_messages: int | None = None
+    backend: str = "baseline"
 
     @property
     def pair_savings(self) -> int:
@@ -44,6 +45,8 @@ class PlanReport:
 
     def summary(self) -> str:
         lines = [self.rewrite.summary()]
+        if self.backend != "baseline":
+            lines.append(f"backend: {self.backend}")
         lines.append(
             "visited (object, state) pairs: "
             f"{self.original_visited_pairs} -> {self.optimized_visited_pairs}"
@@ -64,8 +67,15 @@ def plan_and_evaluate(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     measure_distributed: bool = False,
     asker: Oid = "client",
+    backend: str = "baseline",
 ) -> PlanReport:
     """Rewrite the query under the constraints, evaluate both versions, compare.
+
+    ``backend`` selects the execution layer: ``"baseline"`` uses the
+    product-automaton evaluator of ``query.evaluation``; ``"engine"`` runs
+    both versions through one compiled :class:`repro.engine.Engine` session
+    (shared CSR graph and query cache), which is the path a serving deployment
+    would take.
 
     The answers of the original and optimized queries are required to agree on
     the given instance; a mismatch raises ``AssertionError`` because it would
@@ -74,8 +84,19 @@ def plan_and_evaluate(
     """
     outcome = rewrite_query(query, constraints, cost_model)
 
-    original_result = evaluate(outcome.original, source, instance)
-    optimized_result = evaluate(outcome.best, source, instance)
+    if backend == "engine":
+        from ..engine import Engine
+
+        engine = Engine.open(instance)
+        original_result = engine.query(outcome.original, source)
+        optimized_result = engine.query(outcome.best, source)
+    elif backend == "baseline":
+        # Explicitly the reference BFS: evaluate()'s engine delegation would
+        # make visited-pairs comparisons meaningless on large instances.
+        original_result = evaluate_baseline(outcome.original, source, instance)
+        optimized_result = evaluate_baseline(outcome.best, source, instance)
+    else:
+        raise ValueError(f"unknown planner backend: {backend!r}")
     if original_result.answers != optimized_result.answers:
         raise AssertionError(
             "unsound rewrite: "
@@ -99,4 +120,5 @@ def plan_and_evaluate(
         optimized_visited_pairs=optimized_result.visited_pairs,
         original_messages=original_messages,
         optimized_messages=optimized_messages,
+        backend=backend,
     )

@@ -5,6 +5,7 @@ from .evaluation import (
     answer_set,
     evaluate,
     evaluate_all_sources,
+    evaluate_baseline,
     queries_agree_on,
 )
 from .path_query import RegularPathQuery
@@ -22,6 +23,7 @@ __all__ = [
     "answer_set_by_quotients",
     "evaluate",
     "evaluate_all_sources",
+    "evaluate_baseline",
     "evaluate_by_quotients",
     "queries_agree_on",
 ]

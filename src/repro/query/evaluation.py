@@ -13,6 +13,15 @@ objects and lazy (potentially infinite) instances; for the latter an explicit
 exploration budget must be supplied, mirroring the paper's observation that a
 query terminates on an infinite Web iff its prefix-reachable portion is
 finite.
+
+Large finite instances are transparently delegated to the compiled engine
+(:mod:`repro.engine`): above :data:`ENGINE_DELEGATION_MIN_OBJECTS` objects,
+``evaluate`` routes through a per-instance shared :class:`~repro.engine.Engine`
+whose compiled graph and query cache persist across calls, so existing
+callers get the compiled speedup without changing their code.  The lazy
+path, and any call carrying an exploration budget (whose raise-on-overflow
+semantics depend on the baseline's exact traversal), keep the original
+product-automaton search.
 """
 
 from __future__ import annotations
@@ -25,6 +34,26 @@ from ..exceptions import InstanceError
 from ..graph.instance import Instance, LazyInstance, Oid
 from ..regex import Regex
 from .path_query import RegularPathQuery
+
+# Finite instances at or above this many objects are evaluated through the
+# compiled engine; below it the plain BFS wins (no compilation to amortize).
+ENGINE_DELEGATION_MIN_OBJECTS = 64
+
+
+def uses_engine_delegation(
+    instance: "Instance | LazyInstance", max_objects: int | None = None
+) -> bool:
+    """Would :func:`evaluate` route this call through the compiled engine?
+
+    The single source of truth for the delegation predicate — callers that
+    report which backend served a query (e.g. the CLI's ``--stats``) must use
+    this rather than re-deriving the condition.
+    """
+    return (
+        max_objects is None
+        and isinstance(instance, Instance)
+        and len(instance) >= ENGINE_DELEGATION_MIN_OBJECTS
+    )
 
 
 @dataclass
@@ -62,9 +91,29 @@ def evaluate(
     unbounded search may not terminate.  Exceeding the bound raises
     :class:`~repro.exceptions.InstanceError`.
     """
-    rpq = RegularPathQuery.of(query if not isinstance(query, RegularPathQuery) else query.expression)
-    if isinstance(query, RegularPathQuery):
-        rpq = query
+    rpq = query if isinstance(query, RegularPathQuery) else RegularPathQuery.of(query)
+
+    if uses_engine_delegation(instance, max_objects):
+        from ..engine.session import shared_engine
+
+        return shared_engine(instance).query(rpq, source)
+
+    return evaluate_baseline(rpq, source, instance, max_objects)
+
+
+def evaluate_baseline(
+    query: "RegularPathQuery | Regex | str",
+    source: Oid,
+    instance: "Instance | LazyInstance",
+    max_objects: int | None = None,
+) -> EvaluationResult:
+    """The original product-automaton BFS, never delegated to the engine.
+
+    This is both the reference semantics the engine is differential-tested
+    against and the path taken for small instances, lazy instances, and
+    budgeted explorations.
+    """
+    rpq = query if isinstance(query, RegularPathQuery) else RegularPathQuery.of(query)
     nfa: NFA = rpq.nfa
 
     if isinstance(instance, LazyInstance) and max_objects is None:
@@ -142,5 +191,11 @@ def evaluate_all_sources(
     """Evaluate the query from every object of a finite instance.
 
     Used by constraint *satisfaction* checking, which quantifies over sites.
+    Large instances run as one all-pairs batch on the compiled engine, which
+    shares the traversal of common graph regions across all sources.
     """
+    if uses_engine_delegation(instance):
+        from ..engine.session import shared_engine
+
+        return shared_engine(instance).query_all(query)
     return {oid: answer_set(query, oid, instance) for oid in instance.objects}

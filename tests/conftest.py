@@ -1,15 +1,18 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures and hypothesis configuration for the test suite.
+
+The hypothesis *strategies* live in ``_strategies.py`` (importable absolutely
+from any test module); this conftest keeps the pytest-specific pieces: the
+hypothesis profile and the plain fixtures.
+"""
 
 from __future__ import annotations
 
 import random
 
 import pytest
-from hypothesis import HealthCheck, settings, strategies as st
+from hypothesis import HealthCheck, settings
 
-from repro.constraints import ConstraintSet, word_equality, word_inclusion
-from repro.graph import Instance, figure2_graph, random_graph
-from repro.regex.ast import Regex, Symbol, concat, star, union
+from repro.graph import figure2_graph, random_graph
 from repro.workloads import cs_department_site
 
 # ---------------------------------------------------------------------------
@@ -23,96 +26,6 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 settings.load_profile("repro")
-
-
-SMALL_ALPHABET = ("a", "b", "c")
-
-
-# ---------------------------------------------------------------------------
-# Strategies.
-# ---------------------------------------------------------------------------
-def labels(alphabet: tuple[str, ...] = SMALL_ALPHABET) -> st.SearchStrategy[str]:
-    return st.sampled_from(alphabet)
-
-
-def words(
-    alphabet: tuple[str, ...] = SMALL_ALPHABET, max_size: int = 5
-) -> st.SearchStrategy[tuple[str, ...]]:
-    return st.lists(labels(alphabet), max_size=max_size).map(tuple)
-
-
-def regexes(
-    alphabet: tuple[str, ...] = SMALL_ALPHABET, max_leaves: int = 6
-) -> st.SearchStrategy[Regex]:
-    """Random regular expressions of bounded size over a small alphabet."""
-    leaves = st.sampled_from([Symbol(label) for label in alphabet])
-
-    def extend(children: st.SearchStrategy[Regex]) -> st.SearchStrategy[Regex]:
-        return st.one_of(
-            st.tuples(children, children).map(lambda pair: concat(*pair)),
-            st.tuples(children, children).map(lambda pair: union(*pair)),
-            children.map(star),
-        )
-
-    return st.recursive(leaves, extend, max_leaves=max_leaves)
-
-
-def word_constraint_sets(
-    alphabet: tuple[str, ...] = ("a", "b"),
-    max_constraints: int = 3,
-    max_word_length: int = 3,
-    equalities: bool = False,
-    allow_epsilon_rhs: bool = True,
-) -> st.SearchStrategy[ConstraintSet]:
-    """Random small sets of word constraints.
-
-    ``allow_epsilon_rhs=False`` restricts right-hand sides to non-empty words;
-    the Lemma 4.4 witness construction assumes (as the paper's ε convention
-    does) that the class of ε is minimal in the rewrite order, which is
-    guaranteed when no constraint has an ε side.
-    """
-    rhs_min = 0 if allow_epsilon_rhs else 1
-    single_word = st.lists(
-        labels(alphabet), min_size=rhs_min, max_size=max_word_length
-    ).map(tuple)
-    nonempty_word = st.lists(labels(alphabet), min_size=1, max_size=max_word_length).map(tuple)
-
-    def build(pairs: list[tuple[tuple[str, ...], tuple[str, ...]]]) -> ConstraintSet:
-        constraint_set = ConstraintSet()
-        for lhs, rhs in pairs:
-            if equalities:
-                constraint_set.add(word_equality(lhs, rhs))
-            else:
-                constraint_set.add(word_inclusion(lhs, rhs))
-        return constraint_set
-
-    return st.lists(
-        st.tuples(nonempty_word, single_word), min_size=1, max_size=max_constraints
-    ).map(build)
-
-
-def small_instances(
-    alphabet: tuple[str, ...] = SMALL_ALPHABET,
-    max_nodes: int = 5,
-    max_edges: int = 8,
-) -> st.SearchStrategy[tuple[Instance, int]]:
-    """Random small instances with integer object ids and source 0."""
-
-    @st.composite
-    def build(draw: st.DrawFn) -> tuple[Instance, int]:
-        node_count = draw(st.integers(min_value=1, max_value=max_nodes))
-        edge_count = draw(st.integers(min_value=0, max_value=max_edges))
-        instance = Instance()
-        for node in range(node_count):
-            instance.add_object(node)
-        for _ in range(edge_count):
-            source = draw(st.integers(min_value=0, max_value=node_count - 1))
-            destination = draw(st.integers(min_value=0, max_value=node_count - 1))
-            label = draw(labels(alphabet))
-            instance.add_edge(source, label, destination)
-        return instance, 0
-
-    return build()
 
 
 # ---------------------------------------------------------------------------

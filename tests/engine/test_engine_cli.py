@@ -1,0 +1,77 @@
+"""Tests for the ``engine`` CLI subcommand (batch query files)."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import figure2_graph, instance_to_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    instance, _ = figure2_graph()
+    path = tmp_path / "figure2.edges"
+    path.write_text(instance_to_edge_list(instance), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "queries.rpq"
+    path.write_text("# batch of path queries\na b*\n\nb\n", encoding="utf-8")
+    return str(path)
+
+
+class TestEngineCommand:
+    def test_batch_from_one_source(self, graph_file, query_file, capsys):
+        assert main(["engine", graph_file, query_file, "--source", "o1"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert "a b*\to1\to2 o3" in lines
+        assert "b\to1\t" in lines
+
+    def test_multiple_sources_are_batched(self, graph_file, query_file, capsys):
+        code = main(["engine", graph_file, query_file, "-s", "o1", "-s", "o2"])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert "a b*\to2\t" in lines
+        assert "b\to2\to3" in lines
+
+    def test_all_sources(self, graph_file, query_file, capsys):
+        assert main(["engine", graph_file, query_file, "--all-sources"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        # 2 queries x 3 objects (the isolated 'd' is not in the edge list).
+        assert len(lines) == 6
+
+    def test_stats_on_stderr(self, graph_file, query_file, capsys):
+        code = main(["engine", graph_file, query_file, "-s", "o1", "--stats"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "compiles" in err and "batched" in err
+
+    def test_conflicting_source_flags_rejected(self, graph_file, query_file, capsys):
+        code = main(["engine", graph_file, query_file, "-s", "o1", "--all-sources"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_requires_sources(self, graph_file, query_file, capsys):
+        assert main(["engine", graph_file, query_file]) == 2
+        assert "--source" in capsys.readouterr().err
+
+    def test_empty_query_file(self, graph_file, tmp_path, capsys):
+        empty = tmp_path / "empty.rpq"
+        empty.write_text("# nothing here\n", encoding="utf-8")
+        assert main(["engine", graph_file, str(empty), "-s", "o1"]) == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_bad_query_syntax_exits_two(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "bad.rpq"
+        bad.write_text("(a\n", encoding="utf-8")
+        assert main(["engine", graph_file, str(bad), "-s", "o1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_constraint_prerewrite_accepted(self, graph_file, query_file, capsys):
+        code = main(
+            ["engine", graph_file, query_file, "-s", "o1", "-c", "a b b = a"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert "a b*\to1\to2 o3" in lines

@@ -1,0 +1,315 @@
+"""Unit tests for the compiled engine's building blocks."""
+
+import pytest
+
+from repro.engine import (
+    CompiledGraph,
+    Engine,
+    Interner,
+    QueryCompiler,
+    lower_query,
+    run_single,
+)
+from repro.exceptions import InstanceError
+from repro.graph import Instance, figure2_graph, random_graph
+from repro.query import evaluate_baseline
+
+
+class TestInterner:
+    def test_ids_are_dense_and_stable(self):
+        interner = Interner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("a") == 0
+        assert interner.value_of(1) == "b"
+        assert interner.id_of("c") is None
+        assert "a" in interner and "c" not in interner
+        assert list(interner) == ["a", "b"]
+        assert len(interner) == 2
+
+
+class TestCompiledGraph:
+    def test_compiles_instance_shape(self):
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        assert graph.num_nodes == len(instance)
+        assert graph.edge_count() == instance.edge_count()
+        assert set(graph.labels) == set(instance.labels())
+
+    def test_successors_match_instance(self):
+        instance, _ = random_graph(25, 3, ["a", "b"], seed=5)
+        graph = CompiledGraph.from_instance(instance)
+        for oid in instance.objects:
+            node = graph.node_id(oid)
+            for label in ("a", "b"):
+                lid = graph.label_id(label)
+                expected = sorted(instance.successors(oid, label), key=repr)
+                got = sorted(
+                    (graph.oid_of(t) for t in graph.successors(node, lid)), key=repr
+                )
+                assert got == expected
+
+    def test_deterministic_rebuild(self):
+        instance, _ = random_graph(15, 2, ["a", "b"], seed=9)
+        first = CompiledGraph.from_instance(instance)
+        second = CompiledGraph.from_instance(instance)
+        assert first.nodes.values() == second.nodes.values()
+        assert first.labels.values() == second.labels.values()
+
+    def test_incremental_add_edge_lands_in_overflow(self):
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        before = graph.version
+        graph.add_edge("o1", "a", "o3")
+        assert graph.version > before
+        assert graph.overflow_edge_count() == 1
+        lid = graph.label_id("a")
+        assert graph.node_id("o3") in set(graph.successors(graph.node_id("o1"), lid))
+        # Duplicate adds are idempotent.
+        graph.add_edge("o1", "a", "o3")
+        assert graph.overflow_edge_count() == 1
+
+    def test_incremental_add_new_label_and_node(self):
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        graph.add_edge("o3", "zz", "fresh")
+        lid = graph.label_id("zz")
+        assert lid is not None
+        assert graph.oid_of(next(iter(graph.successors(graph.node_id("o3"), lid)))) == "fresh"
+
+    def test_compact_folds_overflow(self):
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        graph.add_edge("o1", "a", "o3")
+        graph.add_edge("o3", "zz", "fresh")
+        graph.compact()
+        assert graph.overflow_edge_count() == 0
+        lid = graph.label_id("zz")
+        assert graph.oid_of(next(iter(graph.successors(graph.node_id("o3"), lid)))) == "fresh"
+
+    def test_rejects_bad_labels(self):
+        graph = CompiledGraph.from_instance(Instance())
+        with pytest.raises(InstanceError):
+            graph.add_edge("x", "", "y")
+
+
+class TestLowering:
+    def test_table_shape_and_acceptance(self):
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        compiled = lower_query("a b*", graph)
+        assert compiled.label_count == graph.num_labels
+        assert not compiled.accepts_empty_word()
+        # From the initial state, 'a' must be live and 'b' dead.
+        a, b = graph.label_id("a"), graph.label_id("b")
+        assert compiled.table[compiled.initial][a] >= 0
+        assert compiled.table[compiled.initial][b] == -1
+
+    def test_graph_only_labels_are_dead_everywhere(self):
+        instance = Instance([("x", "a", "y"), ("y", "unrelated", "z")])
+        graph = CompiledGraph.from_instance(instance)
+        compiled = lower_query("a*", graph)
+        unrelated = graph.label_id("unrelated")
+        assert all(row[unrelated] == -1 for row in compiled.table)
+
+    def test_empty_language_has_no_live_moves(self):
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        compiled = lower_query("~", graph)
+        assert not compiled.accepts_empty_word()
+        assert all(not moves for moves in compiled.moves)
+
+    def test_dead_states_cut_hopeless_exploration(self):
+        # 'a c' can never complete on a graph without 'c' edges: after the
+        # liveness pruning the initial state has no live moves at all.
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        compiled = lower_query("a c", graph)
+        run = run_single(graph, compiled, graph.node_id("o1"))
+        assert run.answers == set()
+        assert run.visited_pairs == 1  # only the start pair
+
+    def test_compiler_lru_hits_and_label_invalidation(self):
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        compiler = QueryCompiler(capacity=4)
+        first = compiler.compile("a b*", graph)
+        second = compiler.compile("a b*", graph)
+        assert first is second
+        assert (compiler.hits, compiler.misses) == (1, 1)
+        # A genuinely new label must invalidate (different key => recompile).
+        graph.add_edge("o1", "zz", "o2")
+        third = compiler.compile("a b*", graph)
+        assert third is not first
+        assert compiler.misses == 2
+
+    def test_compiler_evicts_least_recently_used(self):
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        compiler = QueryCompiler(capacity=2)
+        compiler.compile("a", graph)
+        compiler.compile("b", graph)
+        compiler.compile("a b", graph)  # evicts "a"
+        assert len(compiler) == 2
+        compiler.compile("a", graph)
+        assert compiler.misses == 4
+
+
+class TestEngineSession:
+    def test_matches_baseline_on_figure2(self):
+        instance, source = figure2_graph()
+        engine = Engine.open(instance)
+        for query in ("a b*", "a", "%", "(a + b)*", "b"):
+            assert engine.query(query, source).answers == (
+                evaluate_baseline(query, source, instance).answers
+            )
+
+    def test_refresh_detects_out_of_band_mutation(self):
+        instance, source = figure2_graph()
+        engine = Engine.open(instance)
+        assert engine.query("c", source).answers == set()
+        instance.add_edge(source, "c", "o3")  # bypasses the engine
+        assert engine.query("c", source).answers == {"o3"}
+        assert engine.stats.graph_builds == 2
+
+    def test_rebuild_invalidates_cached_tables(self):
+        # A rebuild can reassign label ids (interning follows edge order), so
+        # cached transition tables keyed by label *count* alone would go
+        # stale: here removing the only 'a' edge that sorts first makes 'b'
+        # intern as label 0 on rebuild, with the label count unchanged.
+        instance = Instance([(0, "a", 9), (1, "b", 2), (2, "a", 3)])
+        engine = Engine.open(instance)
+        assert engine.query("b", 1).answers == {2}
+        instance.remove_edge(0, "a", 9)  # bypasses the engine
+        assert engine.query("b", 1).answers == {2}
+        assert engine.stats.graph_builds == 2
+
+    def test_query_all_sees_objects_added_out_of_band(self):
+        instance, _ = figure2_graph()
+        engine = Engine.open(instance)
+        engine.query_all("a")
+        instance.add_edge("new1", "a", "new2")  # bypasses the engine
+        results = engine.query_all("a")
+        assert results["new1"] == {"new2"}
+        assert set(results) == set(instance.objects)
+
+    def test_add_edge_is_incremental(self):
+        instance, source = figure2_graph()
+        engine = Engine.open(instance)
+        engine.add_edge(source, "c", "o3")
+        assert engine.query("c", source).answers == {"o3"}
+        assert engine.stats.graph_builds == 1  # no rebuild
+        assert instance.has_edge(source, "c", "o3")
+
+    def test_unknown_source(self):
+        instance, _ = figure2_graph()
+        engine = Engine.open(instance)
+        assert engine.query("a*", "ghost").answers == {"ghost"}
+        assert engine.query("a", "ghost").answers == set()
+
+    def test_batch_shares_one_compile(self):
+        instance, _ = random_graph(30, 2, ["a", "b"], seed=2)
+        engine = Engine.open(instance)
+        results = engine.query_batch("a b*", sorted(instance.objects, key=repr))
+        assert set(results) == set(instance.objects)
+        assert engine.compiler.misses == 1
+
+    def test_query_all_covers_every_object(self):
+        instance, _ = random_graph(20, 2, ["a", "b"], seed=3)
+        engine = Engine.open(instance)
+        results = engine.query_all("a*")
+        assert set(results) == set(instance.objects)
+        for oid, answers in results.items():
+            assert oid in answers  # 'a*' accepts epsilon
+
+    def test_constraint_prerewrite_keeps_answers(self):
+        from repro.constraints import ConstraintSet, parse_constraint
+        from repro.optimize import materialize_cache
+
+        instance, source = figure2_graph()
+        cached_instance, record = materialize_cache(instance, source, "a b*", "hot")
+        constraints = ConstraintSet([record.constraint()])
+        engine = Engine.open(cached_instance, constraints=constraints)
+        plain = Engine.open(cached_instance)
+        result = engine.query("a b*", source)
+        assert result.answers == plain.query("a b*", source).answers
+        assert engine.stats.rewrites_applied == 1
+
+    def test_describe_mentions_cache_activity(self):
+        instance, source = figure2_graph()
+        engine = Engine.open(instance)
+        engine.query("a", source)
+        engine.query("a", source)
+        text = engine.describe()
+        assert "cache hits: 1" in text
+
+
+class TestPlannerBackend:
+    def test_engine_backend_agrees_with_baseline(self):
+        from repro.constraints import ConstraintSet
+        from repro.optimize import plan_and_evaluate
+
+        instance, source = figure2_graph()
+        baseline = plan_and_evaluate("a b*", source, instance, ConstraintSet())
+        compiled = plan_and_evaluate(
+            "a b*", source, instance, ConstraintSet(), backend="engine"
+        )
+        assert compiled.answers == baseline.answers
+        assert compiled.backend == "engine"
+        assert "backend: engine" in compiled.summary()
+
+    def test_unknown_backend_rejected(self):
+        from repro.constraints import ConstraintSet
+        from repro.optimize import plan_and_evaluate
+
+        instance, source = figure2_graph()
+        with pytest.raises(ValueError):
+            plan_and_evaluate("a", source, instance, ConstraintSet(), backend="turbo")
+
+
+class TestEvaluateDelegation:
+    def test_large_instances_route_through_shared_engine(self):
+        from repro.engine.session import _SHARED_ENGINE_ATTR
+        from repro.query import evaluate
+
+        instance, source = random_graph(80, 2, ["a", "b"], seed=4)
+        result = evaluate("a b*", source, instance)
+        engine = getattr(instance, _SHARED_ENGINE_ATTR)
+        assert engine is not None
+        assert engine.stats.single_evaluations == 1
+        assert result.answers == evaluate_baseline("a b*", source, instance).answers
+        # Second call reuses both the engine and the compiled query.
+        evaluate("a b*", source, instance)
+        assert engine.compiler.hits == 1
+
+    def test_small_instances_stay_on_baseline(self):
+        from repro.engine.session import _SHARED_ENGINE_ATTR
+        from repro.query import evaluate
+
+        instance, source = figure2_graph()
+        evaluate("a b*", source, instance)
+        assert getattr(instance, _SHARED_ENGINE_ATTR, None) is None
+
+    def test_budgeted_calls_stay_on_baseline(self):
+        from repro.engine.session import _SHARED_ENGINE_ATTR
+        from repro.query import evaluate
+
+        instance, source = random_graph(80, 2, ["a", "b"], seed=4)
+        evaluate("a", source, instance, max_objects=1000)
+        assert getattr(instance, _SHARED_ENGINE_ATTR, None) is None
+
+    def test_delegated_mutation_is_picked_up(self):
+        from repro.query import evaluate
+
+        instance, source = random_graph(80, 2, ["a", "b"], seed=4)
+        assert evaluate("zz", source, instance).answers == set()
+        instance.add_edge(source, "zz", "fresh")
+        assert evaluate("zz", source, instance).answers == {"fresh"}
+
+    def test_all_sources_delegates_and_agrees(self):
+        from repro.query import evaluate_all_sources
+
+        instance, _ = random_graph(70, 2, ["a", "b"], seed=6)
+        results = evaluate_all_sources("a b*", instance)
+        for oid in sorted(instance.objects, key=repr)[:10]:
+            assert results[oid] == evaluate_baseline("a b*", oid, instance).answers

@@ -23,7 +23,7 @@ from repro.constraints.armstrong import WordEqualityTheory
 from repro.query import answer_set
 from repro.regex import word as word_expr
 
-from ..conftest import word_constraint_sets, words
+from _strategies import word_constraint_sets, words
 
 
 @given(word_constraint_sets(), words(("a", "b"), max_size=3), words(("a", "b"), max_size=3))

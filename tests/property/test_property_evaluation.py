@@ -14,7 +14,7 @@ from repro.graph import path_labels_exist
 from repro.query import answer_set, answer_set_by_quotients
 from repro.regex import language_up_to
 
-from ..conftest import regexes, small_instances
+from _strategies import regexes, small_instances
 
 
 def brute_force(expression, source, instance, max_length=8):

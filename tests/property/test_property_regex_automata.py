@@ -27,7 +27,7 @@ from repro.regex import (
     to_string,
 )
 
-from ..conftest import regexes, words
+from _strategies import regexes, words
 
 
 @given(regexes(), words(max_size=4))

@@ -144,3 +144,10 @@ class TestLazyEvaluation:
         lazy, root = infinite_binary_web()
         with pytest.raises(InstanceError):
             evaluate("(a + b)* a", root, lazy, max_objects=30)
+
+    def test_baseline_entry_point_also_requires_budget(self):
+        from repro.query import evaluate_baseline
+
+        lazy, root = infinite_binary_web()
+        with pytest.raises(InstanceError):
+            evaluate_baseline("a b", root, lazy)
