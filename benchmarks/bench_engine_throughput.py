@@ -3,21 +3,24 @@
 Unlike the pytest-benchmark experiment files (which reproduce figures of the
 paper), this is a standalone, scriptable harness for the serving question the
 ROADMAP cares about: *queries per second* on a batched workload.  It runs the
-same (query, source) workload three ways —
+same (query, source) workload several ways —
 
-* ``baseline``   — ``query.evaluation.evaluate_baseline`` per source, the
-                   paper's product-automaton BFS;
-* ``engine cold``— a fresh ``Engine`` per batch: pays graph compilation and
-                   one DFA lowering per query, then batched execution;
-* ``engine warm``— the steady-state serving shape: compiled graph and query
-                   cache already hot, batched bitmask execution only;
+* ``baseline``      — ``query.evaluation.evaluate_baseline`` per source, the
+                      paper's product-automaton BFS;
+* ``engine cold``   — a fresh ``Engine`` per batch: pays graph compilation and
+                      one DFA lowering per query, then batched execution;
+* ``engine warm``   — the steady-state serving shape: compiled graph and query
+                      cache already hot, batched bitmask execution only — once
+                      per available executor backend (pure Python, and the
+                      numpy-vectorized frontier executor when importable);
 
 and reports queries/sec plus the speedup over baseline.  Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py          # full run
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --smoke  # CI-sized
-    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --check  # exit 1 if
-                                                                  warm speedup < 3x
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --check  # gates:
+        warm python speedup >= 3x over baseline, and (when numpy is
+        available) warm numpy >= 2x over warm python
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ import argparse
 import sys
 import time
 
-from repro.engine import Engine
+from repro.engine import Engine, available_backends
 from repro.graph import web_like_graph
 from repro.query import evaluate_baseline
 from repro.workloads import random_path_query, star_chain_query
@@ -78,7 +81,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--check", action="store_true",
-        help="exit 1 unless the warm-cache batched speedup is at least 3x",
+        help="exit 1 unless warm python is >= 3x baseline and (when numpy is "
+        "available) warm numpy is >= 2x warm python",
     )
     args = parser.parse_args(argv)
     if args.smoke:
@@ -107,32 +111,68 @@ def main(argv=None) -> int:
         result, elapsed = timed(cold_run)
         cold_answers, cold_time = result, min(cold_time, elapsed)
 
-    warm_engine = Engine.open(instance)
-    run_engine_batched(warm_engine, queries, sources)  # prime graph + query cache
-    warm_time = float("inf")
-    warm_answers = None
-    for _ in range(args.repeat):
-        result, elapsed = timed(run_engine_batched, warm_engine, queries, sources)
-        warm_answers, warm_time = result, min(warm_time, elapsed)
+    backends = available_backends()
+    warm_times: dict[str, float] = {}
+    warm_engines: dict[str, Engine] = {}
+    for backend in backends:
+        engine = Engine.open(instance, backend=backend)
+        run_engine_batched(engine, queries, sources)  # prime graph + query cache
+        warm_time = float("inf")
+        warm_answers = None
+        for _ in range(args.repeat):
+            result, elapsed = timed(run_engine_batched, engine, queries, sources)
+            warm_answers, warm_time = result, min(warm_time, elapsed)
+        if warm_answers != baseline_answers:
+            print(
+                f"FATAL: warm {backend} engine answers diverge from baseline",
+                file=sys.stderr,
+            )
+            return 1
+        warm_times[backend] = warm_time
+        warm_engines[backend] = engine
 
-    if cold_answers != baseline_answers or warm_answers != baseline_answers:
-        print("FATAL: engine answers diverge from baseline", file=sys.stderr)
+    if cold_answers != baseline_answers:
+        print("FATAL: cold engine answers diverge from baseline", file=sys.stderr)
         return 1
 
     rows = [
         ("baseline evaluate", baseline_time, 1.0),
         ("engine (cold cache)", cold_time, baseline_time / cold_time),
-        ("engine (warm cache)", warm_time, baseline_time / warm_time),
     ]
-    print(f"{'mode':<22}{'time (s)':>10}{'queries/s':>12}{'speedup':>9}")
+    for backend in backends:
+        rows.append(
+            (f"engine (warm, {backend})", warm_times[backend], baseline_time / warm_times[backend])
+        )
+    print(f"{'mode':<24}{'time (s)':>10}{'queries/s':>12}{'speedup':>9}")
     for name, elapsed, speedup in rows:
-        print(f"{name:<22}{elapsed:>10.4f}{total_queries / elapsed:>12.1f}{speedup:>8.1f}x")
-    print(f"# engine stats: {warm_engine.describe()}")
+        print(f"{name:<24}{elapsed:>10.4f}{total_queries / elapsed:>12.1f}{speedup:>8.1f}x")
+    for backend in backends:
+        print(f"# engine stats ({backend}): {warm_engines[backend].describe()}")
+    if "numpy" in warm_times:
+        vector_speedup = warm_times["python"] / warm_times["numpy"]
+        print(f"# numpy over python (warm batched): {vector_speedup:.1f}x")
+    else:
+        print("# numpy backend unavailable; vectorized row skipped")
 
-    warm_speedup = baseline_time / warm_time
-    if args.check and warm_speedup < 3.0:
-        print(f"CHECK FAILED: warm speedup {warm_speedup:.1f}x < 3x", file=sys.stderr)
-        return 1
+    if args.check:
+        warm_speedup = baseline_time / warm_times["python"]
+        if warm_speedup < 3.0:
+            print(f"CHECK FAILED: warm speedup {warm_speedup:.1f}x < 3x", file=sys.stderr)
+            return 1
+        if "numpy" in warm_times:
+            vector_speedup = warm_times["python"] / warm_times["numpy"]
+            if vector_speedup < 2.0:
+                print(
+                    f"CHECK FAILED: numpy backend {vector_speedup:.1f}x < 2x "
+                    "over the pure-Python batched executor",
+                    file=sys.stderr,
+                )
+                return 1
+        else:
+            print(
+                "CHECK NOTE: numpy unavailable, vectorized gate skipped",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -1,21 +1,30 @@
 #!/usr/bin/env bash
-# Repo health check: the tier-1 test suite plus a fast engine-benchmark smoke.
+# Repo health check: the tier-1 test suite (twice: numpy executor active,
+# then stubbed out) plus a fast engine-benchmark smoke.
 #
 # Usage:  ./scripts/check.sh
 #
-# Exits non-zero if either step fails.  The benchmark smoke run uses tiny
-# sizes — it verifies the throughput harness end to end (and that engine
-# answers still match the baseline evaluator), not the performance numbers;
-# run `python benchmarks/bench_engine_throughput.py --check` for the real
-# measurement with the >= 3x warm-cache speedup gate.
+# Exits non-zero if any step fails.  The second pytest pass sets
+# REPRO_DISABLE_NUMPY so the backend dispatcher (repro.engine.executor)
+# treats numpy as absent — this keeps the pure-Python fallback executor from
+# silently rotting on machines where numpy is installed.  The benchmark
+# smoke run uses tiny sizes — it verifies the throughput harness end to end
+# (and that engine answers still match the baseline evaluator), not the
+# performance numbers; run `python benchmarks/bench_engine_throughput.py
+# --check` for the real measurement with the >= 3x warm-cache gate and the
+# >= 2x numpy-over-python gate.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1: full test suite =="
+echo "== tier-1: full test suite (numpy backend, when available) =="
 python -m pytest -x -q
+
+echo
+echo "== tier-1: full test suite (numpy stubbed out, pure-Python fallback) =="
+REPRO_DISABLE_NUMPY=1 python -m pytest -x -q
 
 echo
 echo "== bench smoke: engine throughput harness =="

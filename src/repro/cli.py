@@ -135,7 +135,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         print("error: give at least one --source or use --all-sources", file=sys.stderr)
         return 2
     constraints = _constraint_set(args.constraint) if args.constraint else None
-    engine = Engine.open(instance, constraints=constraints)
+    engine = Engine.open(instance, constraints=constraints, backend=args.backend)
     for query in queries:
         answers_by_source = engine.query_batch(query, sources)
         for source in sources:
@@ -217,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
     engine_parser.add_argument(
         "--constraint", "-c", action="append",
         help="a path constraint enabling pre-rewrite optimization (repeatable)",
+    )
+    engine_parser.add_argument(
+        "--backend", choices=("auto", "python", "numpy"), default="auto",
+        help="executor backend: auto picks numpy when available (default: auto)",
     )
     engine_parser.add_argument("--stats", action="store_true", help="print engine statistics")
     engine_parser.set_defaults(handler=_cmd_engine)

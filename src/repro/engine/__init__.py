@@ -3,32 +3,50 @@
 This package is the performance substrate for serving path queries at scale:
 labels and object ids are interned to dense integers
 (:mod:`~repro.engine.interning`), the instance is compiled once into
-label-partitioned CSR adjacency (:mod:`~repro.engine.csr`), queries are
-lowered to integer DFA transition tables with an LRU compile cache
-(:mod:`~repro.engine.compiled_query`), and execution shares work across
-batched sources via bitmask frontiers (:mod:`~repro.engine.executor`).  The
+label-partitioned CSR adjacency with incremental adds *and* deletes
+(:mod:`~repro.engine.csr`), queries are lowered to integer DFA transition
+tables with an LRU compile cache (:mod:`~repro.engine.compiled_query`), and
+execution shares work across batched sources via bitmask frontiers — served
+by either the pure-Python executor (:mod:`~repro.engine.executor_py`) or the
+numpy-vectorized one (:mod:`~repro.engine.executor_np`), selected by the
+backend dispatcher (:mod:`~repro.engine.executor`).  The
 :class:`~repro.engine.session.Engine` façade ties it together and is what
 callers — the CLI's ``engine`` subcommand, the planner's engine backend, and
 the transparent delegation inside ``query.evaluation.evaluate`` — build on.
 """
 
 from .compiled_query import CompiledQuery, QueryCompiler, lower_query, query_key
-from .csr import CompiledGraph
-from .executor import BatchRun, SingleRun, run_all_pairs, run_batch, run_single
+from .csr import CompiledGraph, LabelEdges
+from .executor import (
+    BACKENDS,
+    BatchRun,
+    SingleRun,
+    available_backends,
+    numpy_available,
+    resolve_backend,
+    run_all_pairs,
+    run_batch,
+    run_single,
+)
 from .interning import Interner
 from .session import Engine, EngineStats, shared_engine
 
 __all__ = [
+    "BACKENDS",
     "BatchRun",
     "CompiledGraph",
     "CompiledQuery",
     "Engine",
     "EngineStats",
     "Interner",
+    "LabelEdges",
     "QueryCompiler",
     "SingleRun",
+    "available_backends",
     "lower_query",
+    "numpy_available",
     "query_key",
+    "resolve_backend",
     "run_all_pairs",
     "run_batch",
     "run_single",

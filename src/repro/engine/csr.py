@@ -15,18 +15,56 @@ overflow adjacency that traversals consult alongside the CSR slices; once the
 overflow exceeds a fraction of the graph the structure compacts itself back
 into pure CSR.  Ids are append-only (see :mod:`repro.engine.interning`), so
 compiled query tables survive edge adds that introduce no new labels.
+
+Incremental shrinkage is symmetric: :meth:`CompiledGraph.remove_edge` marks
+the edge's CSR position in a per-label *tombstone* set that every traversal
+(and the numpy edge-array lowering) consults, so deletions are O(out-degree)
+instead of a full rebuild.  Re-adding a tombstoned edge revives its CSR slot
+in place; compaction folds overflow in and drops tombstones out, restoring
+the pure-CSR invariant.
+
+For the vectorized executor (:mod:`repro.engine.executor_np`) the per-label
+adjacency is additionally lowered, lazily and cached per version, to flat
+numpy ``(source, target)`` edge arrays plus a target-grouped view that
+``np.bitwise_or.reduceat`` can scatter-reduce over.
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..exceptions import InstanceError
 from ..graph.instance import Instance, Oid
 from .interning import Interner
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy
+
 _EMPTY = array("q")
+_EMPTY_DEAD: frozenset[int] = frozenset()
+
+
+class LabelEdges:
+    """One label's live edges lowered to flat numpy arrays.
+
+    ``src``/``dst`` list the edges in arbitrary order; ``src_by_dst``,
+    ``dst_unique`` and ``group_starts`` give the same edge set sorted and
+    grouped by target, the shape ``np.bitwise_or.reduceat`` needs to reduce
+    all sources of each target in one vectorized call.
+    """
+
+    __slots__ = ("src", "dst", "src_by_dst", "dst_unique", "group_starts")
+
+    def __init__(self, src: "numpy.ndarray", dst: "numpy.ndarray") -> None:
+        import numpy as np
+
+        self.src = src
+        self.dst = dst
+        order = np.argsort(dst, kind="stable")
+        self.src_by_dst = src[order]
+        dst_sorted = dst[order]
+        self.dst_unique, self.group_starts = np.unique(dst_sorted, return_index=True)
 
 
 class CompiledGraph:
@@ -41,6 +79,10 @@ class CompiledGraph:
         "_overflow",
         "_overflow_edges",
         "_edge_set",
+        "_dead",
+        "_dead_edges",
+        "_np_version",
+        "_np_edges",
         "version",
     )
 
@@ -57,6 +99,12 @@ class CompiledGraph:
         self._overflow: list[dict[int, list[int]]] = []
         self._overflow_edges = 0
         self._edge_set: set[tuple[int, int, int]] = set()
+        # Per label id: CSR positions of incrementally removed edges.
+        self._dead: list[set[int]] = []
+        self._dead_edges = 0
+        # Lazily built numpy edge arrays, valid only for _np_version.
+        self._np_version = -1
+        self._np_edges: list["LabelEdges | None"] = []
         self.version = 0
 
     # -- construction ---------------------------------------------------------
@@ -88,6 +136,8 @@ class CompiledGraph:
         self._targets = []
         self._overflow = []
         self._overflow_edges = 0
+        self._dead = []
+        self._dead_edges = 0
         for lid in range(len(self.labels)):
             edges = buckets.get(lid, ())
             counts = [0] * (n + 1)
@@ -103,6 +153,7 @@ class CompiledGraph:
             self._indptr.append(array("q", counts))
             self._targets.append(targets)
             self._overflow.append({})
+            self._dead.append(set())
         self.version += 1
 
     def add_edge(self, source: Oid, label: str, destination: Oid) -> None:
@@ -121,19 +172,86 @@ class CompiledGraph:
             self._indptr.append(_EMPTY)
             self._targets.append(_EMPTY)
             self._overflow.append({})
+            self._dead.append(set())
         key = (sid, lid, did)
         if key in self._edge_set:
             return
         self._edge_set.add(key)
+        self.version += 1
+        # Re-adding a removed edge whose CSR slot is tombstoned revives the
+        # slot in place instead of duplicating the edge into the overflow.
+        position = self._dead_csr_position(sid, lid, did)
+        if position is not None:
+            self._dead[lid].discard(position)
+            self._dead_edges -= 1
+            return
         self._overflow[lid].setdefault(sid, []).append(did)
         self._overflow_edges += 1
-        self.version += 1
         if self._overflow_edges > max(64, self.edge_count() // 4):
             self.compact()
 
+    def remove_edge(self, source: Oid, label: str, destination: Oid) -> None:
+        """Incrementally delete one edge without rebuilding the CSR.
+
+        Overflow edges are dropped directly; compiled edges get their CSR
+        position tombstoned, which every traversal (and the numpy lowering)
+        skips.  Once tombstones outnumber a quarter of the live edges the
+        graph compacts itself and the dead slots are physically dropped.
+        """
+        sid = self.nodes.id_of(source)
+        did = self.nodes.id_of(destination)
+        lid = self.labels.id_of(label)
+        key = (sid, lid, did)
+        if sid is None or did is None or lid is None or key not in self._edge_set:
+            raise InstanceError(f"edge {(source, label, destination)!r} not present")
+        self._edge_set.remove(key)
+        self.version += 1
+        extra = self._overflow[lid].get(sid)
+        if extra is not None and did in extra:
+            extra.remove(did)
+            if not extra:
+                del self._overflow[lid][sid]
+            self._overflow_edges -= 1
+            return
+        position = self._live_csr_position(sid, lid, did)
+        if position is None:  # pragma: no cover - _edge_set guarantees presence
+            raise InstanceError(f"edge {(source, label, destination)!r} not compiled")
+        self._dead[lid].add(position)
+        self._dead_edges += 1
+        if self._dead_edges > max(64, self.edge_count() // 4):
+            self.compact()
+
+    def _csr_positions(self, sid: int, lid: int, did: int) -> Iterator[int]:
+        indptr = self._indptr[lid]
+        if sid + 1 < len(indptr):
+            targets = self._targets[lid]
+            for position in range(indptr[sid], indptr[sid + 1]):
+                if targets[position] == did:
+                    yield position
+
+    def _live_csr_position(self, sid: int, lid: int, did: int) -> int | None:
+        dead = self._dead[lid]
+        for position in self._csr_positions(sid, lid, did):
+            if position not in dead:
+                return position
+        return None
+
+    def _dead_csr_position(self, sid: int, lid: int, did: int) -> int | None:
+        dead = self._dead[lid]
+        if not dead:
+            return None
+        for position in self._csr_positions(sid, lid, did):
+            if position in dead:
+                return position
+        return None
+
     def compact(self) -> None:
-        """Fold the overflow adjacency back into pure CSR arrays."""
-        if not self._overflow_edges and self._csr_nodes == len(self.nodes):
+        """Fold overflow edges in and tombstoned edges out of the CSR arrays."""
+        if (
+            not self._overflow_edges
+            and not self._dead_edges
+            and self._csr_nodes == len(self.nodes)
+        ):
             return
         buckets: dict[int, list[tuple[int, int]]] = {}
         for sid, lid, did in self._edge_set:
@@ -155,13 +273,22 @@ class CompiledGraph:
     def overflow_edge_count(self) -> int:
         return self._overflow_edges
 
+    def tombstone_count(self) -> int:
+        return self._dead_edges
+
     # -- traversal ------------------------------------------------------------
     def successors(self, node: int, label_id: int) -> Iterator[int]:
         """Targets of ``node`` under ``label_id`` (CSR slice + overflow)."""
         indptr = self._indptr[label_id]
         if node + 1 < len(indptr):
             targets = self._targets[label_id]
-            yield from targets[indptr[node] : indptr[node + 1]]
+            dead = self._dead[label_id]
+            if dead:
+                for position in range(indptr[node], indptr[node + 1]):
+                    if position not in dead:
+                        yield targets[position]
+            else:
+                yield from targets[indptr[node] : indptr[node + 1]]
         extra = self._overflow[label_id].get(node)
         if extra is not None:
             yield from extra
@@ -172,7 +299,8 @@ class CompiledGraph:
         Callers materialize ``buffer[start:stop]`` and iterate the copy
         (fastest in CPython for the short runs typical of small out-degrees).
         Overflow edges for the node, if any, must be fetched separately with
-        :meth:`overflow_successors`.
+        :meth:`overflow_successors`, and positions in
+        :meth:`dead_positions` must be skipped when the set is non-empty.
         """
         indptr = self._indptr[label_id]
         if node + 1 < len(indptr):
@@ -184,6 +312,56 @@ class CompiledGraph:
 
     def has_overflow(self, label_id: int) -> bool:
         return bool(self._overflow[label_id])
+
+    def dead_positions(self, label_id: int) -> "set[int] | frozenset[int]":
+        """Tombstoned CSR positions of a label; executors must skip these."""
+        if not self._dead_edges:
+            return _EMPTY_DEAD
+        return self._dead[label_id]
+
+    # -- numpy lowering -------------------------------------------------------
+    def numpy_label_edges(self, label_id: int) -> LabelEdges:
+        """One label's live edges as flat numpy arrays, cached per version.
+
+        The arrays merge the CSR slice (minus tombstones) with the overflow
+        adjacency, so the vectorized executor sees exactly the edge set the
+        scalar traversals see.  The cache is invalidated by any mutation
+        (``version`` bump) and rebuilt lazily, one label at a time.
+        """
+        import numpy as np
+
+        if self._np_version != self.version:
+            self._np_edges = [None] * len(self._overflow)
+            self._np_version = self.version
+        elif len(self._np_edges) < len(self._overflow):
+            self._np_edges.extend([None] * (len(self._overflow) - len(self._np_edges)))
+        cached = self._np_edges[label_id]
+        if cached is not None:
+            return cached
+        indptr = np.frombuffer(self._indptr[label_id], dtype=np.int64)
+        targets = np.frombuffer(self._targets[label_id], dtype=np.int64)
+        if indptr.size:
+            src = np.repeat(np.arange(indptr.size - 1, dtype=np.int64), np.diff(indptr))
+        else:
+            src = np.empty(0, dtype=np.int64)
+        dst = targets
+        dead = self._dead[label_id]
+        if dead:
+            live = np.ones(dst.size, dtype=bool)
+            live[np.fromiter(dead, dtype=np.int64, count=len(dead))] = False
+            src, dst = src[live], dst[live]
+        overflow = self._overflow[label_id]
+        if overflow:
+            extra_src = []
+            extra_dst = []
+            for source, destinations in overflow.items():
+                extra_src.extend([source] * len(destinations))
+                extra_dst.extend(destinations)
+            src = np.concatenate([src, np.asarray(extra_src, dtype=np.int64)])
+            dst = np.concatenate([dst, np.asarray(extra_dst, dtype=np.int64)])
+        edges = LabelEdges(src, dst)
+        self._np_edges[label_id] = edges
+        return edges
 
     def out_edges(self, node: int) -> Iterator[tuple[int, int]]:
         """All ``(label_id, target)`` pairs of one node (any label)."""
@@ -203,8 +381,8 @@ class CompiledGraph:
         return self.nodes.value_of(node)
 
     def oids_of(self, node_ids: Iterable[int]) -> set[Oid]:
-        value_of = self.nodes.value_of
-        return {value_of(node) for node in node_ids}
+        values = self.nodes.backing_list()
+        return {values[node] for node in node_ids}
 
     def label_id(self, label: str) -> int | None:
         return self.labels.id_of(label)
@@ -212,5 +390,6 @@ class CompiledGraph:
     def __repr__(self) -> str:
         return (
             f"CompiledGraph(nodes={self.num_nodes}, labels={self.num_labels}, "
-            f"edges={self.edge_count()}, overflow={self._overflow_edges})"
+            f"edges={self.edge_count()}, overflow={self._overflow_edges}, "
+            f"tombstones={self._dead_edges})"
         )

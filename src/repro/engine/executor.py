@@ -1,198 +1,101 @@
-"""Product-BFS execution over a compiled graph and a compiled query.
+"""Backend dispatch for product-BFS execution: numpy when possible.
 
-Three entry points, all working purely on dense integers:
+Two executors implement the same three entry points over the same compiled
+structures:
 
-* :func:`run_single` — BFS over the DFA × graph product for one source,
-  recording parent pointers so a shortest witness path can be rebuilt for
-  every answer (mirroring the baseline evaluator's witnesses);
-* :func:`run_batch` — the batched mode that makes the engine worth having:
-  every visited product pair ``(state, node)`` carries a *bitmask* of the
-  sources that reach it, so the traversal of shared graph regions is done
-  once for the whole batch instead of once per source;
-* :func:`run_all_pairs` — the batch mode applied to every node, backing
-  ``Engine.query_all`` (and through it ``evaluate_all_sources``, which
-  constraint-satisfaction checking uses to quantify over sites).
+* :mod:`repro.engine.executor_py` — the pure-Python reference: scalar BFS
+  with bytearray visited sets and arbitrary-precision bitmask frontiers;
+* :mod:`repro.engine.executor_np` — the vectorized twin: boolean frontier
+  matrices and packed ``uint64`` mask tensors advanced with numpy
+  gather/scatter over flat per-label edge arrays.
 
-Product pairs are packed as ``state * num_nodes + node`` into flat
-``bytearray``/list structures; no per-step hashing or tuple boxing survives
-into the hot loops.
+This module is the only place that decides between them.  ``backend="auto"``
+(the default everywhere) picks numpy when it imports, falling back to pure
+Python otherwise — numpy is strictly optional.  ``backend="python"`` and
+``backend="numpy"`` force a specific executor; forcing numpy when it is not
+importable raises :class:`~repro.exceptions.ReproError`.  Setting the
+environment variable ``REPRO_DISABLE_NUMPY`` (to any non-empty value) makes
+the dispatcher treat numpy as absent, which is how ``scripts/check.sh``
+exercises the fallback path on machines that do have numpy installed.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+import os
 from typing import Sequence
 
+from ..exceptions import ReproError
 from .compiled_query import CompiledQuery
 from .csr import CompiledGraph
+from . import executor_py
+from .executor_py import BatchRun, SingleRun
+
+try:  # pragma: no cover - exercised via both arms of scripts/check.sh
+    from . import executor_np as _executor_np
+except ImportError:  # pragma: no cover
+    _executor_np = None
+
+BACKENDS = ("auto", "python", "numpy")
 
 
-@dataclass
-class SingleRun:
-    """Result of one single-source execution, in node-id space."""
-
-    answers: set[int] = field(default_factory=set)
-    witness_paths: dict[int, tuple[int, ...]] = field(default_factory=dict)
-    visited_pairs: int = 0
-    visited_objects: int = 0
+def numpy_available() -> bool:
+    """Whether the numpy executor can serve (importable and not disabled)."""
+    return _executor_np is not None and not os.environ.get("REPRO_DISABLE_NUMPY")
 
 
-@dataclass
-class BatchRun:
-    """Result of one batched execution, in node-id space.
+def available_backends() -> tuple[str, ...]:
+    return ("python", "numpy") if numpy_available() else ("python",)
 
-    ``answers[i]`` is the answer set of ``sources[i]``; sources appearing
-    more than once share one bitmask bit (and one result set).
-    """
 
-    sources: tuple[int, ...] = ()
-    answers: list[set[int]] = field(default_factory=list)
-    visited_pairs: int = 0
-    visited_objects: int = 0
+def resolve_backend(backend: str = "auto") -> str:
+    """Map a requested backend to the executor that will actually run."""
+    if backend not in BACKENDS:
+        raise ReproError(
+            f"unknown engine backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        return "numpy" if numpy_available() else "python"
+    if backend == "numpy" and not numpy_available():
+        raise ReproError(
+            "numpy backend requested but numpy is not available "
+            "(not importable, or disabled via REPRO_DISABLE_NUMPY)"
+        )
+    return backend
+
+
+def _module(backend: str):
+    return _executor_np if resolve_backend(backend) == "numpy" else executor_py
 
 
 def run_single(
-    graph: CompiledGraph, query: CompiledQuery, source: int
+    graph: CompiledGraph,
+    query: CompiledQuery,
+    source: int,
+    *,
+    backend: str = "auto",
 ) -> SingleRun:
-    """BFS the product from one source node, with witness parent pointers."""
-    n = graph.num_nodes
-    run = SingleRun()
-    if n == 0 or source < 0 or source >= n:
-        return run
-    accepting = query.accepting
-    moves = query.moves
-    start = query.initial * n + source
-    visited = bytearray(query.num_states * n)
-    visited[start] = 1
-    seen_nodes = bytearray(n)
-    seen_nodes[source] = 1
-    run.visited_objects = 1
-    parents: dict[int, tuple[int, int]] = {}
-    first_accept: dict[int, int] = {}
-    if accepting[query.initial]:
-        run.answers.add(source)
-        first_accept[source] = start
-    queue: deque[int] = deque([start])
-    while queue:
-        packed = queue.popleft()
-        run.visited_pairs += 1
-        state, node = divmod(packed, n)
-        for label_id, next_state in moves[state]:
-            base = next_state * n
-            buffer, lo, hi = graph.successor_slice(node, label_id)
-            targets = buffer[lo:hi]
-            extra = graph.overflow_successors(node, label_id)
-            if extra is not None:
-                targets = list(targets) + extra
-            for target in targets:
-                key = base + target
-                if visited[key]:
-                    continue
-                visited[key] = 1
-                parents[key] = (packed, label_id)
-                if not seen_nodes[target]:
-                    seen_nodes[target] = 1
-                    run.visited_objects += 1
-                if accepting[next_state] and target not in run.answers:
-                    run.answers.add(target)
-                    first_accept[target] = key
-                queue.append(key)
-    for answer, key in first_accept.items():
-        labels: list[int] = []
-        while key != start:
-            key, label_id = parents[key]
-            labels.append(label_id)
-        labels.reverse()
-        run.witness_paths[answer] = tuple(labels)
-    return run
+    """Single-source product BFS with witnesses, on the chosen backend."""
+    return _module(backend).run_single(graph, query, source)
 
 
 def run_batch(
-    graph: CompiledGraph, query: CompiledQuery, sources: Sequence[int]
+    graph: CompiledGraph,
+    query: CompiledQuery,
+    sources: Sequence[int],
+    *,
+    witnesses: bool = False,
+    backend: str = "auto",
 ) -> BatchRun:
-    """Evaluate one query from many sources in a single shared traversal."""
-    n = graph.num_nodes
-    run = BatchRun(sources=tuple(sources))
-    run.answers = [set() for _ in sources]
-    if n == 0 or not sources:
-        return run
-    # Distinct sources share one bitmask bit; duplicate entries in the input
-    # share the same result set object at collection time.
-    bit_of: dict[int, int] = {}
-    for source in sources:
-        if source not in bit_of:
-            bit_of[source] = len(bit_of)
-
-    num_states = query.num_states
-    moves = query.moves
-    accepting = query.accepting
-    masks = [0] * (num_states * n)
-    pending = bytearray(num_states * n)
-    # A pair re-enters the queue whenever its source mask grows, so count a
-    # pair as "visited" only on its first expansion to keep the stat
-    # comparable with the single-source mode.
-    expanded = bytearray(num_states * n)
-    queue: deque[int] = deque()
-    initial_base = query.initial * n
-    for source, bit in bit_of.items():
-        key = initial_base + source
-        masks[key] |= 1 << bit
-        if not pending[key]:
-            pending[key] = 1
-            queue.append(key)
-
-    while queue:
-        key = queue.popleft()
-        pending[key] = 0
-        mask = masks[key]
-        if not expanded[key]:
-            expanded[key] = 1
-            run.visited_pairs += 1
-        state, node = divmod(key, n)
-        for label_id, next_state in moves[state]:
-            base = next_state * n
-            buffer, lo, hi = graph.successor_slice(node, label_id)
-            targets = buffer[lo:hi]
-            extra = graph.overflow_successors(node, label_id)
-            if extra is not None:
-                targets = list(targets) + extra
-            for target in targets:
-                successor_key = base + target
-                if masks[successor_key] | mask != masks[successor_key]:
-                    masks[successor_key] |= mask
-                    if not pending[successor_key]:
-                        pending[successor_key] = 1
-                        queue.append(successor_key)
-
-    # Combine accepting states into one answer mask per node, then scatter
-    # the bits back into per-source answer sets.
-    per_source: dict[int, set[int]] = {bit: set() for bit in bit_of.values()}
-    touched = bytearray(n)
-    for state in range(num_states):
-        base = state * n
-        state_accepts = accepting[state]
-        for node in range(n):
-            mask = masks[base + node]
-            if not mask:
-                continue
-            touched[node] = 1
-            if not state_accepts:
-                continue
-            while mask:
-                low = mask & -mask
-                per_source[low.bit_length() - 1].add(node)
-                mask ^= low
-    run.visited_objects = sum(touched)
-    for position, source in enumerate(sources):
-        run.answers[position] = per_source[bit_of[source]]
-    return run
+    """Shared multi-source traversal, on the chosen backend."""
+    return _module(backend).run_batch(graph, query, sources, witnesses=witnesses)
 
 
-def run_all_pairs(graph: CompiledGraph, query: CompiledQuery) -> BatchRun:
-    """Evaluate the query from every node of the graph in one batch.
-
-    This is what ``Engine.query_all`` runs; node ids double as bitmask bit
-    positions, so ``answers[i]`` is the answer set of node ``i``.
-    """
-    return run_batch(graph, query, tuple(range(graph.num_nodes)))
+def run_all_pairs(
+    graph: CompiledGraph,
+    query: CompiledQuery,
+    *,
+    witnesses: bool = False,
+    backend: str = "auto",
+) -> BatchRun:
+    """Batched evaluation from every node, on the chosen backend."""
+    return _module(backend).run_all_pairs(graph, query, witnesses=witnesses)

@@ -1,0 +1,236 @@
+"""Numpy-vectorized frontier execution over a compiled graph and query.
+
+The scalar executor (:mod:`repro.engine.executor_py`) walks CSR slices one
+node at a time; this module advances *whole frontiers* instead:
+
+* :func:`run_single` keeps a ``(num_states, num_nodes)`` boolean frontier
+  matrix and, per live ``(label, next_state)`` move, gathers the frontier
+  over the label's flat edge arrays and scatters into the next state's row —
+  a level-synchronous BFS whose parent arrays still yield shortest witnesses
+  (any parent written in the discovering level is at minimal distance);
+* :func:`run_batch` packs the per-pair source bitmasks into a
+  ``(num_states, num_nodes, num_words)`` ``uint64`` tensor and iterates a
+  delta-driven fixpoint: only bits that changed in the previous round are
+  propagated, using ``np.bitwise_or.reduceat`` over the target-grouped edge
+  arrays (:class:`repro.engine.csr.LabelEdges`) so the per-edge OR-scatter
+  runs entirely inside numpy;
+* :func:`run_all_pairs` is the batch mode over every node.
+
+Results are bit-for-bit identical to the pure-Python executor (the
+differential fuzz harness in ``tests/engine/test_engine_fuzz.py`` enforces
+this), including the ``visited_pairs``/``visited_objects`` statistics: a
+pair counts as visited exactly when some source's bit reaches it, which is
+the same set the scalar BFS expands.  Witness reconstruction for batched
+runs reuses :func:`repro.engine.executor_py.restricted_witness`, testing
+pair membership directly against the packed mask tensor.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .compiled_query import CompiledQuery
+from .csr import CompiledGraph
+from .executor_py import BatchRun, SingleRun, restricted_witness
+
+
+def run_single(
+    graph: CompiledGraph, query: CompiledQuery, source: int
+) -> SingleRun:
+    """Level-synchronous vectorized BFS from one source, with witnesses."""
+    n = graph.num_nodes
+    run = SingleRun(backend="numpy")
+    if n == 0 or source < 0 or source >= n:
+        return run
+    num_states = query.num_states
+    accepting = query.accepting
+    moves = query.moves
+
+    visited = np.zeros((num_states, n), dtype=bool)
+    parent_state = np.full((num_states, n), -1, dtype=np.int64)
+    parent_node = np.full((num_states, n), -1, dtype=np.int64)
+    parent_label = np.full((num_states, n), -1, dtype=np.int64)
+    answered = np.zeros(n, dtype=bool)
+    # The accepting state through which each answer was first reached.
+    accept_state = np.full(n, -1, dtype=np.int64)
+
+    visited[query.initial, source] = True
+    frontier = np.zeros((num_states, n), dtype=bool)
+    frontier[query.initial, source] = True
+    if accepting[query.initial]:
+        answered[source] = True
+        accept_state[source] = query.initial
+
+    while frontier.any():
+        next_frontier = np.zeros((num_states, n), dtype=bool)
+        for state in range(num_states):
+            row = frontier[state]
+            if not row.any():
+                continue
+            for label_id, next_state in moves[state]:
+                edges = graph.numpy_label_edges(label_id)
+                if edges.src.size == 0:
+                    continue
+                selected = row[edges.src]
+                if not selected.any():
+                    continue
+                targets = edges.dst[selected]
+                origins = edges.src[selected]
+                fresh = ~visited[next_state][targets]
+                if not fresh.any():
+                    continue
+                targets = targets[fresh]
+                origins = origins[fresh]
+                # Duplicate targets keep the last writer's parent; every
+                # writer is in the current level, so the witness stays
+                # shortest either way.
+                visited[next_state][targets] = True
+                parent_state[next_state][targets] = state
+                parent_node[next_state][targets] = origins
+                parent_label[next_state][targets] = label_id
+                next_frontier[next_state][targets] = True
+                if accepting[next_state]:
+                    new_answers = targets[~answered[targets]]
+                    if new_answers.size:
+                        answered[new_answers] = True
+                        accept_state[new_answers] = next_state
+        frontier = next_frontier
+
+    run.visited_pairs = int(visited.sum())
+    run.visited_objects = int(visited.any(axis=0).sum())
+    run.answers = set(np.nonzero(answered)[0].tolist())
+    for target in run.answers:
+        state, node = int(accept_state[target]), target
+        labels: list[int] = []
+        while parent_label[state, node] != -1:
+            labels.append(int(parent_label[state, node]))
+            state, node = int(parent_state[state, node]), int(parent_node[state, node])
+        labels.reverse()
+        run.witness_paths[target] = tuple(labels)
+    return run
+
+
+def _scatter_bits(accept_mask: "np.ndarray", num_bits: int) -> dict[int, set[int]]:
+    """Unpack a ``(num_nodes, num_words)`` uint64 mask into per-bit node sets.
+
+    One ``unpackbits`` + one ``nonzero`` + one stable sort replace the
+    per-source column scans: the (node, bit) coordinates of every set bit
+    are grouped by bit position in a single vectorized pass.
+    """
+    n = accept_mask.shape[0]
+    per_bit: dict[int, set[int]] = {bit: set() for bit in range(num_bits)}
+    if not accept_mask.any():
+        return per_bit
+    if sys.byteorder == "little":
+        as_bytes = accept_mask.view(np.uint8).reshape(n, -1)
+    else:  # pragma: no cover - byteswap makes each word little-endian in memory
+        as_bytes = accept_mask.byteswap().view(np.uint8).reshape(n, -1)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")[:, :num_bits]
+    nodes, positions = np.nonzero(bits)
+    order = np.argsort(positions, kind="stable")
+    nodes = nodes[order]
+    boundaries = np.searchsorted(positions[order], np.arange(num_bits + 1))
+    for bit in range(num_bits):
+        lo, hi = boundaries[bit], boundaries[bit + 1]
+        if lo != hi:
+            per_bit[bit] = set(nodes[lo:hi].tolist())
+    return per_bit
+
+
+def run_batch(
+    graph: CompiledGraph,
+    query: CompiledQuery,
+    sources: Sequence[int],
+    *,
+    witnesses: bool = False,
+) -> BatchRun:
+    """Delta-driven vectorized fixpoint of the batched bitmask traversal."""
+    n = graph.num_nodes
+    run = BatchRun(sources=tuple(sources), backend="numpy")
+    run.answers = [set() for _ in sources]
+    if n == 0 or not sources:
+        return run
+    bit_of: dict[int, int] = {}
+    for source in sources:
+        if source not in bit_of:
+            bit_of[source] = len(bit_of)
+    num_states = query.num_states
+    words = (len(bit_of) + 63) >> 6
+
+    masks = np.zeros((num_states, n, words), dtype=np.uint64)
+    for source, bit in bit_of.items():
+        masks[query.initial, source, bit >> 6] |= np.uint64(1 << (bit & 63))
+
+    # Delta-driven rounds: only bits that appeared in the previous round are
+    # propagated, and only states that received bits are revisited.
+    delta = masks.copy()
+    next_delta = np.zeros_like(masks)
+    active = {query.initial}
+    while active:
+        next_active: set[int] = set()
+        for state in active:
+            block = delta[state]
+            for label_id, next_state in query.moves[state]:
+                edges = graph.numpy_label_edges(label_id)
+                if edges.src.size == 0:
+                    continue
+                gathered = block[edges.src_by_dst]
+                if not gathered.any():
+                    continue
+                reduced = np.bitwise_or.reduceat(gathered, edges.group_starts, axis=0)
+                new_bits = reduced & ~masks[next_state][edges.dst_unique]
+                if not new_bits.any():
+                    continue
+                masks[next_state][edges.dst_unique] |= new_bits
+                next_delta[next_state][edges.dst_unique] |= new_bits
+                next_active.add(next_state)
+        # Swap the two round buffers; only the old round's active states can
+        # hold stale bits, so clearing those rows resets the next buffer.
+        delta, next_delta = next_delta, delta
+        for state in active:
+            next_delta[state].fill(0)
+        active = next_active
+
+    accept_mask = np.zeros((n, words), dtype=np.uint64)
+    for state in range(num_states):
+        if query.accepting[state]:
+            accept_mask |= masks[state]
+    per_bit = _scatter_bits(accept_mask, len(bit_of))
+    run.visited_pairs = int(masks.any(axis=2).sum())
+    run.visited_objects = int(masks.any(axis=(0, 2)).sum())
+    for position, source in enumerate(run.sources):
+        run.answers[position] = per_bit[bit_of[source]]
+
+    if witnesses:
+        bits = dict(bit_of)
+        snapshot_version = graph.version
+
+        def resolver(source: int, target: int) -> "tuple[int, ...] | None":
+            if graph.version != snapshot_version:
+                raise ValueError(
+                    "graph mutated since the batched run; resolve witnesses "
+                    "before add_edge/remove_edge (or re-run the batch)"
+                )
+            bit = bits.get(source)
+            if bit is None:
+                return None
+            word, flag = bit >> 6, np.uint64(1 << (bit & 63))
+
+            def has_pair(key: int) -> bool:
+                state, node = divmod(key, n)
+                return bool(masks[state, node, word] & flag)
+
+            return restricted_witness(graph, query, has_pair, source, target)
+
+        run.witness_resolver = resolver
+    return run
+
+
+def run_all_pairs(
+    graph: CompiledGraph, query: CompiledQuery, *, witnesses: bool = False
+) -> BatchRun:
+    """Batched evaluation from every node; node ids double as bit positions."""
+    return run_batch(graph, query, tuple(range(graph.num_nodes)), witnesses=witnesses)

@@ -1,0 +1,331 @@
+"""Pure-Python product-BFS execution over a compiled graph and query.
+
+This module is the fallback (and reference) implementation behind the
+backend dispatcher in :mod:`repro.engine.executor`; the numpy-vectorized
+twin lives in :mod:`repro.engine.executor_np` and must return identical
+results.  Three entry points, all working purely on dense integers:
+
+* :func:`run_single` — BFS over the DFA × graph product for one source,
+  recording parent pointers so a shortest witness path can be rebuilt for
+  every answer (mirroring the baseline evaluator's witnesses);
+* :func:`run_batch` — the batched mode that makes the engine worth having:
+  every visited product pair ``(state, node)`` carries a *bitmask* of the
+  sources that reach it, so the traversal of shared graph regions is done
+  once for the whole batch instead of once per source.  With
+  ``witnesses=True`` the returned :class:`BatchRun` can additionally
+  reconstruct, on demand, a witness path for any reached ``(source,
+  target)`` pair from the per-bit reachability the masks record;
+* :func:`run_all_pairs` — the batch mode applied to every node, backing
+  ``Engine.query_all`` (and through it ``evaluate_all_sources``, which
+  constraint-satisfaction checking uses to quantify over sites).
+
+Product pairs are packed as ``state * num_nodes + node`` into flat
+``bytearray``/list structures; no per-step hashing or tuple boxing survives
+into the hot loops.  Both executors consult the graph's per-label tombstone
+sets so incrementally deleted edges are never traversed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .compiled_query import CompiledQuery
+from .csr import CompiledGraph
+
+
+@dataclass
+class SingleRun:
+    """Result of one single-source execution, in node-id space."""
+
+    answers: set[int] = field(default_factory=set)
+    witness_paths: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    visited_pairs: int = 0
+    visited_objects: int = 0
+    backend: str = "python"
+
+
+@dataclass
+class BatchRun:
+    """Result of one batched execution, in node-id space.
+
+    ``answers[i]`` is the answer set of ``sources[i]``; sources appearing
+    more than once share one bitmask bit (and one result set).  When the run
+    was executed with ``witnesses=True``, :meth:`witness` rebuilds a label
+    word for any ``(source, target)`` answer pair on demand.
+    """
+
+    sources: tuple[int, ...] = ()
+    answers: list[set[int]] = field(default_factory=list)
+    visited_pairs: int = 0
+    visited_objects: int = 0
+    backend: str = "python"
+    witness_resolver: "Callable[[int, int], tuple[int, ...] | None] | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def witness(self, source: int, target: int) -> "tuple[int, ...] | None":
+        """A witness label-id word for ``target in answers-of(source)``.
+
+        Returns ``None`` when ``target`` is not an answer of ``source`` (or
+        ``source`` was not part of the batch).  Only available on runs made
+        with ``witnesses=True``, and only while the graph is unchanged since
+        the run: reconstruction replays the traversal's reachability against
+        the live adjacency, so a mutated graph raises instead of silently
+        resolving against a different edge set.
+        """
+        if self.witness_resolver is None:
+            raise ValueError("run_batch was not executed with witnesses=True")
+        return self.witness_resolver(source, target)
+
+
+def _targets_of(graph: CompiledGraph, node: int, label_id: int) -> "Sequence[int]":
+    """All live targets of one node under one label (CSR − tombstones + overflow)."""
+    buffer, lo, hi = graph.successor_slice(node, label_id)
+    dead = graph.dead_positions(label_id)
+    if dead:
+        targets: "Sequence[int]" = [
+            buffer[position] for position in range(lo, hi) if position not in dead
+        ]
+    else:
+        targets = buffer[lo:hi]
+    extra = graph.overflow_successors(node, label_id)
+    if extra is not None:
+        targets = list(targets) + extra
+    return targets
+
+
+def restricted_witness(
+    graph: CompiledGraph,
+    query: CompiledQuery,
+    has_pair: Callable[[int], bool],
+    source: int,
+    target: int,
+) -> "tuple[int, ...] | None":
+    """Shortest witness word for ``(source, target)`` within a reached region.
+
+    ``has_pair(packed)`` must answer whether the batched traversal reached the
+    product pair for this source's bit.  Every pair on any product path from
+    ``(initial, source)`` is reachable from it, so restricting the BFS to the
+    bit's region loses no path — the reconstruction explores only pairs the
+    batch already proved relevant, and the first accepting pair found at
+    ``target`` closes a shortest witness.
+    """
+    n = graph.num_nodes
+    accepting = query.accepting
+    moves = query.moves
+    start = query.initial * n + source
+    if accepting[query.initial] and target == source:
+        return ()
+    parents: dict[int, "tuple[int, int] | None"] = {start: None}
+    queue: deque[int] = deque([start])
+    while queue:
+        key = queue.popleft()
+        state, node = divmod(key, n)
+        for label_id, next_state in moves[state]:
+            base = next_state * n
+            for successor in _targets_of(graph, node, label_id):
+                successor_key = base + successor
+                if successor_key in parents or not has_pair(successor_key):
+                    continue
+                parents[successor_key] = (key, label_id)
+                if accepting[next_state] and successor == target:
+                    labels: list[int] = []
+                    walk = successor_key
+                    while True:
+                        parent = parents[walk]
+                        if parent is None:
+                            break
+                        walk, parent_label = parent
+                        labels.append(parent_label)
+                    labels.reverse()
+                    return tuple(labels)
+                queue.append(successor_key)
+    return None
+
+
+def run_single(
+    graph: CompiledGraph, query: CompiledQuery, source: int
+) -> SingleRun:
+    """BFS the product from one source node, with witness parent pointers."""
+    n = graph.num_nodes
+    run = SingleRun()
+    if n == 0 or source < 0 or source >= n:
+        return run
+    accepting = query.accepting
+    moves = query.moves
+    dead_of = graph.dead_positions
+    start = query.initial * n + source
+    visited = bytearray(query.num_states * n)
+    visited[start] = 1
+    seen_nodes = bytearray(n)
+    seen_nodes[source] = 1
+    run.visited_objects = 1
+    parents: dict[int, tuple[int, int]] = {}
+    first_accept: dict[int, int] = {}
+    if accepting[query.initial]:
+        run.answers.add(source)
+        first_accept[source] = start
+    queue: deque[int] = deque([start])
+    while queue:
+        packed = queue.popleft()
+        run.visited_pairs += 1
+        state, node = divmod(packed, n)
+        for label_id, next_state in moves[state]:
+            base = next_state * n
+            buffer, lo, hi = graph.successor_slice(node, label_id)
+            dead = dead_of(label_id)
+            if dead:
+                targets: Sequence[int] = [
+                    buffer[position] for position in range(lo, hi) if position not in dead
+                ]
+            else:
+                targets = buffer[lo:hi]
+            extra = graph.overflow_successors(node, label_id)
+            if extra is not None:
+                targets = list(targets) + extra
+            for target in targets:
+                key = base + target
+                if visited[key]:
+                    continue
+                visited[key] = 1
+                parents[key] = (packed, label_id)
+                if not seen_nodes[target]:
+                    seen_nodes[target] = 1
+                    run.visited_objects += 1
+                if accepting[next_state] and target not in run.answers:
+                    run.answers.add(target)
+                    first_accept[target] = key
+                queue.append(key)
+    for answer, key in first_accept.items():
+        labels: list[int] = []
+        while key != start:
+            key, label_id = parents[key]
+            labels.append(label_id)
+        labels.reverse()
+        run.witness_paths[answer] = tuple(labels)
+    return run
+
+
+def run_batch(
+    graph: CompiledGraph,
+    query: CompiledQuery,
+    sources: Sequence[int],
+    *,
+    witnesses: bool = False,
+) -> BatchRun:
+    """Evaluate one query from many sources in a single shared traversal."""
+    n = graph.num_nodes
+    run = BatchRun(sources=tuple(sources))
+    run.answers = [set() for _ in sources]
+    if n == 0 or not sources:
+        return run
+    # Distinct sources share one bitmask bit; duplicate entries in the input
+    # share the same result set object at collection time.
+    bit_of: dict[int, int] = {}
+    for source in sources:
+        if source not in bit_of:
+            bit_of[source] = len(bit_of)
+
+    num_states = query.num_states
+    moves = query.moves
+    accepting = query.accepting
+    dead_of = graph.dead_positions
+    masks = [0] * (num_states * n)
+    pending = bytearray(num_states * n)
+    # A pair re-enters the queue whenever its source mask grows, so count a
+    # pair as "visited" only on its first expansion to keep the stat
+    # comparable with the single-source mode.
+    expanded = bytearray(num_states * n)
+    queue: deque[int] = deque()
+    initial_base = query.initial * n
+    for source, bit in bit_of.items():
+        key = initial_base + source
+        masks[key] |= 1 << bit
+        if not pending[key]:
+            pending[key] = 1
+            queue.append(key)
+
+    while queue:
+        key = queue.popleft()
+        pending[key] = 0
+        mask = masks[key]
+        if not expanded[key]:
+            expanded[key] = 1
+            run.visited_pairs += 1
+        state, node = divmod(key, n)
+        for label_id, next_state in moves[state]:
+            base = next_state * n
+            buffer, lo, hi = graph.successor_slice(node, label_id)
+            dead = dead_of(label_id)
+            if dead:
+                targets: Sequence[int] = [
+                    buffer[position] for position in range(lo, hi) if position not in dead
+                ]
+            else:
+                targets = buffer[lo:hi]
+            extra = graph.overflow_successors(node, label_id)
+            if extra is not None:
+                targets = list(targets) + extra
+            for target in targets:
+                successor_key = base + target
+                if masks[successor_key] | mask != masks[successor_key]:
+                    masks[successor_key] |= mask
+                    if not pending[successor_key]:
+                        pending[successor_key] = 1
+                        queue.append(successor_key)
+
+    # Combine accepting states into one answer mask per node, then scatter
+    # the bits back into per-source answer sets.
+    per_source: dict[int, set[int]] = {bit: set() for bit in bit_of.values()}
+    touched = bytearray(n)
+    for state in range(num_states):
+        base = state * n
+        state_accepts = accepting[state]
+        for node in range(n):
+            mask = masks[base + node]
+            if not mask:
+                continue
+            touched[node] = 1
+            if not state_accepts:
+                continue
+            while mask:
+                low = mask & -mask
+                per_source[low.bit_length() - 1].add(node)
+                mask ^= low
+    run.visited_objects = sum(touched)
+    for position, source in enumerate(sources):
+        run.answers[position] = per_source[bit_of[source]]
+
+    if witnesses:
+        bits = dict(bit_of)
+        snapshot_version = graph.version
+
+        def resolver(source: int, target: int) -> "tuple[int, ...] | None":
+            if graph.version != snapshot_version:
+                raise ValueError(
+                    "graph mutated since the batched run; resolve witnesses "
+                    "before add_edge/remove_edge (or re-run the batch)"
+                )
+            bit = bits.get(source)
+            if bit is None:
+                return None
+            flag = 1 << bit
+            return restricted_witness(
+                graph, query, lambda key: bool(masks[key] & flag), source, target
+            )
+
+        run.witness_resolver = resolver
+    return run
+
+
+def run_all_pairs(
+    graph: CompiledGraph, query: CompiledQuery, *, witnesses: bool = False
+) -> BatchRun:
+    """Evaluate the query from every node of the graph in one batch.
+
+    This is what ``Engine.query_all`` runs; node ids double as bitmask bit
+    positions, so ``answers[i]`` is the answer set of node ``i``.
+    """
+    return run_batch(graph, query, tuple(range(graph.num_nodes)), witnesses=witnesses)

@@ -50,6 +50,12 @@ class Interner(Generic[Value]):
         """All interned values, in id order."""
         return tuple(self._values)
 
+    def backing_list(self) -> list[Value]:
+        """The live id-ordered value list, NOT a copy — callers must not
+        mutate it.  Exists so bulk translation loops can index a local list
+        instead of paying a method call per id."""
+        return self._values
+
     def __contains__(self, value: object) -> bool:
         return value in self._ids
 

@@ -8,8 +8,13 @@ concerns that individual executors should not:
 
 * **staleness** — the engine snapshots the instance's version counter and
   transparently rebuilds the compiled graph when the instance has been
-  mutated behind its back; edges added *through* the engine
-  (:meth:`Engine.add_edge`) take the cheap incremental path instead;
+  mutated behind its back; edges added or removed *through* the engine
+  (:meth:`Engine.add_edge` / :meth:`Engine.remove_edge`) take the cheap
+  incremental paths (overflow adjacency / tombstones) instead;
+* **backend selection** — every evaluation is dispatched through
+  :mod:`repro.engine.executor` with the session's ``backend`` setting
+  (``auto``/``python``/``numpy``); which executor actually served each run
+  is tallied in :attr:`EngineStats.backend_runs`;
 * **constraint pre-rewrite** — when opened with a
   :class:`~repro.constraints.constraint.ConstraintSet`, each query is first
   handed to :func:`repro.optimize.rewriter.rewrite_query` and the provably
@@ -25,7 +30,7 @@ for existing callers (see the delegation hook in ``query.evaluation`` and the
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..graph.instance import Instance, Oid
@@ -34,7 +39,7 @@ from ..query.path_query import RegularPathQuery
 from ..regex import Regex
 from .compiled_query import CompiledQuery, QueryCompiler, query_key
 from .csr import CompiledGraph
-from .executor import run_all_pairs, run_batch, run_single
+from .executor import BACKENDS, resolve_backend, run_all_pairs, run_batch, run_single
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..constraints.constraint import ConstraintSet
@@ -49,23 +54,37 @@ class EngineStats:
 
     graph_builds: int = 0
     incremental_edges: int = 0
+    incremental_removals: int = 0
     single_evaluations: int = 0
     batch_evaluations: int = 0
     batched_sources: int = 0
     visited_pairs: int = 0
     rewrites_applied: int = 0
+    # Which executor actually served each run, e.g. {"numpy": 12, "python": 1}.
+    backend_runs: dict[str, int] = field(default_factory=dict)
+
+    def record_backend(self, backend: str) -> None:
+        self.backend_runs[backend] = self.backend_runs.get(backend, 0) + 1
 
     def summary(self, engine: "Engine") -> str:
         compiler = engine.compiler
+        backends = (
+            ", ".join(
+                f"{name}={count}" for name, count in sorted(self.backend_runs.items())
+            )
+            or "none"
+        )
         return (
             f"graph builds: {self.graph_builds} "
-            f"(+{self.incremental_edges} incremental edges); "
+            f"(+{self.incremental_edges} incremental edges, "
+            f"-{self.incremental_removals} incremental removals); "
             f"compiles: {compiler.misses}, cache hits: {compiler.hits}; "
             f"evaluations: {self.single_evaluations} single, "
             f"{self.batch_evaluations} batched "
             f"({self.batched_sources} sources); "
             f"visited pairs: {self.visited_pairs}; "
-            f"rewrites applied: {self.rewrites_applied}"
+            f"rewrites applied: {self.rewrites_applied}; "
+            f"backend runs: {backends}"
         )
 
 
@@ -79,10 +98,17 @@ class Engine:
         constraints: "ConstraintSet | None" = None,
         cost_model: "CostModel | None" = None,
         cache_capacity: int = 128,
+        backend: str = "auto",
     ) -> None:
         self.instance = instance
         self.constraints = constraints
         self.cost_model = cost_model
+        # Validate the name eagerly ("numpy" on a numpy-less machine still
+        # fails lazily, at first evaluation, so sessions stay constructible
+        # before the availability question is settled).
+        if backend not in BACKENDS:
+            resolve_backend(backend)  # raises with the canonical message
+        self.backend = backend
         self.compiler = QueryCompiler(cache_capacity)
         self.stats = EngineStats()
         # Rewrite memo, LRU-bounded like the compile cache so a long-lived
@@ -100,6 +126,7 @@ class Engine:
         constraints: "ConstraintSet | None" = None,
         cost_model: "CostModel | None" = None,
         cache_capacity: int = 128,
+        backend: str = "auto",
     ) -> "Engine":
         """Compile ``instance`` and return a ready-to-serve engine session."""
         return cls(
@@ -107,12 +134,18 @@ class Engine:
             constraints=constraints,
             cost_model=cost_model,
             cache_capacity=cache_capacity,
+            backend=backend,
         )
 
     # -- graph lifecycle ------------------------------------------------------
     @property
     def graph(self) -> CompiledGraph:
         return self._graph
+
+    @property
+    def resolved_backend(self) -> str:
+        """The executor ``backend="auto"`` resolves to right now."""
+        return resolve_backend(self.backend)
 
     def refresh(self) -> bool:
         """Rebuild the compiled graph if the instance mutated behind our back.
@@ -145,6 +178,19 @@ class Engine:
         self._graph.add_edge(source, label, destination)
         self._instance_version = self.instance.version
         self.stats.incremental_edges += 1
+
+    def remove_edge(self, source: Oid, label: str, destination: Oid) -> None:
+        """Remove one edge from both the instance and the compiled graph.
+
+        Symmetric to :meth:`add_edge`: the CSR structure tombstones the edge
+        instead of recompiling, so cached query tables stay valid (label ids
+        never change on the incremental path).
+        """
+        self.refresh()
+        self.instance.remove_edge(source, label, destination)
+        self._graph.remove_edge(source, label, destination)
+        self._instance_version = self.instance.version
+        self.stats.incremental_removals += 1
 
     # -- query compilation ----------------------------------------------------
     def _prepared(
@@ -195,8 +241,9 @@ class Engine:
                 result.answers.add(source)
                 result.witness_paths[source] = ()
             return result
-        run = run_single(graph, compiled, node)
+        run = run_single(graph, compiled, node, backend=self.backend)
         self.stats.visited_pairs += run.visited_pairs
+        self.stats.record_backend(run.backend)
         label_of = graph.labels.value_of
         result = EvaluationResult(
             answers=graph.oids_of(run.answers),
@@ -214,6 +261,27 @@ class Engine:
     ) -> set[Oid]:
         return self.query(query, source).answers
 
+    def _partition_batch_sources(
+        self, sources: "Sequence[Oid] | Iterable[Oid]"
+    ) -> "tuple[list[int], list[Oid], list[Oid]]":
+        """Split batch sources into (known node ids, their oids, unknown oids),
+        bumping the shared batch statistics once for the whole call."""
+        graph = self._graph
+        source_list = list(sources)
+        self.stats.batch_evaluations += 1
+        self.stats.batched_sources += len(source_list)
+        known: list[int] = []
+        known_oids: list[Oid] = []
+        unknown: list[Oid] = []
+        for source in source_list:
+            node = graph.node_id(source)
+            if node is None:
+                unknown.append(source)
+            else:
+                known.append(node)
+                known_oids.append(source)
+        return known, known_oids, unknown
+
     def query_batch(
         self,
         query: "RegularPathQuery | Regex | str",
@@ -222,24 +290,62 @@ class Engine:
         """Evaluate one query from many sources in one shared traversal."""
         compiled = self.compiled(query)
         graph = self._graph
-        source_list = list(sources)
-        self.stats.batch_evaluations += 1
-        self.stats.batched_sources += len(source_list)
-        known: list[int] = []
-        known_oids: list[Oid] = []
+        known, known_oids, unknown = self._partition_batch_sources(sources)
         results: dict[Oid, set[Oid]] = {}
-        for source in source_list:
-            node = graph.node_id(source)
-            if node is None:
-                results[source] = {source} if compiled.accepts_empty_word() else set()
-            else:
-                known.append(node)
-                known_oids.append(source)
+        for source in unknown:
+            # Unknown sources have an empty description; they answer
+            # themselves exactly when the query accepts the empty word.
+            results[source] = {source} if compiled.accepts_empty_word() else set()
         if known:
-            run = run_batch(graph, compiled, known)
+            run = run_batch(graph, compiled, known, backend=self.backend)
             self.stats.visited_pairs += run.visited_pairs
+            self.stats.record_backend(run.backend)
             for oid, answer_nodes in zip(known_oids, run.answers):
                 results[oid] = graph.oids_of(answer_nodes)
+        return results
+
+    def query_batch_results(
+        self,
+        query: "RegularPathQuery | Regex | str",
+        sources: "Sequence[Oid] | Iterable[Oid]",
+    ) -> dict[Oid, EvaluationResult]:
+        """Batched evaluation that also reconstructs witness paths.
+
+        One shared traversal answers every source (exactly like
+        :meth:`query_batch`); the executor additionally keeps enough of the
+        per-source reachability to rebuild, on demand, one witness label
+        word per ``(source, answer)`` pair.  The traversal statistics are
+        those of the whole batch, mirrored into every per-source result.
+        """
+        compiled = self.compiled(query)
+        graph = self._graph
+        known, known_oids, unknown = self._partition_batch_sources(sources)
+        results: dict[Oid, EvaluationResult] = {}
+        for source in unknown:
+            result = EvaluationResult(visited_pairs=1, visited_objects=1)
+            if compiled.accepts_empty_word():
+                result.answers.add(source)
+                result.witness_paths[source] = ()
+            results[source] = result
+        if not known:
+            return results
+        run = run_batch(graph, compiled, known, witnesses=True, backend=self.backend)
+        self.stats.visited_pairs += run.visited_pairs
+        self.stats.record_backend(run.backend)
+        label_of = graph.labels.value_of
+        for oid, node, answer_nodes in zip(known_oids, known, run.answers):
+            result = EvaluationResult(
+                answers=graph.oids_of(answer_nodes),
+                visited_pairs=run.visited_pairs,
+                visited_objects=run.visited_objects,
+            )
+            for answer_node in answer_nodes:
+                word = run.witness(node, answer_node)
+                if word is not None:
+                    result.witness_paths[graph.oid_of(answer_node)] = tuple(
+                        label_of(label_id) for label_id in word
+                    )
+            results[oid] = result
         return results
 
     def query_all(
@@ -248,10 +354,11 @@ class Engine:
         """All-pairs evaluation: the answer set of every object of the graph."""
         compiled = self.compiled(query)  # refreshes before the graph is read
         graph = self._graph
-        run = run_all_pairs(graph, compiled)
+        run = run_all_pairs(graph, compiled, backend=self.backend)
         self.stats.batch_evaluations += 1
         self.stats.batched_sources += graph.num_nodes
         self.stats.visited_pairs += run.visited_pairs
+        self.stats.record_backend(run.backend)
         return {
             graph.oid_of(node): graph.oids_of(answers)
             for node, answers in zip(run.sources, run.answers)

@@ -80,6 +80,27 @@ def word_constraint_sets(
     ).map(build)
 
 
+def edit_scripts(
+    alphabet: tuple[str, ...] = SMALL_ALPHABET,
+    max_nodes: int = 5,
+    max_ops: int = 10,
+) -> st.SearchStrategy[list[tuple[str, int, str, int]]]:
+    """Random interleaved ``add``/``remove`` edge operations.
+
+    Each op is ``(kind, source, label, destination)`` over node ids
+    ``0..max_nodes-1``; appliers should treat a ``remove`` of an absent edge
+    (and an ``add`` of a present one) as a no-op so every script is valid on
+    every instance.
+    """
+    operation = st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.integers(min_value=0, max_value=max_nodes - 1),
+        labels(alphabet),
+        st.integers(min_value=0, max_value=max_nodes - 1),
+    )
+    return st.lists(operation, max_size=max_ops)
+
+
 def small_instances(
     alphabet: tuple[str, ...] = SMALL_ALPHABET,
     max_nodes: int = 5,

@@ -75,3 +75,43 @@ class TestEngineCommand:
         assert code == 0
         lines = capsys.readouterr().out.splitlines()
         assert "a b*\to1\to2 o3" in lines
+
+
+class TestEngineBackendFlag:
+    def test_python_backend_forced(self, graph_file, query_file, capsys):
+        code = main(
+            ["engine", graph_file, query_file, "-s", "o1", "--backend", "python", "--stats"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "a b*\to1\to2 o3" in captured.out.splitlines()
+        assert "backend runs: python=" in captured.err
+
+    def test_numpy_backend_when_available(self, graph_file, query_file, capsys):
+        from repro.engine import numpy_available
+
+        if not numpy_available():
+            pytest.skip("numpy backend unavailable")
+        code = main(
+            ["engine", graph_file, query_file, "-s", "o1", "--backend", "numpy", "--stats"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "a b*\to1\to2 o3" in captured.out.splitlines()
+        assert "backend runs: numpy=" in captured.err
+
+    def test_auto_backend_matches_availability(self, graph_file, query_file, capsys):
+        from repro.engine import resolve_backend
+
+        code = main(
+            ["engine", graph_file, query_file, "-s", "o1", "--backend", "auto", "--stats"]
+        )
+        assert code == 0
+        expected = resolve_backend("auto")
+        assert f"backend runs: {expected}=" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_argparse(self, graph_file, query_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["engine", graph_file, query_file, "-s", "o1", "--backend", "rust"])
+        assert excinfo.value.code == 2
+        assert "--backend" in capsys.readouterr().err

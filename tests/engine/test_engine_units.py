@@ -313,3 +313,118 @@ class TestEvaluateDelegation:
         results = evaluate_all_sources("a b*", instance)
         for oid in sorted(instance.objects, key=repr)[:10]:
             assert results[oid] == evaluate_baseline("a b*", oid, instance).answers
+
+
+class TestCompiledGraphDeletes:
+    def test_remove_csr_edge_tombstones_it(self):
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        source, label, destination = next(instance.edges())
+        before = graph.edge_count()
+        graph.remove_edge(source, label, destination)
+        assert graph.edge_count() == before - 1
+        assert graph.tombstone_count() == 1
+        lid = graph.label_id(label)
+        assert graph.node_id(destination) not in set(
+            graph.successors(graph.node_id(source), lid)
+        )
+
+    def test_remove_overflow_edge_drops_it_directly(self):
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        graph.add_edge("o1", "a", "o3")
+        assert graph.overflow_edge_count() == 1
+        graph.remove_edge("o1", "a", "o3")
+        assert graph.overflow_edge_count() == 0
+        assert graph.tombstone_count() == 0
+        assert graph.edge_count() == instance.edge_count()
+
+    def test_remove_unknown_edge_raises(self):
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        with pytest.raises(InstanceError):
+            graph.remove_edge("o1", "zz", "o2")
+        with pytest.raises(InstanceError):
+            graph.remove_edge("o1", "a", "o1")
+
+    def test_readd_revives_tombstoned_slot(self):
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        edge = next(instance.edges())
+        graph.remove_edge(*edge)
+        graph.add_edge(*edge)
+        assert graph.tombstone_count() == 0
+        assert graph.overflow_edge_count() == 0
+        assert graph.edge_count() == instance.edge_count()
+        lid = graph.label_id(edge[1])
+        assert graph.node_id(edge[2]) in set(
+            graph.successors(graph.node_id(edge[0]), lid)
+        )
+
+    def test_compact_after_deletes_drops_tombstones(self):
+        # Regression: compaction must fold overflow in AND tombstones out,
+        # with edge_count/overflow_edge_count/tombstone_count all consistent.
+        instance, _ = figure2_graph()
+        graph = CompiledGraph.from_instance(instance)
+        removed = next(instance.edges())
+        graph.remove_edge(*removed)
+        graph.add_edge("o1", "zz", "fresh")
+        expected_edges = instance.edge_count()  # -1 removed, +1 added
+        assert graph.edge_count() == expected_edges
+        graph.compact()
+        assert graph.tombstone_count() == 0
+        assert graph.overflow_edge_count() == 0
+        assert graph.edge_count() == expected_edges
+        source, label, destination = removed
+        lid = graph.label_id(label)
+        assert graph.node_id(destination) not in set(
+            graph.successors(graph.node_id(source), lid)
+        )
+        assert graph.oid_of(
+            next(iter(graph.successors(graph.node_id("o1"), graph.label_id("zz"))))
+        ) == "fresh"
+
+    def test_many_removals_trigger_auto_compaction(self):
+        instance, _ = random_graph(60, 4, ["a", "b"], seed=12)
+        graph = CompiledGraph.from_instance(instance)
+        edges = list(instance.edges())
+        for edge in edges[: len(edges) // 2]:
+            graph.remove_edge(*edge)
+        # The tombstone threshold mirrors the overflow one; after deleting
+        # half the graph the structure must have compacted at least once.
+        assert graph.tombstone_count() <= max(64, graph.edge_count() // 4)
+        remaining = set(edges[len(edges) // 2 :])
+        assert {
+            (graph.oid_of(s), graph.labels.value_of(l), graph.oid_of(d))
+            for s, l, d in graph.iter_edges()
+        } == remaining
+
+
+class TestEngineIncrementalRemove:
+    def test_remove_edge_is_incremental(self):
+        instance, source = figure2_graph()
+        engine = Engine.open(instance)
+        engine.add_edge(source, "c", "o3")
+        assert engine.query("c", source).answers == {"o3"}
+        engine.remove_edge(source, "c", "o3")
+        assert engine.query("c", source).answers == set()
+        assert engine.stats.graph_builds == 1
+        assert engine.stats.incremental_removals == 1
+
+    def test_remove_edge_keeps_compiled_tables_valid(self):
+        instance, source = figure2_graph()
+        engine = Engine.open(instance)
+        assert engine.query("a b*", source).answers == {"o2", "o3"}
+        compiles_before = engine.compiler.misses
+        engine.remove_edge("o2", "b", "o3")
+        assert engine.query("a b*", source).answers == {"o2"}
+        # No new label ids => the cached transition table was reused.
+        assert engine.compiler.misses == compiles_before
+
+    def test_stats_report_backend_runs(self):
+        instance, source = figure2_graph()
+        engine = Engine.open(instance, backend="python")
+        engine.query("a", source)
+        engine.query_all("a")
+        assert engine.stats.backend_runs == {"python": 2}
+        assert "backend runs: python=2" in engine.describe()
