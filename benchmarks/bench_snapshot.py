@@ -1,0 +1,196 @@
+"""Cold-vs-warm-start benchmark for compiled-graph snapshots.
+
+The persistence question the ROADMAP cares about: how much faster does a
+serving process come up when the compiled substrate (interners, CSR arrays,
+DFA transition tables) is loaded from a snapshot instead of recompiled?
+
+* ``cold start``  — ``Engine.open(instance)`` plus one DFA lowering per
+                    query: what every process restart pays without
+                    persistence;
+* ``warm start``  — ``Engine.open(snapshot, instance=instance)`` plus the
+                    same query loop, which now only hits the restored
+                    compile cache — once per available codec (the stdlib
+                    binary writer, and the numpy ``.npz`` fast path when
+                    importable).
+
+Answers of every warm engine are checked against the cold engine before any
+timing is trusted, and the run always writes a ``BENCH_snapshot.json``
+artifact so the perf trajectory is recorded.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot.py           # full run
+    PYTHONPATH=src python benchmarks/bench_snapshot.py --smoke   # CI-sized
+    PYTHONPATH=src python benchmarks/bench_snapshot.py --check   # gate:
+        warm start >= 5x faster than cold recompile (auto codec) on the
+        large workload
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.engine import Engine, numpy_available
+from repro.engine.snapshot import resolve_codec
+from repro.graph import web_like_graph
+from repro.workloads import random_path_query, star_chain_query
+
+
+def build_workload(nodes: int, query_count: int, seed: int):
+    instance, _ = web_like_graph(nodes, ["l0", "l1", "l2"], seed=seed)
+    queries = [
+        random_path_query(seed + i, alphabet_size=3, depth=4)
+        for i in range(query_count)
+    ]
+    queries.append(star_chain_query(2, alphabet_size=3))
+    objects = sorted(instance.objects, key=repr)
+    step = max(1, len(objects) // 32)
+    sources = objects[::step][:32]
+    return instance, queries, sources
+
+
+def compile_all(engine: Engine, queries) -> None:
+    for query in queries:
+        engine.compiled(query)
+
+
+def answers_of(engine: Engine, queries, sources):
+    return {
+        str(query): engine.query_batch(query, sources) for query in queries
+    }
+
+
+def timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=2500, help="graph size")
+    parser.add_argument("--queries", type=int, default=10, help="distinct queries")
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--repeat", type=int, default=3, help="timing repetitions (best-of)")
+    parser.add_argument(
+        "--json", default="BENCH_snapshot.json",
+        help="where to write the machine-readable results artifact",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI: verifies the harness, not the numbers",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless the auto-codec warm start is >= 5x faster than "
+        "the cold recompile",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.nodes, args.queries, args.repeat = 150, 3, 1
+
+    instance, queries, sources = build_workload(args.nodes, args.queries, args.seed)
+    print(
+        f"workload: {args.nodes} nodes, {instance.edge_count()} edges, "
+        f"{len(queries)} queries"
+    )
+
+    def cold_start() -> Engine:
+        engine = Engine.open(instance)
+        compile_all(engine, queries)
+        return engine
+
+    cold_engine, cold_time = None, float("inf")
+    for _ in range(args.repeat):
+        engine, elapsed = timed(cold_start)
+        cold_engine, cold_time = engine, min(cold_time, elapsed)
+    reference = answers_of(cold_engine, queries, sources)
+
+    codecs = ["binary"] + (["npz"] if numpy_available() else [])
+    auto_codec = resolve_codec("auto")
+    results = []
+    failures = []
+    with tempfile.TemporaryDirectory() as workdir:
+        for codec in codecs:
+            path = os.path.join(workdir, f"snapshot.{codec}")
+            _, save_time = timed(lambda: cold_engine.save(path, codec=codec))
+            size = os.path.getsize(path)
+
+            def warm_start() -> Engine:
+                engine = Engine.open(path, instance=instance)
+                compile_all(engine, queries)
+                return engine
+
+            warm_engine, warm_time = None, float("inf")
+            for _ in range(args.repeat):
+                engine, elapsed = timed(warm_start)
+                warm_engine, warm_time = engine, min(warm_time, elapsed)
+            if warm_engine.stats.graph_builds != 0 or warm_engine.compiler.misses != 0:
+                failures.append(
+                    f"{codec}: warm start was not warm "
+                    f"(builds={warm_engine.stats.graph_builds}, "
+                    f"compiles={warm_engine.compiler.misses})"
+                )
+            if answers_of(warm_engine, queries, sources) != reference:
+                failures.append(f"{codec}: warm answers diverge from cold engine")
+            results.append(
+                {
+                    "codec": codec,
+                    "auto": codec == auto_codec,
+                    "cold_s": cold_time,
+                    "warm_s": warm_time,
+                    "save_s": save_time,
+                    "speedup": cold_time / warm_time,
+                    "snapshot_bytes": size,
+                }
+            )
+
+    print(f"{'mode':<22}{'time (s)':>10}{'speedup':>9}{'size':>12}")
+    print(f"{'cold recompile':<22}{cold_time:>10.4f}{1.0:>8.1f}x{'-':>12}")
+    for row in results:
+        name = f"warm ({row['codec']})" + (" *auto" if row["auto"] else "")
+        print(
+            f"{name:<22}{row['warm_s']:>10.4f}{row['speedup']:>8.1f}x"
+            f"{row['snapshot_bytes']:>11}B"
+        )
+
+    artifact = {
+        "benchmark": "snapshot_warm_start",
+        "workload": {
+            "nodes": args.nodes,
+            "edges": instance.edge_count(),
+            "queries": len(queries),
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "cold_s": cold_time,
+        "results": results,
+        "failures": failures,
+    }
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print(f"# wrote {args.json}")
+
+    for failure in failures:
+        print(f"FATAL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    if args.check:
+        auto_row = next(row for row in results if row["auto"])
+        if auto_row["speedup"] < 5.0:
+            print(
+                f"CHECK FAILED: warm start ({auto_row['codec']}) "
+                f"{auto_row['speedup']:.1f}x < 5x over cold recompile",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"CHECK OK: warm start {auto_row['speedup']:.1f}x >= 5x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

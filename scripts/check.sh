@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # Repo health check: the tier-1 test suite (twice: numpy executor active,
-# then stubbed out) plus a fast engine-benchmark smoke.
+# then stubbed out) plus fast engine-benchmark smokes.
 #
 # Usage:  ./scripts/check.sh
 #
-# Exits non-zero if any step fails.  The second pytest pass sets
-# REPRO_DISABLE_NUMPY so the backend dispatcher (repro.engine.executor)
-# treats numpy as absent — this keeps the pure-Python fallback executor from
-# silently rotting on machines where numpy is installed.  The benchmark
-# smoke run uses tiny sizes — it verifies the throughput harness end to end
-# (and that engine answers still match the baseline evaluator), not the
-# performance numbers; run `python benchmarks/bench_engine_throughput.py
-# --check` for the real measurement with the >= 3x warm-cache gate and the
-# >= 2x numpy-over-python gate.
+# Exits non-zero if any step fails.  The REPRO_DISABLE_NUMPY passes make
+# the backend dispatcher (repro.engine.executor) — and the snapshot codec
+# picker (repro.engine.snapshot) — treat numpy as absent, which keeps the
+# pure-Python fallback executor AND the stdlib binary snapshot codec from
+# silently rotting on machines where numpy is installed; the snapshot
+# round-trip suite (tests/engine/test_snapshot*.py) therefore runs in both
+# arms.  The benchmark smoke runs use tiny sizes — they verify the
+# harnesses end to end (and that engine answers still match the baseline
+# evaluator), not the performance numbers; for the real gates run
+#   python benchmarks/bench_engine_throughput.py --check   (>= 3x warm
+#     cache over baseline, >= 2x numpy over python), and
+#   python benchmarks/bench_snapshot.py --check            (>= 5x warm
+#     start over cold recompile).
+# Both bench scripts write BENCH_*.json artifacts recording the numbers.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,6 +34,15 @@ REPRO_DISABLE_NUMPY=1 python -m pytest -x -q
 echo
 echo "== bench smoke: engine throughput harness =="
 python benchmarks/bench_engine_throughput.py --smoke
+
+echo
+echo "== bench smoke: snapshot warm-start harness (npz codec when available) =="
+python benchmarks/bench_snapshot.py --smoke --json BENCH_snapshot.json
+
+echo
+echo "== bench smoke: snapshot warm-start harness (stdlib binary codec) =="
+REPRO_DISABLE_NUMPY=1 python benchmarks/bench_snapshot.py --smoke \
+    --json BENCH_snapshot_nonumpy.json
 
 echo
 echo "All checks passed."

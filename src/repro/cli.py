@@ -15,7 +15,8 @@ small graph-database tool:
   protocol and print the message trace;
 * ``python -m repro engine GRAPH QUERIES`` — compile the graph once and run a
   whole file of queries through the batch engine (``repro.engine``), from
-  chosen sources or from every object.
+  chosen sources or from every object; ``--save-snapshot`` / ``--load-snapshot``
+  persist and warm-start the compiled graph + query cache across invocations.
 
 All commands exit with status 0 on success, 1 on a "negative" outcome (e.g. a
 constraint that does not hold, an implication that is refuted), and 2 on bad
@@ -135,12 +136,26 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         print("error: give at least one --source or use --all-sources", file=sys.stderr)
         return 2
     constraints = _constraint_set(args.constraint) if args.constraint else None
-    engine = Engine.open(instance, constraints=constraints, backend=args.backend)
+    if args.load_snapshot:
+        # Warm-start from a persisted compiled graph + query cache; a stamp
+        # mismatch against the freshly loaded edge list silently falls back
+        # to an ordinary cold compile of that instance.
+        engine = Engine.open(
+            args.load_snapshot,
+            instance=instance,
+            constraints=constraints,
+            backend=args.backend,
+        )
+    else:
+        engine = Engine.open(instance, constraints=constraints, backend=args.backend)
     for query in queries:
         answers_by_source = engine.query_batch(query, sources)
         for source in sources:
             answers = sorted(answers_by_source[source], key=str)
             print(f"{query}\t{source}\t{' '.join(map(str, answers))}")
+    if args.save_snapshot:
+        # Saved after serving, so the snapshot ships a warm query cache.
+        engine.save(args.save_snapshot, codec=args.snapshot_codec)
     if args.stats:
         print(f"# {engine.describe()}", file=sys.stderr)
     return 0
@@ -221,6 +236,19 @@ def build_parser() -> argparse.ArgumentParser:
     engine_parser.add_argument(
         "--backend", choices=("auto", "python", "numpy"), default="auto",
         help="executor backend: auto picks numpy when available (default: auto)",
+    )
+    engine_parser.add_argument(
+        "--save-snapshot", metavar="PATH",
+        help="after serving, persist the compiled graph + warm query cache to PATH",
+    )
+    engine_parser.add_argument(
+        "--load-snapshot", metavar="PATH",
+        help="warm-start from a snapshot written by --save-snapshot; falls back "
+        "to a fresh compile when the snapshot does not match the graph file",
+    )
+    engine_parser.add_argument(
+        "--snapshot-codec", choices=("auto", "binary", "npz"), default="auto",
+        help="snapshot writer: auto picks npz when numpy is available (default: auto)",
     )
     engine_parser.add_argument("--stats", action="store_true", help="print engine statistics")
     engine_parser.set_defaults(handler=_cmd_engine)

@@ -30,6 +30,16 @@ from .executor import (
 )
 from .interning import Interner
 from .session import Engine, EngineStats, shared_engine
+from .snapshot import (
+    CODECS as SNAPSHOT_CODECS,
+    FORMAT_VERSION as SNAPSHOT_FORMAT_VERSION,
+    SnapshotPayload,
+    SnapshotStamp,
+    load_engine,
+    load_payload,
+    resolve_codec,
+    save_engine,
+)
 
 __all__ = [
     "BACKENDS",
@@ -41,14 +51,22 @@ __all__ = [
     "Interner",
     "LabelEdges",
     "QueryCompiler",
+    "SNAPSHOT_CODECS",
+    "SNAPSHOT_FORMAT_VERSION",
     "SingleRun",
+    "SnapshotPayload",
+    "SnapshotStamp",
     "available_backends",
+    "load_engine",
+    "load_payload",
     "lower_query",
     "numpy_available",
     "query_key",
     "resolve_backend",
+    "resolve_codec",
     "run_all_pairs",
     "run_batch",
     "run_single",
+    "save_engine",
     "shared_engine",
 ]

@@ -19,8 +19,13 @@ cost:
   expanding non-empty-but-hopeless NFA state sets.
 
 Compiled tables are cached in an LRU keyed by the canonical expression string
-and the graph's label count; label ids are append-only, so a table is
-invalidated only when a genuinely new label shows up.
+and the graph's label-interner *fingerprint* (the id-ordered label tuple).
+Label ids are append-only, so within one graph's lifetime a table is
+invalidated only when a genuinely new label shows up — and across full
+rebuilds the fingerprint also catches *permuted* label interning orders,
+which a label-count key would silently conflate (serving a transition table
+whose columns point at the wrong labels).  Correctness therefore no longer
+depends on anyone remembering to clear the cache around a rebuild.
 """
 
 from __future__ import annotations
@@ -57,6 +62,40 @@ class CompiledQuery:
 
     def accepts_empty_word(self) -> bool:
         return self.accepting[self.initial]
+
+    @classmethod
+    def from_table(
+        cls,
+        *,
+        expression: str,
+        initial: int,
+        accepting: tuple[bool, ...],
+        table: tuple[array, ...],
+        label_count: int,
+        dfa_size: int,
+    ) -> "CompiledQuery":
+        """Rebuild a compiled query from its serialized fields.
+
+        ``moves`` is fully determined by ``table`` and is re-derived rather
+        than stored, so snapshots carry one copy of the transition relation.
+        """
+        return cls(
+            expression=expression,
+            initial=initial,
+            accepting=accepting,
+            table=table,
+            moves=_moves_from_table(table),
+            label_count=label_count,
+            dfa_size=dfa_size,
+        )
+
+
+def _moves_from_table(table: tuple[array, ...]) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """Per state, the live ``(label_id, next_state)`` pairs of a table."""
+    return tuple(
+        tuple((lid, target) for lid, target in enumerate(row) if target != DEAD)
+        for row in table
+    )
 
 
 def lower_query(
@@ -107,20 +146,12 @@ def lower_query(
         )
         for row in raw
     )
-    moves = tuple(
-        tuple(
-            (lid, target)
-            for lid, target in enumerate(row)
-            if target != DEAD
-        )
-        for row in table
-    )
     return CompiledQuery(
         expression=to_string(rpq.expression),
         initial=index[dfa.initial],
         accepting=tuple(state in dfa.accepting for state in states),
         table=table,
-        moves=moves,
+        moves=_moves_from_table(table),
         label_count=label_count,
         dfa_size=len(states),
     )
@@ -136,20 +167,31 @@ def query_key(query: "RegularPathQuery | Regex | str") -> str:
 
 
 class QueryCompiler:
-    """LRU cache of compiled queries, keyed by expression and label universe."""
+    """LRU cache of compiled queries, keyed by expression and label universe.
+
+    The label half of the key is the graph's interner fingerprint (the
+    id-ordered label tuple), not the label count: two graphs that intern the
+    same labels in a *different order* must never share a transition table,
+    even though their counts agree.  Keying on the fingerprint makes stale
+    hits structurally impossible — a full rebuild that happens to preserve
+    the interning order keeps the cache warm, and one that permutes it
+    simply misses.
+    """
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ValueError("compile cache capacity must be positive")
         self.capacity = capacity
-        self._cache: "OrderedDict[tuple[str, int], CompiledQuery]" = OrderedDict()
+        self._cache: "OrderedDict[tuple[str, tuple[str, ...]], CompiledQuery]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
 
     def compile(
         self, query: "RegularPathQuery | Regex | str", graph: CompiledGraph
     ) -> CompiledQuery:
-        key = (query_key(query), graph.num_labels)
+        key = (query_key(query), graph.labels_fingerprint())
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
@@ -161,6 +203,36 @@ class QueryCompiler:
         if len(self._cache) > self.capacity:
             self._cache.popitem(last=False)
         return compiled
+
+    # -- persistence ----------------------------------------------------------
+    def warm_entries(self, graph: CompiledGraph) -> list[tuple[str, CompiledQuery]]:
+        """The cached ``(query key, compiled query)`` pairs valid on ``graph``.
+
+        Entries keyed to other label fingerprints (LRU leftovers from before
+        a rebuild) are skipped — a snapshot should only ship tables that the
+        saved graph can actually serve.
+        """
+        fingerprint = graph.labels_fingerprint()
+        return [
+            (text, compiled)
+            for (text, key_fingerprint), compiled in self._cache.items()
+            if key_fingerprint == fingerprint
+        ]
+
+    def seed(
+        self, query_text: str, compiled: CompiledQuery, fingerprint: tuple[str, ...]
+    ) -> None:
+        """Insert a restored entry under ``(query_text, fingerprint)``.
+
+        Used by snapshot warm-start; counts as neither a hit nor a miss.
+        Entries whose fingerprint does not match the live graph are harmless
+        — they can never be returned by :meth:`compile` — but seeding still
+        respects the LRU capacity.
+        """
+        self._cache[(query_text, fingerprint)] = compiled
+        self._cache.move_to_end((query_text, fingerprint))
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._cache)

@@ -27,6 +27,10 @@ For the vectorized executor (:mod:`repro.engine.executor_np`) the per-label
 adjacency is additionally lowered, lazily and cached per version, to flat
 numpy ``(source, target)`` edge arrays plus a target-grouped view that
 ``np.bitwise_or.reduceat`` can scatter-reduce over.
+
+The whole compiled state round-trips through :meth:`CompiledGraph.to_parts`
+/ :meth:`CompiledGraph.from_parts` — the exchange format the snapshot codecs
+(:mod:`repro.engine.snapshot`) serialize, tombstones and overflow included.
 """
 
 from __future__ import annotations
@@ -84,6 +88,7 @@ class CompiledGraph:
         "_np_version",
         "_np_edges",
         "version",
+        "__weakref__",
     )
 
     def __init__(self) -> None:
@@ -98,7 +103,11 @@ class CompiledGraph:
         # Per label id: {source node -> [target nodes]} for post-build adds.
         self._overflow: list[dict[int, list[int]]] = []
         self._overflow_edges = 0
-        self._edge_set: set[tuple[int, int, int]] = set()
+        # ``None`` after a snapshot restore: the set is fully derivable from
+        # CSR − tombstones + overflow, and a read-only serving session never
+        # needs it, so materialization is deferred to first use (mutation,
+        # edge_count, iter_edges) — see :meth:`_edges`.
+        self._edge_set: "set[tuple[int, int, int]] | None" = set()
         # Per label id: CSR positions of incrementally removed edges.
         self._dead: list[set[int]] = []
         self._dead_edges = 0
@@ -174,9 +183,10 @@ class CompiledGraph:
             self._overflow.append({})
             self._dead.append(set())
         key = (sid, lid, did)
-        if key in self._edge_set:
+        edges = self._edges()
+        if key in edges:
             return
-        self._edge_set.add(key)
+        edges.add(key)
         self.version += 1
         # Re-adding a removed edge whose CSR slot is tombstoned revives the
         # slot in place instead of duplicating the edge into the overflow.
@@ -202,9 +212,9 @@ class CompiledGraph:
         did = self.nodes.id_of(destination)
         lid = self.labels.id_of(label)
         key = (sid, lid, did)
-        if sid is None or did is None or lid is None or key not in self._edge_set:
+        if sid is None or did is None or lid is None or key not in self._edges():
             raise InstanceError(f"edge {(source, label, destination)!r} not present")
-        self._edge_set.remove(key)
+        self._edges().remove(key)
         self.version += 1
         extra = self._overflow[lid].get(sid)
         if extra is not None and did in extra:
@@ -254,7 +264,7 @@ class CompiledGraph:
         ):
             return
         buckets: dict[int, list[tuple[int, int]]] = {}
-        for sid, lid, did in self._edge_set:
+        for sid, lid, did in self._edges():
             buckets.setdefault(lid, []).append((sid, did))
         self._build_csr(buckets)
 
@@ -267,8 +277,53 @@ class CompiledGraph:
     def num_labels(self) -> int:
         return len(self.labels)
 
+    def labels_fingerprint(self) -> tuple[str, ...]:
+        """The id-ordered label tuple; equal fingerprints mean compiled
+        transition tables (whose columns are label ids) are interchangeable."""
+        return self.labels.fingerprint()
+
+    def ensure_nodes(self, oids: Iterable[Oid]) -> int:
+        """Intern any not-yet-known oids, in sorted-by-``repr`` order.
+
+        This is the cheap path for instance mutations that only grow the
+        object set (``Instance.add_object`` of isolated nodes): ids are
+        append-only and no edge moves, so the CSR arrays, the tombstones,
+        the numpy lowering cache and every compiled query table stay valid
+        — ``version`` is deliberately *not* bumped.  Returns the number of
+        newly interned nodes.
+        """
+        nodes = self.nodes
+        fresh = [oid for oid in oids if oid not in nodes]
+        for oid in sorted(fresh, key=repr):
+            nodes.intern(oid)
+        return len(fresh)
+
+    def _edges(self) -> set[tuple[int, int, int]]:
+        """The live ``(source, label, target)`` id triples, derived lazily.
+
+        After :meth:`from_parts` the set starts unmaterialized; the first
+        accessor re-derives it by scanning the CSR arrays (skipping
+        tombstoned positions) and the overflow adjacency — exactly the edge
+        set every traversal sees.
+        """
+        if self._edge_set is None:
+            edges: set[tuple[int, int, int]] = set()
+            for lid in range(len(self.labels)):
+                indptr = self._indptr[lid]
+                targets = self._targets[lid]
+                dead = self._dead[lid]
+                for sid in range(len(indptr) - 1):
+                    for position in range(indptr[sid], indptr[sid + 1]):
+                        if position not in dead:
+                            edges.add((sid, lid, targets[position]))
+                for sid, destinations in self._overflow[lid].items():
+                    for did in destinations:
+                        edges.add((sid, lid, did))
+            self._edge_set = edges
+        return self._edge_set
+
     def edge_count(self) -> int:
-        return len(self._edge_set)
+        return len(self._edges())
 
     def overflow_edge_count(self) -> int:
         return self._overflow_edges
@@ -371,7 +426,72 @@ class CompiledGraph:
 
     def iter_edges(self) -> Iterator[tuple[int, int, int]]:
         """All compiled edges as ``(source, label_id, target)`` triples."""
-        return iter(self._edge_set)
+        return iter(self._edges())
+
+    # -- persistence ----------------------------------------------------------
+    def to_parts(self) -> dict:
+        """The complete compiled state as plain containers, for snapshots.
+
+        Everything :meth:`from_parts` needs to rebuild an identical graph:
+        both interner value lists, the per-label CSR pairs, the overflow
+        adjacency, the tombstone sets, ``_csr_nodes`` and the mutation
+        ``version``.  ``_edge_set`` is *not* included — it is derivable from
+        CSR minus tombstones plus overflow, and re-deriving it on load is
+        cheaper than shipping every triple twice.
+        """
+        return {
+            "nodes": list(self.nodes.backing_list()),
+            "labels": list(self.labels.backing_list()),
+            "csr_nodes": self._csr_nodes,
+            "indptr": list(self._indptr),
+            "targets": list(self._targets),
+            "overflow": [
+                {source: list(targets) for source, targets in of.items()}
+                for of in self._overflow
+            ],
+            "dead": [set(dead) for dead in self._dead],
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_parts(
+        cls,
+        *,
+        nodes: "list[Oid]",
+        labels: "list[str]",
+        csr_nodes: int,
+        indptr: "list[array]",
+        targets: "list[array]",
+        overflow: "list[dict[int, list[int]]]",
+        dead: "list[set[int]]",
+        version: int,
+    ) -> "CompiledGraph":
+        """Rebuild a compiled graph from :meth:`to_parts` output.
+
+        The edge set is left unmaterialized (lazily re-derived from CSR −
+        tombstones + overflow on first use), which keeps restoring a
+        snapshot O(arrays): a session that only serves queries never pays
+        the O(E) scan, while incremental ``add_edge``/``remove_edge`` work
+        exactly like on the graph that was saved.
+        """
+        graph = cls()
+        graph.nodes = Interner(nodes)
+        graph.labels = Interner(labels)
+        graph._csr_nodes = csr_nodes
+        graph._indptr = list(indptr)
+        graph._targets = list(targets)
+        graph._overflow = [
+            {source: list(targets) for source, targets in of.items()}
+            for of in overflow
+        ]
+        graph._dead = [set(positions) for positions in dead]
+        graph._overflow_edges = sum(
+            len(destinations) for of in graph._overflow for destinations in of.values()
+        )
+        graph._dead_edges = sum(len(positions) for positions in graph._dead)
+        graph.version = version
+        graph._edge_set = None
+        return graph
 
     # -- translation ----------------------------------------------------------
     def node_id(self, oid: Oid) -> int | None:

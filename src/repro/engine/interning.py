@@ -6,8 +6,9 @@ become label ids ``0..L-1``.  Interning is append-only — an id, once
 assigned, never changes — which is what lets compiled artifacts (CSR
 partitions, DFA transition tables) stay valid across incremental graph
 growth: a table compiled against the first ``L`` labels is invalidated only
-when a genuinely new label appears, and the cache key captures exactly that
-(see :mod:`repro.engine.compiled_query`).
+when a genuinely new label appears, and the cache key — the interner's
+:meth:`~Interner.fingerprint`, i.e. the id-ordered label tuple — captures
+exactly that (see :mod:`repro.engine.compiled_query`).
 """
 
 from __future__ import annotations
@@ -20,11 +21,13 @@ Value = TypeVar("Value", bound=Hashable)
 class Interner(Generic[Value]):
     """An append-only bijection between hashable values and dense ints."""
 
-    __slots__ = ("_ids", "_values")
+    __slots__ = ("_ids", "_values", "_fingerprint", "_fingerprint_len")
 
     def __init__(self, values: Iterable[Value] = ()) -> None:
         self._ids: dict[Value, int] = {}
         self._values: list[Value] = []
+        self._fingerprint: tuple[Value, ...] = ()
+        self._fingerprint_len = 0
         for value in values:
             self.intern(value)
 
@@ -49,6 +52,20 @@ class Interner(Generic[Value]):
     def values(self) -> tuple[Value, ...]:
         """All interned values, in id order."""
         return tuple(self._values)
+
+    def fingerprint(self) -> tuple[Value, ...]:
+        """The id-ordered value tuple, cached until the interner grows.
+
+        Two interners with equal fingerprints assign identical ids, so the
+        tuple is a correct cache key for artifacts compiled against this
+        id assignment (e.g. DFA transition tables whose columns are label
+        ids) — unlike ``len()``, which two *permuted* interners share.
+        Returning the same tuple object between mutations keeps repeated
+        dict lookups on the key cheap."""
+        if self._fingerprint_len != len(self._values):
+            self._fingerprint = tuple(self._values)
+            self._fingerprint_len = len(self._values)
+        return self._fingerprint
 
     def backing_list(self) -> list[Value]:
         """The live id-ordered value list, NOT a copy — callers must not

@@ -6,11 +6,18 @@ single-source, multi-source batched, or all-pairs — compiling each distinct
 query at most once (LRU).  The façade also owns the two cross-cutting
 concerns that individual executors should not:
 
-* **staleness** — the engine snapshots the instance's version counter and
-  transparently rebuilds the compiled graph when the instance has been
-  mutated behind its back; edges added or removed *through* the engine
-  (:meth:`Engine.add_edge` / :meth:`Engine.remove_edge`) take the cheap
-  incremental paths (overflow adjacency / tombstones) instead;
+* **staleness** — the engine snapshots the instance's version counters and
+  transparently rebuilds the compiled graph when the instance's *edge set*
+  has been mutated behind its back; object-only growth (``add_object`` of
+  isolated nodes) just grows the node interner in place, and edges added or
+  removed *through* the engine (:meth:`Engine.add_edge` /
+  :meth:`Engine.remove_edge`) take the cheap incremental paths (overflow
+  adjacency / tombstones) instead;
+* **persistence** — :meth:`Engine.save` writes the whole compiled substrate
+  (graph + warm query cache + staleness stamp) to disk, and
+  ``Engine.open(path, instance=...)`` warm-starts a new session from it,
+  falling back to a fresh compile when the stamp does not match (see
+  :mod:`repro.engine.snapshot`);
 * **backend selection** — every evaluation is dispatched through
   :mod:`repro.engine.executor` with the session's ``backend`` setting
   (``auto``/``python``/``numpy``); which executor actually served each run
@@ -29,10 +36,13 @@ for existing callers (see the delegation hook in ``query.evaluation`` and the
 
 from __future__ import annotations
 
+import os
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..exceptions import ReproError
 from ..graph.instance import Instance, Oid
 from ..query.evaluation import EvaluationResult
 from ..query.path_query import RegularPathQuery
@@ -53,6 +63,8 @@ class EngineStats:
     """Counters accumulated across the lifetime of one engine session."""
 
     graph_builds: int = 0
+    snapshot_restores: int = 0
+    interner_growths: int = 0
     incremental_edges: int = 0
     incremental_removals: int = 0
     single_evaluations: int = 0
@@ -74,8 +86,13 @@ class EngineStats:
             )
             or "none"
         )
+        restored = (
+            f", {self.snapshot_restores} snapshot warm-start"
+            if self.snapshot_restores
+            else ""
+        )
         return (
-            f"graph builds: {self.graph_builds} "
+            f"graph builds: {self.graph_builds}{restored} "
             f"(+{self.incremental_edges} incremental edges, "
             f"-{self.incremental_removals} incremental removals); "
             f"compiles: {compiler.misses}, cache hits: {compiler.hits}; "
@@ -99,8 +116,9 @@ class Engine:
         cost_model: "CostModel | None" = None,
         cache_capacity: int = 128,
         backend: str = "auto",
+        _graph: "CompiledGraph | None" = None,
     ) -> None:
-        self.instance = instance
+        self._instance: "Instance | weakref.ref[Instance]" = instance
         self.constraints = constraints
         self.cost_model = cost_model
         # Validate the name eagerly ("numpy" on a numpy-less machine still
@@ -114,28 +132,115 @@ class Engine:
         # Rewrite memo, LRU-bounded like the compile cache so a long-lived
         # constrained session does not grow without limit.
         self._rewrites: "OrderedDict[str, Regex]" = OrderedDict()
-        self._graph = CompiledGraph.from_instance(instance)
+        if _graph is None:
+            self._graph = CompiledGraph.from_instance(instance)
+            self.stats.graph_builds += 1
+        else:
+            # Snapshot warm-start: the caller restored a compiled graph that
+            # is already consistent with ``instance`` — no build to pay.
+            self._graph = _graph
+            self.stats.snapshot_restores += 1
         self._instance_version = instance.version
-        self.stats.graph_builds += 1
+        self._edge_version = instance.edge_version
+
+    @property
+    def instance(self) -> Instance:
+        """The live instance; resolves the weakref held by shared engines.
+
+        Raises :class:`~repro.exceptions.ReproError` when a weakly-bound
+        engine outlived its instance.  Read paths never hit this — they
+        only consult the instance for staleness detection, and a dead
+        instance can no longer mutate, so :meth:`refresh` treats it as
+        final and queries keep serving the frozen compiled graph.  Only
+        operations that genuinely need the instance (``add_edge`` /
+        ``remove_edge`` / ``save``) surface the error.
+        """
+        instance = self._instance_or_none()
+        if instance is None:
+            raise ReproError(
+                "the engine's instance has been garbage-collected; the "
+                "compiled graph is frozen (queries still work, mutation "
+                "and save do not)"
+            )
+        return instance
+
+    def _instance_or_none(self) -> "Instance | None":
+        held = self._instance
+        if type(held) is weakref.ref:
+            return held()
+        return held
+
+    def _hold_instance_weakly(self) -> None:
+        """Swap the instance back-edge for a weakref.
+
+        :func:`shared_engine` stores the engine *on* the instance, so a
+        strong ``Engine -> Instance`` edge would close a reference cycle
+        that keeps large compiled graphs alive until a gc cycle pass.  With
+        the weak back-edge the instance's refcount alone decides both
+        lifetimes: dropping the instance frees the engine immediately.
+        """
+        held = self._instance
+        if type(held) is not weakref.ref:
+            self._instance = weakref.ref(held)
 
     @classmethod
     def open(
         cls,
-        instance: Instance,
+        source: "Instance | str | os.PathLike",
         *,
+        instance: "Instance | None" = None,
         constraints: "ConstraintSet | None" = None,
         cost_model: "CostModel | None" = None,
         cache_capacity: int = 128,
         backend: str = "auto",
     ) -> "Engine":
-        """Compile ``instance`` and return a ready-to-serve engine session."""
+        """Return a ready-to-serve engine session.
+
+        ``source`` is either an :class:`Instance` — compiled from scratch,
+        exactly as before — or a path to a snapshot written by :meth:`save`,
+        which warm-starts the session with the persisted compiled graph and
+        query cache.  When loading a snapshot, ``instance`` optionally
+        supplies the live instance to serve: the stored stamp (version
+        counters + content fingerprint) is validated against it, and on any
+        mismatch the engine silently falls back to a full rebuild from the
+        supplied instance.  Without ``instance``, the instance is
+        reconstructed from the snapshot itself.
+        """
+        if isinstance(source, (str, os.PathLike)):
+            from .snapshot import load_engine
+
+            return load_engine(
+                source,
+                instance=instance,
+                constraints=constraints,
+                cost_model=cost_model,
+                cache_capacity=cache_capacity,
+                backend=backend,
+            )
+        if instance is not None:
+            raise ReproError(
+                "instance= is only meaningful when opening a snapshot path"
+            )
         return cls(
-            instance,
+            source,
             constraints=constraints,
             cost_model=cost_model,
             cache_capacity=cache_capacity,
             backend=backend,
         )
+
+    def save(self, path: "str | os.PathLike", *, codec: str = "auto") -> None:
+        """Persist the compiled graph and warm query cache to ``path``.
+
+        The engine refreshes first, so the snapshot always reflects the live
+        instance; see :mod:`repro.engine.snapshot` for the format and codecs
+        (``auto`` picks the numpy ``.npz`` fast path when available, else
+        the stdlib binary writer).
+        """
+        from .snapshot import save_engine
+
+        self.refresh()
+        save_engine(self, path, codec=codec)
 
     # -- graph lifecycle ------------------------------------------------------
     @property
@@ -152,17 +257,38 @@ class Engine:
 
         Returns ``True`` when a rebuild happened.  Mutations routed through
         :meth:`add_edge` keep the versions in sync and never trigger this.
+
+        Out-of-band mutations that cannot invalidate the CSR — the instance's
+        *edge* version is unchanged, so only isolated objects were added via
+        ``Instance.add_object`` — take a cheap path instead: the node
+        interner grows in place (ids are append-only) and both the compiled
+        graph and the warm query cache survive untouched.
+
+        Stale transition tables cannot outlive a rebuild either way: the
+        compile cache is keyed by the label interner's fingerprint, so a
+        rebuild that permutes label ids misses the cache structurally
+        instead of relying on an explicit clear here.  A rebuild that
+        happens to preserve the interning order keeps the cache warm.
+
+        A weakly-bound engine (see :func:`shared_engine`) whose instance
+        has been collected serves its last compiled state forever: a dead
+        instance cannot mutate, so there is nothing to be stale against.
         """
-        if self.instance.version == self._instance_version:
+        instance = self._instance_or_none()
+        if instance is None:
             return False
-        self._graph = CompiledGraph.from_instance(self.instance)
-        self._instance_version = self.instance.version
+        if instance.version == self._instance_version:
+            return False
+        if instance.edge_version == self._edge_version:
+            grown = self._graph.ensure_nodes(instance.objects)
+            if grown:
+                self.stats.interner_growths += grown
+            self._instance_version = instance.version
+            return False
+        self._graph = CompiledGraph.from_instance(instance)
+        self._instance_version = instance.version
+        self._edge_version = instance.edge_version
         self.stats.graph_builds += 1
-        # A full rebuild may reassign label ids (interning follows edge
-        # iteration order), so every cached transition table is void — the
-        # cache key tracks only the label *count*, which is enough for the
-        # append-only incremental path but not for a rebuild.
-        self.compiler.clear()
         return True
 
     def add_edge(self, source: Oid, label: str, destination: Oid) -> None:
@@ -172,11 +298,13 @@ class Engine:
         its overflow adjacency instead of recompiling the whole graph.
         """
         self.refresh()
-        if self.instance.has_edge(source, label, destination):
+        instance = self.instance
+        if instance.has_edge(source, label, destination):
             return
-        self.instance.add_edge(source, label, destination)
+        instance.add_edge(source, label, destination)
         self._graph.add_edge(source, label, destination)
-        self._instance_version = self.instance.version
+        self._instance_version = instance.version
+        self._edge_version = instance.edge_version
         self.stats.incremental_edges += 1
 
     def remove_edge(self, source: Oid, label: str, destination: Oid) -> None:
@@ -187,9 +315,11 @@ class Engine:
         never change on the incremental path).
         """
         self.refresh()
-        self.instance.remove_edge(source, label, destination)
+        instance = self.instance
+        instance.remove_edge(source, label, destination)
         self._graph.remove_edge(source, label, destination)
-        self._instance_version = self.instance.version
+        self._instance_version = instance.version
+        self._edge_version = instance.edge_version
         self.stats.incremental_removals += 1
 
     # -- query compilation ----------------------------------------------------
@@ -377,10 +507,15 @@ def shared_engine(instance: Instance) -> Engine:
     Used by the delegation hook in :func:`repro.query.evaluation.evaluate`
     so that repeated baseline-API calls against the same instance share one
     compiled graph and one warm query cache.  The engine lives exactly as
-    long as the instance does.
+    long as the instance does — and no longer: the instance holds the engine
+    strongly (the ``setattr`` below) while the engine holds the instance
+    through a *weakref*, so no ``Instance -> Engine -> Instance`` cycle
+    forms and dropping the last instance reference frees the compiled graph
+    immediately, without waiting for a gc cycle pass.
     """
     engine = getattr(instance, _SHARED_ENGINE_ATTR, None)
     if engine is None or engine.instance is not instance:
         engine = Engine.open(instance)
+        engine._hold_instance_weakly()
         setattr(instance, _SHARED_ENGINE_ATTR, engine)
     return engine

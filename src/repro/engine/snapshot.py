@@ -1,0 +1,578 @@
+"""Versioned on-disk snapshots of a compiled engine session.
+
+The compiled substrate — interned labels/oids, the label-partitioned CSR
+(index/targets arrays, overflow adjacency, tombstone sets) and the warm
+query cache's DFA transition tables — is expensive to build and cheap to
+store, so a serving process should be able to write it once and warm-start
+any number of later sessions from disk (``Engine.save(path)`` /
+``Engine.open(path, instance=...)``).
+
+Mirroring the dual-executor pattern, two interchangeable codecs write the
+same logical payload:
+
+* ``binary`` — a stdlib-only format: a magic header, struct-packed framing,
+  zlib-compressed ``int64`` array sections.  Always available.
+* ``npz`` — a numpy ``savez_compressed`` archive holding the same arrays,
+  used by ``codec="auto"`` whenever the numpy executor is available (the
+  ``REPRO_DISABLE_NUMPY`` gate applies here too, so the stdlib codec is
+  exercised on the same CI arm as the pure-Python executor).
+
+Either file is self-describing: loading sniffs the header, so a snapshot
+written with one codec loads on any machine that can read it.
+
+Staleness is handled with a *stamp*: the instance's version counters plus a
+process-stable content fingerprint (the XOR of one ``repr``-based blake2b
+digest per object and per edge, maintained incrementally by
+:meth:`~repro.graph.instance.Instance.content_fingerprint` and immune to
+hash randomization).  ``load_engine`` validates
+the stamp against a supplied live instance and silently falls back to a
+full rebuild on mismatch — a stale snapshot can cost time, never answers.
+Even on fallback, cached transition tables are re-seeded when the rebuilt
+graph's label fingerprint matches the stored one (tables depend only on the
+label-id assignment, not on the edge set).
+
+Object identifiers are arbitrary hashables; when they are not all strings
+they are embedded with :mod:`pickle`, so snapshots — like pickle files —
+should only be loaded from trusted sources.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import struct
+import zlib
+from array import array
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..exceptions import ReproError
+from ..graph.instance import Instance
+from .compiled_query import CompiledQuery
+from .csr import CompiledGraph
+from .executor import numpy_available
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import Engine
+
+MAGIC = b"RPQSNAP\x01"
+FORMAT_VERSION = 1
+CODECS = ("auto", "binary", "npz")
+
+
+def resolve_codec(codec: str = "auto") -> str:
+    """Map a requested codec name to the one that will actually write."""
+    if codec not in CODECS:
+        raise ReproError(f"unknown snapshot codec {codec!r}; expected one of {CODECS}")
+    if codec == "auto":
+        return "npz" if numpy_available() else "binary"
+    if codec == "npz" and not numpy_available():
+        raise ReproError(
+            "npz snapshot codec requested but numpy is not available "
+            "(not importable, or disabled via REPRO_DISABLE_NUMPY)"
+        )
+    return codec
+
+
+@dataclass(frozen=True)
+class SnapshotStamp:
+    """Staleness stamp: version counters + content digest of the instance.
+
+    The counters are informational (they are lifetime-specific); validation
+    against a live instance uses the :meth:`Instance.content_fingerprint`
+    digest, which is stable across processes.
+    """
+
+    instance_version: int
+    edge_version: int
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One warm compile-cache entry: the query key and its lowered table."""
+
+    key: str
+    expression: str
+    initial: int
+    dfa_size: int
+    label_count: int
+    accepting: tuple[bool, ...]
+    table: tuple[array, ...]
+
+
+@dataclass
+class SnapshotPayload:
+    """The codec-independent logical content of a snapshot file."""
+
+    format_version: int
+    stamp: SnapshotStamp
+    graph_parts: dict
+    cache: list[CacheEntry]
+
+
+def payload_from_engine(engine: "Engine") -> SnapshotPayload:
+    """Collect everything a warm-start needs from a (refreshed) engine."""
+    instance = engine.instance
+    graph = engine.graph
+    stamp = SnapshotStamp(
+        instance_version=instance.version,
+        edge_version=instance.edge_version,
+        fingerprint=instance.content_fingerprint(),
+    )
+    cache = [
+        CacheEntry(
+            key=key,
+            expression=compiled.expression,
+            initial=compiled.initial,
+            dfa_size=compiled.dfa_size,
+            label_count=compiled.label_count,
+            accepting=compiled.accepting,
+            table=compiled.table,
+        )
+        for key, compiled in engine.compiler.warm_entries(graph)
+    ]
+    return SnapshotPayload(FORMAT_VERSION, stamp, graph.to_parts(), cache)
+
+
+# -- binary codec (stdlib only) ------------------------------------------------
+def _put_bytes(out: bytearray, blob: bytes) -> None:
+    out += struct.pack("<Q", len(blob))
+    out += blob
+
+
+def _put_str(out: bytearray, text: str) -> None:
+    _put_bytes(out, text.encode("utf-8"))
+
+
+def _put_i64s(out: bytearray, values: array) -> None:
+    _put_bytes(out, zlib.compress(values.tobytes()))
+
+
+def _flatten_overflow(overflow: dict) -> tuple[array, array]:
+    sources = array("q")
+    destinations = array("q")
+    for source, targets in overflow.items():
+        sources.extend([source] * len(targets))
+        destinations.extend(targets)
+    return sources, destinations
+
+
+def _encode_binary(payload: SnapshotPayload) -> bytes:
+    parts = payload.graph_parts
+    labels: list[str] = parts["labels"]
+    nodes: list = parts["nodes"]
+    out = bytearray(MAGIC)
+    out += struct.pack("<I", payload.format_version)
+    out += struct.pack(
+        "<qq", payload.stamp.instance_version, payload.stamp.edge_version
+    )
+    _put_str(out, payload.stamp.fingerprint)
+    out += struct.pack("<qqq", parts["version"], parts["csr_nodes"], len(labels))
+    for label in labels:
+        _put_str(out, label)
+    if all(isinstance(oid, str) for oid in nodes):
+        out += b"\x00"
+        out += struct.pack("<Q", len(nodes))
+        for oid in nodes:
+            _put_str(out, oid)
+    else:
+        out += b"\x01"
+        _put_bytes(out, zlib.compress(pickle.dumps(nodes, protocol=4)))
+    for lid in range(len(labels)):
+        _put_i64s(out, parts["indptr"][lid])
+        _put_i64s(out, parts["targets"][lid])
+        _put_i64s(out, array("q", sorted(parts["dead"][lid])))
+        overflow_src, overflow_dst = _flatten_overflow(parts["overflow"][lid])
+        _put_i64s(out, overflow_src)
+        _put_i64s(out, overflow_dst)
+    out += struct.pack("<I", len(payload.cache))
+    for entry in payload.cache:
+        _put_str(out, entry.key)
+        _put_str(out, entry.expression)
+        out += struct.pack(
+            "<qqq", entry.initial, entry.dfa_size, entry.label_count
+        )
+        _put_bytes(out, bytes(bytearray(int(flag) for flag in entry.accepting)))
+        flat = array("q")
+        for row in entry.table:
+            flat.extend(row)
+        _put_i64s(out, flat)
+    return bytes(out)
+
+
+class _Reader:
+    """Cursor over an encoded binary snapshot."""
+
+    def __init__(self, blob: bytes) -> None:
+        self.blob = blob
+        self.pos = 0
+
+    def unpack(self, fmt: str) -> tuple:
+        values = struct.unpack_from(fmt, self.blob, self.pos)
+        self.pos += struct.calcsize(fmt)
+        return values
+
+    def take(self, count: int) -> bytes:
+        chunk = self.blob[self.pos : self.pos + count]
+        if len(chunk) != count:
+            raise ReproError("truncated snapshot file")
+        self.pos += count
+        return chunk
+
+    def bytes_(self) -> bytes:
+        (length,) = self.unpack("<Q")
+        return self.take(length)
+
+    def str_(self) -> str:
+        return self.bytes_().decode("utf-8")
+
+    def i64s(self) -> array:
+        values = array("q")
+        values.frombytes(zlib.decompress(self.bytes_()))
+        return values
+
+
+def _decode_binary(blob: bytes) -> SnapshotPayload:
+    reader = _Reader(blob)
+    if reader.take(len(MAGIC)) != MAGIC:  # pragma: no cover - sniffed upstream
+        raise ReproError("not a repro engine snapshot (bad magic)")
+    (format_version,) = reader.unpack("<I")
+    if format_version != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported snapshot format version {format_version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    instance_version, edge_version = reader.unpack("<qq")
+    fingerprint = reader.str_()
+    graph_version, csr_nodes, label_count = reader.unpack("<qqq")
+    labels = [reader.str_() for _ in range(label_count)]
+    (node_tag,) = reader.unpack("<B")
+    if node_tag == 0:
+        (node_count,) = reader.unpack("<Q")
+        nodes: list = [reader.str_() for _ in range(node_count)]
+    else:
+        nodes = pickle.loads(zlib.decompress(reader.bytes_()))
+    indptr: list[array] = []
+    targets: list[array] = []
+    dead: list[set[int]] = []
+    overflow: list[dict[int, list[int]]] = []
+    for _ in range(label_count):
+        indptr.append(reader.i64s())
+        targets.append(reader.i64s())
+        dead.append(set(reader.i64s()))
+        overflow_src = reader.i64s()
+        overflow_dst = reader.i64s()
+        adjacency: dict[int, list[int]] = {}
+        for source, destination in zip(overflow_src, overflow_dst):
+            adjacency.setdefault(source, []).append(destination)
+        overflow.append(adjacency)
+    (entry_count,) = reader.unpack("<I")
+    cache: list[CacheEntry] = []
+    for _ in range(entry_count):
+        key = reader.str_()
+        expression = reader.str_()
+        initial, dfa_size, entry_labels = reader.unpack("<qqq")
+        accepting = tuple(bool(flag) for flag in reader.bytes_())
+        flat = reader.i64s()
+        table = tuple(
+            flat[row * entry_labels : (row + 1) * entry_labels]
+            for row in range(len(accepting))
+        )
+        cache.append(
+            CacheEntry(key, expression, initial, dfa_size, entry_labels, accepting, table)
+        )
+    stamp = SnapshotStamp(instance_version, edge_version, fingerprint)
+    graph_parts = {
+        "nodes": nodes,
+        "labels": labels,
+        "csr_nodes": csr_nodes,
+        "indptr": indptr,
+        "targets": targets,
+        "overflow": overflow,
+        "dead": dead,
+        "version": graph_version,
+    }
+    return SnapshotPayload(format_version, stamp, graph_parts, cache)
+
+
+# -- npz codec (numpy fast path) -----------------------------------------------
+# All per-label sections are concatenated into a handful of large arrays with
+# explicit offset vectors: a .npz member costs a zip entry + header + crc per
+# access, so dozens of tiny arrays would make loading slower than the stdlib
+# codec instead of faster.
+
+
+def _encode_npz(payload: SnapshotPayload, path: "str | os.PathLike") -> None:
+    import numpy as np
+
+    def concat_with_offsets(chunks: "list[array]") -> "tuple[np.ndarray, np.ndarray]":
+        offsets = np.zeros(len(chunks) + 1, dtype=np.int64)
+        np.cumsum([len(chunk) for chunk in chunks], out=offsets[1:])
+        if chunks:
+            data = np.concatenate(
+                [np.asarray(chunk, dtype=np.int64) for chunk in chunks]
+            )
+        else:
+            data = np.empty(0, dtype=np.int64)
+        return data, offsets
+
+    parts = payload.graph_parts
+    labels: list[str] = parts["labels"]
+    nodes: list = parts["nodes"]
+    label_count = len(labels)
+    meta = {
+        "format_version": payload.format_version,
+        "stamp": {
+            "instance_version": payload.stamp.instance_version,
+            "edge_version": payload.stamp.edge_version,
+            "fingerprint": payload.stamp.fingerprint,
+        },
+        "graph": {
+            "version": parts["version"],
+            "csr_nodes": parts["csr_nodes"],
+            "labels": labels,
+        },
+        "cache": [
+            {
+                "key": entry.key,
+                "expression": entry.expression,
+                "initial": entry.initial,
+                "dfa_size": entry.dfa_size,
+                "label_count": entry.label_count,
+            }
+            for entry in payload.cache
+        ],
+        # numpy '<U' arrays silently drop *trailing* NUL characters on read,
+        # so such oids must take the pickle path to round-trip losslessly.
+        "nodes_encoding": (
+            "str"
+            if all(
+                isinstance(oid, str) and not oid.endswith("\x00") for oid in nodes
+            )
+            else "pickle"
+        ),
+    }
+    arrays: dict = {
+        "meta_json": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    }
+    if meta["nodes_encoding"] == "str":
+        arrays["nodes"] = np.array(nodes, dtype=np.str_)
+    else:
+        # A uint8 buffer, NOT an object array: np.load never needs
+        # allow_pickle=True — the pickling is explicit and ours.
+        arrays["nodes"] = np.frombuffer(
+            pickle.dumps(nodes, protocol=4), dtype=np.uint8
+        )
+    overflow_pairs = [
+        _flatten_overflow(parts["overflow"][lid]) for lid in range(label_count)
+    ]
+    # One flat (data, offsets) pair for all five graph sections: chunk
+    # ``section * label_count + lid`` holds section ``section`` of label
+    # ``lid``, in the order below.  Likewise one pair for the cache (tables
+    # first, then accepting vectors).
+    graph_chunks: list[array] = (
+        list(parts["indptr"])
+        + list(parts["targets"])
+        + [array("q", sorted(parts["dead"][lid])) for lid in range(label_count)]
+        + [pair[0] for pair in overflow_pairs]
+        + [pair[1] for pair in overflow_pairs]
+    )
+    arrays["graph_data"], arrays["graph_offsets"] = concat_with_offsets(graph_chunks)
+    cache_chunks = [
+        array("q", (value for row in entry.table for value in row))
+        for entry in payload.cache
+    ] + [array("q", (int(flag) for flag in entry.accepting)) for entry in payload.cache]
+    arrays["cache_data"], arrays["cache_offsets"] = concat_with_offsets(cache_chunks)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def _decode_npz(path: "str | os.PathLike") -> SnapshotPayload:
+    import numpy as np
+
+    def split(data: "np.ndarray", offsets: "np.ndarray") -> "list[array]":
+        blob = np.ascontiguousarray(data, dtype=np.int64).tobytes()
+        chunks: list[array] = []
+        for position in range(len(offsets) - 1):
+            chunk = array("q")
+            chunk.frombytes(blob[8 * int(offsets[position]) : 8 * int(offsets[position + 1])])
+            chunks.append(chunk)
+        return chunks
+
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(data["meta_json"].tobytes().decode("utf-8"))
+        format_version = meta["format_version"]
+        if format_version != FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported snapshot format version {format_version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        labels: list[str] = list(meta["graph"]["labels"])
+        if meta["nodes_encoding"] == "str":
+            nodes: list = data["nodes"].tolist()  # C-speed '<U*' -> list[str]
+        else:
+            nodes = pickle.loads(data["nodes"].tobytes())
+        label_count = len(labels)
+        graph_chunks = split(data["graph_data"], data["graph_offsets"])
+        cache_chunks = split(data["cache_data"], data["cache_offsets"])
+    section = {
+        name: graph_chunks[index * label_count : (index + 1) * label_count]
+        for index, name in enumerate(
+            ("indptr", "targets", "dead", "overflow_src", "overflow_dst")
+        )
+    }
+    dead = [set(chunk) for chunk in section["dead"]]
+    overflow: list[dict[int, list[int]]] = []
+    for overflow_src, overflow_dst in zip(
+        section["overflow_src"], section["overflow_dst"]
+    ):
+        adjacency: dict[int, list[int]] = {}
+        for source, destination in zip(overflow_src, overflow_dst):
+            adjacency.setdefault(source, []).append(destination)
+        overflow.append(adjacency)
+    entry_count = len(meta["cache"])
+    tables = cache_chunks[:entry_count]
+    accepts = cache_chunks[entry_count:]
+    cache: list[CacheEntry] = []
+    for entry_meta, flat, accept in zip(meta["cache"], tables, accepts):
+        accepting = tuple(bool(flag) for flag in accept)
+        width = entry_meta["label_count"]
+        table = tuple(
+            flat[row * width : (row + 1) * width] for row in range(len(accepting))
+        )
+        cache.append(
+            CacheEntry(
+                key=entry_meta["key"],
+                expression=entry_meta["expression"],
+                initial=entry_meta["initial"],
+                dfa_size=entry_meta["dfa_size"],
+                label_count=width,
+                accepting=accepting,
+                table=table,
+            )
+        )
+    stamp = SnapshotStamp(
+        instance_version=meta["stamp"]["instance_version"],
+        edge_version=meta["stamp"]["edge_version"],
+        fingerprint=meta["stamp"]["fingerprint"],
+    )
+    graph_parts = {
+        "nodes": nodes,
+        "labels": labels,
+        "csr_nodes": meta["graph"]["csr_nodes"],
+        "indptr": section["indptr"],
+        "targets": section["targets"],
+        "overflow": overflow,
+        "dead": dead,
+        "version": meta["graph"]["version"],
+    }
+    return SnapshotPayload(format_version, stamp, graph_parts, cache)
+
+
+# -- top-level save / load -----------------------------------------------------
+def save_engine(engine: "Engine", path: "str | os.PathLike", *, codec: str = "auto") -> None:
+    """Write ``engine``'s compiled graph + warm query cache to ``path``.
+
+    Callers normally go through :meth:`Engine.save`, which refreshes the
+    engine first so the stamp matches the live instance.
+    """
+    payload = payload_from_engine(engine)
+    if resolve_codec(codec) == "npz":
+        _encode_npz(payload, path)
+    else:
+        with open(path, "wb") as handle:
+            handle.write(_encode_binary(payload))
+
+
+def load_payload(path: "str | os.PathLike") -> SnapshotPayload:
+    """Read a snapshot file, sniffing which codec wrote it.
+
+    Raises :class:`~repro.exceptions.ReproError` for anything that is not a
+    loadable snapshot — wrong magic, unsupported version, or a truncated /
+    corrupt file (the underlying ``struct``/``zlib``/zip errors are wrapped
+    so CLI callers get a clean diagnostic instead of a traceback).
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(len(MAGIC))
+    try:
+        if head == MAGIC:
+            with open(path, "rb") as handle:
+                return _decode_binary(handle.read())
+        if head[:2] == b"PK":  # npz archives are zip files
+            if not numpy_available():
+                raise ReproError(
+                    "this snapshot was written with the npz codec, which needs "
+                    "numpy to read; re-save it with codec='binary' on a numpy "
+                    "machine (or unset REPRO_DISABLE_NUMPY)"
+                )
+            return _decode_npz(path)
+    except ReproError:
+        raise
+    except Exception as error:
+        raise ReproError(
+            f"{os.fspath(path)!r} is a truncated or corrupt snapshot: {error}"
+        ) from error
+    raise ReproError(f"{os.fspath(path)!r} is not a repro engine snapshot")
+
+
+def instance_from_graph(graph: CompiledGraph) -> Instance:
+    """Materialize a fresh :class:`Instance` equal to the compiled graph."""
+    instance = Instance()
+    for oid in graph.nodes.backing_list():
+        instance.add_object(oid)
+    oid_of = graph.nodes.value_of
+    label_of = graph.labels.value_of
+    for sid, lid, did in sorted(graph.iter_edges()):
+        instance.add_edge(oid_of(sid), label_of(lid), oid_of(did))
+    return instance
+
+
+def load_engine(
+    path: "str | os.PathLike",
+    *,
+    instance: "Instance | None" = None,
+    constraints=None,
+    cost_model=None,
+    cache_capacity: int = 128,
+    backend: str = "auto",
+) -> "Engine":
+    """Warm-start an :class:`Engine` from a snapshot written by ``save``.
+
+    With ``instance``, the stored content fingerprint is validated against
+    it; a mismatch falls back to an ordinary cold build from the supplied
+    instance (still re-seeding any cached tables the rebuilt label order
+    can serve).  Without ``instance``, one is reconstructed from the
+    snapshot, so a snapshot alone is a complete, servable artifact.
+    """
+    from .session import Engine
+
+    payload = load_payload(path)
+    graph = CompiledGraph.from_parts(**payload.graph_parts)
+    if instance is None:
+        instance = instance_from_graph(graph)
+        matches = True
+    else:
+        matches = instance.content_fingerprint() == payload.stamp.fingerprint
+    engine = Engine(
+        instance,
+        constraints=constraints,
+        cost_model=cost_model,
+        cache_capacity=cache_capacity,
+        backend=backend,
+        _graph=graph if matches else None,
+    )
+    fingerprint = engine.graph.labels_fingerprint()
+    if matches or fingerprint == tuple(payload.graph_parts["labels"]):
+        for entry in payload.cache:
+            compiled = CompiledQuery.from_table(
+                expression=entry.expression,
+                initial=entry.initial,
+                accepting=entry.accepting,
+                table=entry.table,
+                label_count=entry.label_count,
+                dfa_size=entry.dfa_size,
+            )
+            engine.compiler.seed(entry.key, compiled, fingerprint)
+    return engine

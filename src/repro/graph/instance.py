@@ -19,11 +19,22 @@ Two implementations are provided:
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Iterator
 
 from ..exceptions import InstanceError
+
+
+def _stable_digest(tag: bytes, value: object) -> int:
+    """A 128-bit process-stable digest of one object or edge.
+
+    Built on ``repr`` + blake2b, so — unlike :func:`hash` — the value
+    survives hash randomization and can stamp persistent artifacts.
+    """
+    payload = tag + repr(value).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(payload, digest_size=16).digest(), "big")
 
 Oid = Hashable
 Edge = tuple[Oid, str, Oid]
@@ -49,6 +60,12 @@ class Instance:
         self._edge_set: set[Edge] = set()
         self._objects: set[Oid] = set()
         self._version = 0
+        self._edge_version = 0
+        # Order-insensitive content digest, maintained incrementally: the
+        # XOR of one stable 128-bit digest per object and per edge.  XOR is
+        # self-inverse, which makes removals O(1); both aggregates range
+        # over *sets*, so no duplicate can cancel a live element.
+        self._content_digest = 0
         if edges:
             for edge in edges:
                 if isinstance(edge, Ref):
@@ -62,6 +79,7 @@ class Instance:
         """Register an object even if it has no outgoing edges yet."""
         if oid not in self._objects:
             self._objects.add(oid)
+            self._content_digest ^= _stable_digest(b"o", oid)
             self._version += 1
         return oid
 
@@ -74,9 +92,13 @@ class Instance:
             return
         self._edge_set.add(edge)
         self._out[source].append((label, destination))
-        self._objects.add(source)
-        self._objects.add(destination)
+        for endpoint in (source, destination):
+            if endpoint not in self._objects:
+                self._objects.add(endpoint)
+                self._content_digest ^= _stable_digest(b"o", endpoint)
+        self._content_digest ^= _stable_digest(b"e", edge)
         self._version += 1
+        self._edge_version += 1
 
     def remove_edge(self, source: Oid, label: str, destination: Oid) -> None:
         edge = (source, label, destination)
@@ -84,7 +106,9 @@ class Instance:
             raise InstanceError(f"edge {edge!r} not present")
         self._edge_set.remove(edge)
         self._out[source].remove((label, destination))
+        self._content_digest ^= _stable_digest(b"e", edge)
         self._version += 1
+        self._edge_version += 1
 
     # -- queries --------------------------------------------------------------
     @property
@@ -92,6 +116,28 @@ class Instance:
         """Monotone mutation counter, used by compiled views (``repro.engine``)
         to detect staleness without diffing edge sets."""
         return self._version
+
+    @property
+    def edge_version(self) -> int:
+        """Monotone counter of *edge* mutations only.
+
+        ``add_object`` of an isolated node bumps :attr:`version` but not this
+        counter, which lets compiled views distinguish "the object set grew"
+        (interners can grow in place, caches stay warm) from "the edge set
+        changed" (the CSR layout may need a rebuild)."""
+        return self._edge_version
+
+    def content_fingerprint(self) -> str:
+        """A process-stable digest of the object and edge sets, in O(1).
+
+        Two instances with equal object and edge sets report the same
+        fingerprint regardless of construction order or process (the
+        per-element digests are ``repr``-based and immune to hash
+        randomization); the aggregate is maintained incrementally on every
+        mutation, so reading it costs nothing — which is what lets snapshot
+        warm-start (``repro.engine.snapshot``) validate a stored stamp
+        against a live instance without an O(E log E) scan."""
+        return format(self._content_digest, "032x")
 
     @property
     def objects(self) -> frozenset[Oid]:

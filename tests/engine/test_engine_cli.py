@@ -77,6 +77,71 @@ class TestEngineCommand:
         assert "a b*\to1\to2 o3" in lines
 
 
+class TestEngineSnapshotFlags:
+    def test_save_then_load_round_trip(self, graph_file, query_file, tmp_path, capsys):
+        snap = str(tmp_path / "graph.snap")
+        assert main(
+            ["engine", graph_file, query_file, "--all-sources", "--save-snapshot", snap]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            [
+                "engine", graph_file, query_file, "--all-sources",
+                "--load-snapshot", snap, "--stats",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first
+        # Warm start: the graph was restored, not rebuilt, and the persisted
+        # query cache served both queries without a single compile.
+        assert "graph builds: 0, 1 snapshot warm-start" in captured.err
+        assert "compiles: 0" in captured.err
+
+    def test_load_snapshot_falls_back_on_mismatched_graph(
+        self, graph_file, query_file, tmp_path, capsys
+    ):
+        from repro.graph import figure2_graph, instance_to_edge_list
+
+        snap = str(tmp_path / "graph.snap")
+        assert main(
+            ["engine", graph_file, query_file, "-s", "o1", "--save-snapshot", snap]
+        ) == 0
+        capsys.readouterr()
+        instance, _ = figure2_graph()
+        instance.add_edge("o1", "zz", "o3")
+        changed = tmp_path / "changed.edges"
+        changed.write_text(instance_to_edge_list(instance), encoding="utf-8")
+        assert main(
+            [
+                "engine", str(changed), query_file, "-s", "o1",
+                "--load-snapshot", snap, "--stats",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "a b*\to1\to2 o3" in captured.out.splitlines()
+        assert "graph builds: 1" in captured.err
+
+    def test_binary_codec_flag(self, graph_file, query_file, tmp_path, capsys):
+        snap = tmp_path / "graph.bin"
+        assert main(
+            [
+                "engine", graph_file, query_file, "-s", "o1",
+                "--save-snapshot", str(snap), "--snapshot-codec", "binary",
+            ]
+        ) == 0
+        assert snap.read_bytes().startswith(b"RPQSNAP")
+        assert main(
+            ["engine", graph_file, query_file, "-s", "o1", "--load-snapshot", str(snap)]
+        ) == 0
+
+    def test_load_missing_snapshot_exits_two(self, graph_file, query_file, capsys):
+        code = main(
+            ["engine", graph_file, query_file, "-s", "o1", "--load-snapshot", "/nope"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestEngineBackendFlag:
     def test_python_backend_forced(self, graph_file, query_file, capsys):
         code = main(

@@ -428,3 +428,134 @@ class TestEngineIncrementalRemove:
         engine.query_all("a")
         assert engine.stats.backend_runs == {"python": 2}
         assert "backend runs: python=2" in engine.describe()
+
+
+class TestIsolatedObjectFastPath:
+    """Regression: ``Instance.add_object`` of an isolated node must not force
+    a full rebuild (``graph_builds`` jumping to 2) nor wipe the query cache —
+    the node interner grows in place instead."""
+
+    def test_add_object_keeps_graph_and_cache(self):
+        instance, source = figure2_graph()
+        engine = Engine.open(instance)
+        engine.query("a b*", source)
+        compiles = engine.compiler.misses
+        graph_before = engine.graph
+        instance.add_object("lonely")  # bypasses the engine
+        result = engine.query("a b*", source)
+        assert result.answers == {"o2", "o3"}
+        assert engine.stats.graph_builds == 1  # no rebuild
+        assert engine.graph is graph_before  # same compiled graph object
+        assert engine.compiler.misses == compiles  # cache stayed warm
+        assert engine.compiler.hits >= 1
+        assert engine.stats.interner_growths == 1
+
+    def test_added_object_is_queryable(self):
+        instance, _ = figure2_graph()
+        engine = Engine.open(instance)
+        engine.query_all("a")
+        instance.add_object("lonely")
+        assert engine.query("a*", "lonely").answers == {"lonely"}
+        assert engine.query("a", "lonely").answers == set()
+        results = engine.query_all("a*")
+        assert "lonely" in results
+        assert engine.stats.graph_builds == 1
+
+    def test_edge_mutation_still_rebuilds(self):
+        instance, source = figure2_graph()
+        engine = Engine.open(instance)
+        instance.add_object("lonely")
+        instance.add_edge(source, "c", "lonely")  # edge change => rebuild
+        assert engine.query("c", source).answers == {"lonely"}
+        assert engine.stats.graph_builds == 2
+
+
+class TestFingerprintCacheKey:
+    """Regression: the compile cache is keyed by the label interner
+    fingerprint, so correctness does not depend on a manual ``clear()``
+    around rebuilds that preserve the label *count* but permute ids."""
+
+    def test_permuted_label_order_cannot_share_tables(self):
+        # Two graphs over the same two labels, interned in opposite orders
+        # (interning follows the repr-sorted edge iteration order).
+        first = CompiledGraph.from_instance(Instance([(0, "a", 1), (1, "b", 2)]))
+        second = CompiledGraph.from_instance(Instance([(0, "b", 1), (1, "a", 2)]))
+        assert first.num_labels == second.num_labels
+        assert first.labels_fingerprint() != second.labels_fingerprint()
+        compiler = QueryCompiler()
+        table_first = compiler.compile("a", first)
+        table_second = compiler.compile("a", second)
+        assert compiler.misses == 2  # no stale sharing
+        assert table_first is not table_second
+        run_first = run_single(first, table_first, first.node_id(0))
+        run_second = run_single(second, table_second, second.node_id(1))
+        assert {first.oid_of(node) for node in run_first.answers} == {1}
+        assert {second.oid_of(node) for node in run_second.answers} == {2}
+
+    def test_rebuild_with_permuted_interning_answers_correctly(self):
+        # Removing the repr-first 'a' edge makes 'b' intern as label 0 on
+        # rebuild while the label count stays 2; answers must stay right
+        # even though refresh() no longer clears the cache manually.
+        instance = Instance([(0, "a", 9), (1, "b", 2), (2, "a", 3)])
+        engine = Engine.open(instance)
+        assert engine.query("b", 1).answers == {2}
+        instance.remove_edge(0, "a", 9)  # bypasses the engine
+        assert engine.query("b", 1).answers == {2}
+        assert engine.query("a", 2).answers == {3}
+        assert engine.stats.graph_builds == 2
+
+    def test_order_preserving_rebuild_keeps_cache_warm(self):
+        instance = Instance([(0, "a", 1), (1, "b", 2)])
+        engine = Engine.open(instance)
+        engine.query("a b", 0)
+        compiles = engine.compiler.misses
+        instance.add_edge(2, "b", 0)  # bypasses the engine; same label order
+        assert engine.query("a b", 0).answers == {2}
+        assert engine.stats.graph_builds == 2
+        assert engine.compiler.misses == compiles  # fingerprint unchanged
+
+
+class TestSharedEngineLifetime:
+    """Regression: ``shared_engine`` must not create an
+    ``Instance -> Engine -> Instance`` reference cycle."""
+
+    def test_dropped_instance_frees_engine_without_gc(self):
+        import weakref
+
+        from repro.engine.session import shared_engine
+
+        instance, _ = random_graph(40, 2, ["a", "b"], seed=11)
+        engine = shared_engine(instance)
+        assert shared_engine(instance) is engine  # memoized
+        engine_ref = weakref.ref(engine)
+        graph_ref = weakref.ref(engine.graph)
+        del engine
+        del instance
+        # Plain refcounting must suffice: no gc.collect() heroics.
+        assert engine_ref() is None
+        assert graph_ref() is None
+
+    def test_shared_engine_still_serves_and_refreshes(self):
+        from repro.engine.session import shared_engine
+
+        instance, source = random_graph(40, 2, ["a", "b"], seed=11)
+        engine = shared_engine(instance)
+        baseline = evaluate_baseline("a b*", source, instance).answers
+        assert engine.query("a b*", source).answers == baseline
+        instance.add_edge(source, "zz", "fresh")
+        assert engine.query("zz", source).answers == {"fresh"}
+
+    def test_engine_outliving_instance_keeps_serving_reads(self):
+        from repro.engine.session import shared_engine
+        from repro.exceptions import ReproError
+
+        instance, source = random_graph(40, 2, ["a", "b"], seed=11)
+        expected = evaluate_baseline("a b*", source, instance).answers
+        engine = shared_engine(instance)
+        del instance  # caller kept only the engine
+        # A dead instance can never mutate, so the frozen compiled graph
+        # keeps answering queries; only mutation and save must raise.
+        assert engine.query("a b*", source).answers == expected
+        assert engine.query_batch("a", [source])
+        with pytest.raises(ReproError, match="garbage-collected"):
+            engine.add_edge(source, "zz", "fresh")

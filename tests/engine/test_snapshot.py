@@ -1,0 +1,313 @@
+"""Unit tests for compiled-graph snapshots (persist / warm-start)."""
+
+import pytest
+
+from repro.engine import Engine, numpy_available
+from repro.engine.snapshot import (
+    CODECS,
+    MAGIC,
+    SnapshotStamp,
+    instance_from_graph,
+    load_payload,
+    resolve_codec,
+)
+from repro.exceptions import ReproError
+from repro.graph import Instance, figure2_graph, random_graph
+from repro.query import evaluate_baseline
+
+CODEC_PARAMS = [
+    pytest.param("binary", id="binary"),
+    pytest.param(
+        "npz",
+        id="npz",
+        marks=pytest.mark.skipif(
+            not numpy_available(), reason="numpy codec unavailable"
+        ),
+    ),
+]
+
+
+def codecs_available():
+    return ["binary"] + (["npz"] if numpy_available() else [])
+
+
+@pytest.fixture
+def warm_engine():
+    instance, source = figure2_graph()
+    engine = Engine.open(instance)
+    engine.query("a b*", source)
+    engine.query("(a + b)*", source)
+    return engine, instance, source
+
+
+class TestCodecSelection:
+    def test_unknown_codec_rejected(self, warm_engine, tmp_path):
+        engine, _, _ = warm_engine
+        with pytest.raises(ReproError, match="unknown snapshot codec"):
+            engine.save(tmp_path / "snap", codec="tar")
+
+    def test_auto_matches_numpy_availability(self):
+        expected = "npz" if numpy_available() else "binary"
+        assert resolve_codec("auto") == expected
+        assert resolve_codec("binary") == "binary"
+
+    def test_npz_requires_numpy(self):
+        if numpy_available():
+            assert resolve_codec("npz") == "npz"
+        else:
+            with pytest.raises(ReproError, match="npz"):
+                resolve_codec("npz")
+
+    def test_codec_names_are_stable(self):
+        assert CODECS == ("auto", "binary", "npz")
+
+
+@pytest.mark.parametrize("codec", CODEC_PARAMS)
+class TestRoundTrip:
+    def test_graph_and_cache_round_trip(self, warm_engine, tmp_path, codec):
+        engine, instance, source = warm_engine
+        path = tmp_path / "snap"
+        engine.save(path, codec=codec)
+        loaded = Engine.open(path, instance=instance)
+        # Warm start: no rebuild, no recompilation.
+        assert loaded.stats.graph_builds == 0
+        assert loaded.stats.snapshot_restores == 1
+        assert loaded.compiler.misses == 0
+        assert len(loaded.compiler) == 2
+        graph, restored = engine.graph, loaded.graph
+        assert restored.nodes.values() == graph.nodes.values()
+        assert restored.labels.values() == graph.labels.values()
+        assert set(restored.iter_edges()) == set(graph.iter_edges())
+        for query in ("a b*", "(a + b)*", "b"):
+            assert (
+                loaded.query(query, source).answers
+                == engine.query(query, source).answers
+            )
+        assert loaded.compiler.hits >= 2  # the two persisted tables served
+
+    def test_tombstones_and_overflow_survive(self, warm_engine, tmp_path, codec):
+        engine, instance, source = warm_engine
+        engine.add_edge("o1", "zz", "fresh")  # overflow edge, new label + node
+        engine.remove_edge("o2", "b", "o3")  # tombstoned CSR slot
+        path = tmp_path / "snap"
+        engine.save(path, codec=codec)
+        loaded = Engine.open(path, instance=instance)
+        assert loaded.graph.overflow_edge_count() == 1
+        assert loaded.graph.tombstone_count() == 1
+        assert loaded.query("a b*", source).answers == {"o2"}
+        assert loaded.query("zz", "o1").answers == {"fresh"}
+        # Incremental mutation keeps working on the restored structures.
+        loaded.add_edge("o2", "b", "o3")  # revives the tombstoned slot
+        assert loaded.graph.tombstone_count() == 0
+        assert loaded.query("a b*", source).answers == {"o2", "o3"}
+        assert loaded.stats.graph_builds == 0
+
+    def test_standalone_load_reconstructs_instance(self, warm_engine, tmp_path, codec):
+        engine, instance, source = warm_engine
+        path = tmp_path / "snap"
+        engine.save(path, codec=codec)
+        alone = Engine.open(path)
+        assert alone.instance is not instance
+        assert alone.instance == instance
+        assert alone.instance.content_fingerprint() == instance.content_fingerprint()
+        assert (
+            alone.query("a b*", source).answers
+            == evaluate_baseline("a b*", source, instance).answers
+        )
+
+    def test_isolated_objects_survive(self, tmp_path, codec):
+        instance, source = figure2_graph()
+        instance.add_object("hermit")
+        engine = Engine.open(instance)
+        path = tmp_path / "snap"
+        engine.save(path, codec=codec)
+        alone = Engine.open(path)
+        assert "hermit" in alone.instance.objects
+        assert alone.query("a*", "hermit").answers == {"hermit"}
+
+    def test_oids_with_trailing_nul_round_trip(self, tmp_path, codec):
+        # numpy '<U' arrays silently strip trailing NULs, so the npz codec
+        # must route such oids through its pickle path.
+        instance = Instance([("a\x00", "r", "b"), ("b", "r", "plain")])
+        engine = Engine.open(instance)
+        path = tmp_path / "snap"
+        engine.save(path, codec=codec)
+        loaded = Engine.open(path, instance=instance)
+        assert loaded.stats.graph_builds == 0
+        assert loaded.query("r", "a\x00").answers == {"b"}
+        assert Engine.open(path).instance == instance
+
+    def test_non_string_oids_round_trip(self, tmp_path, codec):
+        instance, _ = random_graph(12, 2, ["a", "b"], seed=7)  # integer oids
+        engine = Engine.open(instance)
+        engine.query("a b*", 0)
+        path = tmp_path / "snap"
+        engine.save(path, codec=codec)
+        loaded = Engine.open(path, instance=instance)
+        assert loaded.stats.graph_builds == 0
+        for oid in sorted(instance.objects, key=repr)[:5]:
+            assert (
+                loaded.query("a b*", oid).answers
+                == evaluate_baseline("a b*", oid, instance).answers
+            )
+
+    def test_save_refreshes_stale_engine_first(self, warm_engine, tmp_path, codec):
+        engine, instance, source = warm_engine
+        instance.add_edge(source, "c", "o3")  # out-of-band mutation
+        path = tmp_path / "snap"
+        engine.save(path, codec=codec)  # must refresh before stamping
+        loaded = Engine.open(path, instance=instance)
+        assert loaded.stats.graph_builds == 0
+        assert loaded.query("c", source).answers == {"o3"}
+
+    def test_stamp_mismatch_falls_back_to_rebuild(self, warm_engine, tmp_path, codec):
+        engine, instance, source = warm_engine
+        path = tmp_path / "snap"
+        engine.save(path, codec=codec)
+        changed, _ = figure2_graph()
+        changed.add_edge("o1", "qq", "o2")
+        fallback = Engine.open(path, instance=changed)
+        assert fallback.stats.graph_builds == 1
+        assert fallback.stats.snapshot_restores == 0
+        assert fallback.query("qq", "o1").answers == {"o2"}
+        assert (
+            fallback.query("a b*", source).answers
+            == evaluate_baseline("a b*", source, changed).answers
+        )
+
+    def test_fallback_reseeds_cache_when_label_order_matches(
+        self, warm_engine, tmp_path, codec
+    ):
+        engine, instance, source = warm_engine
+        path = tmp_path / "snap"
+        engine.save(path, codec=codec)
+        # Same label universe, one extra edge on existing labels: the rebuilt
+        # interner assigns the same label ids, so persisted tables stay valid.
+        changed, _ = figure2_graph()
+        changed.add_edge("o3", "a", "o1")
+        fallback = Engine.open(path, instance=changed)
+        assert fallback.stats.graph_builds == 1
+        assert fallback.compiler.misses == 0
+        assert (
+            fallback.query("a b*", source).answers
+            == evaluate_baseline("a b*", source, changed).answers
+        )
+        assert fallback.compiler.hits == 1
+
+    def test_loaded_engine_keeps_serving_after_post_load_edits(
+        self, warm_engine, tmp_path, codec
+    ):
+        engine, instance, source = warm_engine
+        path = tmp_path / "snap"
+        engine.save(path, codec=codec)
+        loaded = Engine.open(path, instance=instance)
+        loaded.add_edge("o3", "b", "o1")
+        loaded.remove_edge("o1", "a", "o2")
+        assert loaded.stats.graph_builds == 0
+        for query in ("a b*", "(a + b)*"):
+            assert (
+                loaded.query(query, source).answers
+                == evaluate_baseline(query, source, instance).answers
+            )
+
+    def test_payload_stamp_fields(self, warm_engine, tmp_path, codec):
+        engine, instance, _ = warm_engine
+        path = tmp_path / "snap"
+        engine.save(path, codec=codec)
+        payload = load_payload(path)
+        assert payload.stamp == SnapshotStamp(
+            instance_version=instance.version,
+            edge_version=instance.edge_version,
+            fingerprint=instance.content_fingerprint(),
+        )
+        assert payload.format_version == 1
+        assert len(payload.cache) == 2
+        assert {entry.key for entry in payload.cache} == {"a b*", "(a + b)*"}
+
+
+class TestBadInputs:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Engine.open(tmp_path / "nope.snap")
+
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"definitely not a snapshot")
+        with pytest.raises(ReproError, match="not a repro engine snapshot"):
+            load_payload(path)
+
+    def test_unsupported_format_version(self, tmp_path):
+        instance, _ = figure2_graph()
+        engine = Engine.open(instance)
+        path = tmp_path / "snap"
+        engine.save(path, codec="binary")
+        blob = bytearray(path.read_bytes())
+        blob[len(MAGIC)] = 99  # bump the little-endian format version field
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ReproError, match="unsupported snapshot format version 99"):
+            load_payload(path)
+
+    @pytest.mark.parametrize("codec", CODEC_PARAMS)
+    @pytest.mark.parametrize("keep", [10, 60, 200])
+    def test_truncated_snapshot_raises_repro_error(self, tmp_path, codec, keep):
+        instance, source = figure2_graph()
+        engine = Engine.open(instance)
+        engine.query("a b*", source)
+        path = tmp_path / "snap"
+        engine.save(path, codec=codec)
+        blob = path.read_bytes()
+        assert len(blob) > keep
+        path.write_bytes(blob[:keep])
+        with pytest.raises(ReproError, match="snapshot"):
+            load_payload(path)
+
+    def test_instance_kwarg_rejected_for_instance_source(self):
+        instance, _ = figure2_graph()
+        with pytest.raises(ReproError, match="instance="):
+            Engine.open(instance, instance=instance)
+
+
+class TestPartsIsolation:
+    def test_from_parts_graph_does_not_alias_source_overflow(self):
+        from repro.engine import CompiledGraph
+
+        instance, _ = figure2_graph()
+        first = CompiledGraph.from_instance(instance)
+        first.add_edge("o1", "a", "o3")  # lands in overflow
+        second = CompiledGraph.from_parts(**first.to_parts())
+        second.add_edge("o1", "a", "o1")  # must not leak into `first`
+        assert first.overflow_edge_count() == 1
+        assert set(first.iter_edges()) != set(second.iter_edges())
+        lid = first.label_id("a")
+        assert first.node_id("o1") not in set(
+            first.successors(first.node_id("o1"), lid)
+        )
+
+
+class TestInstanceFromGraph:
+    def test_equals_original(self):
+        instance, _ = random_graph(20, 3, ["a", "b", "c"], seed=3)
+        instance.add_object("isolated")
+        engine = Engine.open(instance)
+        rebuilt = instance_from_graph(engine.graph)
+        assert rebuilt == instance
+
+
+class TestCrossCodec:
+    def test_binary_and_npz_agree(self, warm_engine, tmp_path):
+        if not numpy_available():
+            pytest.skip("numpy codec unavailable")
+        engine, instance, source = warm_engine
+        engine.add_edge("o1", "zz", "fresh")
+        first = tmp_path / "a.bin"
+        second = tmp_path / "b.npz"
+        engine.save(first, codec="binary")
+        engine.save(second, codec="npz")
+        from_binary = Engine.open(first)
+        from_npz = Engine.open(second)
+        assert from_binary.instance == from_npz.instance
+        assert set(from_binary.graph.iter_edges()) == set(from_npz.graph.iter_edges())
+        assert (
+            from_binary.query("a b*", source).answers
+            == from_npz.query("a b*", source).answers
+        )
