@@ -14,8 +14,10 @@ DFA transition tables) is loaded from a snapshot instead of recompiled?
                     importable).
 
 Answers of every warm engine are checked against the cold engine before any
-timing is trusted, and the run always writes a ``BENCH_snapshot.json``
-artifact so the perf trajectory is recorded.  Usage::
+timing is trusted, and the run always writes a machine-readable artifact so
+the perf trajectory is recorded (``BENCH_snapshot.json``; smoke runs default
+to ``BENCH_snapshot_smoke.json`` so CI never clobbers the committed full-run
+numbers).  Usage::
 
     PYTHONPATH=src python benchmarks/bench_snapshot.py           # full run
     PYTHONPATH=src python benchmarks/bench_snapshot.py --smoke   # CI-sized
@@ -76,8 +78,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=13)
     parser.add_argument("--repeat", type=int, default=3, help="timing repetitions (best-of)")
     parser.add_argument(
-        "--json", default="BENCH_snapshot.json",
-        help="where to write the machine-readable results artifact",
+        "--json", default=None,
+        help="results artifact path (default: BENCH_snapshot.json, or "
+        "BENCH_snapshot_smoke.json under --smoke so smoke runs never "
+        "clobber the committed full-run numbers)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -91,6 +95,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.smoke:
         args.nodes, args.queries, args.repeat = 150, 3, 1
+    if args.json is None:
+        args.json = "BENCH_snapshot_smoke.json" if args.smoke else "BENCH_snapshot.json"
 
     instance, queries, sources = build_workload(args.nodes, args.queries, args.seed)
     print(

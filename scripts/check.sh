@@ -2,7 +2,11 @@
 # Repo health check: the tier-1 test suite (twice: numpy executor active,
 # then stubbed out) plus fast engine-benchmark smokes.
 #
-# Usage:  ./scripts/check.sh
+# Usage:  ./scripts/check.sh [tests|smoke|all]
+#
+#   tests   the tier-1 pytest suite, once per numpy arm
+#   smoke   the benchmark harness smokes (tiny sizes)
+#   all     both, in order (the default — bare ./scripts/check.sh)
 #
 # Exits non-zero if any step fails.  The REPRO_DISABLE_NUMPY passes make
 # the backend dispatcher (repro.engine.executor) — and the snapshot codec
@@ -12,37 +16,72 @@
 # round-trip suite (tests/engine/test_snapshot*.py) therefore runs in both
 # arms.  The benchmark smoke runs use tiny sizes — they verify the
 # harnesses end to end (and that engine answers still match the baseline
-# evaluator), not the performance numbers; for the real gates run
+# evaluator), not the performance numbers; smoke artifacts go to
+# BENCH_*_smoke.json paths so the committed full-run artifacts stay owned
+# by real --check runs:
 #   python benchmarks/bench_engine_throughput.py --check   (>= 3x warm
-#     cache over baseline, >= 2x numpy over python), and
+#     cache over baseline, >= 2x numpy over python)
 #   python benchmarks/bench_snapshot.py --check            (>= 5x warm
-#     start over cold recompile).
-# Both bench scripts write BENCH_*.json artifacts recording the numbers.
+#     start over cold recompile)
+#   python benchmarks/bench_sharded.py --check             (sharded warm
+#     serving within 1.5x of monolithic; per-shard warm start)
+# All bench scripts write BENCH_*.json artifacts recording the numbers.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1: full test suite (numpy backend, when available) =="
-python -m pytest -x -q
+run_tests() {
+    echo "== tier-1: full test suite (numpy backend, when available) =="
+    python -m pytest -x -q
 
-echo
-echo "== tier-1: full test suite (numpy stubbed out, pure-Python fallback) =="
-REPRO_DISABLE_NUMPY=1 python -m pytest -x -q
+    echo
+    echo "== tier-1: full test suite (numpy stubbed out, pure-Python fallback) =="
+    REPRO_DISABLE_NUMPY=1 python -m pytest -x -q
+}
 
-echo
-echo "== bench smoke: engine throughput harness =="
-python benchmarks/bench_engine_throughput.py --smoke
+run_smoke() {
+    echo "== bench smoke: engine throughput harness =="
+    python benchmarks/bench_engine_throughput.py --smoke
 
-echo
-echo "== bench smoke: snapshot warm-start harness (npz codec when available) =="
-python benchmarks/bench_snapshot.py --smoke --json BENCH_snapshot.json
+    echo
+    echo "== bench smoke: snapshot warm-start harness (npz codec when available) =="
+    python benchmarks/bench_snapshot.py --smoke --json BENCH_snapshot_smoke.json
 
-echo
-echo "== bench smoke: snapshot warm-start harness (stdlib binary codec) =="
-REPRO_DISABLE_NUMPY=1 python benchmarks/bench_snapshot.py --smoke \
-    --json BENCH_snapshot_nonumpy.json
+    echo
+    echo "== bench smoke: snapshot warm-start harness (stdlib binary codec) =="
+    REPRO_DISABLE_NUMPY=1 python benchmarks/bench_snapshot.py --smoke \
+        --json BENCH_snapshot_nonumpy_smoke.json
+
+    echo
+    echo "== bench smoke: sharded scatter-gather harness =="
+    python benchmarks/bench_sharded.py --smoke --json BENCH_sharded_smoke.json
+
+    echo
+    echo "== bench smoke: sharded scatter-gather harness (pure-Python executor) =="
+    REPRO_DISABLE_NUMPY=1 python benchmarks/bench_sharded.py --smoke \
+        --json BENCH_sharded_nonumpy_smoke.json
+}
+
+step="${1:-all}"
+case "$step" in
+    tests)
+        run_tests
+        ;;
+    smoke)
+        run_smoke
+        ;;
+    all)
+        run_tests
+        echo
+        run_smoke
+        ;;
+    *)
+        echo "usage: $0 [tests|smoke|all]" >&2
+        exit 2
+        ;;
+esac
 
 echo
 echo "All checks passed."

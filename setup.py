@@ -18,4 +18,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    # The library itself is stdlib-only; numpy is a strictly optional
+    # accelerator (the engine's executor/codec dispatchers fall back to the
+    # pure-Python paths without it).  CI installs both matrix arms from
+    # these extras instead of ad-hoc pip lines.
+    extras_require={
+        "numpy": ["numpy>=1.24"],
+        "test": ["pytest>=7", "hypothesis>=6"],
+    },
 )

@@ -16,7 +16,11 @@ small graph-database tool:
 * ``python -m repro engine GRAPH QUERIES`` — compile the graph once and run a
   whole file of queries through the batch engine (``repro.engine``), from
   chosen sources or from every object; ``--save-snapshot`` / ``--load-snapshot``
-  persist and warm-start the compiled graph + query cache across invocations.
+  persist and warm-start the compiled graph + query cache across invocations;
+  ``--shards N`` serves through the sharded scatter-gather engine instead
+  (one compiled graph per shard), with ``--snapshot-dir DIR`` persisting one
+  snapshot file per shard plus a manifest — the directory is warm-started
+  when its manifest exists and (re)written after serving.
 
 All commands exit with status 0 on success, 1 on a "negative" outcome (e.g. a
 constraint that does not hold, an implication that is refuted), and 2 on bad
@@ -136,7 +140,45 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         print("error: give at least one --source or use --all-sources", file=sys.stderr)
         return 2
     constraints = _constraint_set(args.constraint) if args.constraint else None
-    if args.load_snapshot:
+    sharded = args.shards is not None or args.snapshot_dir
+    if sharded:
+        from .engine.sharding import MANIFEST_NAME, ShardedEngine
+
+        if args.load_snapshot or args.save_snapshot:
+            print(
+                "error: --shards/--snapshot-dir persist one snapshot per shard; "
+                "they are incompatible with --save-snapshot/--load-snapshot",
+                file=sys.stderr,
+            )
+            return 2
+        manifest_exists = args.snapshot_dir and (
+            Path(args.snapshot_dir) / MANIFEST_NAME
+        ).is_file()
+        if manifest_exists:
+            # Warm-start shard by shard: only shards whose partition of the
+            # freshly loaded edge list went stale are recompiled.
+            engine = ShardedEngine.open(
+                args.snapshot_dir,
+                instance=instance,
+                shards=args.shards,
+                constraints=constraints,
+                backend=args.backend,
+            )
+        elif args.shards is None:
+            print(
+                "error: --snapshot-dir has no manifest yet; give --shards N "
+                "to build the sharded engine",
+                file=sys.stderr,
+            )
+            return 2
+        else:
+            engine = ShardedEngine.open(
+                instance,
+                shards=args.shards,
+                constraints=constraints,
+                backend=args.backend,
+            )
+    elif args.load_snapshot:
         # Warm-start from a persisted compiled graph + query cache; a stamp
         # mismatch against the freshly loaded edge list silently falls back
         # to an ordinary cold compile of that instance.
@@ -153,7 +195,10 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         for source in sources:
             answers = sorted(answers_by_source[source], key=str)
             print(f"{query}\t{source}\t{' '.join(map(str, answers))}")
-    if args.save_snapshot:
+    if sharded and args.snapshot_dir:
+        # Saved after serving, so every shard ships a warm query cache.
+        engine.save(args.snapshot_dir, codec=args.snapshot_codec)
+    elif args.save_snapshot:
         # Saved after serving, so the snapshot ships a warm query cache.
         engine.save(args.save_snapshot, codec=args.snapshot_codec)
     if args.stats:
@@ -249,6 +294,17 @@ def build_parser() -> argparse.ArgumentParser:
     engine_parser.add_argument(
         "--snapshot-codec", choices=("auto", "binary", "npz"), default="auto",
         help="snapshot writer: auto picks npz when numpy is available (default: auto)",
+    )
+    engine_parser.add_argument(
+        "--shards", type=int, metavar="N",
+        help="serve through the sharded scatter-gather engine with N hash "
+        "shards (one compiled graph per shard)",
+    )
+    engine_parser.add_argument(
+        "--snapshot-dir", metavar="DIR",
+        help="sharded persistence: warm-start from DIR when its manifest "
+        "exists (stale shards recompile alone), and write one snapshot per "
+        "shard back to DIR after serving",
     )
     engine_parser.add_argument("--stats", action="store_true", help="print engine statistics")
     engine_parser.set_defaults(handler=_cmd_engine)

@@ -13,6 +13,9 @@ backend dispatcher (:mod:`~repro.engine.executor`).  The
 :class:`~repro.engine.session.Engine` façade ties it together and is what
 callers — the CLI's ``engine`` subcommand, the planner's engine backend, and
 the transparent delegation inside ``query.evaluation.evaluate`` — build on.
+Above the single-session façade, :mod:`~repro.engine.sharding` partitions an
+instance into one compiled graph per site group and serves queries by
+superstep frontier exchange (``ShardedEngine``), with one snapshot per shard.
 """
 
 from .compiled_query import CompiledQuery, QueryCompiler, lower_query, query_key
@@ -30,6 +33,15 @@ from .executor import (
 )
 from .interning import Interner
 from .session import Engine, EngineStats, shared_engine
+from .sharding import (
+    ExplicitShardMap,
+    HashShardMap,
+    ShardedEngine,
+    ShardedStats,
+    ShardMap,
+    partition_instance,
+    shard_graph,
+)
 from .snapshot import (
     CODECS as SNAPSHOT_CODECS,
     FORMAT_VERSION as SNAPSHOT_FORMAT_VERSION,
@@ -48,11 +60,16 @@ __all__ = [
     "CompiledQuery",
     "Engine",
     "EngineStats",
+    "ExplicitShardMap",
+    "HashShardMap",
     "Interner",
     "LabelEdges",
     "QueryCompiler",
     "SNAPSHOT_CODECS",
     "SNAPSHOT_FORMAT_VERSION",
+    "ShardMap",
+    "ShardedEngine",
+    "ShardedStats",
     "SingleRun",
     "SnapshotPayload",
     "SnapshotStamp",
@@ -61,6 +78,7 @@ __all__ = [
     "load_payload",
     "lower_query",
     "numpy_available",
+    "partition_instance",
     "query_key",
     "resolve_backend",
     "resolve_codec",
@@ -68,5 +86,6 @@ __all__ = [
     "run_batch",
     "run_single",
     "save_engine",
+    "shard_graph",
     "shared_engine",
 ]

@@ -22,7 +22,7 @@ exercises the fallback path on machines that do have numpy installed.
 from __future__ import annotations
 
 import os
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..exceptions import ReproError
 from .compiled_query import CompiledQuery
@@ -84,10 +84,23 @@ def run_batch(
     sources: Sequence[int],
     *,
     witnesses: bool = False,
+    seeds: "Mapping[tuple[int, int], int] | None" = None,
+    known: "Mapping[tuple[int, int], int] | None" = None,
+    num_bits: "int | None" = None,
     backend: str = "auto",
 ) -> BatchRun:
-    """Shared multi-source traversal, on the chosen backend."""
-    return _module(backend).run_batch(graph, query, sources, witnesses=witnesses)
+    """Shared multi-source traversal, on the chosen backend.
+
+    ``seeds`` injects source bits at arbitrary ``(state, node)`` pairs and
+    ``known`` pre-loads prior facts without re-propagating them — the
+    import half of the sharded engine's superstep exchange; ``num_bits``
+    sizes the mask universe for the *global* batch when the local sources
+    do not span it.  See :func:`repro.engine.executor_py.run_batch`.
+    """
+    return _module(backend).run_batch(
+        graph, query, sources, witnesses=witnesses, seeds=seeds, known=known,
+        num_bits=num_bits,
+    )
 
 
 def run_all_pairs(

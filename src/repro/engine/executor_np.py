@@ -28,7 +28,7 @@ pair membership directly against the packed mask tensor.
 from __future__ import annotations
 
 import sys
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -140,35 +140,172 @@ def _scatter_bits(accept_mask: "np.ndarray", num_bits: int) -> dict[int, set[int
     return per_bit
 
 
+class NpFrontier:
+    """Cumulative packed mask state of one (or a chain of) batched runs.
+
+    The vectorized twin of :class:`repro.engine.executor_py.PyFrontier`:
+    ``masks`` is the ``(num_states, num_nodes, num_words)`` uint64 tensor,
+    ``touched`` a boolean ``(num_states, num_nodes)`` matrix of pairs that
+    grew during the last run.  The exchange interface speaks
+    arbitrary-precision int masks so the sharded engine never sees words.
+    """
+
+    __slots__ = ("masks", "touched", "words")
+
+    def __init__(self, masks: "np.ndarray", touched: "np.ndarray") -> None:
+        self.masks = masks
+        self.touched = touched
+        self.words = masks.shape[2]
+
+    def _int_at(self, state: int, node: int) -> int:
+        row = self.masks[state, node]
+        value = 0
+        for word in range(self.words - 1, -1, -1):
+            value = (value << 64) | int(row[word])
+        return value
+
+    def mask_at(self, state: int, node: int) -> int:
+        """The current source bitmask of one product pair."""
+        if self.words == 1:
+            return int(self.masks[state, node, 0])
+        return self._int_at(state, node)
+
+    def items(self, fresh_only: bool = False, restrict=None):
+        """Nonzero ``(state, node, mask)`` facts; optionally only pairs that
+        grew during the last run, and/or only the given nodes."""
+        base = self.touched if fresh_only else self.masks.any(axis=2)
+        if restrict is not None:
+            index = np.asarray(restrict, dtype=np.int64)
+            states, positions = np.nonzero(base[:, index])
+            nodes = index[positions]
+        else:
+            states, nodes = np.nonzero(base)
+        if self.words == 1:
+            values = self.masks[states, nodes, 0].tolist()
+            for state, node, value in zip(states.tolist(), nodes.tolist(), values):
+                if value:
+                    yield state, node, value
+        else:
+            for state, node in zip(states.tolist(), nodes.tolist()):
+                value = self._int_at(state, node)
+                if value:
+                    yield state, node, value
+
+    def per_bit_answers(self, accepting, num_bits: int, skip_nodes=()):
+        """Per source bit, the nodes reached in an accepting state."""
+        accept = np.zeros(self.masks.shape[1:], dtype=np.uint64)
+        for state, accepts in enumerate(accepting):
+            if accepts:
+                accept |= self.masks[state]
+        if skip_nodes:
+            accept[np.fromiter(skip_nodes, dtype=np.int64, count=len(skip_nodes))] = 0
+        per_bit = _scatter_bits(accept, num_bits)
+        return [per_bit[bit] for bit in range(num_bits)]
+
+    def counts(self, skip_nodes=()) -> "tuple[int, int]":
+        """``(nonzero pairs, touched nodes)``, skipping the given nodes."""
+        nonzero = self.masks.any(axis=2)
+        if skip_nodes:
+            nonzero = nonzero.copy()
+            nonzero[
+                :, np.fromiter(skip_nodes, dtype=np.int64, count=len(skip_nodes))
+            ] = False
+        return int(nonzero.sum()), int(nonzero.any(axis=0).sum())
+
+
+def _inject_mask(
+    masks: "np.ndarray",
+    delta: "np.ndarray | None",
+    touched: "np.ndarray | None",
+    state: int,
+    node: int,
+    mask: int,
+) -> None:
+    """OR an arbitrary-precision ``mask`` into the packed uint64 tensor.
+
+    Bits already present are skipped in ``delta`` so seeded supersteps only
+    propagate genuinely new information (the numpy half of semi-naive).
+    """
+    word = 0
+    while mask:
+        chunk = np.uint64(mask & 0xFFFFFFFFFFFFFFFF)
+        if chunk:
+            new = chunk & ~masks[state, node, word]
+            if new:
+                masks[state, node, word] |= new
+                if delta is not None:
+                    delta[state, node, word] |= new
+                if touched is not None:
+                    touched[state, node] = True
+        mask >>= 64
+        word += 1
+
+
 def run_batch(
     graph: CompiledGraph,
     query: CompiledQuery,
     sources: Sequence[int],
     *,
     witnesses: bool = False,
+    seeds: "Mapping[tuple[int, int], int] | None" = None,
+    known: "Mapping[tuple[int, int], int] | NpFrontier | None" = None,
+    num_bits: "int | None" = None,
 ) -> BatchRun:
-    """Delta-driven vectorized fixpoint of the batched bitmask traversal."""
+    """Delta-driven vectorized fixpoint of the batched bitmask traversal.
+
+    ``seeds``/``known``/``num_bits`` mirror the pure-Python executor: seeds
+    inject (and propagate) imported frontier bits at arbitrary pairs, known
+    pre-loads prior supersteps' facts without re-propagating them — passing
+    the previous run's :class:`NpFrontier` continues its mask tensor in
+    place, paying zero conversion — and ``num_bits`` sizes the packed word
+    dimension for the global batch width when it exceeds the local source
+    count.
+    """
     n = graph.num_nodes
     run = BatchRun(sources=tuple(sources), backend="numpy")
     run.answers = [set() for _ in sources]
-    if n == 0 or not sources:
+    if n == 0 or (not sources and not seeds):
         return run
+    if witnesses and (seeds or known):
+        raise ValueError("witnesses=True is not supported with seeds/known frontiers")
     bit_of: dict[int, int] = {}
     for source in sources:
         if source not in bit_of:
             bit_of[source] = len(bit_of)
     num_states = query.num_states
-    words = (len(bit_of) + 63) >> 6
+    width = len(bit_of) if num_bits is None else max(num_bits, len(bit_of))
+    if num_bits is None and not isinstance(known, NpFrontier):
+        for mapping in (seeds, known):
+            if mapping:
+                width = max(
+                    width, max(mask.bit_length() for mask in mapping.values())
+                )
+    words = max(1, (width + 63) >> 6)
 
-    masks = np.zeros((num_states, n, words), dtype=np.uint64)
+    if isinstance(known, NpFrontier):
+        if known.masks.shape[:2] != (num_states, n):
+            raise ValueError("known frontier does not match this graph/query")
+        masks = known.masks  # ownership transfer: continued in place
+        words = known.words
+    else:
+        masks = np.zeros((num_states, n, words), dtype=np.uint64)
+        if known:
+            for (state, node), mask in known.items():
+                _inject_mask(masks, None, None, state, node, mask)
+    delta = np.zeros_like(masks)
+    touched = np.zeros((num_states, n), dtype=bool)
     for source, bit in bit_of.items():
-        masks[query.initial, source, bit >> 6] |= np.uint64(1 << (bit & 63))
+        _inject_mask(masks, delta, touched, query.initial, source, 1 << bit)
+    if seeds:
+        for (state, node), mask in seeds.items():
+            _inject_mask(masks, delta, touched, state, node, mask)
 
     # Delta-driven rounds: only bits that appeared in the previous round are
     # propagated, and only states that received bits are revisited.
-    delta = masks.copy()
     next_delta = np.zeros_like(masks)
-    active = {query.initial}
+    active = {
+        state for state in range(num_states) if delta[state].any()
+    }
     while active:
         next_active: set[int] = set()
         for state in active:
@@ -182,10 +319,12 @@ def run_batch(
                     continue
                 reduced = np.bitwise_or.reduceat(gathered, edges.group_starts, axis=0)
                 new_bits = reduced & ~masks[next_state][edges.dst_unique]
-                if not new_bits.any():
+                grew = new_bits.any(axis=1)
+                if not grew.any():
                     continue
                 masks[next_state][edges.dst_unique] |= new_bits
                 next_delta[next_state][edges.dst_unique] |= new_bits
+                touched[next_state][edges.dst_unique[grew]] = True
                 next_active.add(next_state)
         # Swap the two round buffers; only the old round's active states can
         # hold stale bits, so clearing those rows resets the next buffer.
@@ -204,6 +343,7 @@ def run_batch(
     for position, source in enumerate(run.sources):
         run.answers[position] = per_bit[bit_of[source]]
 
+    run.frontier = NpFrontier(masks, touched)
     if witnesses:
         bits = dict(bit_of)
         snapshot_version = graph.version

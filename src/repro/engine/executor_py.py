@@ -14,7 +14,14 @@ results.  Three entry points, all working purely on dense integers:
   once for the whole batch instead of once per source.  With
   ``witnesses=True`` the returned :class:`BatchRun` can additionally
   reconstruct, on demand, a witness path for any reached ``(source,
-  target)`` pair from the per-bit reachability the masks record;
+  target)`` pair from the per-bit reachability the masks record.  The
+  ``seeds``/``known`` parameters open the same traversal to the sharded
+  engine's supersteps: ``seeds`` injects source bits at arbitrary ``(state,
+  node)`` pairs (imported cross-shard frontiers), ``known`` pre-loads
+  already-derived facts *without* re-enqueueing them (the semi-naive
+  initialization that stops a superstep from re-flooding earlier rounds'
+  work — pass the previous run's :class:`PyFrontier` to continue its state
+  in place), and :attr:`BatchRun.frontier` exports the final facts;
 * :func:`run_all_pairs` — the batch mode applied to every node, backing
   ``Engine.query_all`` (and through it ``evaluate_all_sources``, which
   constraint-satisfaction checking uses to quantify over sites).
@@ -29,7 +36,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from .compiled_query import CompiledQuery
 from .csr import CompiledGraph
@@ -64,6 +71,9 @@ class BatchRun:
     witness_resolver: "Callable[[int, int], tuple[int, ...] | None] | None" = field(
         default=None, repr=False, compare=False
     )
+    # Backend-native cumulative mask state (PyFrontier / NpFrontier): the
+    # sharded engine's handle for exporting facts and re-seeding supersteps.
+    frontier: "object | None" = field(default=None, repr=False, compare=False)
 
     def witness(self, source: int, target: int) -> "tuple[int, ...] | None":
         """A witness label-id word for ``target in answers-of(source)``.
@@ -78,6 +88,95 @@ class BatchRun:
         if self.witness_resolver is None:
             raise ValueError("run_batch was not executed with witnesses=True")
         return self.witness_resolver(source, target)
+
+
+class PyFrontier:
+    """Cumulative mask state of one (or a chain of) batched runs.
+
+    The sharded engine's unit of exchange: ``masks`` holds, per packed
+    ``(state, node)`` pair, the arbitrary-precision bitmask of sources that
+    reach it; ``changed`` remembers which pairs grew during the *last* run.
+    Passing a frontier back into :func:`run_batch` as ``known`` transfers
+    ownership of the state — the executor continues the fixpoint in place
+    (semi-naive: known bits never re-propagate), so supersteps pay no
+    conversion at all.  The numpy twin is
+    :class:`repro.engine.executor_np.NpFrontier`; both expose the same four
+    methods, always speaking arbitrary-precision int masks.
+    """
+
+    __slots__ = ("masks", "n", "changed")
+
+    def __init__(self, masks: "list[int]", n: int, changed: "set[int]") -> None:
+        self.masks = masks
+        self.n = n
+        self.changed = changed
+
+    def mask_at(self, state: int, node: int) -> int:
+        """The current source bitmask of one product pair."""
+        return self.masks[state * self.n + node]
+
+    def items(
+        self,
+        fresh_only: bool = False,
+        restrict: "Sequence[int] | None" = None,
+    ) -> "Iterable[tuple[int, int, int]]":
+        """Nonzero ``(state, node, mask)`` facts; optionally only pairs that
+        grew during the last run, and/or only the given nodes (the sharded
+        engine restricts exports to its ghost nodes)."""
+        n = self.n
+        masks = self.masks
+        if fresh_only:
+            keys: "Iterable[int]" = sorted(self.changed)
+        else:
+            keys = (key for key, mask in enumerate(masks) if mask)
+        if restrict is not None:
+            wanted = set(restrict)
+            keys = (key for key in keys if key % n in wanted)
+        for key in keys:
+            mask = masks[key]
+            if mask:
+                yield key // n, key % n, mask
+
+    def per_bit_answers(
+        self,
+        accepting: "Sequence[bool]",
+        num_bits: int,
+        skip_nodes: "frozenset[int] | set[int]" = frozenset(),
+    ) -> "list[set[int]]":
+        """Per source bit, the nodes reached in an accepting state."""
+        per_bit: "list[set[int]]" = [set() for _ in range(num_bits)]
+        n = self.n
+        masks = self.masks
+        for state, accepts in enumerate(accepting):
+            if not accepts:
+                continue
+            base = state * n
+            for node in range(n):
+                mask = masks[base + node]
+                if not mask or node in skip_nodes:
+                    continue
+                while mask:
+                    low = mask & -mask
+                    per_bit[low.bit_length() - 1].add(node)
+                    mask ^= low
+        return per_bit
+
+    def counts(
+        self, skip_nodes: "frozenset[int] | set[int]" = frozenset()
+    ) -> "tuple[int, int]":
+        """``(nonzero pairs, touched nodes)``, skipping the given nodes."""
+        pairs = 0
+        touched: set[int] = set()
+        n = self.n
+        for key, mask in enumerate(self.masks):
+            if not mask:
+                continue
+            node = key % n
+            if node in skip_nodes:
+                continue
+            pairs += 1
+            touched.add(node)
+        return pairs, len(touched)
 
 
 def _targets_of(graph: CompiledGraph, node: int, label_id: int) -> "Sequence[int]":
@@ -214,13 +313,31 @@ def run_batch(
     sources: Sequence[int],
     *,
     witnesses: bool = False,
+    seeds: "Mapping[tuple[int, int], int] | None" = None,
+    known: "Mapping[tuple[int, int], int] | PyFrontier | None" = None,
+    num_bits: "int | None" = None,
 ) -> BatchRun:
-    """Evaluate one query from many sources in a single shared traversal."""
+    """Evaluate one query from many sources in a single shared traversal.
+
+    ``seeds`` maps ``(state, node)`` pairs to source bitmasks injected (and
+    enqueued) on top of the sources' initial-state bits — the sharded
+    engine's imported cross-shard frontier.  ``known`` pre-loads masks that
+    were already derived by earlier supersteps *without* enqueueing them, so
+    propagation stops as soon as it re-enters known territory (semi-naive);
+    passing the previous run's :attr:`BatchRun.frontier` transfers that
+    state wholesale (no conversion, the prior run must not be reused).
+    ``num_bits`` widens the mask universe beyond ``len(sources)`` for seeds
+    carrying higher global bit positions (the pure-Python masks are
+    arbitrary-precision ints, so it is accepted for API symmetry with the
+    numpy executor and otherwise ignored).
+    """
     n = graph.num_nodes
     run = BatchRun(sources=tuple(sources))
     run.answers = [set() for _ in sources]
-    if n == 0 or not sources:
+    if n == 0 or (not sources and not seeds):
         return run
+    if witnesses and (seeds or known):
+        raise ValueError("witnesses=True is not supported with seeds/known frontiers")
     # Distinct sources share one bitmask bit; duplicate entries in the input
     # share the same result set object at collection time.
     bit_of: dict[int, int] = {}
@@ -232,7 +349,16 @@ def run_batch(
     moves = query.moves
     accepting = query.accepting
     dead_of = graph.dead_positions
-    masks = [0] * (num_states * n)
+    if isinstance(known, PyFrontier):
+        if known.n != n or len(known.masks) != num_states * n:
+            raise ValueError("known frontier does not match this graph/query")
+        masks = known.masks  # ownership transfer: continued in place
+    else:
+        masks = [0] * (num_states * n)
+        if known:
+            for (state, node), mask in known.items():
+                masks[state * n + node] |= mask
+    changed: set[int] = set()
     pending = bytearray(num_states * n)
     # A pair re-enters the queue whenever its source mask grows, so count a
     # pair as "visited" only on its first expansion to keep the stat
@@ -243,9 +369,19 @@ def run_batch(
     for source, bit in bit_of.items():
         key = initial_base + source
         masks[key] |= 1 << bit
+        changed.add(key)
         if not pending[key]:
             pending[key] = 1
             queue.append(key)
+    if seeds:
+        for (state, node), mask in seeds.items():
+            key = state * n + node
+            if masks[key] | mask != masks[key]:
+                masks[key] |= mask
+                changed.add(key)
+                if not pending[key]:
+                    pending[key] = 1
+                    queue.append(key)
 
     while queue:
         key = queue.popleft()
@@ -272,13 +408,17 @@ def run_batch(
                 successor_key = base + target
                 if masks[successor_key] | mask != masks[successor_key]:
                     masks[successor_key] |= mask
+                    changed.add(successor_key)
                     if not pending[successor_key]:
                         pending[successor_key] = 1
                         queue.append(successor_key)
 
     # Combine accepting states into one answer mask per node, then scatter
-    # the bits back into per-source answer sets.
+    # the bits back into per-source answer sets.  Seeded runs may carry
+    # global bits beyond the local sources; only local bits scatter here
+    # (the caller reads foreign bits through mask_items instead).
     per_source: dict[int, set[int]] = {bit: set() for bit in bit_of.values()}
+    local_bits = (1 << len(bit_of)) - 1
     touched = bytearray(n)
     for state in range(num_states):
         base = state * n
@@ -290,6 +430,7 @@ def run_batch(
             touched[node] = 1
             if not state_accepts:
                 continue
+            mask &= local_bits
             while mask:
                 low = mask & -mask
                 per_source[low.bit_length() - 1].add(node)
@@ -298,6 +439,7 @@ def run_batch(
     for position, source in enumerate(sources):
         run.answers[position] = per_source[bit_of[source]]
 
+    run.frontier = PyFrontier(masks, n, changed)
     if witnesses:
         bits = dict(bit_of)
         snapshot_version = graph.version

@@ -58,6 +58,41 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 _SHARED_ENGINE_ATTR = "_repro_shared_engine"
 
 
+def prepare_query(
+    query: "RegularPathQuery | Regex | str",
+    constraints: "ConstraintSet | None",
+    cost_model: "CostModel | None",
+    memo: "OrderedDict[str, Regex]",
+    capacity: int,
+) -> "tuple[RegularPathQuery | Regex | str, bool]":
+    """Constraint pre-rewrite with an LRU memo, shared by every session kind.
+
+    Returns ``(prepared, improved)``; ``improved`` is ``True`` only on a
+    fresh rewrite that actually found a cheaper form (memo hits return
+    ``False`` so callers can count applied rewrites once).  With no
+    constraints the query passes through untouched.
+    """
+    if constraints is None or len(constraints) == 0:
+        return query, False
+    key = query_key(query)
+    rewritten = memo.get(key)
+    if rewritten is not None:
+        memo.move_to_end(key)
+        return rewritten, False
+    from ..optimize.cost import DEFAULT_COST_MODEL
+    from ..optimize.rewriter import rewrite_query
+
+    outcome = rewrite_query(
+        query if isinstance(query, (Regex, str)) else query.expression,
+        constraints,
+        cost_model or DEFAULT_COST_MODEL,
+    )
+    memo[key] = outcome.best
+    if len(memo) > capacity:
+        memo.popitem(last=False)
+    return outcome.best, outcome.improved
+
+
 @dataclass
 class EngineStats:
     """Counters accumulated across the lifetime of one engine session."""
@@ -116,6 +151,7 @@ class Engine:
         cost_model: "CostModel | None" = None,
         cache_capacity: int = 128,
         backend: str = "auto",
+        labels: "Sequence[str] | None" = None,
         _graph: "CompiledGraph | None" = None,
     ) -> None:
         self._instance: "Instance | weakref.ref[Instance]" = instance
@@ -129,11 +165,17 @@ class Engine:
         self.backend = backend
         self.compiler = QueryCompiler(cache_capacity)
         self.stats = EngineStats()
+        # Label-order seed for every graph build of this session.  The
+        # sharded engine passes one *shared, live* list to all its shard
+        # engines, so even a full rebuild interns the global label universe
+        # (in the shared order) before the shard's own edge labels — which is
+        # what keeps DFA liveness pruning correct across shard boundaries.
+        self._label_seed = labels
         # Rewrite memo, LRU-bounded like the compile cache so a long-lived
         # constrained session does not grow without limit.
         self._rewrites: "OrderedDict[str, Regex]" = OrderedDict()
         if _graph is None:
-            self._graph = CompiledGraph.from_instance(instance)
+            self._graph = CompiledGraph.from_instance(instance, labels=labels)
             self.stats.graph_builds += 1
         else:
             # Snapshot warm-start: the caller restored a compiled graph that
@@ -193,6 +235,9 @@ class Engine:
         cost_model: "CostModel | None" = None,
         cache_capacity: int = 128,
         backend: str = "auto",
+        labels: "Sequence[str] | None" = None,
+        shards: "int | None" = None,
+        shard_map=None,
     ) -> "Engine":
         """Return a ready-to-serve engine session.
 
@@ -205,7 +250,31 @@ class Engine:
         mismatch the engine silently falls back to a full rebuild from the
         supplied instance.  Without ``instance``, the instance is
         reconstructed from the snapshot itself.
+
+        With ``shards=N`` (or an explicit ``shard_map``) the call is
+        delegated to :class:`repro.engine.sharding.ShardedEngine` — ``source``
+        must then be an instance or a snapshot *directory* — and the return
+        value is a sharded session with the same ``query`` / ``query_batch``
+        / ``stats`` surface.
         """
+        if shards is not None or shard_map is not None:
+            from .sharding import ShardedEngine
+
+            if labels is not None:
+                raise ReproError(
+                    "labels= cannot be combined with shards=/shard_map=; the "
+                    "sharded engine manages its own shared label universe"
+                )
+            return ShardedEngine.open(  # type: ignore[return-value]
+                source,
+                instance=instance,
+                shards=shards,
+                shard_map=shard_map,
+                constraints=constraints,
+                cost_model=cost_model,
+                cache_capacity=cache_capacity,
+                backend=backend,
+            )
         if isinstance(source, (str, os.PathLike)):
             from .snapshot import load_engine
 
@@ -216,6 +285,7 @@ class Engine:
                 cost_model=cost_model,
                 cache_capacity=cache_capacity,
                 backend=backend,
+                labels=labels,
             )
         if instance is not None:
             raise ReproError(
@@ -227,6 +297,7 @@ class Engine:
             cost_model=cost_model,
             cache_capacity=cache_capacity,
             backend=backend,
+            labels=labels,
         )
 
     def save(self, path: "str | os.PathLike", *, codec: str = "auto") -> None:
@@ -285,7 +356,7 @@ class Engine:
                 self.stats.interner_growths += grown
             self._instance_version = instance.version
             return False
-        self._graph = CompiledGraph.from_instance(instance)
+        self._graph = CompiledGraph.from_instance(instance, labels=self._label_seed)
         self._instance_version = instance.version
         self._edge_version = instance.edge_version
         self.stats.graph_builds += 1
@@ -326,28 +397,16 @@ class Engine:
     def _prepared(
         self, query: "RegularPathQuery | Regex | str"
     ) -> "RegularPathQuery | Regex | str":
-        if self.constraints is None or len(self.constraints) == 0:
-            return query
-        key = query_key(query)
-        rewritten = self._rewrites.get(key)
-        if rewritten is None:
-            from ..optimize.cost import DEFAULT_COST_MODEL
-            from ..optimize.rewriter import rewrite_query
-
-            outcome = rewrite_query(
-                query if isinstance(query, (Regex, str)) else query.expression,
-                self.constraints,
-                self.cost_model or DEFAULT_COST_MODEL,
-            )
-            rewritten = outcome.best
-            self._rewrites[key] = rewritten
-            if len(self._rewrites) > self.compiler.capacity:
-                self._rewrites.popitem(last=False)
-            if outcome.improved:
-                self.stats.rewrites_applied += 1
-        else:
-            self._rewrites.move_to_end(key)
-        return rewritten
+        prepared, improved = prepare_query(
+            query,
+            self.constraints,
+            self.cost_model,
+            self._rewrites,
+            self.compiler.capacity,
+        )
+        if improved:
+            self.stats.rewrites_applied += 1
+        return prepared
 
     def compiled(self, query: "RegularPathQuery | Regex | str") -> CompiledQuery:
         """The integer transition table for ``query`` on the current graph."""

@@ -1,0 +1,953 @@
+"""Sharded compiled serving: one :class:`CompiledGraph` per site group.
+
+The paper's Section 3 evaluates path queries over a *distributed* instance —
+every object is a site that only knows its own outgoing links, and sites
+exchange subquery messages until the whole query is answered.
+:mod:`repro.distributed` reproduces that protocol message-for-message over
+the slow baseline evaluator; this module is its compiled, batched analogue:
+
+* a pluggable :class:`ShardMap` assigns every object (site) to one shard —
+  stable hashing by oid (:class:`HashShardMap`, the default), an explicit
+  assignment (:class:`ExplicitShardMap`), or one shard per site
+  (:meth:`ShardMap.by_site`, the 1:1 image of the distributed site model);
+* each shard compiles *its own nodes' descriptions* into a private
+  :class:`CompiledGraph` (wrapped in a full :class:`Engine` session, so the
+  per-shard query caches, staleness stamps and snapshots all come for free).
+  Edge targets owned by other shards are interned locally as **ghost**
+  nodes: reachable, never expanded;
+* a query runs as **supersteps**: every shard drives the ordinary
+  :func:`~repro.engine.executor.run_batch` executor to a local fixpoint,
+  then the ``(state, node)`` facts that landed on ghost nodes are scattered
+  to the owning shards — the compiled analogue of the paper's ``subquery``
+  messages — and imported there as the next superstep's seed frontier.
+  Rounds repeat until no shard produces a fact the owner has not absorbed.
+  Re-imports are *semi-naive*: previously derived facts are pre-loaded into
+  the executor as ``known`` masks, so a superstep only expands genuinely
+  new information instead of re-flooding the shard;
+* every shard graph is built against the **shared global label universe**
+  (one live label list passed to all shard engines), because shard-local
+  DFA lowering would prune states whose continuation labels only occur on
+  other shards.
+
+Answers are gathered from the accepting-state facts of each shard's *owned*
+nodes; a fact derived at a ghost node always reaches its owner (it is either
+exported, or the owner had already absorbed it), so nothing is lost.
+
+Persistence plugs into :mod:`repro.engine.snapshot`: :meth:`ShardedEngine.save`
+writes one snapshot file per shard plus a small JSON manifest (shard map
+spec, shared label order, per-shard sub-instance fingerprints), and
+:meth:`ShardedEngine.open` warm-starts each shard independently — a stale
+shard falls back to a cold rebuild of *its* partition while warm shards load
+from disk untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict, defaultdict, deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from ..exceptions import ReproError
+from ..graph.instance import Instance, Oid
+from ..query.evaluation import EvaluationResult
+from .compiled_query import query_key
+from .csr import CompiledGraph
+from .executor import BACKENDS, resolve_backend, run_batch
+from .session import Engine, prepare_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..constraints.constraint import ConstraintSet
+    from ..optimize.cost import CostModel
+    from .compiled_query import CompiledQuery
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT_VERSION = 1
+
+
+def _oid_digest(oid: Oid) -> int:
+    """A process-stable 64-bit digest of one oid (``repr``-based, like the
+    instance content fingerprint, so shard assignment survives restarts)."""
+    payload = repr(oid).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(payload, digest_size=8).digest(), "big")
+
+
+class ShardMap:
+    """Assignment of every object (site) to one shard in ``0..num_shards-1``.
+
+    Subclasses implement :meth:`shard_of` and :meth:`spec`; the spec is what
+    the snapshot manifest records, and :meth:`from_spec` reconstructs maps
+    whose spec is self-contained (hash maps).  Explicit maps record only a
+    digest — reopening their snapshots requires the caller to re-supply the
+    map, which is validated against the digest.
+    """
+
+    num_shards: int
+
+    def shard_of(self, oid: Oid) -> int:
+        raise NotImplementedError
+
+    def spec(self) -> dict:
+        raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """A stable digest of the spec, for manifest validation."""
+        blob = json.dumps(self.spec(), sort_keys=True).encode("utf-8")
+        return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+    @staticmethod
+    def from_spec(spec: Mapping) -> "ShardMap":
+        """Rebuild a shard map from a manifest spec (hash maps only)."""
+        kind = spec.get("kind")
+        if kind == "hash":
+            return HashShardMap(int(spec["num_shards"]))
+        if kind == "explicit":
+            raise ReproError(
+                "this snapshot was sharded with an explicit site->shard "
+                "assignment, which the manifest stores only as a digest; "
+                "pass the same shard_map= to open it"
+            )
+        raise ReproError(f"unknown shard map kind {kind!r} in manifest")
+
+    @staticmethod
+    def by_site(instance: Instance) -> "ExplicitShardMap":
+        """One shard per object: the 1:1 image of the paper's site model.
+
+        Every object of ``instance`` becomes its own shard (sorted by
+        ``repr`` for a deterministic numbering), so the superstep exchange
+        carries exactly the cross-site frontier the distributed protocol
+        would ship as subquery messages.
+        """
+        assignment = {
+            oid: position
+            for position, oid in enumerate(sorted(instance.objects, key=repr))
+        }
+        return ExplicitShardMap(assignment, num_shards=max(1, len(assignment)))
+
+
+class HashShardMap(ShardMap):
+    """Stable hash-by-oid placement: the default, reconstructible map."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ReproError("a sharded engine needs at least one shard")
+        self.num_shards = num_shards
+
+    def shard_of(self, oid: Oid) -> int:
+        return _oid_digest(oid) % self.num_shards
+
+    def spec(self) -> dict:
+        return {"kind": "hash", "num_shards": self.num_shards}
+
+    def __repr__(self) -> str:
+        return f"HashShardMap(num_shards={self.num_shards})"
+
+
+class ExplicitShardMap(ShardMap):
+    """An explicit site→shard assignment (e.g. one shard per distributed site).
+
+    Objects missing from the assignment — typically oids added after the map
+    was fixed — fall back to stable hashing so every object always has an
+    owner.  The manifest records only an order-insensitive digest of the
+    assignment; reopening a snapshot sharded this way requires re-supplying
+    the map.
+    """
+
+    def __init__(self, assignment: Mapping[Oid, int], num_shards: "int | None" = None) -> None:
+        self._assignment = dict(assignment)
+        inferred = max(self._assignment.values(), default=-1) + 1
+        self.num_shards = inferred if num_shards is None else num_shards
+        if self.num_shards < 1:
+            raise ReproError("a sharded engine needs at least one shard")
+        for oid, shard in self._assignment.items():
+            if not 0 <= shard < self.num_shards:
+                raise ReproError(
+                    f"shard {shard} of oid {oid!r} is outside 0..{self.num_shards - 1}"
+                )
+
+    def shard_of(self, oid: Oid) -> int:
+        shard = self._assignment.get(oid)
+        if shard is None:
+            return _oid_digest(oid) % self.num_shards
+        return shard
+
+    def spec(self) -> dict:
+        digest = 0
+        for oid, shard in self._assignment.items():
+            digest ^= _oid_digest((repr(oid), shard))
+        return {
+            "kind": "explicit",
+            "num_shards": self.num_shards,
+            "assignment_digest": format(digest, "016x"),
+            "assigned": len(self._assignment),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplicitShardMap({len(self._assignment)} oids, "
+            f"num_shards={self.num_shards})"
+        )
+
+
+def partition_instance(instance: Instance, shard_map: ShardMap) -> list[Instance]:
+    """Split ``instance`` into one sub-instance per shard.
+
+    Shard ``i``'s sub-instance holds every object the map assigns to it plus
+    the full *description* (outgoing edges) of those objects — edge targets
+    owned elsewhere appear as objects too, exactly the ghost set the shard's
+    compiled graph interns.  Sub-instances are what the per-shard
+    :class:`Engine` sessions stamp and snapshot, and the partition is
+    deterministic (content fingerprints are order-insensitive), so a
+    re-partition of an unchanged instance revalidates every shard snapshot.
+    """
+    subs = [Instance() for _ in range(shard_map.num_shards)]
+    for oid in instance.objects:
+        subs[shard_map.shard_of(oid)].add_object(oid)
+    for source, label, destination in instance.edges():
+        subs[shard_map.shard_of(source)].add_edge(source, label, destination)
+    return subs
+
+
+def shard_graph(
+    instance: Instance,
+    shard_map: ShardMap,
+    shard: int,
+    *,
+    labels: "Sequence[str] | None" = None,
+) -> CompiledGraph:
+    """Compile one shard's subgraph straight from the global instance.
+
+    A convenience over ``CompiledGraph.from_instance(instance, nodes=owned)``
+    for callers that want a standalone partition CSR without a session; the
+    result is structurally identical to compiling the shard's sub-instance.
+    """
+    owned = [oid for oid in instance.objects if shard_map.shard_of(oid) == shard]
+    return CompiledGraph.from_instance(instance, nodes=owned, labels=labels)
+
+
+@dataclass
+class ShardedStats:
+    """Counters accumulated across the lifetime of one sharded session."""
+
+    single_evaluations: int = 0
+    batch_evaluations: int = 0
+    batched_sources: int = 0
+    supersteps: int = 0
+    local_runs: int = 0
+    exchanged_facts: int = 0
+    visited_pairs: int = 0
+    visited_objects: int = 0
+    rewrites_applied: int = 0
+
+    def summary(self, engine: "ShardedEngine") -> str:
+        return (
+            f"shards: {engine.num_shards} "
+            f"({engine.warm_shards} warm-started, {engine.rebuilt_shards} rebuilt); "
+            f"evaluations: {self.single_evaluations} single, "
+            f"{self.batch_evaluations} batched ({self.batched_sources} sources); "
+            f"supersteps: {self.supersteps} ({self.local_runs} local runs, "
+            f"{self.exchanged_facts} cross-shard frontier exports); "
+            f"visited pairs: {self.visited_pairs}"
+        )
+
+
+@dataclass
+class _GlobalRun:
+    """One scatter-gather fixpoint: frontiers per shard plus gathered answers."""
+
+    bit_of: dict
+    compiled: "list[CompiledQuery]"
+    frontiers: list
+    per_bit: "list[set]"
+    visited_pairs: int = 0
+    visited_objects: int = 0
+
+
+class ShardedEngine:
+    """A sharded compiled-evaluation session with scatter-gather serving.
+
+    Mirrors the :class:`Engine` surface — ``query`` / ``query_batch`` /
+    ``query_all`` / ``add_edge`` / ``remove_edge`` / ``save`` / ``stats`` —
+    but partitions the instance across ``num_shards`` compiled graphs and
+    evaluates by superstep frontier exchange (module docstring).  Construct
+    with :meth:`open` (an instance, or a snapshot directory written by
+    :meth:`save`).
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        *,
+        shards: "int | None" = None,
+        shard_map: "ShardMap | None" = None,
+        constraints: "ConstraintSet | None" = None,
+        cost_model: "CostModel | None" = None,
+        cache_capacity: int = 128,
+        backend: str = "auto",
+        _restored: "tuple[list[Instance], list[Engine], list[str]] | None" = None,
+    ) -> None:
+        self._map = self._resolve_map(shards, shard_map)
+        self._instance = instance
+        self.constraints = constraints
+        self.cost_model = cost_model
+        self.cache_capacity = cache_capacity
+        if backend not in BACKENDS:
+            resolve_backend(backend)  # raises with the canonical message
+        self.backend = backend
+        self.stats = ShardedStats()
+        self._labels: list[str] = []
+        self._label_set: set[str] = set()
+        # Constraint pre-rewrite happens ONCE here, not per shard: every
+        # shard must compile the *same* expression, or the exchanged DFA
+        # state ids would not line up.  Shard engines are therefore built
+        # constraint-free; the memo mirrors Engine's (LRU-bounded).
+        self._rewrites: "OrderedDict[str, object]" = OrderedDict()
+        if _restored is None:
+            self._build()
+        else:
+            subs, engines, labels = _restored
+            # Adopt the exact list the shard engines were seeded with: it is
+            # live and shared, so labels appended later reach their rebuilds.
+            self._labels = labels
+            self._label_set = set(labels)
+            self._subs = subs
+            self._shards = engines
+            self._reset_ghost_cache()
+            # Stale shards may have rebuilt with labels the warm shards (or
+            # the manifest) have never seen; level the universes.
+            self._sync_labels(instance.labels())
+            self._instance_version = instance.version
+
+    @staticmethod
+    def _resolve_map(shards: "int | None", shard_map: "ShardMap | None") -> ShardMap:
+        if shard_map is not None:
+            if shards is not None and shards != shard_map.num_shards:
+                raise ReproError(
+                    f"shards={shards} contradicts the supplied shard map "
+                    f"({shard_map.num_shards} shards)"
+                )
+            return shard_map
+        if shards is None:
+            raise ReproError("a sharded engine needs shards=N or an explicit shard_map=")
+        return HashShardMap(shards)
+
+    # -- lifecycle ------------------------------------------------------------
+    def _build(self) -> None:
+        instance = self._instance
+        self._sync_labels(instance.labels())
+        self._subs = partition_instance(instance, self._map)
+        self._shards = [
+            Engine(
+                sub,
+                cache_capacity=self.cache_capacity,
+                backend=self.backend,
+                labels=self._labels,
+            )
+            for sub in self._subs
+        ]
+        self._reset_ghost_cache()
+        self._instance_version = instance.version
+
+    def _reset_ghost_cache(self) -> None:
+        count = self._map.num_shards
+        self._ghosts: list[set[int]] = [set() for _ in range(count)]
+        self._ghost_lists: "list[list[int]]" = [[] for _ in range(count)]
+        self._ghost_seen = [0] * count
+        self._ghost_graphs: "list[CompiledGraph | None]" = [None] * count
+
+    def _sync_labels(self, labels: Iterable[str]) -> bool:
+        """Append any new labels to the shared order and to every shard graph.
+
+        Sorted insertion keeps the order deterministic; existing ids never
+        move (the shared list is append-only, like the interners it seeds).
+        """
+        fresh = sorted(set(labels) - self._label_set)
+        if not fresh:
+            return False
+        self._labels.extend(fresh)
+        self._label_set.update(fresh)
+        for engine in getattr(self, "_shards", ()):
+            for label in fresh:
+                engine.graph.ensure_label(label)
+        return True
+
+    def _ghost_nodes(self, shard: int) -> set[int]:
+        """Local node ids of ``shard`` owned by *other* shards, cached.
+
+        Node ids are append-only, so the cache only scans newly interned
+        oids; a replaced graph object (shard rebuild) resets the scan.
+        """
+        graph = self._shards[shard].graph
+        if self._ghost_graphs[shard] is not graph:
+            self._ghost_graphs[shard] = graph
+            self._ghosts[shard] = set()
+            self._ghost_lists[shard] = []
+            self._ghost_seen[shard] = 0
+        values = graph.nodes.backing_list()
+        shard_of = self._map.shard_of
+        for node in range(self._ghost_seen[shard], len(values)):
+            if shard_of(values[node]) != shard:
+                self._ghosts[shard].add(node)
+                self._ghost_lists[shard].append(node)
+        self._ghost_seen[shard] = len(values)
+        return self._ghosts[shard]
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def instance(self) -> Instance:
+        return self._instance
+
+    @property
+    def num_shards(self) -> int:
+        return self._map.num_shards
+
+    @property
+    def shard_map(self) -> ShardMap:
+        return self._map
+
+    @property
+    def shard_engines(self) -> "tuple[Engine, ...]":
+        return tuple(self._shards)
+
+    @property
+    def warm_shards(self) -> int:
+        return sum(1 for engine in self._shards if engine.stats.snapshot_restores)
+
+    @property
+    def rebuilt_shards(self) -> int:
+        return sum(1 for engine in self._shards if engine.stats.graph_builds)
+
+    def describe(self) -> str:
+        return self.stats.summary(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEngine({self._map!r}, objects={len(self._instance)}, "
+            f"edges={self._instance.edge_count()})"
+        )
+
+    # -- mutation -------------------------------------------------------------
+    def refresh(self) -> bool:
+        """Re-partition if the global instance mutated behind our back.
+
+        Mutations routed through :meth:`add_edge` / :meth:`remove_edge` stay
+        incremental (the owning shard absorbs them via overflow/tombstones);
+        out-of-band instance edits are coarse by design — the partition is a
+        derived artifact, so the whole thing is rebuilt.
+        """
+        if self._instance.version == self._instance_version:
+            return False
+        self._build()
+        return True
+
+    def add_edge(self, source: Oid, label: str, destination: Oid) -> None:
+        """Add one edge, routed to the shard that owns ``source``.
+
+        The destination is registered with *its* owner too (objects must
+        always have an owner for the gather step), and a genuinely new label
+        is interned into every shard graph so the shared label universe —
+        and with it cross-shard DFA state numbering — stays aligned.
+        """
+        self.refresh()
+        instance = self._instance
+        if instance.has_edge(source, label, destination):
+            return
+        instance.add_edge(source, label, destination)
+        self._sync_labels((label,))
+        owner = self._map.shard_of(source)
+        self._shards[owner].add_edge(source, label, destination)
+        for endpoint in (source, destination):
+            home = self._map.shard_of(endpoint)
+            if home != owner and endpoint not in self._subs[home]:
+                self._subs[home].add_object(endpoint)
+        self._instance_version = instance.version
+
+    def remove_edge(self, source: Oid, label: str, destination: Oid) -> None:
+        """Remove one edge from the shard that owns ``source`` (tombstone)."""
+        self.refresh()
+        self._instance.remove_edge(source, label, destination)
+        owner = self._map.shard_of(source)
+        self._shards[owner].remove_edge(source, label, destination)
+        self._instance_version = self._instance.version
+
+    # -- evaluation -----------------------------------------------------------
+    def _prepared(self, query):
+        """The constraint-rewritten form of ``query``, memoized (LRU).
+
+        Uses the shared :func:`~repro.engine.session.prepare_query` helper,
+        but runs exactly once for all shards: the rewritten expression is
+        what every shard compiles, so the DFA state ids exchanged between
+        shards always agree.
+        """
+        prepared, improved = prepare_query(
+            query,
+            self.constraints,
+            self.cost_model,
+            self._rewrites,
+            self.cache_capacity,
+        )
+        if improved:
+            self.stats.rewrites_applied += 1
+        return prepared
+
+    def _compiled_everywhere(self, prepared) -> list:
+        """One compiled table per shard, compiled (at most) once overall.
+
+        DFA construction is graph-independent and every shard normally
+        interns the same label universe in the same order, so shard 0's
+        table is byte-for-byte what every other shard would compile; it is
+        seeded into their caches (keeping per-shard snapshots warm) instead
+        of re-running the subset construction per shard — with a
+        ``by_site`` map that is one compile instead of one per *object*.
+        A shard whose interning order diverged (possible after a
+        stale-shard rebuild) compiles its own table.
+        """
+        first = self._shards[0]
+        compiled_first = first.compiled(prepared)  # refreshes shard 0
+        fingerprint = first.graph.labels_fingerprint()
+        key = query_key(prepared)
+        compiled = [compiled_first]
+        for engine in self._shards[1:]:
+            engine.refresh()
+            if engine.graph.labels_fingerprint() == fingerprint:
+                engine.compiler.seed(key, compiled_first, fingerprint)
+                compiled.append(compiled_first)
+            else:
+                compiled.append(engine.compiled(prepared))
+        return compiled
+
+    def _evaluate(self, query, sources: "Sequence[Oid]") -> _GlobalRun:
+        """Run the scatter-gather superstep fixpoint for ``sources``.
+
+        ``sources`` must be objects of the instance.  Each shard's state
+        lives in a backend-native frontier (cumulative masks) that is handed
+        back to :func:`run_batch` as ``known`` every superstep, so repeated
+        rounds neither re-flood earlier work nor pay any conversion; the
+        gathered per-bit answer sets come from the owned accepting facts.
+        """
+        self.refresh()
+        compiled = self._compiled_everywhere(self._prepared(query))
+        bit_of: dict = {}
+        for oid in sources:
+            if oid not in bit_of:
+                bit_of[oid] = len(bit_of)
+        count = self._map.num_shards
+        frontiers: list = [None] * count
+        pending: "list[dict[tuple[int, int], int]]" = [
+            defaultdict(int) for _ in range(count)
+        ]
+        # DFA state numbering is graph-independent (states are sorted before
+        # indexing, and the shared label universe rules out cross-shard
+        # liveness differences), so shard 0's automaton speaks for all.
+        initial = compiled[0].initial
+        num_bits = len(bit_of)
+        for oid, bit in bit_of.items():
+            shard = self._map.shard_of(oid)
+            node = self._shards[shard].graph.node_id(oid)
+            pending[shard][(initial, node)] |= 1 << bit
+
+        while any(pending):
+            self.stats.supersteps += 1
+            next_pending: "list[dict[tuple[int, int], int]]" = [
+                defaultdict(int) for _ in range(count)
+            ]
+            for shard in range(count):
+                if not pending[shard]:
+                    continue
+                engine = self._shards[shard]
+                graph = engine.graph
+                frontier = frontiers[shard]
+                # Bits the shard absorbed since the export was computed (it
+                # derived the same fact itself later that round) are dropped;
+                # a fully absorbed frontier costs no local run at all.
+                seeds = {}
+                for (state, node), mask in pending[shard].items():
+                    absorbed = frontier.mask_at(state, node) if frontier else 0
+                    new_bits = mask & ~absorbed
+                    if new_bits:
+                        seeds[(state, node)] = new_bits
+                if not seeds:
+                    continue
+                run = run_batch(
+                    graph,
+                    compiled[shard],
+                    (),
+                    seeds=seeds,
+                    known=frontier,
+                    num_bits=num_bits,
+                    backend=self.backend,
+                )
+                frontier = frontiers[shard] = run.frontier
+                self.stats.local_runs += 1
+                engine.stats.record_backend(run.backend)
+                self._ghost_nodes(shard)  # refresh the cache
+                ghost_list = self._ghost_lists[shard]
+                if not ghost_list:
+                    continue
+                oid_of = graph.nodes.backing_list()
+                # Scatter: facts that grew onto ghost nodes this run; ship
+                # the bits their owner has not absorbed yet.
+                for state, node, mask in frontier.items(
+                    fresh_only=True, restrict=ghost_list
+                ):
+                    oid = oid_of[node]
+                    home = self._map.shard_of(oid)
+                    home_node = self._shards[home].graph.node_id(oid)
+                    home_frontier = frontiers[home]
+                    absorbed = (
+                        home_frontier.mask_at(state, home_node)
+                        if home_frontier
+                        else 0
+                    )
+                    new_bits = mask & ~absorbed
+                    if new_bits:
+                        next_pending[home][(state, home_node)] |= new_bits
+                        self.stats.exchanged_facts += 1
+            pending = next_pending
+
+        # Gather: accepting-state facts of each shard's owned nodes.
+        accepting = compiled[0].accepting
+        per_bit: "list[set]" = [set() for _ in range(num_bits)]
+        visited_pairs = 0
+        visited_objects = 0
+        for shard in range(count):
+            frontier = frontiers[shard]
+            if frontier is None:
+                continue
+            graph = self._shards[shard].graph
+            ghosts = self._ghost_nodes(shard)
+            oid_of = graph.nodes.backing_list()
+            pairs, objects = frontier.counts(skip_nodes=ghosts)
+            visited_pairs += pairs
+            visited_objects += objects
+            for bit, nodes in enumerate(
+                frontier.per_bit_answers(accepting, num_bits, skip_nodes=ghosts)
+            ):
+                if nodes:
+                    per_bit[bit].update({oid_of[node] for node in nodes})
+        self.stats.visited_pairs += visited_pairs
+        self.stats.visited_objects += visited_objects
+        return _GlobalRun(
+            bit_of=bit_of,
+            compiled=compiled,
+            frontiers=frontiers,
+            per_bit=per_bit,
+            visited_pairs=visited_pairs,
+            visited_objects=visited_objects,
+        )
+
+    def query_batch(
+        self,
+        query,
+        sources: "Sequence[Oid] | Iterable[Oid]",
+    ) -> "dict[Oid, set[Oid]]":
+        """Evaluate one query from many sources across all shards."""
+        source_list = list(sources)
+        self.stats.batch_evaluations += 1
+        self.stats.batched_sources += len(source_list)
+        self.refresh()
+        known = [oid for oid in source_list if oid in self._instance]
+        run = self._evaluate(query, known)
+        results: "dict[Oid, set[Oid]]" = {}
+        accepts_empty = run.compiled[0].accepts_empty_word()
+        for oid in source_list:
+            bit = run.bit_of.get(oid)
+            if bit is not None:
+                results[oid] = run.per_bit[bit]
+            else:
+                # Unknown sources have an empty description; they answer
+                # themselves exactly when the query accepts the empty word.
+                results[oid] = {oid} if accepts_empty else set()
+        return results
+
+    def query_all(self, query) -> "dict[Oid, set[Oid]]":
+        """All-pairs evaluation: the answer set of every object of the graph."""
+        return self.query_batch(query, sorted(self._instance.objects, key=repr))
+
+    def query(self, query, source: Oid) -> EvaluationResult:
+        """Single-source evaluation with witnesses, as an ``EvaluationResult``."""
+        self.stats.single_evaluations += 1
+        self.refresh()
+        if source not in self._instance:
+            compiled = self._shards[0].compiled(self._prepared(query))
+            result = EvaluationResult(visited_pairs=1, visited_objects=1)
+            if compiled.accepts_empty_word():
+                result.answers.add(source)
+                result.witness_paths[source] = ()
+            return result
+        run = self._evaluate(query, [source])
+        result = EvaluationResult(
+            answers=set(run.per_bit[0]),
+            visited_pairs=run.visited_pairs,
+            visited_objects=run.visited_objects,
+        )
+        result.witness_paths.update(self._witness_words(run, source))
+        return result
+
+    def answer_set(self, query, source: Oid) -> "set[Oid]":
+        return self.query(query, source).answers
+
+    def _witness_words(self, run: _GlobalRun, source: Oid) -> "dict[Oid, tuple[str, ...]]":
+        """Rebuild one witness label word per answer of a single-source run.
+
+        A BFS over ``(state, oid)`` pairs stitched across shards: adjacency
+        comes from the owning shard's sub-instance (an owned node's full
+        description lives there), transitions from that shard's compiled
+        table, and expansion is restricted to the facts the fixpoint proved
+        reachable for the source's bit — so the walk is bounded by work the
+        supersteps already did, and the first accepting visit per target is
+        a shortest witness.
+        """
+        compiled0 = run.compiled[0]
+        accepting = compiled0.accepting
+        reached: "set[tuple[int, Oid]]" = set()
+        for shard, frontier in enumerate(run.frontiers):
+            if frontier is None:
+                continue
+            graph = self._shards[shard].graph
+            ghosts = self._ghost_nodes(shard)
+            oid_of = graph.nodes.backing_list()
+            for state, node, mask in frontier.items():
+                if node not in ghosts and mask & 1:
+                    reached.add((state, oid_of[node]))
+        start = (compiled0.initial, source)
+        parents: "dict[tuple[int, Oid], tuple[tuple[int, Oid], str] | None]" = {
+            start: None
+        }
+        first_accept: "dict[Oid, tuple[int, Oid]]" = {}
+        if accepting[compiled0.initial]:
+            first_accept[source] = start
+        queue: "deque[tuple[int, Oid]]" = deque([start])
+        while queue:
+            state, oid = queue.popleft()
+            shard = self._map.shard_of(oid)
+            table = run.compiled[shard].table
+            label_id = self._shards[shard].graph.label_id
+            for label, destination in self._subs[shard].out_edges(oid):
+                lid = label_id(label)
+                if lid is None:
+                    continue
+                next_state = table[state][lid]
+                if next_state < 0:
+                    continue
+                key = (next_state, destination)
+                if key in parents or key not in reached:
+                    continue
+                parents[key] = ((state, oid), label)
+                if accepting[next_state] and destination not in first_accept:
+                    first_accept[destination] = key
+                queue.append(key)
+        words: "dict[Oid, tuple[str, ...]]" = {}
+        for answer, key in first_accept.items():
+            labels: list[str] = []
+            while True:
+                parent = parents[key]
+                if parent is None:
+                    break
+                key, label = parent
+                labels.append(label)
+            labels.reverse()
+            words[answer] = tuple(labels)
+        return words
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, directory: "str | os.PathLike", *, codec: str = "auto") -> None:
+        """Persist one snapshot per shard plus a manifest into ``directory``.
+
+        Each shard file is an ordinary engine snapshot of that shard's
+        compiled graph and warm query cache; the manifest records the shard
+        map spec, the shared label order, and per-shard sub-instance
+        fingerprints so :meth:`open` can warm-start shards independently.
+        """
+        from .snapshot import resolve_codec
+
+        self.refresh()
+        resolved = resolve_codec(codec)
+        os.makedirs(directory, exist_ok=True)
+        shard_entries = []
+        for shard, engine in enumerate(self._shards):
+            filename = f"shard-{shard:04d}.snap"
+            engine.save(os.path.join(directory, filename), codec=codec)
+            sub = self._subs[shard]
+            shard_entries.append(
+                {
+                    "file": filename,
+                    "fingerprint": sub.content_fingerprint(),
+                    "objects": len(sub),
+                    "edges": sub.edge_count(),
+                }
+            )
+        manifest = {
+            "format_version": MANIFEST_FORMAT_VERSION,
+            "codec": resolved,
+            "shard_map": self._map.spec(),
+            "shard_map_fingerprint": self._map.fingerprint(),
+            "labels": list(self._labels),
+            "instance_fingerprint": self._instance.content_fingerprint(),
+            "shards": shard_entries,
+        }
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        staging = manifest_path + ".tmp"
+        with open(staging, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+            handle.write("\n")
+        os.replace(staging, manifest_path)
+
+    @classmethod
+    def open(
+        cls,
+        source: "Instance | str | os.PathLike",
+        *,
+        instance: "Instance | None" = None,
+        shards: "int | None" = None,
+        shard_map: "ShardMap | None" = None,
+        constraints: "ConstraintSet | None" = None,
+        cost_model: "CostModel | None" = None,
+        cache_capacity: int = 128,
+        backend: str = "auto",
+    ) -> "ShardedEngine":
+        """Return a ready-to-serve sharded session.
+
+        ``source`` is either an :class:`Instance` — partitioned and compiled
+        from scratch — or a snapshot *directory* written by :meth:`save`.
+        When opening a directory, ``instance`` optionally supplies the live
+        instance: it is re-partitioned with the manifest's shard map and each
+        shard's stored stamp is validated against its sub-instance, so **only
+        stale shards recompile** while warm shards load from disk.  Without
+        ``instance``, the global instance is reconstructed by merging the
+        shard snapshots.
+        """
+        if isinstance(source, (str, os.PathLike)):
+            return cls._open_directory(
+                source,
+                instance=instance,
+                shards=shards,
+                shard_map=shard_map,
+                constraints=constraints,
+                cost_model=cost_model,
+                cache_capacity=cache_capacity,
+                backend=backend,
+            )
+        if instance is not None:
+            raise ReproError(
+                "instance= is only meaningful when opening a snapshot directory"
+            )
+        return cls(
+            source,
+            shards=shards,
+            shard_map=shard_map,
+            constraints=constraints,
+            cost_model=cost_model,
+            cache_capacity=cache_capacity,
+            backend=backend,
+        )
+
+    @classmethod
+    def _open_directory(
+        cls,
+        directory: "str | os.PathLike",
+        *,
+        instance: "Instance | None",
+        shards: "int | None",
+        shard_map: "ShardMap | None",
+        constraints: "ConstraintSet | None",
+        cost_model: "CostModel | None",
+        cache_capacity: int,
+        backend: str,
+    ) -> "ShardedEngine":
+        manifest_path = os.path.join(os.fspath(directory), MANIFEST_NAME)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise ReproError(
+                f"{os.fspath(directory)!r} is not a sharded snapshot "
+                f"(no {MANIFEST_NAME})"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise ReproError(
+                f"{manifest_path!r} is a corrupt sharded manifest: {error}"
+            ) from error
+        version = manifest.get("format_version")
+        if version != MANIFEST_FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported sharded manifest version {version} "
+                f"(this build reads version {MANIFEST_FORMAT_VERSION})"
+            )
+        if shard_map is not None:
+            if shard_map.fingerprint() != manifest.get("shard_map_fingerprint"):
+                # A different partitioning makes every shard file meaningless;
+                # rebuild from the live instance when we have one.
+                if instance is None:
+                    raise ReproError(
+                        "the supplied shard map does not match the snapshot "
+                        "manifest, and no instance= was given to rebuild from"
+                    )
+                return cls(
+                    instance,
+                    shard_map=shard_map,
+                    constraints=constraints,
+                    cost_model=cost_model,
+                    cache_capacity=cache_capacity,
+                    backend=backend,
+                )
+            resolved_map = shard_map
+        else:
+            resolved_map = ShardMap.from_spec(manifest.get("shard_map", {}))
+        if shards is not None and shards != resolved_map.num_shards:
+            raise ReproError(
+                f"snapshot directory holds {resolved_map.num_shards} shards; "
+                f"shards={shards} contradicts it (omit shards= to reuse the "
+                f"manifest, or rebuild from an instance)"
+            )
+        labels = [str(label) for label in manifest.get("labels", [])]
+        files = [entry["file"] for entry in manifest.get("shards", [])]
+        if len(files) != resolved_map.num_shards:
+            raise ReproError(
+                f"manifest lists {len(files)} shard files for "
+                f"{resolved_map.num_shards} shards"
+            )
+        # Shard engines are always constraint-free: the sharded session owns
+        # the single pre-rewrite (see ``_prepared``).
+        if instance is None:
+            engines = [
+                Engine.open(
+                    os.path.join(os.fspath(directory), filename),
+                    cache_capacity=cache_capacity,
+                    backend=backend,
+                    labels=labels,
+                )
+                for filename in files
+            ]
+            subs = [engine.instance for engine in engines]
+            merged = Instance()
+            for sub in subs:
+                for oid in sub.objects:
+                    merged.add_object(oid)
+                for source, label, destination in sub.edges():
+                    merged.add_edge(source, label, destination)
+            live = merged
+        else:
+            subs = partition_instance(instance, resolved_map)
+            engines = [
+                Engine.open(
+                    os.path.join(os.fspath(directory), filename),
+                    instance=sub,
+                    cache_capacity=cache_capacity,
+                    backend=backend,
+                    labels=labels,
+                )
+                for filename, sub in zip(files, subs)
+            ]
+            live = instance
+        return cls(
+            live,
+            shard_map=resolved_map,
+            constraints=constraints,
+            cost_model=cost_model,
+            cache_capacity=cache_capacity,
+            backend=backend,
+            _restored=(subs, engines, labels),
+        )

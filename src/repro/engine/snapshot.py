@@ -537,6 +537,7 @@ def load_engine(
     cost_model=None,
     cache_capacity: int = 128,
     backend: str = "auto",
+    labels=None,
 ) -> "Engine":
     """Warm-start an :class:`Engine` from a snapshot written by ``save``.
 
@@ -545,6 +546,9 @@ def load_engine(
     instance (still re-seeding any cached tables the rebuilt label order
     can serve).  Without ``instance``, one is reconstructed from the
     snapshot, so a snapshot alone is a complete, servable artifact.
+    ``labels`` is the label-order seed for any (re)build — the sharded
+    engine passes its shared global label list here so that even a
+    stale-shard fallback compiles against the full label universe.
     """
     from .session import Engine
 
@@ -561,6 +565,7 @@ def load_engine(
         cost_model=cost_model,
         cache_capacity=cache_capacity,
         backend=backend,
+        labels=labels,
         _graph=graph if matches else None,
     )
     fingerprint = engine.graph.labels_fingerprint()

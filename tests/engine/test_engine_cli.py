@@ -180,3 +180,68 @@ class TestEngineBackendFlag:
             main(["engine", graph_file, query_file, "-s", "o1", "--backend", "rust"])
         assert excinfo.value.code == 2
         assert "--backend" in capsys.readouterr().err
+
+
+class TestEngineShardedFlags:
+    def test_sharded_serving_matches_monolithic(self, graph_file, query_file, capsys):
+        assert main(["engine", graph_file, query_file, "--all-sources"]) == 0
+        expected = capsys.readouterr().out
+        code = main(["engine", graph_file, query_file, "--all-sources", "--shards", "2"])
+        assert code == 0
+        assert capsys.readouterr().out == expected
+
+    def test_snapshot_dir_cold_then_warm(self, graph_file, query_file, tmp_path, capsys):
+        directory = str(tmp_path / "shards")
+        code = main(
+            ["engine", graph_file, query_file, "--all-sources",
+             "--shards", "3", "--snapshot-dir", directory, "--stats"]
+        )
+        assert code == 0
+        first = capsys.readouterr()
+        assert "0 warm-started" in first.err
+        assert (tmp_path / "shards" / "manifest.json").is_file()
+        # Second invocation warm-starts every shard from the directory.
+        code = main(
+            ["engine", graph_file, query_file, "--all-sources",
+             "--snapshot-dir", directory, "--stats"]
+        )
+        assert code == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "3 warm-started, 0 rebuilt" in second.err
+
+    def test_snapshot_dir_without_shards_needs_manifest(
+        self, graph_file, query_file, tmp_path, capsys
+    ):
+        directory = str(tmp_path / "empty")
+        code = main(
+            ["engine", graph_file, query_file, "--all-sources", "--snapshot-dir", directory]
+        )
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_sharded_flags_reject_single_snapshot_flags(
+        self, graph_file, query_file, tmp_path, capsys
+    ):
+        code = main(
+            ["engine", graph_file, query_file, "--all-sources", "--shards", "2",
+             "--save-snapshot", str(tmp_path / "x.snap")]
+        )
+        assert code == 2
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_shards_mismatch_against_manifest_exits_two(
+        self, graph_file, query_file, tmp_path, capsys
+    ):
+        directory = str(tmp_path / "shards")
+        assert main(
+            ["engine", graph_file, query_file, "--all-sources",
+             "--shards", "2", "--snapshot-dir", directory]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["engine", graph_file, query_file, "--all-sources",
+             "--shards", "5", "--snapshot-dir", directory]
+        )
+        assert code == 2
+        assert "contradicts" in capsys.readouterr().err

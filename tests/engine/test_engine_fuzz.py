@@ -6,7 +6,10 @@ three paths — the pure-Python executor, the numpy-vectorized executor (when
 available), and ``evaluate_baseline`` — and the reached sets must agree
 exactly, in every mode (single-source, batched, all-pairs), including the
 ``visited_pairs``/``visited_objects`` statistics between the two compiled
-executors.  Together the tests run well over 200 examples.
+executors.  The sharded engine joins the same equivalence class: for shard
+counts {1, 2, 7} its scatter-gather answers are pinned to the monolithic
+engine (and through it the baseline), including after interleaved edits
+routed to the owning shard.  Together the tests run well over 200 examples.
 """
 
 import pytest
@@ -16,6 +19,7 @@ from _strategies import edit_scripts, regexes, small_instances
 from repro.engine import (
     CompiledGraph,
     Engine,
+    ShardedEngine,
     lower_query,
     numpy_available,
     run_all_pairs,
@@ -25,6 +29,7 @@ from repro.engine import (
 from repro.query import RegularPathQuery, evaluate_baseline
 
 EXECUTOR_BACKENDS = ("python", "numpy") if numpy_available() else ("python",)
+SHARD_COUNTS = (1, 2, 7)
 
 
 def _runs_by_backend(run_fn, *args, **kwargs):
@@ -145,6 +150,75 @@ def test_compiled_graph_tracks_instance_through_edits(graph_and_source, expressi
         for backend in EXECUTOR_BACKENDS:
             run = run_single(graph, compiled, node, backend=backend)
             assert run.answers == answers, (node, backend)
+
+
+@given(small_instances(max_nodes=6, max_edges=12), regexes(max_leaves=5))
+@settings(max_examples=60, deadline=None)
+def test_sharded_engine_matches_monolithic_and_baseline(graph_and_source, expression):
+    """``ShardedEngine`` ≡ monolithic ``Engine`` ≡ ``evaluate_baseline``.
+
+    Every example is partitioned 1 / 2 / 7 ways (hash shard map) and served
+    through both executors; the gathered all-pairs answers must agree with
+    the monolithic engine, and the monolithic engine with the baseline.
+    """
+    instance, _ = graph_and_source
+    rpq = RegularPathQuery.of(expression)
+    mono = Engine.open(instance)
+    expected = mono.query_all(rpq)
+    for oid in instance.objects:
+        assert expected[oid] == evaluate_baseline(rpq, oid, instance).answers, oid
+    for shards in SHARD_COUNTS:
+        for backend in EXECUTOR_BACKENDS:
+            sharded = ShardedEngine.open(instance, shards=shards, backend=backend)
+            assert sharded.query_all(rpq) == expected, (shards, backend)
+
+
+@given(
+    small_instances(max_nodes=5, max_edges=8),
+    regexes(max_leaves=4),
+    edit_scripts(max_nodes=5, max_ops=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_sharded_engine_tracks_interleaved_edits(graph_and_source, expression, script):
+    """Edits routed to the owning shard keep sharded ≡ monolithic ≡ baseline.
+
+    The same add/remove script is applied to a baseline mirror and to one
+    sharded engine per (shard count, backend); every engine must stay
+    incremental (no shard graph ever rebuilds) and agree on all-pairs
+    answers afterwards.
+    """
+    instance, _ = graph_and_source
+    rpq = RegularPathQuery.of(expression)
+    engines = {
+        (shards, backend): ShardedEngine.open(
+            instance.copy(), shards=shards, backend=backend
+        )
+        for shards in SHARD_COUNTS
+        for backend in EXECUTOR_BACKENDS
+    }
+    mirror = instance.copy()
+
+    for kind, source, label, destination in script:
+        if kind == "add":
+            if not mirror.has_edge(source, label, destination):
+                mirror.add_edge(source, label, destination)
+                for engine in engines.values():
+                    engine.add_edge(source, label, destination)
+        else:
+            if mirror.has_edge(source, label, destination):
+                mirror.remove_edge(source, label, destination)
+                for engine in engines.values():
+                    engine.remove_edge(source, label, destination)
+
+    expected = {
+        oid: evaluate_baseline(rpq, oid, mirror).answers for oid in mirror.objects
+    }
+    for key, engine in engines.items():
+        assert engine.query_all(rpq) == expected, key
+        # The whole point of the routed mutations: no shard ever rebuilt.
+        assert all(
+            shard.stats.graph_builds == 1 for shard in engine.shard_engines
+        ), key
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy backend unavailable")
