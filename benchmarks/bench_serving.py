@@ -1,0 +1,280 @@
+"""Concurrent shared-batch serving vs sequential per-query serving.
+
+The async serving layer (``repro.engine.serving``) must pay for itself on a
+many-client gateway workload: dozens of clients concurrently asking a small
+pool of distinct queries from scattered sources.  Two properties are gated:
+
+* **admission win** — serving every request through the
+  :class:`~repro.engine.serving.QueryServer` admission queue (same-DFA
+  requests coalesced into shared ``query_batch`` evaluations under the
+  max-batch/max-delay policy) must be at least **2x faster** than the
+  sequential baseline that gives every request its own engine round-trip;
+* **superstep overlap** — with ``concurrency=N`` the sharded engine's
+  per-shard local fixpoints run on the thread-pool scheduler, and its
+  ``concurrent_steps`` stat (peak steps simultaneously in flight) must
+  exceed 1 — the observable proof that per-shard supersteps overlap.
+
+Served answers are checked request-for-request against the sequential
+baseline (and the grouped direct ``query_batch``) before any timing is
+trusted.  The run always writes a machine-readable artifact
+(``BENCH_serving.json``; smoke runs default to ``BENCH_serving_smoke.json``
+so they never clobber the committed numbers).  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py           # full run
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI-sized
+    PYTHONPATH=src python benchmarks/bench_serving.py --check   # gate both
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+
+from bench_sharded import build_workload
+
+from repro.engine import ShardedEngine
+
+SPEEDUP_BOUND = 2.0
+
+
+def make_requests(query_count, sources, total, seed):
+    """``total`` gateway requests: (query index, source), uniformly random."""
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(query_count), rng.choice(sources)) for _ in range(total)
+    ]
+
+
+def serve_sequentially(engine, queries, requests):
+    """The baseline: one full engine round-trip per request, in order."""
+    answers = []
+    for query_index, source in requests:
+        answers.append(engine.query_batch(queries[query_index], [source])[source])
+    return answers
+
+
+def serve_concurrently(engine, queries, requests, *, max_batch, max_delay,
+                       concurrency):
+    """All requests admitted concurrently through the shared-batch queue."""
+
+    async def scenario():
+        async with engine.as_server(
+            max_batch=max_batch, max_delay=max_delay, concurrency=concurrency
+        ) as server:
+            futures = [
+                server.submit_nowait(queries[query_index], source)
+                for query_index, source in requests
+            ]
+            answers = await asyncio.gather(*futures)
+            return list(answers), server.stats
+
+    return asyncio.run(scenario())
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def best_of(repeat, fn, *args, **kwargs):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        result, elapsed = timed(fn, *args, **kwargs)
+        best = min(best, elapsed)
+    return result, best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cluster-nodes", type=int, default=800,
+                        help="nodes per cluster (= per shard)")
+    parser.add_argument("--clusters", type=int, default=4,
+                        help="cluster/shard count")
+    parser.add_argument("--queries", type=int, default=6,
+                        help="distinct queries in the gateway's pool")
+    parser.add_argument("--requests", type=int, default=192,
+                        help="total client requests")
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="superstep scheduler workers (and flush pool size)")
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="admission queue: flush at this many sources")
+    parser.add_argument("--max-delay", type=float, default=0.005,
+                        help="admission queue: flush after this many seconds")
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions (best-of)")
+    parser.add_argument(
+        "--json", default=None,
+        help="results artifact path (default: BENCH_serving.json, or "
+        "BENCH_serving_smoke.json under --smoke)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI: verifies the harness, not the numbers",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"exit 1 unless shared-batch serving is >= {SPEEDUP_BOUND}x the "
+        "sequential baseline and per-shard supersteps overlapped "
+        "(concurrent_steps > 1)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.cluster_nodes, args.clusters, args.queries = 60, 3, 3
+        args.requests, args.repeat = 36, 1
+    if args.json is None:
+        args.json = "BENCH_serving_smoke.json" if args.smoke else "BENCH_serving.json"
+
+    instance, shard_map, queries, sources = build_workload(
+        args.cluster_nodes, args.clusters, args.queries, args.seed
+    )
+    requests = make_requests(len(queries), sources, args.requests, args.seed)
+    print(
+        f"workload: {args.clusters} clusters x {args.cluster_nodes} nodes "
+        f"({instance.edge_count()} edges), {len(queries)} distinct queries, "
+        f"{len(requests)} client requests"
+    )
+
+    failures: list[str] = []
+    engine = ShardedEngine.open(
+        instance, shard_map=shard_map, concurrency=args.concurrency
+    )
+    try:
+        # Warm every cache, and pin served answers to the sequential baseline
+        # (request for request) and the grouped direct batches.
+        sequential_answers = serve_sequentially(engine, queries, requests)
+        served_answers, serving_stats = serve_concurrently(
+            engine, queries, requests,
+            max_batch=args.max_batch, max_delay=args.max_delay,
+            concurrency=args.concurrency,
+        )
+        if served_answers != sequential_answers:
+            failures.append("served answers diverge from sequential serving")
+        for query_index, query in enumerate(queries):
+            wanted = sorted(
+                {src for qi, src in requests if qi == query_index}, key=repr
+            )
+            if not wanted:
+                continue
+            direct = engine.query_batch(query, wanted)
+            for position, (qi, src) in enumerate(requests):
+                if qi == query_index and served_answers[position] != direct[src]:
+                    failures.append(
+                        f"served answer for request {position} diverges from "
+                        f"the direct batched call"
+                    )
+                    break
+        if serving_stats.coalesced == 0 and len(requests) > len(queries):
+            failures.append("admission queue coalesced nothing on a gateway load")
+
+        _, sequential_s = best_of(
+            args.repeat, serve_sequentially, engine, queries, requests
+        )
+        (_, last_stats), served_s = best_of(
+            args.repeat, serve_concurrently, engine, queries, requests,
+            max_batch=args.max_batch, max_delay=args.max_delay,
+            concurrency=args.concurrency,
+        )
+        speedup = sequential_s / served_s if served_s else float("inf")
+        scheduler = engine.scheduler
+        if scheduler is None:
+            # --concurrency 1: no scheduler installed, supersteps sequential.
+            scheduler = type(
+                "NoScheduler", (), {"steps": 0, "barriers": 0, "concurrent_steps": 0}
+            )()
+    finally:
+        engine.close()
+
+    print(f"{'mode':<34}{'time (s)':>10}{'speedup':>9}")
+    print(f"{'sequential per-query serving':<34}{sequential_s:>10.4f}{1.0:>8.2f}x")
+    print(f"{'concurrent shared-batch serving':<34}{served_s:>10.4f}{speedup:>8.2f}x")
+    print(
+        f"admission: {last_stats.batches} batches for {len(requests)} requests "
+        f"({last_stats.coalesced} coalesced, widest {last_stats.max_batch_size}; "
+        f"{last_stats.size_flushes} size / {last_stats.delay_flushes} delay flushes)"
+    )
+    print(
+        f"supersteps: {scheduler.steps} scheduled steps over "
+        f"{scheduler.barriers} barriers, peak {scheduler.concurrent_steps} "
+        f"concurrently in flight"
+    )
+
+    artifact = {
+        "benchmark": "async_serving",
+        "workload": {
+            "clusters": args.clusters,
+            "cluster_nodes": args.cluster_nodes,
+            "edges": instance.edge_count(),
+            "queries": len(queries),
+            "requests": len(requests),
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "backend": engine.shard_engines[0].resolved_backend,
+        "policy": {
+            "max_batch": args.max_batch,
+            "max_delay": args.max_delay,
+            "concurrency": args.concurrency,
+        },
+        "sequential_s": sequential_s,
+        "served_s": served_s,
+        "speedup": speedup,
+        "speedup_bound": SPEEDUP_BOUND,
+        "admission": {
+            "batches": last_stats.batches,
+            "coalesced": last_stats.coalesced,
+            "max_batch_size": last_stats.max_batch_size,
+            "size_flushes": last_stats.size_flushes,
+            "delay_flushes": last_stats.delay_flushes,
+            "immediate_flushes": last_stats.immediate_flushes,
+        },
+        "scheduler": {
+            "steps": scheduler.steps,
+            "barriers": scheduler.barriers,
+            "concurrent_steps": scheduler.concurrent_steps,
+        },
+        "failures": failures,
+    }
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print(f"# wrote {args.json}")
+
+    for failure in failures:
+        print(f"FATAL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    if args.check:
+        ok = True
+        if speedup < SPEEDUP_BOUND:
+            print(
+                f"CHECK FAILED: shared-batch serving only {speedup:.2f}x < "
+                f"{SPEEDUP_BOUND}x the sequential baseline",
+                file=sys.stderr,
+            )
+            ok = False
+        if args.clusters >= 2 and args.concurrency > 1 and scheduler.concurrent_steps <= 1:
+            print(
+                "CHECK FAILED: per-shard supersteps never overlapped "
+                f"(concurrent_steps={scheduler.concurrent_steps})",
+                file=sys.stderr,
+            )
+            ok = False
+        if not ok:
+            return 1
+        print(
+            f"CHECK OK: shared-batch serving {speedup:.2f}x >= "
+            f"{SPEEDUP_BOUND}x sequential; superstep overlap peak "
+            f"{scheduler.concurrent_steps}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,11 +2,14 @@
 # Repo health check: the tier-1 test suite (twice: numpy executor active,
 # then stubbed out) plus fast engine-benchmark smokes.
 #
-# Usage:  ./scripts/check.sh [tests|smoke|all]
+# Usage:  ./scripts/check.sh [tests|serve|smoke|all]
 #
 #   tests   the tier-1 pytest suite, once per numpy arm
+#   serve   the async serving suite under PYTHONASYNCIODEBUG=1 (both numpy
+#           arms; includes the N-threads-x-M-queries stress test on one
+#           shared engine)
 #   smoke   the benchmark harness smokes (tiny sizes)
-#   all     both, in order (the default — bare ./scripts/check.sh)
+#   all     everything, in order (the default — bare ./scripts/check.sh)
 #
 # Exits non-zero if any step fails.  The REPRO_DISABLE_NUMPY passes make
 # the backend dispatcher (repro.engine.executor) — and the snapshot codec
@@ -25,6 +28,8 @@
 #     start over cold recompile)
 #   python benchmarks/bench_sharded.py --check             (sharded warm
 #     serving within 1.5x of monolithic; per-shard warm start)
+#   python benchmarks/bench_serving.py --check             (shared-batch
+#     serving >= 2x sequential per-query; superstep overlap > 1)
 # All bench scripts write BENCH_*.json artifacts recording the numbers.
 
 set -euo pipefail
@@ -39,6 +44,20 @@ run_tests() {
     echo
     echo "== tier-1: full test suite (numpy stubbed out, pure-Python fallback) =="
     REPRO_DISABLE_NUMPY=1 python -m pytest -x -q
+}
+
+run_serve() {
+    # PYTHONASYNCIODEBUG=1 makes asyncio surface un-awaited coroutines,
+    # slow callbacks and cross-loop misuse that a quiet run would hide; the
+    # serving suite also carries the thread-sanity stress test (N threads x
+    # M queries hammering one shared engine), so both executor arms run it.
+    echo "== serving: asyncio suite + thread stress (numpy arm, asyncio debug) =="
+    PYTHONASYNCIODEBUG=1 python -m pytest tests/engine/test_serving.py -q
+
+    echo
+    echo "== serving: asyncio suite + thread stress (pure-Python arm, asyncio debug) =="
+    PYTHONASYNCIODEBUG=1 REPRO_DISABLE_NUMPY=1 \
+        python -m pytest tests/engine/test_serving.py -q
 }
 
 run_smoke() {
@@ -62,6 +81,15 @@ run_smoke() {
     echo "== bench smoke: sharded scatter-gather harness (pure-Python executor) =="
     REPRO_DISABLE_NUMPY=1 python benchmarks/bench_sharded.py --smoke \
         --json BENCH_sharded_nonumpy_smoke.json
+
+    echo
+    echo "== bench smoke: async serving harness =="
+    python benchmarks/bench_serving.py --smoke --json BENCH_serving_smoke.json
+
+    echo
+    echo "== bench smoke: async serving harness (pure-Python executor) =="
+    REPRO_DISABLE_NUMPY=1 python benchmarks/bench_serving.py --smoke \
+        --json BENCH_serving_nonumpy_smoke.json
 }
 
 step="${1:-all}"
@@ -69,16 +97,21 @@ case "$step" in
     tests)
         run_tests
         ;;
+    serve)
+        run_serve
+        ;;
     smoke)
         run_smoke
         ;;
     all)
         run_tests
         echo
+        run_serve
+        echo
         run_smoke
         ;;
     *)
-        echo "usage: $0 [tests|smoke|all]" >&2
+        echo "usage: $0 [tests|serve|smoke|all]" >&2
         exit 2
         ;;
 esac

@@ -20,7 +20,15 @@ small graph-database tool:
   ``--shards N`` serves through the sharded scatter-gather engine instead
   (one compiled graph per shard), with ``--snapshot-dir DIR`` persisting one
   snapshot file per shard plus a manifest — the directory is warm-started
-  when its manifest exists and (re)written after serving.
+  when its manifest exists and (re)written after serving — and
+  ``--concurrency N`` running each superstep's per-shard fixpoints on a
+  thread pool;
+* ``python -m repro serve GRAPH`` — the async serving loop
+  (``repro.engine.serving``): requests arrive as ``id<TAB>source<TAB>query``
+  lines (stdin by default, or a TCP listener with ``--tcp HOST:PORT``) and
+  are answered as ``id<TAB>answer answer ...``; in-flight requests that
+  compile to the same DFA are coalesced into shared batched evaluations
+  under the ``--max-batch`` / ``--max-delay`` admission policy.
 
 All commands exit with status 0 on success, 1 on a "negative" outcome (e.g. a
 constraint that does not hold, an implication that is refuted), and 2 on bad
@@ -141,6 +149,13 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         return 2
     constraints = _constraint_set(args.constraint) if args.constraint else None
     sharded = args.shards is not None or args.snapshot_dir
+    if args.concurrency is not None and not sharded:
+        print(
+            "error: --concurrency schedules per-shard supersteps; it needs "
+            "--shards N (or a sharded --snapshot-dir)",
+            file=sys.stderr,
+        )
+        return 2
     if sharded:
         from .engine.sharding import MANIFEST_NAME, ShardedEngine
 
@@ -163,6 +178,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
                 shards=args.shards,
                 constraints=constraints,
                 backend=args.backend,
+                concurrency=args.concurrency,
             )
         elif args.shards is None:
             print(
@@ -177,6 +193,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
                 shards=args.shards,
                 constraints=constraints,
                 backend=args.backend,
+                concurrency=args.concurrency,
             )
     elif args.load_snapshot:
         # Warm-start from a persisted compiled graph + query cache; a stamp
@@ -190,19 +207,113 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         )
     else:
         engine = Engine.open(instance, constraints=constraints, backend=args.backend)
-    for query in queries:
-        answers_by_source = engine.query_batch(query, sources)
-        for source in sources:
-            answers = sorted(answers_by_source[source], key=str)
-            print(f"{query}\t{source}\t{' '.join(map(str, answers))}")
-    if sharded and args.snapshot_dir:
-        # Saved after serving, so every shard ships a warm query cache.
-        engine.save(args.snapshot_dir, codec=args.snapshot_codec)
-    elif args.save_snapshot:
-        # Saved after serving, so the snapshot ships a warm query cache.
-        engine.save(args.save_snapshot, codec=args.snapshot_codec)
-    if args.stats:
-        print(f"# {engine.describe()}", file=sys.stderr)
+    try:
+        for query in queries:
+            answers_by_source = engine.query_batch(query, sources)
+            for source in sources:
+                answers = sorted(answers_by_source[source], key=str)
+                print(f"{query}\t{source}\t{' '.join(map(str, answers))}")
+        if sharded and args.snapshot_dir:
+            # Saved after serving, so every shard ships a warm query cache.
+            engine.save(args.snapshot_dir, codec=args.snapshot_codec)
+        elif args.save_snapshot:
+            # Saved after serving, so the snapshot ships a warm query cache.
+            engine.save(args.save_snapshot, codec=args.snapshot_codec)
+        if args.stats:
+            print(f"# {engine.describe()}", file=sys.stderr)
+    finally:
+        if sharded:
+            engine.close()  # release the superstep scheduler's threads
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .engine.serving import serve_stream, serve_tcp
+
+    instance = _load_instance(args.graph)
+    constraints = _constraint_set(args.constraint) if args.constraint else None
+    if args.shards is not None:
+        from .engine.sharding import ShardedEngine
+
+        engine = ShardedEngine.open(
+            instance,
+            shards=args.shards,
+            constraints=constraints,
+            backend=args.backend,
+            concurrency=args.concurrency,
+        )
+    else:
+        from .engine import Engine
+
+        engine = Engine.open(
+            instance, constraints=constraints, backend=args.backend
+        )
+
+    def print_stats(server) -> None:
+        if args.stats:
+            print(f"# {server.describe()}", file=sys.stderr)
+            print(f"# {engine.describe()}", file=sys.stderr)
+
+    async def run_stdin() -> None:
+        # Interactive stdin serving, same semantics as TCP: each request is
+        # answered as it completes (correlation by id), concurrent requests
+        # coalesce through the admission queue, and a request/response
+        # client waiting for its answer never deadlocks.  The blocking
+        # stdin read happens off the loop.
+        loop = asyncio.get_running_loop()
+
+        async def readline() -> str:
+            return await loop.run_in_executor(None, sys.stdin.readline)
+
+        async with engine.as_server(
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            concurrency=args.concurrency,
+        ) as server:
+            await serve_stream(
+                server, readline, lambda response: print(response, flush=True)
+            )
+            print_stats(server)
+
+    async def run_tcp(host: str, port: int) -> None:
+        async with engine.as_server(
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            concurrency=args.concurrency,
+        ) as server:
+            listener = await serve_tcp(server, host, port)
+            bound = listener.sockets[0].getsockname()
+            print(f"serving on {bound[0]}:{bound[1]}", file=sys.stderr, flush=True)
+            try:
+                async with listener:
+                    await listener.serve_forever()
+            finally:
+                print_stats(server)
+
+    try:
+        if args.tcp:
+            host, _, port_text = args.tcp.rpartition(":")
+            if not host or not port_text.isdigit():
+                print("error: --tcp wants HOST:PORT", file=sys.stderr)
+                return 2
+            host = host.strip("[]")  # bracketed IPv6 literals
+            try:
+                asyncio.run(run_tcp(host, int(port_text)))
+            except KeyboardInterrupt:
+                pass
+            except OSError as error:
+                print(
+                    f"error: cannot listen on {args.tcp}: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            asyncio.run(run_stdin())
+    finally:
+        if args.shards is not None:
+            engine.close()  # release the superstep scheduler's threads
     return 0
 
 
@@ -306,8 +417,58 @@ def build_parser() -> argparse.ArgumentParser:
         "exists (stale shards recompile alone), and write one snapshot per "
         "shard back to DIR after serving",
     )
+    engine_parser.add_argument(
+        "--concurrency", type=int, metavar="N",
+        help="run each superstep's per-shard local fixpoints on N worker "
+        "threads (requires --shards / a sharded --snapshot-dir)",
+    )
     engine_parser.add_argument("--stats", action="store_true", help="print engine statistics")
     engine_parser.set_defaults(handler=_cmd_engine)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve line-protocol queries through the async admission queue",
+    )
+    serve_parser.add_argument(
+        "graph", help="edge-list file: 'source label destination' per line"
+    )
+    serve_parser.add_argument(
+        "--tcp", metavar="HOST:PORT",
+        help="listen on TCP instead of answering stdin requests (PORT 0 "
+        "binds an ephemeral port; the bound address is printed to stderr)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, metavar="N",
+        help="serve through the sharded scatter-gather engine with N hash shards",
+    )
+    serve_parser.add_argument(
+        "--concurrency", type=int, metavar="N",
+        help="worker threads for batch flushes (and, with --shards, for "
+        "per-shard supersteps)",
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="flush an admission bucket once it holds N distinct sources "
+        "(default: 64)",
+    )
+    serve_parser.add_argument(
+        "--max-delay", type=float, default=0.002, metavar="SECONDS",
+        help="flush an admission bucket at most this long after its first "
+        "request (default: 0.002; 0 disables coalescing)",
+    )
+    serve_parser.add_argument(
+        "--constraint", "-c", action="append",
+        help="a path constraint enabling pre-rewrite optimization (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--backend", choices=("auto", "python", "numpy"), default="auto",
+        help="executor backend: auto picks numpy when available (default: auto)",
+    )
+    serve_parser.add_argument(
+        "--stats", action="store_true",
+        help="print serving and engine statistics to stderr",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     distributed_parser = subparsers.add_parser(
         "distributed", help="run the distributed evaluation protocol"

@@ -15,7 +15,11 @@ callers — the CLI's ``engine`` subcommand, the planner's engine backend, and
 the transparent delegation inside ``query.evaluation.evaluate`` — build on.
 Above the single-session façade, :mod:`~repro.engine.sharding` partitions an
 instance into one compiled graph per site group and serves queries by
-superstep frontier exchange (``ShardedEngine``), with one snapshot per shard.
+superstep frontier exchange (``ShardedEngine``), with one snapshot per shard,
+and :mod:`~repro.engine.serving` puts an asyncio admission queue in front of
+either session kind (``engine.as_server()`` — same-DFA requests coalesced
+into shared batches) while scheduling the sharded engine's per-shard
+superstep fixpoints concurrently (``ShardedEngine.open(..., concurrency=N)``).
 """
 
 from .compiled_query import CompiledQuery, QueryCompiler, lower_query, query_key
@@ -33,12 +37,21 @@ from .executor import (
 )
 from .interning import Interner
 from .session import Engine, EngineStats, shared_engine
+from .serving import (
+    QueryServer,
+    ServingStats,
+    SuperstepScheduler,
+    serve_request_lines,
+    serve_stream,
+    serve_tcp,
+)
 from .sharding import (
     ExplicitShardMap,
     HashShardMap,
     ShardedEngine,
     ShardedStats,
     ShardMap,
+    SuperstepCounters,
     partition_instance,
     shard_graph,
 )
@@ -65,14 +78,18 @@ __all__ = [
     "Interner",
     "LabelEdges",
     "QueryCompiler",
+    "QueryServer",
     "SNAPSHOT_CODECS",
     "SNAPSHOT_FORMAT_VERSION",
+    "ServingStats",
     "ShardMap",
     "ShardedEngine",
     "ShardedStats",
     "SingleRun",
     "SnapshotPayload",
     "SnapshotStamp",
+    "SuperstepCounters",
+    "SuperstepScheduler",
     "available_backends",
     "load_engine",
     "load_payload",
@@ -86,6 +103,9 @@ __all__ = [
     "run_batch",
     "run_single",
     "save_engine",
+    "serve_request_lines",
+    "serve_stream",
+    "serve_tcp",
     "shard_graph",
     "shared_engine",
 ]

@@ -30,6 +30,7 @@ depends on anyone remembering to clear the cache around a rebuild.
 
 from __future__ import annotations
 
+import threading
 from array import array
 from collections import OrderedDict, deque
 from dataclasses import dataclass
@@ -176,6 +177,14 @@ class QueryCompiler:
     hits structurally impossible — a full rebuild that happens to preserve
     the interning order keeps the cache warm, and one that permutes it
     simply misses.
+
+    The cache is thread-safe: the serving layer
+    (:mod:`repro.engine.serving`) compiles from admission-queue flushes that
+    run on a thread pool, so the LRU bookkeeping (lookup + move-to-end +
+    eviction) is guarded by a lock.  The actual subset construction of a
+    miss runs *outside* the lock — two threads racing on the same fresh
+    query may both lower it, but both results are identical and the second
+    insert simply wins.
     """
 
     def __init__(self, capacity: int = 128) -> None:
@@ -185,6 +194,7 @@ class QueryCompiler:
         self._cache: "OrderedDict[tuple[str, tuple[str, ...]], CompiledQuery]" = (
             OrderedDict()
         )
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -192,16 +202,18 @@ class QueryCompiler:
         self, query: "RegularPathQuery | Regex | str", graph: CompiledGraph
     ) -> CompiledQuery:
         key = (query_key(query), graph.labels_fingerprint())
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self.hits += 1
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
         compiled = lower_query(query, graph)
-        self._cache[key] = compiled
-        if len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[key] = compiled
+            if len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
         return compiled
 
     # -- persistence ----------------------------------------------------------
@@ -213,11 +225,12 @@ class QueryCompiler:
         saved graph can actually serve.
         """
         fingerprint = graph.labels_fingerprint()
-        return [
-            (text, compiled)
-            for (text, key_fingerprint), compiled in self._cache.items()
-            if key_fingerprint == fingerprint
-        ]
+        with self._lock:
+            return [
+                (text, compiled)
+                for (text, key_fingerprint), compiled in self._cache.items()
+                if key_fingerprint == fingerprint
+            ]
 
     def seed(
         self, query_text: str, compiled: CompiledQuery, fingerprint: tuple[str, ...]
@@ -229,13 +242,15 @@ class QueryCompiler:
         — they can never be returned by :meth:`compile` — but seeding still
         respects the LRU capacity.
         """
-        self._cache[(query_text, fingerprint)] = compiled
-        self._cache.move_to_end((query_text, fingerprint))
-        while len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[(query_text, fingerprint)] = compiled
+            self._cache.move_to_end((query_text, fingerprint))
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._cache)
 
     def clear(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()

@@ -35,6 +35,7 @@ The whole compiled state round-trips through :meth:`CompiledGraph.to_parts`
 
 from __future__ import annotations
 
+import threading
 from array import array
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -87,6 +88,7 @@ class CompiledGraph:
         "_dead_edges",
         "_np_version",
         "_np_edges",
+        "_np_lock",
         "version",
         "__weakref__",
     )
@@ -111,9 +113,13 @@ class CompiledGraph:
         # Per label id: CSR positions of incrementally removed edges.
         self._dead: list[set[int]] = []
         self._dead_edges = 0
-        # Lazily built numpy edge arrays, valid only for _np_version.
+        # Lazily built numpy edge arrays, valid only for _np_version.  The
+        # lock keeps the build-and-cache step safe under concurrent *reads*
+        # (the serving layer runs per-shard supersteps and admission-queue
+        # flushes on threads); mutation is still the caller's to serialize.
         self._np_version = -1
         self._np_edges: list["LabelEdges | None"] = []
+        self._np_lock = threading.Lock()
         self.version = 0
 
     # -- construction ---------------------------------------------------------
@@ -447,12 +453,16 @@ class CompiledGraph:
         """
         import numpy as np
 
-        if self._np_version != self.version:
-            self._np_edges = [None] * len(self._overflow)
-            self._np_version = self.version
-        elif len(self._np_edges) < len(self._overflow):
-            self._np_edges.extend([None] * (len(self._overflow) - len(self._np_edges)))
-        cached = self._np_edges[label_id]
+        with self._np_lock:
+            if self._np_version != self.version:
+                self._np_edges = [None] * len(self._overflow)
+                self._np_version = self.version
+            elif len(self._np_edges) < len(self._overflow):
+                self._np_edges.extend(
+                    [None] * (len(self._overflow) - len(self._np_edges))
+                )
+            cached = self._np_edges[label_id]
+            built_for = self.version
         if cached is not None:
             return cached
         indptr = np.frombuffer(self._indptr[label_id], dtype=np.int64)
@@ -477,7 +487,18 @@ class CompiledGraph:
             src = np.concatenate([src, np.asarray(extra_src, dtype=np.int64)])
             dst = np.concatenate([dst, np.asarray(extra_dst, dtype=np.int64)])
         edges = LabelEdges(src, dst)
-        self._np_edges[label_id] = edges
+        with self._np_lock:
+            # Two readers may race on the same label's first use; both lower
+            # the identical edge set, so the second write is a harmless no-op
+            # — unless a mutation slipped in since ``built_for`` was read, in
+            # which case the arrays are (or may be) stale and must not be
+            # cached.  Both sides of the check compare against the version
+            # the *builder* saw: comparing ``_np_version`` to the live
+            # ``self.version`` alone would readmit stale arrays whenever a
+            # concurrent reader already reset the cache for the new version
+            # (ABA).
+            if self._np_version == built_for and self.version == built_for:
+                self._np_edges[label_id] = edges
         return edges
 
     def out_edges(self, node: int) -> Iterator[tuple[int, int]]:

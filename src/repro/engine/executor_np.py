@@ -148,14 +148,23 @@ class NpFrontier:
     ``touched`` a boolean ``(num_states, num_nodes)`` matrix of pairs that
     grew during the last run.  The exchange interface speaks
     arbitrary-precision int masks so the sharded engine never sees words.
+    ``version`` stamps the graph version the masks were derived against;
+    :func:`run_batch` refuses to continue a stale handle (see
+    :class:`repro.engine.executor_py.PyFrontier`).
     """
 
-    __slots__ = ("masks", "touched", "words")
+    __slots__ = ("masks", "touched", "words", "version")
 
-    def __init__(self, masks: "np.ndarray", touched: "np.ndarray") -> None:
+    def __init__(
+        self,
+        masks: "np.ndarray",
+        touched: "np.ndarray",
+        version: "int | None" = None,
+    ) -> None:
         self.masks = masks
         self.touched = touched
         self.words = masks.shape[2]
+        self.version = version
 
     def _int_at(self, state: int, node: int) -> int:
         row = self.masks[state, node]
@@ -264,7 +273,9 @@ def run_batch(
     n = graph.num_nodes
     run = BatchRun(sources=tuple(sources), backend="numpy")
     run.answers = [set() for _ in sources]
-    if n == 0 or (not sources and not seeds):
+    # A run given only ``known`` still validates and re-exports the handle
+    # (the fixpoint just has nothing new to expand).
+    if n == 0 or (not sources and not seeds and known is None):
         return run
     if witnesses and (seeds or known):
         raise ValueError("witnesses=True is not supported with seeds/known frontiers")
@@ -285,6 +296,11 @@ def run_batch(
     if isinstance(known, NpFrontier):
         if known.masks.shape[:2] != (num_states, n):
             raise ValueError("known frontier does not match this graph/query")
+        if known.version is not None and known.version != graph.version:
+            raise ValueError(
+                "known frontier is stale: the graph mutated since it was "
+                "derived (re-run the batch instead of continuing the handle)"
+            )
         masks = known.masks  # ownership transfer: continued in place
         words = known.words
     else:
@@ -338,12 +354,15 @@ def run_batch(
         if query.accepting[state]:
             accept_mask |= masks[state]
     per_bit = _scatter_bits(accept_mask, len(bit_of))
-    run.visited_pairs = int(masks.any(axis=2).sum())
+    # Pairs expanded by *this* run (the scalar executor's semantics): on a
+    # plain run every nonzero pair grew here, so the counts coincide; on a
+    # known-continuation only the newly grown pairs count.
+    run.visited_pairs = int(touched.sum())
     run.visited_objects = int(masks.any(axis=(0, 2)).sum())
     for position, source in enumerate(run.sources):
         run.answers[position] = per_bit[bit_of[source]]
 
-    run.frontier = NpFrontier(masks, touched)
+    run.frontier = NpFrontier(masks, touched, graph.version)
     if witnesses:
         bits = dict(bit_of)
         snapshot_version = graph.version

@@ -102,14 +102,27 @@ class PyFrontier:
     conversion at all.  The numpy twin is
     :class:`repro.engine.executor_np.NpFrontier`; both expose the same four
     methods, always speaking arbitrary-precision int masks.
+
+    ``version`` stamps the graph version the masks were derived against.
+    :func:`run_batch` refuses to continue a frontier whose stamp no longer
+    matches the live graph — facts derived before an ``add_edge`` /
+    ``remove_edge`` may be wrong afterwards, so reuse across a version bump
+    raises instead of silently serving a mix of old and new reachability.
     """
 
-    __slots__ = ("masks", "n", "changed")
+    __slots__ = ("masks", "n", "changed", "version")
 
-    def __init__(self, masks: "list[int]", n: int, changed: "set[int]") -> None:
+    def __init__(
+        self,
+        masks: "list[int]",
+        n: int,
+        changed: "set[int]",
+        version: "int | None" = None,
+    ) -> None:
         self.masks = masks
         self.n = n
         self.changed = changed
+        self.version = version
 
     def mask_at(self, state: int, node: int) -> int:
         """The current source bitmask of one product pair."""
@@ -334,7 +347,9 @@ def run_batch(
     n = graph.num_nodes
     run = BatchRun(sources=tuple(sources))
     run.answers = [set() for _ in sources]
-    if n == 0 or (not sources and not seeds):
+    # A run given only ``known`` still validates and re-exports the handle
+    # (the fixpoint just has nothing new to expand).
+    if n == 0 or (not sources and not seeds and known is None):
         return run
     if witnesses and (seeds or known):
         raise ValueError("witnesses=True is not supported with seeds/known frontiers")
@@ -352,6 +367,11 @@ def run_batch(
     if isinstance(known, PyFrontier):
         if known.n != n or len(known.masks) != num_states * n:
             raise ValueError("known frontier does not match this graph/query")
+        if known.version is not None and known.version != graph.version:
+            raise ValueError(
+                "known frontier is stale: the graph mutated since it was "
+                "derived (re-run the batch instead of continuing the handle)"
+            )
         masks = known.masks  # ownership transfer: continued in place
     else:
         masks = [0] * (num_states * n)
@@ -439,7 +459,7 @@ def run_batch(
     for position, source in enumerate(sources):
         run.answers[position] = per_source[bit_of[source]]
 
-    run.frontier = PyFrontier(masks, n, changed)
+    run.frontier = PyFrontier(masks, n, changed, graph.version)
     if witnesses:
         bits = dict(bit_of)
         snapshot_version = graph.version

@@ -1,0 +1,627 @@
+"""Async serving layer: shared-batch query admission + concurrent supersteps.
+
+Production RPQ evaluators decouple the evaluation loop from request arrival:
+"Answering Constraint Path Queries over Graphs" serves constraint path
+queries through an evaluation loop that batches work against the graph, and
+the enumeration literature (Martens & Trautner) motivates streaming answers
+with bounded delay rather than blocking every caller on a private full
+evaluation.  This module is that layer for the compiled engine, in two
+independent halves:
+
+* :class:`QueryServer` — an **admission queue** in front of an
+  :class:`~repro.engine.session.Engine` or
+  :class:`~repro.engine.sharding.ShardedEngine`.  Requests arrive as
+  ``await server.submit(query, source)``; in-flight requests whose queries
+  compile to the *same DFA* (same
+  :meth:`~repro.engine.session.Engine.admission_key` — the canonical
+  constraint-rewritten expression) are coalesced into one shared
+  ``query_batch`` evaluation under a **max-batch-size / max-delay** policy:
+  a bucket flushes as soon as it holds ``max_batch`` distinct sources, or
+  ``max_delay`` seconds after its first request, whichever comes first.
+  Flushes execute on a small thread pool so the event loop never blocks on
+  an engine round-trip, and the per-source answer sets are fanned back out
+  to the waiting futures.  The batched bitmask executor makes the shared
+  run cost barely more than a single-source one, so a gateway serving many
+  concurrent clients pays one traversal where naive serving pays dozens;
+
+* :class:`SuperstepScheduler` — a thread-pool **superstep scheduler** for
+  the sharded engine's scatter-gather fixpoint.  The per-shard local
+  fixpoints of one superstep are independent by construction (each touches
+  only its own shard's compiled graph and frontier; cross-shard facts
+  exchange at the barrier), so the scheduler runs them concurrently and
+  joins at the barrier.  The numpy executor releases the GIL inside its
+  ``bitwise_or.reduceat`` hot loops, so shard steps genuinely overlap on
+  cores; the pure-Python backend still wins when steps interleave with I/O.
+  Installed via ``ShardedEngine.open(..., concurrency=N)``; the observed
+  peak of simultaneously in-flight shard steps is exported as
+  :attr:`SuperstepScheduler.concurrent_steps`.
+
+A thin line protocol (:func:`serve_connection` / :func:`serve_tcp` /
+:func:`serve_stream` / :func:`serve_request_lines`) adapts the server to
+stdin and TCP front-ends
+for the CLI's ``serve`` subcommand: one request per line,
+``id<TAB>source<TAB>query``, answered as ``id<TAB>answer answer ...``
+(answers sorted, space-separated; errors as ``id<TAB>error: ...``).
+Responses are written as they complete, so slow queries never head-of-line
+block fast ones — the ``id`` is what correlates them.
+
+Thread-safety contracts this module relies on (and PR 5 audited): the
+engines' compile caches and rewrite memos are lock-guarded, statistics
+counters mutate under the session lock, and the lazy numpy edge-array
+lowering is race-free — see the ``Engine`` / ``ShardedEngine`` docstrings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
+
+from ..exceptions import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.instance import Oid
+    from .session import Engine
+    from .sharding import ShardedEngine
+
+T = TypeVar("T")
+
+
+class SuperstepScheduler:
+    """Runs the independent per-shard steps of one superstep on threads.
+
+    :meth:`run` is a fork-join barrier: every step of the superstep is
+    submitted to the pool, and the call returns only when all of them have
+    finished — which is exactly the bulk-synchronous contract the sharded
+    engine's frontier exchange needs.  The scheduler never reorders results
+    (``results[i]`` belongs to ``steps[i]``) and re-raises the first step
+    exception after the barrier, so a failing shard cannot leave a
+    half-joined superstep behind.
+
+    Statistics: ``steps`` counts every step ever run, ``barriers`` every
+    :meth:`run` call, and ``concurrent_steps`` is the *peak* number of steps
+    observed simultaneously in flight — the observable proof that per-shard
+    supersteps really overlap (> 1 whenever two shards' fixpoints ran at the
+    same time).
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ReproError("a superstep scheduler needs at least one worker")
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-superstep"
+        )
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._closed = False
+        self.steps = 0
+        self.barriers = 0
+        self.concurrent_steps = 0
+
+    def run(self, steps: "Sequence[Callable[[], T]]") -> "list[T]":
+        """Execute every thunk, in parallel, and join: the superstep barrier."""
+        if self._closed:
+            raise ReproError("the superstep scheduler has been closed")
+        self.barriers += 1
+        if len(steps) <= 1:
+            # One active shard: no parallelism to be had, skip the pool hop.
+            return [self._tracked(step) for step in steps]
+        futures = [self._pool.submit(self._tracked, step) for step in steps]
+        results: "list[T]" = []
+        error: "BaseException | None" = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # join every step before raising
+                if error is None:
+                    error = exc
+                results.append(None)  # type: ignore[arg-type]
+        if error is not None:
+            raise error
+        return results
+
+    def _tracked(self, step: "Callable[[], T]") -> T:
+        with self._lock:
+            self._in_flight += 1
+            self.steps += 1
+            if self._in_flight > self.concurrent_steps:
+                self.concurrent_steps = self._in_flight
+        try:
+            return step()
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+
+    def close(self) -> None:
+        """Release the worker threads (idempotent)."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SuperstepScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SuperstepScheduler(max_workers={self.max_workers}, "
+            f"steps={self.steps}, barriers={self.barriers}, "
+            f"concurrent_steps={self.concurrent_steps})"
+        )
+
+
+@dataclass
+class ServingStats:
+    """Counters of one :class:`QueryServer`'s lifetime."""
+
+    submitted: int = 0
+    served: int = 0
+    failed: int = 0
+    batches: int = 0
+    # Requests that shared their batch with at least one other request.
+    coalesced: int = 0
+    # Widest admitted batch (distinct sources of one flush).
+    max_batch_size: int = 0
+    size_flushes: int = 0
+    delay_flushes: int = 0
+    # Flushes forced by max_delay == 0 (coalescing disabled).
+    immediate_flushes: int = 0
+    close_flushes: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"requests: {self.submitted} submitted, {self.served} served, "
+            f"{self.failed} failed; batches: {self.batches} "
+            f"({self.coalesced} requests coalesced, widest {self.max_batch_size}); "
+            f"flushes: {self.size_flushes} size, {self.delay_flushes} delay, "
+            f"{self.immediate_flushes} immediate, {self.close_flushes} close"
+        )
+
+
+class _Bucket:
+    """One admission bucket: every in-flight request sharing a DFA key."""
+
+    __slots__ = ("query", "waiters", "timer")
+
+    def __init__(self, query) -> None:
+        self.query = query  # the prepared (rewritten) query, compiled once
+        self.waiters: "dict[Oid, list[asyncio.Future]]" = {}
+        self.timer: "asyncio.TimerHandle | None" = None
+
+
+class QueryServer:
+    """Admission queue that coalesces compatible requests into shared batches.
+
+    Construct via ``engine.as_server(...)`` (both session kinds) or directly;
+    the engine's ``query_batch`` must be thread-safe (both are — see their
+    docstrings).  Usage::
+
+        async with engine.as_server(max_batch=64, max_delay=0.002) as server:
+            answers = await server.submit("a (b + c)*", "p0")
+
+    ``submit`` admits the request into the bucket of its
+    :meth:`~repro.engine.session.Engine.admission_key`; the bucket flushes
+    into one shared ``query_batch`` when it reaches ``max_batch`` distinct
+    sources or ``max_delay`` seconds after its first request.  Flushes run
+    on a ``concurrency``-wide thread pool (default 1), so distinct-DFA
+    batches can evaluate in parallel while the event loop keeps admitting.
+
+    The answer ``set`` a request resolves to may be shared with other
+    coalesced requests of the same ``(query, source)`` — treat it as
+    read-only.  :meth:`close` flushes every pending bucket and drains
+    in-flight batches; it is what ``async with`` calls on exit.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine | ShardedEngine",
+        *,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        concurrency: "int | None" = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ReproError("max_batch must admit at least one request")
+        if max_delay < 0:
+            raise ReproError("max_delay cannot be negative")
+        if concurrency is not None and concurrency < 1:
+            raise ReproError("concurrency must be a positive worker count")
+        self.engine = engine
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.stats = ServingStats()
+        self._buckets: "dict[str, _Bucket]" = {}
+        self._inflight: "set[asyncio.Task]" = set()
+        self._pool = ThreadPoolExecutor(
+            max_workers=concurrency or 1, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+
+    # -- admission ------------------------------------------------------------
+    def submit_nowait(self, query, source: "Oid") -> "asyncio.Future":
+        """Admit one request; returns the future its answers will resolve on.
+
+        Must be called from a running event loop (the flush timer and the
+        result fan-out live on it).  Admission computes the request's
+        coalescing key inline: a memo hit for every query seen before, and
+        one constraint-rewrite pass the first time a constrained session
+        sees a new query — the rewrite memo's lock is never held across
+        that search, so admissions don't stall behind each other.
+        """
+        if self._closed:
+            raise ReproError("the query server has been closed")
+        loop = asyncio.get_running_loop()
+        self.stats.submitted += 1
+        # The bucket holds the *prepared* (constraint-rewritten) form, so
+        # the eventual flush evaluates it directly instead of re-preparing.
+        try:
+            key, prepared = self.engine.admission(query)
+        except BaseException:
+            # Admission-time failures (e.g. query syntax errors) never form
+            # a batch; count them so submitted == served + failed holds.
+            self.stats.failed += 1
+            raise
+        return self._admit(key, prepared, source)
+
+    def _admit(self, key: str, prepared, source: "Oid") -> "asyncio.Future":
+        """Insert one admitted request into its bucket (event-loop only)."""
+        loop = asyncio.get_running_loop()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket(prepared)
+            if self.max_delay > 0:
+                bucket.timer = loop.call_later(
+                    self.max_delay, self._flush, key, "delay"
+                )
+        future: "asyncio.Future" = loop.create_future()
+        bucket.waiters.setdefault(source, []).append(future)
+        if len(bucket.waiters) >= self.max_batch:
+            self._flush(key, "size")
+        elif self.max_delay == 0:
+            # Coalescing disabled: every request is its own batch, tallied
+            # separately so the stats cannot read as size-cap pressure.
+            self._flush(key, "immediate")
+        return future
+
+    async def _admitted(self, query, count: int):
+        """``(key, prepared)`` with stats accounting for ``count`` requests.
+
+        On a *constrained* session the admission step (which may run a full
+        cost-model rewrite the first time a query is seen) is dispatched to
+        the thread pool, so the event loop never runs the search.
+        """
+        if self._closed:
+            raise ReproError("the query server has been closed")
+        self.stats.submitted += count
+        constraints = getattr(self.engine, "constraints", None)
+        try:
+            if constraints is None or len(constraints) == 0:
+                return self.engine.admission(query)
+            key_prepared = await asyncio.get_running_loop().run_in_executor(
+                self._pool, self.engine.admission, query
+            )
+        except BaseException:
+            # Admission-time failures (e.g. query syntax errors) never form
+            # a batch; count them so submitted == served + failed holds.
+            self.stats.failed += count
+            raise
+        if self._closed:  # closed while the admission hop was in flight
+            self.stats.failed += count
+            raise ReproError("the query server has been closed")
+        return key_prepared
+
+    async def submit(self, query, source: "Oid") -> "set[Oid]":
+        """Admit one request and await its answer set.
+
+        Unlike :meth:`submit_nowait` (synchronous contract, admission
+        inline), a cold constrained admission here runs off the event loop
+        — see :meth:`_admitted`.
+        """
+        key, prepared = await self._admitted(query, 1)
+        return await self._admit(key, prepared, source)
+
+    async def submit_many(
+        self, query, sources: "Iterable[Oid]"
+    ) -> "dict[Oid, set[Oid]]":
+        """Admit one request per source (all coalescible) and await them all.
+
+        The admission key is computed once for the whole group (off the
+        event loop on a constrained session, like :meth:`submit`).
+        """
+        source_list = list(sources)
+        if not source_list:
+            return {}
+        key, prepared = await self._admitted(query, len(source_list))
+        answers = await asyncio.gather(
+            *(self._admit(key, prepared, source) for source in source_list)
+        )
+        return dict(zip(source_list, answers))
+
+    # -- flushing -------------------------------------------------------------
+    def _flush(self, key: str, reason: str) -> None:
+        bucket = self._buckets.pop(key, None)
+        if bucket is None:  # raced with another flush path; nothing to do
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        self.stats.batches += 1
+        if reason == "size":
+            self.stats.size_flushes += 1
+        elif reason == "delay":
+            self.stats.delay_flushes += 1
+        elif reason == "immediate":
+            self.stats.immediate_flushes += 1
+        else:
+            self.stats.close_flushes += 1
+        requests = sum(len(waiting) for waiting in bucket.waiters.values())
+        if requests > 1:
+            self.stats.coalesced += requests
+        if len(bucket.waiters) > self.stats.max_batch_size:
+            self.stats.max_batch_size = len(bucket.waiters)
+        task = asyncio.get_running_loop().create_task(self._serve(bucket))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _serve(self, bucket: _Bucket) -> None:
+        sources = list(bucket.waiters)
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._pool, self.engine.query_batch, bucket.query, sources
+            )
+        except BaseException as error:
+            for waiting in bucket.waiters.values():
+                for future in waiting:
+                    self.stats.failed += 1
+                    if not future.done():
+                        future.set_exception(error)
+            return
+        for source, waiting in bucket.waiters.items():
+            answers = results[source]
+            for future in waiting:
+                self.stats.served += 1
+                if not future.done():
+                    future.set_result(answers)
+
+    # -- lifecycle ------------------------------------------------------------
+    async def close(self) -> None:
+        """Flush pending buckets, drain in-flight batches, release the pool."""
+        self._closed = True
+        for key in list(self._buckets):
+            self._flush(key, "close")
+        while self._inflight:
+            pending = list(self._inflight)
+            await asyncio.gather(*pending, return_exceptions=True)
+            self._inflight.difference_update(pending)
+        self._pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "QueryServer":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def describe(self) -> str:
+        return self.stats.summary()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryServer({self.engine!r}, max_batch={self.max_batch}, "
+            f"max_delay={self.max_delay}, pending={len(self._buckets)})"
+        )
+
+
+# -- line protocol -------------------------------------------------------------
+# Per-connection (and per-stdin-window) backpressure: a pipelining client may
+# stream lines faster than the engine evaluates; beyond this many in-flight
+# responses the read loop stops consuming input until one completes, so
+# tasks, admission buckets and waiter futures stay bounded.
+MAX_INFLIGHT_PER_CONNECTION = 1024
+
+
+def format_answers(answers: "set[Oid]") -> str:
+    """The wire form of one answer set: sorted, space-separated."""
+    return " ".join(sorted(map(str, answers)))
+
+
+async def respond_line(server: QueryServer, line: str) -> str:
+    """Serve one ``id<TAB>source<TAB>query`` request line; never raises.
+
+    Malformed lines and evaluation errors come back as ``id<TAB>error: ...``
+    so one bad request cannot take down a connection.
+    """
+    parts = line.split("\t", 2)
+    if len(parts) != 3 or not parts[0]:
+        ident = parts[0] if parts and parts[0] else "?"
+        return f"{ident}\terror: malformed request (want id<TAB>source<TAB>query)"
+    ident, source, query = parts
+    try:
+        answers = await server.submit(query, source)
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        raise
+    except Exception as error:
+        return f"{ident}\terror: {error}"
+    return f"{ident}\t{format_answers(answers)}"
+
+
+async def serve_request_lines(
+    server: QueryServer,
+    lines: "Iterable[str]",
+    *,
+    max_inflight: int = MAX_INFLIGHT_PER_CONNECTION,
+    emit: "Callable[[str], None] | None" = None,
+) -> "list[str]":
+    """Serve a *batch* of request lines concurrently, in input order.
+
+    For interactive request/response streams use :func:`serve_stream`
+    (responses as they complete); this helper is for pre-collected batches
+    where input-order responses matter.  Lines are admitted in windows of
+    ``max_inflight``: within a window every
+    request is in flight before any is awaited, so requests sharing a DFA
+    coalesce into shared batches exactly as they would over TCP, while an
+    arbitrarily long input stream never materializes more than one window of
+    futures/buckets at a time (the same bound the TCP front-end applies per
+    connection).  Responses come back in input order (correlation is
+    positional *and* by id).
+
+    With ``emit``, each window's responses are delivered through the
+    callback as soon as the window drains — and *not* accumulated, so an
+    endless producer gets incremental answers in bounded memory; the return
+    value is then an empty list.
+    """
+    responses: "list[str]" = []
+
+    async def drain(window: "list[str]") -> None:
+        answered = await asyncio.gather(
+            *(respond_line(server, pending) for pending in window)
+        )
+        if emit is None:
+            responses.extend(answered)
+        else:
+            for response in answered:
+                emit(response)
+
+    window: "list[str]" = []
+    for line in lines:
+        if not line.strip():
+            continue
+        window.append(line)
+        if len(window) >= max_inflight:
+            await drain(window)
+            window = []
+    if window:
+        await drain(window)
+    return responses
+
+
+async def serve_stream(
+    server: QueryServer,
+    readline,
+    emit: "Callable[[str], None]",
+    *,
+    max_inflight: int = MAX_INFLIGHT_PER_CONNECTION,
+) -> None:
+    """Serve an *interactive* line stream: responses emitted as they land.
+
+    ``readline`` is an async callable returning the next raw line (an empty
+    string at end of input); ``emit`` receives each response line.  Every
+    request runs as its own task — exactly the TCP front-end's behavior, so
+    a request/response client that waits for an answer before sending the
+    next line never deadlocks, and concurrent requests still coalesce
+    through the admission queue.  Responses arrive in *completion* order;
+    the ``id`` is what correlates them.  In-flight responses are bounded by
+    ``max_inflight`` (the read loop stops consuming input until one
+    completes).
+    """
+    tasks: "set[asyncio.Task]" = set()
+    loop = asyncio.get_running_loop()
+
+    async def respond(line: str) -> None:
+        emit(await respond_line(server, line))
+
+    while True:
+        raw = await readline()
+        if not raw:
+            break
+        line = raw.rstrip("\r\n")
+        if not line.strip():
+            continue
+        if len(tasks) >= max_inflight:
+            await asyncio.wait(tasks, return_when=asyncio.FIRST_COMPLETED)
+        task = loop.create_task(respond(line))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+    if tasks:
+        await asyncio.gather(*list(tasks))
+
+
+async def serve_connection(
+    server: QueryServer,
+    reader: "asyncio.StreamReader",
+    writer: "asyncio.StreamWriter",
+    *,
+    max_inflight: int = MAX_INFLIGHT_PER_CONNECTION,
+) -> None:
+    """Serve one TCP client: a task per request line, responses as they land."""
+    tasks: "set[asyncio.Task]" = set()
+    # One drain at a time per connection: concurrent waiters on one
+    # StreamWriter's drain() were only supported from CPython 3.10.5's
+    # FlowControlMixin; serializing write+drain keeps the oldest supported
+    # patch levels correct (whole lines stay atomic either way).
+    write_lock = asyncio.Lock()
+
+    async def respond(line: str) -> None:
+        response = await respond_line(server, line)
+        async with write_lock:
+            writer.write(response.encode("utf-8") + b"\n")
+            try:
+                await writer.drain()
+            except ConnectionError:  # pragma: no cover - client went away
+                pass
+
+    try:
+        while True:
+            try:
+                raw = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                # A request line exceeded the stream limit.  The buffered
+                # bytes hold no separator, so framing is lost for good:
+                # answer with one error line, finish the in-flight
+                # responses, and close — without taking them down with it.
+                writer.write(b"?\terror: request line too long\n")
+                break
+            except (ConnectionError, OSError):
+                # Abrupt disconnect (reset while blocked in readline): no
+                # peer left to answer, but the in-flight responses still
+                # drain below so their tasks end cleanly instead of racing
+                # the close and logging as unhandled task errors.
+                break
+            if not raw:
+                break
+            line = raw.decode("utf-8", errors="replace").rstrip("\r\n")
+            if not line:
+                continue
+            if len(tasks) >= max_inflight:
+                await asyncio.wait(tasks, return_when=asyncio.FIRST_COMPLETED)
+            task = asyncio.get_running_loop().create_task(respond(line))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*list(tasks), return_exceptions=True)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+
+
+async def serve_tcp(
+    server: QueryServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    max_inflight: int = MAX_INFLIGHT_PER_CONNECTION,
+) -> "asyncio.AbstractServer":
+    """Open a TCP front-end for ``server``; returns the listening socket.
+
+    ``port=0`` binds an ephemeral port — read the real one off
+    ``result.sockets[0].getsockname()``.  ``max_inflight`` bounds each
+    connection's outstanding responses (see
+    :data:`MAX_INFLIGHT_PER_CONNECTION`).  The caller owns both lifetimes:
+    close the returned socket server first, then ``await server.close()``.
+    """
+    return await asyncio.start_server(
+        lambda reader, writer: serve_connection(
+            server, reader, writer, max_inflight=max_inflight
+        ),
+        host=host,
+        port=port,
+        # Generous per-line budget: queries are expressions, not documents,
+        # but the default 64 KiB would tear down a connection mid-stream.
+        limit=1 << 20,
+    )

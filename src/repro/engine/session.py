@@ -37,8 +37,10 @@ for existing callers (see the delegation hook in ``query.evaluation`` and the
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -54,43 +56,69 @@ from .executor import BACKENDS, resolve_backend, run_all_pairs, run_batch, run_s
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..constraints.constraint import ConstraintSet
     from ..optimize.cost import CostModel
+    from .serving import QueryServer
 
 _SHARED_ENGINE_ATTR = "_repro_shared_engine"
 
 
-def prepare_query(
-    query: "RegularPathQuery | Regex | str",
-    constraints: "ConstraintSet | None",
-    cost_model: "CostModel | None",
-    memo: "OrderedDict[str, Regex]",
-    capacity: int,
-) -> "tuple[RegularPathQuery | Regex | str, bool]":
-    """Constraint pre-rewrite with an LRU memo, shared by every session kind.
+class _ReadWriteLock:
+    """A small readers-writer lock for the query/mutation exclusion.
 
-    Returns ``(prepared, improved)``; ``improved`` is ``True`` only on a
-    fresh rewrite that actually found a cheaper form (memo hits return
-    ``False`` so callers can count applied rewrites once).  With no
-    constraints the query passes through untouched.
+    Executor runs are pure reads of the compiled graph and may overlap
+    freely; the *in-place* mutations (``add_edge``/``remove_edge`` touching
+    the CSR overflow, tombstones and interners of the live graph object)
+    must run alone.  Writers block new readers while waiting (no writer
+    starvation under a busy server); readers never block each other.
     """
-    if constraints is None or len(constraints) == 0:
-        return query, False
-    key = query_key(query)
-    rewritten = memo.get(key)
-    if rewritten is not None:
-        memo.move_to_end(key)
-        return rewritten, False
-    from ..optimize.cost import DEFAULT_COST_MODEL
-    from ..optimize.rewriter import rewrite_query
 
-    outcome = rewrite_query(
-        query if isinstance(query, (Regex, str)) else query.expression,
-        constraints,
-        cost_model or DEFAULT_COST_MODEL,
-    )
-    memo[key] = outcome.best
-    if len(memo) > capacity:
-        memo.popitem(last=False)
-    return outcome.best, outcome.improved
+    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
 
 
 @dataclass
@@ -140,8 +168,123 @@ class EngineStats:
         )
 
 
-class Engine:
-    """A compiled-evaluation session bound to one :class:`Instance`."""
+class ServingSurface:
+    """Admission + serving-handle surface shared by both session kinds.
+
+    Mixed into :class:`Engine` and
+    :class:`repro.engine.sharding.ShardedEngine`, so the serving layer's
+    coalescing semantics cannot drift between them; the only host
+    host requirements are the constraint/rewrite attributes
+    (``constraints``, ``cost_model``, ``_rewrites``, ``_rewrite_lock``,
+    ``stats.rewrites_applied``) plus the :attr:`_rewrite_capacity` hook.
+    """
+
+    @property
+    def _rewrite_capacity(self) -> int:
+        raise NotImplementedError  # pragma: no cover - hosts override
+
+    def _prepared(self, query):
+        """The constraint-rewritten form of ``query``, memoized (LRU).
+
+        The memo lock is held only for the dictionary bookkeeping; a *cold*
+        rewrite (the cost-model search) runs outside it, so concurrent
+        admissions — including the serving layer's event-loop thread —
+        never wait behind another thread's rewrite in progress.  Two
+        threads racing on the same fresh query both rewrite it; the results
+        are identical and the second insert is a no-op (``rewrites_applied``
+        still counts the query once).  The rewritten form is seeded under
+        its own key too — a fixed point — so re-preparing an
+        already-prepared query (the admission queue evaluates the prepared
+        form it got from :meth:`admission`) is a memo hit.
+        """
+        constraints = self.constraints
+        if constraints is None or len(constraints) == 0:
+            return query
+        key = query_key(query)
+        with self._rewrite_lock:
+            cached = self._rewrites.get(key)
+            if cached is not None:
+                self._rewrites.move_to_end(key)
+                return cached
+        from ..optimize.cost import DEFAULT_COST_MODEL
+        from ..optimize.rewriter import rewrite_query
+
+        outcome = rewrite_query(
+            query if isinstance(query, (Regex, str)) else query.expression,
+            constraints,
+            self.cost_model or DEFAULT_COST_MODEL,
+        )
+        best_key = query_key(outcome.best)
+        with self._rewrite_lock:
+            fresh = key not in self._rewrites
+            self._rewrites[key] = outcome.best
+            if best_key != key:
+                self._rewrites[best_key] = outcome.best
+            while len(self._rewrites) > self._rewrite_capacity:
+                self._rewrites.popitem(last=False)
+            if fresh and outcome.improved:
+                self.stats.rewrites_applied += 1
+        return outcome.best
+
+    def admission(self, query) -> "tuple[str, object]":
+        """``(admission key, prepared query)`` for the serving layer.
+
+        The key is the canonical printed form of the *constraint-rewritten*
+        expression: two requests with the same key compile to the same DFA
+        on this session, so the admission queue
+        (:class:`repro.engine.serving.QueryServer`) may evaluate them in
+        one shared batch and split the answers afterwards.  The prepared
+        form rides along so the eventual batch evaluates it directly (a
+        rewrite-memo fixed point) instead of re-deriving the rewrite.
+        """
+        prepared = self._prepared(query)
+        return query_key(prepared), prepared
+
+    def admission_key(self, query) -> str:
+        """The shared-batch coalescing key of ``query`` (see :meth:`admission`)."""
+        return self.admission(query)[0]
+
+    def as_server(
+        self,
+        *,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        concurrency: "int | None" = None,
+    ) -> "QueryServer":
+        """An asyncio serving handle over this session.
+
+        See :class:`repro.engine.serving.QueryServer`: requests admitted
+        through the handle are coalesced per :meth:`admission` into shared
+        batched evaluations under a max-batch-size / max-delay policy,
+        executed on a ``concurrency``-wide thread pool so the event loop
+        never blocks on an engine round-trip.  (For the *sharded* engine,
+        ``concurrency`` here sizes only the flush pool; the superstep
+        scheduler is the engine's own — pass ``concurrency=`` to its
+        ``open`` for that.)
+        """
+        from .serving import QueryServer
+
+        return QueryServer(
+            self, max_batch=max_batch, max_delay=max_delay, concurrency=concurrency
+        )
+
+
+class Engine(ServingSurface):
+    """A compiled-evaluation session bound to one :class:`Instance`.
+
+    Thread-safety: concurrent *queries* against one engine are safe — the
+    serving layer (:mod:`repro.engine.serving`) runs admission-queue flushes
+    on a thread pool, so the mutable session state (staleness refresh, the
+    rewrite memo, the statistics counters; the compile cache and the lazy
+    numpy edge arrays carry their own locks) is guarded by an internal
+    re-entrant lock, while the executor runs themselves — read-only on the
+    compiled graph — proceed outside it and overlap freely.  Concurrent
+    *mutation* (``add_edge``/``remove_edge``/``save``) takes the same lock
+    and additionally drains in-flight executor runs (a readers-writer
+    exclusion) before touching the live CSR structures in place, so a query
+    racing an edit answers consistently against the edge set before or
+    after it — which one is the caller's ordering to decide.
+    """
 
     def __init__(
         self,
@@ -174,6 +317,19 @@ class Engine:
         # Rewrite memo, LRU-bounded like the compile cache so a long-lived
         # constrained session does not grow without limit.
         self._rewrites: "OrderedDict[str, Regex]" = OrderedDict()
+        # Guards refresh and the stats counters against concurrent server
+        # threads (see the class docstring).
+        self._lock = threading.RLock()
+        # The rewrite memo gets its own short-lived lock: the serving
+        # layer's admission path (admission_key) runs on the event loop and
+        # must never wait behind an evaluation holding the session lock.
+        self._rewrite_lock = threading.Lock()
+        # Executor runs (shared) vs in-place graph mutation (exclusive):
+        # add_edge/remove_edge mutate the live CSR overflow/tombstones/
+        # interners that a concurrently running executor is reading, so
+        # they drain in-flight runs first.  Never acquire ``_lock`` while
+        # holding a read token (writers hold ``_lock`` when they wait).
+        self._run_lock = _ReadWriteLock()
         if _graph is None:
             self._graph = CompiledGraph.from_instance(instance, labels=labels)
             self.stats.graph_builds += 1
@@ -310,8 +466,9 @@ class Engine:
         """
         from .snapshot import save_engine
 
-        self.refresh()
-        save_engine(self, path, codec=codec)
+        with self._lock:
+            self.refresh()
+            save_engine(self, path, codec=codec)
 
     # -- graph lifecycle ------------------------------------------------------
     @property
@@ -348,19 +505,22 @@ class Engine:
         instance = self._instance_or_none()
         if instance is None:
             return False
-        if instance.version == self._instance_version:
-            return False
-        if instance.edge_version == self._edge_version:
-            grown = self._graph.ensure_nodes(instance.objects)
-            if grown:
-                self.stats.interner_growths += grown
+        with self._lock:
+            if instance.version == self._instance_version:
+                return False
+            if instance.edge_version == self._edge_version:
+                grown = self._graph.ensure_nodes(instance.objects)
+                if grown:
+                    self.stats.interner_growths += grown
+                self._instance_version = instance.version
+                return False
+            self._graph = CompiledGraph.from_instance(
+                instance, labels=self._label_seed
+            )
             self._instance_version = instance.version
-            return False
-        self._graph = CompiledGraph.from_instance(instance, labels=self._label_seed)
-        self._instance_version = instance.version
-        self._edge_version = instance.edge_version
-        self.stats.graph_builds += 1
-        return True
+            self._edge_version = instance.edge_version
+            self.stats.graph_builds += 1
+            return True
 
     def add_edge(self, source: Oid, label: str, destination: Oid) -> None:
         """Add one edge to both the instance and the compiled graph.
@@ -368,15 +528,17 @@ class Engine:
         This is the incremental path: the CSR structure absorbs the edge via
         its overflow adjacency instead of recompiling the whole graph.
         """
-        self.refresh()
-        instance = self.instance
-        if instance.has_edge(source, label, destination):
-            return
-        instance.add_edge(source, label, destination)
-        self._graph.add_edge(source, label, destination)
-        self._instance_version = instance.version
-        self._edge_version = instance.edge_version
-        self.stats.incremental_edges += 1
+        with self._lock:
+            self.refresh()
+            instance = self.instance
+            if instance.has_edge(source, label, destination):
+                return
+            with self._run_lock.write():
+                instance.add_edge(source, label, destination)
+                self._graph.add_edge(source, label, destination)
+            self._instance_version = instance.version
+            self._edge_version = instance.edge_version
+            self.stats.incremental_edges += 1
 
     def remove_edge(self, source: Oid, label: str, destination: Oid) -> None:
         """Remove one edge from both the instance and the compiled graph.
@@ -385,42 +547,51 @@ class Engine:
         instead of recompiling, so cached query tables stay valid (label ids
         never change on the incremental path).
         """
-        self.refresh()
-        instance = self.instance
-        instance.remove_edge(source, label, destination)
-        self._graph.remove_edge(source, label, destination)
-        self._instance_version = instance.version
-        self._edge_version = instance.edge_version
-        self.stats.incremental_removals += 1
+        with self._lock:
+            self.refresh()
+            instance = self.instance
+            with self._run_lock.write():
+                instance.remove_edge(source, label, destination)
+                self._graph.remove_edge(source, label, destination)
+            self._instance_version = instance.version
+            self._edge_version = instance.edge_version
+            self.stats.incremental_removals += 1
 
     # -- query compilation ----------------------------------------------------
-    def _prepared(
-        self, query: "RegularPathQuery | Regex | str"
-    ) -> "RegularPathQuery | Regex | str":
-        prepared, improved = prepare_query(
-            query,
-            self.constraints,
-            self.cost_model,
-            self._rewrites,
-            self.compiler.capacity,
-        )
-        if improved:
-            self.stats.rewrites_applied += 1
-        return prepared
+    @property
+    def _rewrite_capacity(self) -> int:
+        return self.compiler.capacity
 
     def compiled(self, query: "RegularPathQuery | Regex | str") -> CompiledQuery:
         """The integer transition table for ``query`` on the current graph."""
-        self.refresh()
-        return self.compiler.compile(self._prepared(query), self._graph)
+        return self._compiled_on(query)[0]
+
+    def _compiled_on(
+        self, query: "RegularPathQuery | Regex | str"
+    ) -> "tuple[CompiledQuery, CompiledGraph]":
+        """``(compiled table, graph it was lowered against)`` — one pair.
+
+        Query paths must traverse the *same* graph object their table was
+        compiled on: a concurrent server thread whose :meth:`refresh` swaps
+        ``self._graph`` mid-query would otherwise hand this thread a table
+        lowered on the old label order and a graph interned in the new one.
+        Capturing the pair under the lock (and never re-reading
+        ``self._graph`` afterwards) makes every evaluation a consistent —
+        possibly one-rebuild stale — snapshot.
+        """
+        with self._lock:
+            self.refresh()
+            graph = self._graph
+        return self.compiler.compile(self._prepared(query), graph), graph
 
     # -- evaluation -----------------------------------------------------------
     def query(
         self, query: "RegularPathQuery | Regex | str", source: Oid
     ) -> EvaluationResult:
         """Single-source evaluation with witnesses, as an ``EvaluationResult``."""
-        compiled = self.compiled(query)
-        graph = self._graph
-        self.stats.single_evaluations += 1
+        compiled, graph = self._compiled_on(query)
+        with self._lock:
+            self.stats.single_evaluations += 1
         node = graph.node_id(source)
         if node is None:
             # Unknown sources have an empty description; they answer
@@ -430,9 +601,11 @@ class Engine:
                 result.answers.add(source)
                 result.witness_paths[source] = ()
             return result
-        run = run_single(graph, compiled, node, backend=self.backend)
-        self.stats.visited_pairs += run.visited_pairs
-        self.stats.record_backend(run.backend)
+        with self._run_lock.read():
+            run = run_single(graph, compiled, node, backend=self.backend)
+        with self._lock:
+            self.stats.visited_pairs += run.visited_pairs
+            self.stats.record_backend(run.backend)
         label_of = graph.labels.value_of
         result = EvaluationResult(
             answers=graph.oids_of(run.answers),
@@ -451,14 +624,15 @@ class Engine:
         return self.query(query, source).answers
 
     def _partition_batch_sources(
-        self, sources: "Sequence[Oid] | Iterable[Oid]"
+        self, graph: CompiledGraph, sources: "Sequence[Oid] | Iterable[Oid]"
     ) -> "tuple[list[int], list[Oid], list[Oid]]":
-        """Split batch sources into (known node ids, their oids, unknown oids),
-        bumping the shared batch statistics once for the whole call."""
-        graph = self._graph
+        """Split batch sources into (known node ids, their oids, unknown oids)
+        against the query's captured ``graph`` snapshot, bumping the shared
+        batch statistics once for the whole call."""
         source_list = list(sources)
-        self.stats.batch_evaluations += 1
-        self.stats.batched_sources += len(source_list)
+        with self._lock:
+            self.stats.batch_evaluations += 1
+            self.stats.batched_sources += len(source_list)
         known: list[int] = []
         known_oids: list[Oid] = []
         unknown: list[Oid] = []
@@ -477,18 +651,19 @@ class Engine:
         sources: "Sequence[Oid] | Iterable[Oid]",
     ) -> dict[Oid, set[Oid]]:
         """Evaluate one query from many sources in one shared traversal."""
-        compiled = self.compiled(query)
-        graph = self._graph
-        known, known_oids, unknown = self._partition_batch_sources(sources)
+        compiled, graph = self._compiled_on(query)
+        known, known_oids, unknown = self._partition_batch_sources(graph, sources)
         results: dict[Oid, set[Oid]] = {}
         for source in unknown:
             # Unknown sources have an empty description; they answer
             # themselves exactly when the query accepts the empty word.
             results[source] = {source} if compiled.accepts_empty_word() else set()
         if known:
-            run = run_batch(graph, compiled, known, backend=self.backend)
-            self.stats.visited_pairs += run.visited_pairs
-            self.stats.record_backend(run.backend)
+            with self._run_lock.read():
+                run = run_batch(graph, compiled, known, backend=self.backend)
+            with self._lock:
+                self.stats.visited_pairs += run.visited_pairs
+                self.stats.record_backend(run.backend)
             for oid, answer_nodes in zip(known_oids, run.answers):
                 results[oid] = graph.oids_of(answer_nodes)
         return results
@@ -506,9 +681,8 @@ class Engine:
         word per ``(source, answer)`` pair.  The traversal statistics are
         those of the whole batch, mirrored into every per-source result.
         """
-        compiled = self.compiled(query)
-        graph = self._graph
-        known, known_oids, unknown = self._partition_batch_sources(sources)
+        compiled, graph = self._compiled_on(query)
+        known, known_oids, unknown = self._partition_batch_sources(graph, sources)
         results: dict[Oid, EvaluationResult] = {}
         for source in unknown:
             result = EvaluationResult(visited_pairs=1, visited_objects=1)
@@ -518,36 +692,46 @@ class Engine:
             results[source] = result
         if not known:
             return results
-        run = run_batch(graph, compiled, known, witnesses=True, backend=self.backend)
-        self.stats.visited_pairs += run.visited_pairs
-        self.stats.record_backend(run.backend)
         label_of = graph.labels.value_of
-        for oid, node, answer_nodes in zip(known_oids, known, run.answers):
-            result = EvaluationResult(
-                answers=graph.oids_of(answer_nodes),
-                visited_pairs=run.visited_pairs,
-                visited_objects=run.visited_objects,
+        # One read section across the run AND the witness replay: the replay
+        # walks the live adjacency against the run's version stamp, so a
+        # mutation admitted between the two would turn this very call's
+        # resolver stale (the stamp check is for callers who stash the run,
+        # not for the engine's own replay).
+        with self._run_lock.read():
+            run = run_batch(
+                graph, compiled, known, witnesses=True, backend=self.backend
             )
-            for answer_node in answer_nodes:
-                word = run.witness(node, answer_node)
-                if word is not None:
-                    result.witness_paths[graph.oid_of(answer_node)] = tuple(
-                        label_of(label_id) for label_id in word
-                    )
-            results[oid] = result
+            for oid, node, answer_nodes in zip(known_oids, known, run.answers):
+                result = EvaluationResult(
+                    answers=graph.oids_of(answer_nodes),
+                    visited_pairs=run.visited_pairs,
+                    visited_objects=run.visited_objects,
+                )
+                for answer_node in answer_nodes:
+                    word = run.witness(node, answer_node)
+                    if word is not None:
+                        result.witness_paths[graph.oid_of(answer_node)] = tuple(
+                            label_of(label_id) for label_id in word
+                        )
+                results[oid] = result
+        with self._lock:
+            self.stats.visited_pairs += run.visited_pairs
+            self.stats.record_backend(run.backend)
         return results
 
     def query_all(
         self, query: "RegularPathQuery | Regex | str"
     ) -> dict[Oid, set[Oid]]:
         """All-pairs evaluation: the answer set of every object of the graph."""
-        compiled = self.compiled(query)  # refreshes before the graph is read
-        graph = self._graph
-        run = run_all_pairs(graph, compiled, backend=self.backend)
-        self.stats.batch_evaluations += 1
-        self.stats.batched_sources += graph.num_nodes
-        self.stats.visited_pairs += run.visited_pairs
-        self.stats.record_backend(run.backend)
+        compiled, graph = self._compiled_on(query)  # one consistent snapshot
+        with self._run_lock.read():
+            run = run_all_pairs(graph, compiled, backend=self.backend)
+        with self._lock:
+            self.stats.batch_evaluations += 1
+            self.stats.batched_sources += graph.num_nodes
+            self.stats.visited_pairs += run.visited_pairs
+            self.stats.record_backend(run.backend)
         return {
             graph.oid_of(node): graph.oids_of(answers)
             for node, answers in zip(run.sources, run.answers)

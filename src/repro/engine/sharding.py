@@ -46,6 +46,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict, defaultdict, deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
@@ -56,12 +57,13 @@ from ..query.evaluation import EvaluationResult
 from .compiled_query import query_key
 from .csr import CompiledGraph
 from .executor import BACKENDS, resolve_backend, run_batch
-from .session import Engine, prepare_query
+from .session import Engine, ServingSurface
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..constraints.constraint import ConstraintSet
     from ..optimize.cost import CostModel
     from .compiled_query import CompiledQuery
+    from .serving import QueryServer, SuperstepScheduler
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_FORMAT_VERSION = 1
@@ -228,8 +230,40 @@ def shard_graph(
 
 
 @dataclass
+class SuperstepCounters:
+    """One evaluation's superstep fixpoint, in isolation.
+
+    The cumulative :class:`ShardedStats` counters keep growing across a
+    session's lifetime; this per-evaluation view (``ShardedStats.last_run``)
+    is what callers should read to understand a *single* scatter-gather
+    fixpoint — e.g. how many rounds it took and how much frontier it shipped.
+    """
+
+    supersteps: int = 0
+    local_runs: int = 0
+    exchanged_facts: int = 0
+
+    def reset(self) -> None:
+        self.supersteps = 0
+        self.local_runs = 0
+        self.exchanged_facts = 0
+
+
+@dataclass
 class ShardedStats:
-    """Counters accumulated across the lifetime of one sharded session."""
+    """Counters accumulated across the lifetime of one sharded session.
+
+    Two backend tallies exist because superstep re-seeding makes "a run"
+    ambiguous: ``backend_runs`` counts every *local* executor run (a shard
+    re-seeded across K supersteps of one evaluation counts K times — the
+    honest cost measure), while ``backend_evaluations`` counts each *logical
+    evaluation* once, which is the number comparable 1:1 with the monolithic
+    :attr:`~repro.engine.session.EngineStats.backend_runs`.  Earlier
+    versions funnelled every re-seeded run into the shard engines' own
+    counters, silently inflating them relative to the monolithic engine;
+    per-superstep accounting now lives here, and ``last_run`` holds the most
+    recent evaluation's :class:`SuperstepCounters` in isolation.
+    """
 
     single_evaluations: int = 0
     batch_evaluations: int = 0
@@ -240,15 +274,42 @@ class ShardedStats:
     visited_pairs: int = 0
     visited_objects: int = 0
     rewrites_applied: int = 0
+    # Which executor served each local run (cumulative, one per run_batch).
+    backend_runs: dict[str, int] = field(default_factory=dict)
+    # One count per logical evaluation — the monolithic-comparable tally.
+    backend_evaluations: dict[str, int] = field(default_factory=dict)
+    # The most recent evaluation's superstep counters, reset per evaluation.
+    last_run: SuperstepCounters = field(default_factory=SuperstepCounters)
+
+    def record_local_run(self, backend: str) -> None:
+        self.local_runs += 1
+        self.last_run.local_runs += 1
+        self.backend_runs[backend] = self.backend_runs.get(backend, 0) + 1
+
+    def record_evaluation(self, backend: str) -> None:
+        self.backend_evaluations[backend] = (
+            self.backend_evaluations.get(backend, 0) + 1
+        )
 
     def summary(self, engine: "ShardedEngine") -> str:
+        backends = (
+            ", ".join(
+                f"{name}={self.backend_evaluations.get(name, 0)}"
+                f"/{count} runs"
+                for name, count in sorted(self.backend_runs.items())
+            )
+            or "none"
+        )
         return (
             f"shards: {engine.num_shards} "
             f"({engine.warm_shards} warm-started, {engine.rebuilt_shards} rebuilt); "
             f"evaluations: {self.single_evaluations} single, "
             f"{self.batch_evaluations} batched ({self.batched_sources} sources); "
             f"supersteps: {self.supersteps} ({self.local_runs} local runs, "
-            f"{self.exchanged_facts} cross-shard frontier exports); "
+            f"{self.exchanged_facts} cross-shard frontier exports; last "
+            f"evaluation {self.last_run.supersteps} supersteps / "
+            f"{self.last_run.local_runs} runs); "
+            f"backend evaluations/runs: {backends}; "
             f"visited pairs: {self.visited_pairs}"
         )
 
@@ -265,7 +326,7 @@ class _GlobalRun:
     visited_objects: int = 0
 
 
-class ShardedEngine:
+class ShardedEngine(ServingSurface):
     """A sharded compiled-evaluation session with scatter-gather serving.
 
     Mirrors the :class:`Engine` surface — ``query`` / ``query_batch`` /
@@ -274,6 +335,20 @@ class ShardedEngine:
     evaluates by superstep frontier exchange (module docstring).  Construct
     with :meth:`open` (an instance, or a snapshot directory written by
     :meth:`save`).
+
+    With ``concurrency=N`` (N > 1) each superstep's per-shard local
+    fixpoints — independent by construction: a shard's step touches only its
+    own compiled graph and frontier, and cross-shard facts exchange at the
+    barrier — run on a thread-pool
+    :class:`~repro.engine.serving.SuperstepScheduler` instead of
+    sequentially.  The numpy executor releases the GIL inside its
+    ``reduceat`` hot loops, so shard steps genuinely overlap; the python
+    backend still wins when steps interleave with I/O.
+
+    Thread-safety mirrors :class:`Engine`: concurrent callers are safe —
+    evaluations serialize on an internal lock (the supersteps *within* one
+    evaluation are what parallelize) — and the serving layer's admission
+    queue (:meth:`as_server`) batches concurrent requests in front of it.
     """
 
     def __init__(
@@ -286,6 +361,7 @@ class ShardedEngine:
         cost_model: "CostModel | None" = None,
         cache_capacity: int = 128,
         backend: str = "auto",
+        concurrency: "int | None" = None,
         _restored: "tuple[list[Instance], list[Engine], list[str]] | None" = None,
     ) -> None:
         self._map = self._resolve_map(shards, shard_map)
@@ -297,6 +373,21 @@ class ShardedEngine:
             resolve_backend(backend)  # raises with the canonical message
         self.backend = backend
         self.stats = ShardedStats()
+        # Serializes evaluations and mutation against concurrent server
+        # threads; per-shard superstep work happens on scheduler threads
+        # *inside* an evaluation, while the caller's thread holds this lock.
+        self._lock = threading.RLock()
+        # The rewrite memo gets its own short-lived lock so the serving
+        # layer's admission path (admission_key, on the event loop) never
+        # waits behind a whole scatter-gather evaluation holding _lock.
+        self._rewrite_lock = threading.Lock()
+        if concurrency is not None and concurrency < 1:
+            raise ReproError("concurrency must be a positive worker count")
+        self._scheduler: "SuperstepScheduler | None" = None
+        if concurrency is not None and concurrency > 1:
+            from .serving import SuperstepScheduler
+
+            self._scheduler = SuperstepScheduler(concurrency)
         self._labels: list[str] = []
         self._label_set: set[str] = set()
         # Constraint pre-rewrite happens ONCE here, not per shard: every
@@ -412,6 +503,16 @@ class ShardedEngine:
         return tuple(self._shards)
 
     @property
+    def scheduler(self) -> "SuperstepScheduler | None":
+        """The concurrent superstep scheduler, or ``None`` when sequential."""
+        return self._scheduler
+
+    def close(self) -> None:
+        """Release the superstep scheduler's worker threads (idempotent)."""
+        if self._scheduler is not None:
+            self._scheduler.close()
+
+    @property
     def warm_shards(self) -> int:
         return sum(1 for engine in self._shards if engine.stats.snapshot_restores)
 
@@ -437,10 +538,11 @@ class ShardedEngine:
         out-of-band instance edits are coarse by design — the partition is a
         derived artifact, so the whole thing is rebuilt.
         """
-        if self._instance.version == self._instance_version:
-            return False
-        self._build()
-        return True
+        with self._lock:
+            if self._instance.version == self._instance_version:
+                return False
+            self._build()
+            return True
 
     def add_edge(self, source: Oid, label: str, destination: Oid) -> None:
         """Add one edge, routed to the shard that owns ``source``.
@@ -450,47 +552,37 @@ class ShardedEngine:
         is interned into every shard graph so the shared label universe —
         and with it cross-shard DFA state numbering — stays aligned.
         """
-        self.refresh()
-        instance = self._instance
-        if instance.has_edge(source, label, destination):
-            return
-        instance.add_edge(source, label, destination)
-        self._sync_labels((label,))
-        owner = self._map.shard_of(source)
-        self._shards[owner].add_edge(source, label, destination)
-        for endpoint in (source, destination):
-            home = self._map.shard_of(endpoint)
-            if home != owner and endpoint not in self._subs[home]:
-                self._subs[home].add_object(endpoint)
-        self._instance_version = instance.version
+        with self._lock:
+            self.refresh()
+            instance = self._instance
+            if instance.has_edge(source, label, destination):
+                return
+            instance.add_edge(source, label, destination)
+            self._sync_labels((label,))
+            owner = self._map.shard_of(source)
+            self._shards[owner].add_edge(source, label, destination)
+            for endpoint in (source, destination):
+                home = self._map.shard_of(endpoint)
+                if home != owner and endpoint not in self._subs[home]:
+                    self._subs[home].add_object(endpoint)
+            self._instance_version = instance.version
 
     def remove_edge(self, source: Oid, label: str, destination: Oid) -> None:
         """Remove one edge from the shard that owns ``source`` (tombstone)."""
-        self.refresh()
-        self._instance.remove_edge(source, label, destination)
-        owner = self._map.shard_of(source)
-        self._shards[owner].remove_edge(source, label, destination)
-        self._instance_version = self._instance.version
+        with self._lock:
+            self.refresh()
+            self._instance.remove_edge(source, label, destination)
+            owner = self._map.shard_of(source)
+            self._shards[owner].remove_edge(source, label, destination)
+            self._instance_version = self._instance.version
 
     # -- evaluation -----------------------------------------------------------
-    def _prepared(self, query):
-        """The constraint-rewritten form of ``query``, memoized (LRU).
-
-        Uses the shared :func:`~repro.engine.session.prepare_query` helper,
-        but runs exactly once for all shards: the rewritten expression is
-        what every shard compiles, so the DFA state ids exchanged between
-        shards always agree.
-        """
-        prepared, improved = prepare_query(
-            query,
-            self.constraints,
-            self.cost_model,
-            self._rewrites,
-            self.cache_capacity,
-        )
-        if improved:
-            self.stats.rewrites_applied += 1
-        return prepared
+    # _prepared comes from ServingSurface and runs exactly once for all
+    # shards: the rewritten expression is what every shard compiles, so the
+    # DFA state ids exchanged between shards always agree.
+    @property
+    def _rewrite_capacity(self) -> int:
+        return self.cache_capacity
 
     def _compiled_everywhere(self, prepared) -> list:
         """One compiled table per shard, compiled (at most) once overall.
@@ -518,6 +610,59 @@ class ShardedEngine:
                 compiled.append(engine.compiled(prepared))
         return compiled
 
+    def _local_fixpoint(
+        self,
+        shard: int,
+        pending: "Mapping[tuple[int, int], int]",
+        frontier,
+        compiled: "CompiledQuery",
+        num_bits: int,
+    ):
+        """One shard's local superstep: drive the executor to a fixpoint.
+
+        Pure with respect to every *other* shard — the step touches only
+        this shard's engine, compiled graph and frontier handle, which is
+        what lets the scheduler run the steps of one superstep concurrently.
+        Returns ``(frontier, exports, backend)`` where ``exports`` lists the
+        ``(oid, state, mask)`` facts that grew onto ghost nodes this run
+        (owner routing happens at the barrier, where all frontiers are
+        stable), and ``backend`` is ``None`` when the imported frontier was
+        fully absorbed already and no executor run was needed.
+        """
+        # Bits the shard absorbed since the export was computed (it derived
+        # the same fact itself later that round) are dropped; a fully
+        # absorbed frontier costs no local run at all.
+        seeds = {}
+        for (state, node), mask in pending.items():
+            absorbed = frontier.mask_at(state, node) if frontier else 0
+            new_bits = mask & ~absorbed
+            if new_bits:
+                seeds[(state, node)] = new_bits
+        if not seeds:
+            return frontier, (), None
+        graph = self._shards[shard].graph
+        run = run_batch(
+            graph,
+            compiled,
+            (),
+            seeds=seeds,
+            known=frontier,
+            num_bits=num_bits,
+            backend=self.backend,
+        )
+        self._ghost_nodes(shard)  # refresh the cache (this shard's only)
+        ghost_list = self._ghost_lists[shard]
+        exports: "list[tuple[Oid, int, int]]" = []
+        if ghost_list:
+            oid_of = graph.nodes.backing_list()
+            exports = [
+                (oid_of[node], state, mask)
+                for state, node, mask in run.frontier.items(
+                    fresh_only=True, restrict=ghost_list
+                )
+            ]
+        return run.frontier, exports, run.backend
+
     def _evaluate(self, query, sources: "Sequence[Oid]") -> _GlobalRun:
         """Run the scatter-gather superstep fixpoint for ``sources``.
 
@@ -526,9 +671,15 @@ class ShardedEngine:
         back to :func:`run_batch` as ``known`` every superstep, so repeated
         rounds neither re-flood earlier work nor pay any conversion; the
         gathered per-bit answer sets come from the owned accepting facts.
+
+        The loop is a classic bulk-synchronous superstep: the independent
+        per-shard :meth:`_local_fixpoint` steps (scheduled concurrently when
+        a :attr:`scheduler` is installed), then a barrier that routes every
+        exported ghost fact to its owner as the next round's seed frontier.
         """
         self.refresh()
         compiled = self._compiled_everywhere(self._prepared(query))
+        self.stats.last_run.reset()
         bit_of: dict = {}
         for oid in sources:
             if oid not in bit_of:
@@ -548,64 +699,59 @@ class ShardedEngine:
             node = self._shards[shard].graph.node_id(oid)
             pending[shard][(initial, node)] |= 1 << bit
 
+        evaluation_backend: "str | None" = None
         while any(pending):
             self.stats.supersteps += 1
+            self.stats.last_run.supersteps += 1
+            active = [shard for shard in range(count) if pending[shard]]
+            steps = [
+                (
+                    lambda shard=shard: self._local_fixpoint(
+                        shard,
+                        pending[shard],
+                        frontiers[shard],
+                        compiled[shard],
+                        num_bits,
+                    )
+                )
+                for shard in active
+            ]
+            if self._scheduler is not None and len(steps) > 1:
+                results = self._scheduler.run(steps)
+            else:
+                results = [step() for step in steps]
+            # Barrier, part 1: adopt every shard's new frontier before any
+            # absorbed-bit check reads one.
+            all_exports: "list[tuple[Oid, int, int]]" = []
+            for shard, (frontier, exports, backend) in zip(active, results):
+                frontiers[shard] = frontier
+                if backend is not None:
+                    self.stats.record_local_run(backend)
+                    evaluation_backend = backend
+                all_exports.extend(exports)
+            # Barrier, part 2: scatter — route each exported ghost fact to
+            # its owner, shipping only bits the owner has not absorbed yet
+            # (it may have derived the same fact itself this round).
             next_pending: "list[dict[tuple[int, int], int]]" = [
                 defaultdict(int) for _ in range(count)
             ]
-            for shard in range(count):
-                if not pending[shard]:
-                    continue
-                engine = self._shards[shard]
-                graph = engine.graph
-                frontier = frontiers[shard]
-                # Bits the shard absorbed since the export was computed (it
-                # derived the same fact itself later that round) are dropped;
-                # a fully absorbed frontier costs no local run at all.
-                seeds = {}
-                for (state, node), mask in pending[shard].items():
-                    absorbed = frontier.mask_at(state, node) if frontier else 0
-                    new_bits = mask & ~absorbed
-                    if new_bits:
-                        seeds[(state, node)] = new_bits
-                if not seeds:
-                    continue
-                run = run_batch(
-                    graph,
-                    compiled[shard],
-                    (),
-                    seeds=seeds,
-                    known=frontier,
-                    num_bits=num_bits,
-                    backend=self.backend,
+            for oid, state, mask in all_exports:
+                home = self._map.shard_of(oid)
+                home_node = self._shards[home].graph.node_id(oid)
+                home_frontier = frontiers[home]
+                absorbed = (
+                    home_frontier.mask_at(state, home_node)
+                    if home_frontier
+                    else 0
                 )
-                frontier = frontiers[shard] = run.frontier
-                self.stats.local_runs += 1
-                engine.stats.record_backend(run.backend)
-                self._ghost_nodes(shard)  # refresh the cache
-                ghost_list = self._ghost_lists[shard]
-                if not ghost_list:
-                    continue
-                oid_of = graph.nodes.backing_list()
-                # Scatter: facts that grew onto ghost nodes this run; ship
-                # the bits their owner has not absorbed yet.
-                for state, node, mask in frontier.items(
-                    fresh_only=True, restrict=ghost_list
-                ):
-                    oid = oid_of[node]
-                    home = self._map.shard_of(oid)
-                    home_node = self._shards[home].graph.node_id(oid)
-                    home_frontier = frontiers[home]
-                    absorbed = (
-                        home_frontier.mask_at(state, home_node)
-                        if home_frontier
-                        else 0
-                    )
-                    new_bits = mask & ~absorbed
-                    if new_bits:
-                        next_pending[home][(state, home_node)] |= new_bits
-                        self.stats.exchanged_facts += 1
+                new_bits = mask & ~absorbed
+                if new_bits:
+                    next_pending[home][(state, home_node)] |= new_bits
+                    self.stats.exchanged_facts += 1
+                    self.stats.last_run.exchanged_facts += 1
             pending = next_pending
+        if evaluation_backend is not None:
+            self.stats.record_evaluation(evaluation_backend)
 
         # Gather: accepting-state facts of each shard's owned nodes.
         accepting = compiled[0].accepting
@@ -644,23 +790,69 @@ class ShardedEngine:
         sources: "Sequence[Oid] | Iterable[Oid]",
     ) -> "dict[Oid, set[Oid]]":
         """Evaluate one query from many sources across all shards."""
-        source_list = list(sources)
-        self.stats.batch_evaluations += 1
-        self.stats.batched_sources += len(source_list)
-        self.refresh()
-        known = [oid for oid in source_list if oid in self._instance]
-        run = self._evaluate(query, known)
-        results: "dict[Oid, set[Oid]]" = {}
-        accepts_empty = run.compiled[0].accepts_empty_word()
-        for oid in source_list:
-            bit = run.bit_of.get(oid)
-            if bit is not None:
-                results[oid] = run.per_bit[bit]
-            else:
-                # Unknown sources have an empty description; they answer
-                # themselves exactly when the query accepts the empty word.
-                results[oid] = {oid} if accepts_empty else set()
-        return results
+        with self._lock:
+            source_list = list(sources)
+            self.stats.batch_evaluations += 1
+            self.stats.batched_sources += len(source_list)
+            self.refresh()
+            known = [oid for oid in source_list if oid in self._instance]
+            run = self._evaluate(query, known)
+            results: "dict[Oid, set[Oid]]" = {}
+            accepts_empty = run.compiled[0].accepts_empty_word()
+            for oid in source_list:
+                bit = run.bit_of.get(oid)
+                if bit is not None:
+                    results[oid] = run.per_bit[bit]
+                else:
+                    # Unknown sources have an empty description; they answer
+                    # themselves exactly when the query accepts the empty word.
+                    results[oid] = {oid} if accepts_empty else set()
+            return results
+
+    def query_batch_results(
+        self,
+        query,
+        sources: "Sequence[Oid] | Iterable[Oid]",
+    ) -> "dict[Oid, EvaluationResult]":
+        """Batched evaluation that also reconstructs cross-shard witnesses.
+
+        Mirrors :meth:`Engine.query_batch_results`: one scatter-gather
+        fixpoint answers every source, then each source's answers get one
+        witness label word apiece from the ``(state, oid)`` BFS stitched
+        across shards — the same reconstruction single-source :meth:`query`
+        uses, restricted per source to its own bit of the owned fact masks
+        (computed once for the whole batch).  The traversal statistics are
+        those of the whole batch, mirrored into every per-source result.
+        """
+        with self._lock:
+            source_list = list(sources)
+            self.stats.batch_evaluations += 1
+            self.stats.batched_sources += len(source_list)
+            self.refresh()
+            known = [oid for oid in source_list if oid in self._instance]
+            run = self._evaluate(query, known)
+            facts = self._fact_masks(run)
+            accepts_empty = run.compiled[0].accepts_empty_word()
+            results: "dict[Oid, EvaluationResult]" = {}
+            for oid in source_list:
+                bit = run.bit_of.get(oid)
+                if bit is None:
+                    result = EvaluationResult(visited_pairs=1, visited_objects=1)
+                    if accepts_empty:
+                        result.answers.add(oid)
+                        result.witness_paths[oid] = ()
+                    results[oid] = result
+                    continue
+                result = EvaluationResult(
+                    answers=set(run.per_bit[bit]),
+                    visited_pairs=run.visited_pairs,
+                    visited_objects=run.visited_objects,
+                )
+                result.witness_paths.update(
+                    self._witness_words(run, oid, bit, facts)
+                )
+                results[oid] = result
+            return results
 
     def query_all(self, query) -> "dict[Oid, set[Oid]]":
         """All-pairs evaluation: the answer set of every object of the graph."""
@@ -668,41 +860,39 @@ class ShardedEngine:
 
     def query(self, query, source: Oid) -> EvaluationResult:
         """Single-source evaluation with witnesses, as an ``EvaluationResult``."""
-        self.stats.single_evaluations += 1
-        self.refresh()
-        if source not in self._instance:
-            compiled = self._shards[0].compiled(self._prepared(query))
-            result = EvaluationResult(visited_pairs=1, visited_objects=1)
-            if compiled.accepts_empty_word():
-                result.answers.add(source)
-                result.witness_paths[source] = ()
+        with self._lock:
+            self.stats.single_evaluations += 1
+            self.refresh()
+            if source not in self._instance:
+                compiled = self._shards[0].compiled(self._prepared(query))
+                result = EvaluationResult(visited_pairs=1, visited_objects=1)
+                if compiled.accepts_empty_word():
+                    result.answers.add(source)
+                    result.witness_paths[source] = ()
+                return result
+            run = self._evaluate(query, [source])
+            result = EvaluationResult(
+                answers=set(run.per_bit[0]),
+                visited_pairs=run.visited_pairs,
+                visited_objects=run.visited_objects,
+            )
+            result.witness_paths.update(self._witness_words(run, source))
             return result
-        run = self._evaluate(query, [source])
-        result = EvaluationResult(
-            answers=set(run.per_bit[0]),
-            visited_pairs=run.visited_pairs,
-            visited_objects=run.visited_objects,
-        )
-        result.witness_paths.update(self._witness_words(run, source))
-        return result
 
     def answer_set(self, query, source: Oid) -> "set[Oid]":
         return self.query(query, source).answers
 
-    def _witness_words(self, run: _GlobalRun, source: Oid) -> "dict[Oid, tuple[str, ...]]":
-        """Rebuild one witness label word per answer of a single-source run.
+    # admission / admission_key / as_server come from ServingSurface: the
+    # session-central ``_prepared`` is what keys coalescing, so the key
+    # matches what every shard compiles.
 
-        A BFS over ``(state, oid)`` pairs stitched across shards: adjacency
-        comes from the owning shard's sub-instance (an owned node's full
-        description lives there), transitions from that shard's compiled
-        table, and expansion is restricted to the facts the fixpoint proved
-        reachable for the source's bit — so the walk is bounded by work the
-        supersteps already did, and the first accepting visit per target is
-        a shortest witness.
+    def _fact_masks(self, run: _GlobalRun) -> "dict[tuple[int, Oid], int]":
+        """Every owned ``(state, oid)`` fact of a run with its source bitmask.
+
+        Computed once per run and shared across the per-source witness
+        walks of a batch (each restricts to its own bit of the masks).
         """
-        compiled0 = run.compiled[0]
-        accepting = compiled0.accepting
-        reached: "set[tuple[int, Oid]]" = set()
+        facts: "dict[tuple[int, Oid], int]" = {}
         for shard, frontier in enumerate(run.frontiers):
             if frontier is None:
                 continue
@@ -710,8 +900,33 @@ class ShardedEngine:
             ghosts = self._ghost_nodes(shard)
             oid_of = graph.nodes.backing_list()
             for state, node, mask in frontier.items():
-                if node not in ghosts and mask & 1:
-                    reached.add((state, oid_of[node]))
+                if node not in ghosts:
+                    facts[(state, oid_of[node])] = mask
+        return facts
+
+    def _witness_words(
+        self,
+        run: _GlobalRun,
+        source: Oid,
+        bit: int = 0,
+        facts: "dict[tuple[int, Oid], int] | None" = None,
+    ) -> "dict[Oid, tuple[str, ...]]":
+        """Rebuild one witness label word per answer of one source's bit.
+
+        A BFS over ``(state, oid)`` pairs stitched across shards: adjacency
+        comes from the owning shard's sub-instance (an owned node's full
+        description lives there), transitions from that shard's compiled
+        table, and expansion is restricted to the facts the fixpoint proved
+        reachable for the source's bit — so the walk is bounded by work the
+        supersteps already did, and the first accepting visit per target is
+        a shortest witness.  ``facts`` lets a batched caller compute the
+        owned fact masks once and share them across all its sources.
+        """
+        if facts is None:
+            facts = self._fact_masks(run)
+        flag = 1 << bit
+        compiled0 = run.compiled[0]
+        accepting = compiled0.accepting
         start = (compiled0.initial, source)
         parents: "dict[tuple[int, Oid], tuple[tuple[int, Oid], str] | None]" = {
             start: None
@@ -733,7 +948,7 @@ class ShardedEngine:
                 if next_state < 0:
                     continue
                 key = (next_state, destination)
-                if key in parents or key not in reached:
+                if key in parents or not facts.get(key, 0) & flag:
                     continue
                 parents[key] = ((state, oid), label)
                 if accepting[next_state] and destination not in first_accept:
@@ -763,37 +978,38 @@ class ShardedEngine:
         """
         from .snapshot import resolve_codec
 
-        self.refresh()
-        resolved = resolve_codec(codec)
-        os.makedirs(directory, exist_ok=True)
-        shard_entries = []
-        for shard, engine in enumerate(self._shards):
-            filename = f"shard-{shard:04d}.snap"
-            engine.save(os.path.join(directory, filename), codec=codec)
-            sub = self._subs[shard]
-            shard_entries.append(
-                {
-                    "file": filename,
-                    "fingerprint": sub.content_fingerprint(),
-                    "objects": len(sub),
-                    "edges": sub.edge_count(),
-                }
-            )
-        manifest = {
-            "format_version": MANIFEST_FORMAT_VERSION,
-            "codec": resolved,
-            "shard_map": self._map.spec(),
-            "shard_map_fingerprint": self._map.fingerprint(),
-            "labels": list(self._labels),
-            "instance_fingerprint": self._instance.content_fingerprint(),
-            "shards": shard_entries,
-        }
-        manifest_path = os.path.join(directory, MANIFEST_NAME)
-        staging = manifest_path + ".tmp"
-        with open(staging, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=2)
-            handle.write("\n")
-        os.replace(staging, manifest_path)
+        with self._lock:
+            self.refresh()
+            resolved = resolve_codec(codec)
+            os.makedirs(directory, exist_ok=True)
+            shard_entries = []
+            for shard, engine in enumerate(self._shards):
+                filename = f"shard-{shard:04d}.snap"
+                engine.save(os.path.join(directory, filename), codec=codec)
+                sub = self._subs[shard]
+                shard_entries.append(
+                    {
+                        "file": filename,
+                        "fingerprint": sub.content_fingerprint(),
+                        "objects": len(sub),
+                        "edges": sub.edge_count(),
+                    }
+                )
+            manifest = {
+                "format_version": MANIFEST_FORMAT_VERSION,
+                "codec": resolved,
+                "shard_map": self._map.spec(),
+                "shard_map_fingerprint": self._map.fingerprint(),
+                "labels": list(self._labels),
+                "instance_fingerprint": self._instance.content_fingerprint(),
+                "shards": shard_entries,
+            }
+            manifest_path = os.path.join(directory, MANIFEST_NAME)
+            staging = manifest_path + ".tmp"
+            with open(staging, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2)
+                handle.write("\n")
+            os.replace(staging, manifest_path)
 
     @classmethod
     def open(
@@ -807,6 +1023,7 @@ class ShardedEngine:
         cost_model: "CostModel | None" = None,
         cache_capacity: int = 128,
         backend: str = "auto",
+        concurrency: "int | None" = None,
     ) -> "ShardedEngine":
         """Return a ready-to-serve sharded session.
 
@@ -829,6 +1046,7 @@ class ShardedEngine:
                 cost_model=cost_model,
                 cache_capacity=cache_capacity,
                 backend=backend,
+                concurrency=concurrency,
             )
         if instance is not None:
             raise ReproError(
@@ -842,6 +1060,7 @@ class ShardedEngine:
             cost_model=cost_model,
             cache_capacity=cache_capacity,
             backend=backend,
+            concurrency=concurrency,
         )
 
     @classmethod
@@ -856,6 +1075,7 @@ class ShardedEngine:
         cost_model: "CostModel | None",
         cache_capacity: int,
         backend: str,
+        concurrency: "int | None",
     ) -> "ShardedEngine":
         manifest_path = os.path.join(os.fspath(directory), MANIFEST_NAME)
         try:
@@ -892,6 +1112,7 @@ class ShardedEngine:
                     cost_model=cost_model,
                     cache_capacity=cache_capacity,
                     backend=backend,
+                    concurrency=concurrency,
                 )
             resolved_map = shard_map
         else:
@@ -949,5 +1170,6 @@ class ShardedEngine:
             cost_model=cost_model,
             cache_capacity=cache_capacity,
             backend=backend,
+            concurrency=concurrency,
             _restored=(subs, engines, labels),
         )

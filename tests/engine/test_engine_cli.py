@@ -245,3 +245,105 @@ class TestEngineShardedFlags:
         )
         assert code == 2
         assert "contradicts" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def _serve(self, monkeypatch, capsys, argv, stdin_text):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(stdin_text))
+        code = main(argv)
+        return code, capsys.readouterr()
+
+    def test_stdin_round_trip(self, graph_file, monkeypatch, capsys):
+        code, captured = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", graph_file],
+            "r1\to1\ta b*\nr2\to2\tb\n",
+        )
+        assert code == 0
+        # Responses stream in completion order; the id correlates them.
+        responses = dict(
+            line.split("\t", 1) for line in captured.out.splitlines()
+        )
+        assert responses == {"r1": "o2 o3", "r2": "o3"}
+
+    def test_stdin_coalesces_same_query(self, graph_file, monkeypatch, capsys):
+        requests = "".join(f"r{i}\to{1 + i % 3}\ta b*\n" for i in range(6))
+        code, captured = self._serve(
+            monkeypatch,
+            capsys,
+            # A generous delay so all six requests land in one bucket even
+            # on a slow CI box (the stdin reads hop through an executor).
+            ["serve", graph_file, "--stats", "--max-delay", "0.2"],
+            requests,
+        )
+        assert code == 0
+        assert len(captured.out.splitlines()) == 6
+        # All six requests shared one admission bucket -> one batch.
+        assert "batches: 1" in captured.err
+
+    def test_sharded_serve_with_concurrency(self, graph_file, monkeypatch, capsys):
+        code, captured = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", graph_file, "--shards", "2", "--concurrency", "2", "--stats"],
+            "r1\to1\ta b*\n",
+        )
+        assert code == 0
+        assert captured.out.splitlines() == ["r1\to2 o3"]
+        assert "shards: 2" in captured.err
+
+    def test_malformed_and_failing_requests_answer_errors(
+        self, graph_file, monkeypatch, capsys
+    ):
+        code, captured = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", graph_file],
+            "r1\to1\t((((\nnot-a-request\n",
+        )
+        assert code == 0
+        lines = captured.out.splitlines()
+        assert lines[0].startswith("r1\terror: ")
+        assert "malformed request" in lines[1]
+
+    def test_bad_tcp_spec_exits_two(self, graph_file, capsys):
+        assert main(["serve", graph_file, "--tcp", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_constraints_accepted(self, graph_file, monkeypatch, capsys):
+        code, captured = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", graph_file, "-c", "a b b = a"],
+            "r1\to1\ta b*\n",
+        )
+        assert code == 0
+        assert captured.out.splitlines() == ["r1\to2 o3"]
+
+
+class TestEngineConcurrencyFlag:
+    def test_concurrency_requires_shards(self, graph_file, query_file, capsys):
+        code = main(
+            ["engine", graph_file, query_file, "--all-sources", "--concurrency", "2"]
+        )
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_concurrency_with_shards_serves(self, graph_file, query_file, capsys):
+        code = main(
+            ["engine", graph_file, query_file, "--all-sources",
+             "--shards", "2", "--concurrency", "2"]
+        )
+        assert code == 0
+        concurrent_out = capsys.readouterr().out
+        assert main(["engine", graph_file, query_file, "--all-sources"]) == 0
+        assert capsys.readouterr().out == concurrent_out
+
+    def test_unresolvable_tcp_host_exits_two(self, graph_file, capsys):
+        code = main(["serve", graph_file, "--tcp", "no.such.host.invalid:0"])
+        assert code == 2
+        assert "cannot listen on" in capsys.readouterr().err

@@ -9,7 +9,10 @@ exactly, in every mode (single-source, batched, all-pairs), including the
 executors.  The sharded engine joins the same equivalence class: for shard
 counts {1, 2, 7} its scatter-gather answers are pinned to the monolithic
 engine (and through it the baseline), including after interleaved edits
-routed to the owning shard.  Together the tests run well over 200 examples.
+routed to the owning shard.  The serving layer joins it too: answers fanned
+out by the admission queue under concurrent submission are pinned to the
+direct sharded calls and the baseline.  Together the tests run well over
+200 examples.
 """
 
 import pytest
@@ -219,6 +222,54 @@ def test_sharded_engine_tracks_interleaved_edits(graph_and_source, expression, s
         assert all(
             shard.stats.graph_builds == 1 for shard in engine.shard_engines
         ), key
+
+
+@given(
+    small_instances(max_nodes=6, max_edges=12),
+    regexes(max_leaves=4),
+    regexes(max_leaves=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_served_answers_match_direct_and_baseline(
+    graph_and_source, expr_one, expr_two
+):
+    """Served ≡ direct ``ShardedEngine`` ≡ baseline under concurrent admission.
+
+    Every example submits two queries from every source *concurrently*
+    through the admission queue (small max_batch, so coalescing, size
+    flushes and delay flushes all occur) and pins the fanned-out answers to
+    the direct sharded calls — and, per source, to ``evaluate_baseline``.
+    """
+    import asyncio
+
+    instance, _ = graph_and_source
+    sources = sorted(instance.objects, key=repr)
+    sharded = ShardedEngine.open(instance, shards=2)
+    queries = (expr_one, expr_two)
+    direct = {
+        query_index: sharded.query_batch(query, sources)
+        for query_index, query in enumerate(queries)
+    }
+
+    async def scenario():
+        async with sharded.as_server(max_batch=3, max_delay=0.001) as server:
+            futures = {
+                (query_index, source): server.submit_nowait(query, source)
+                for query_index, query in enumerate(queries)
+                for source in sources
+            }
+            return {key: await future for key, future in futures.items()}
+
+    served = asyncio.run(scenario())
+    for query_index in range(len(queries)):
+        for source in sources:
+            assert served[(query_index, source)] == direct[query_index][source], (
+                query_index,
+                source,
+            )
+    rpq = RegularPathQuery.of(expr_one)
+    for source in sources:
+        assert direct[0][source] == evaluate_baseline(rpq, source, instance).answers
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy backend unavailable")

@@ -1,0 +1,835 @@
+"""Tests for the async serving layer (``repro.engine.serving``).
+
+Admission-queue semantics (coalescing, flush policies, error fan-out,
+lifecycle), the concurrent superstep scheduler (ordering, the
+``concurrent_steps`` overlap stat, barrier error handling), the TCP/stdin
+line protocol, end-to-end equivalence of served answers against direct
+engine calls on both session kinds, and a thread-sanity stress test that
+hammers one shared engine from many raw threads (no asyncio) to exercise
+the PR-5 thread-safety audit.  ``scripts/check.sh serve`` runs this file
+with ``PYTHONASYNCIODEBUG=1`` in both numpy arms.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.engine import (
+    Engine,
+    QueryServer,
+    ShardedEngine,
+    SuperstepScheduler,
+    numpy_available,
+    serve_request_lines,
+    serve_stream,
+    serve_tcp,
+)
+from repro.exceptions import ReproError
+from repro.graph import Instance, web_like_graph
+
+EXECUTOR_BACKENDS = ("python", "numpy") if numpy_available() else ("python",)
+
+
+def web(nodes=40, seed=7, labels=("a", "b", "c")):
+    instance, root = web_like_graph(nodes, list(labels), seed=seed)
+    return instance, root
+
+
+def sources_of(instance, count):
+    return sorted(instance.objects, key=repr)[:count]
+
+
+# ---------------------------------------------------------------------------
+# Admission queue.
+# ---------------------------------------------------------------------------
+class TestAdmission:
+    def test_coalesces_same_query_into_one_batch(self):
+        instance, _ = web(30)
+        engine = Engine.open(instance)
+        sources = sources_of(instance, 10)
+
+        async def scenario():
+            async with engine.as_server(max_batch=64, max_delay=0.01) as server:
+                return await server.submit_many("a (b + c)*", sources)
+
+        served = asyncio.run(scenario())
+        assert served == engine.query_batch("a (b + c)*", sources)
+        # All ten requests shared ONE engine round-trip (the second
+        # batch_evaluations bump is the direct reference call above).
+        assert engine.stats.batch_evaluations == 2
+
+    def test_equivalent_spellings_share_a_bucket(self):
+        # '(a b)' and 'a b' print to the same canonical expression, so the
+        # admission key coalesces them even though the request texts differ.
+        instance, _ = web(20)
+        engine = Engine.open(instance)
+        [source] = sources_of(instance, 1)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.01) as server:
+                one = server.submit_nowait("(a b)", source)
+                two = server.submit_nowait("a b", source)
+                return await asyncio.gather(one, two)
+
+        one, two = asyncio.run(scenario())
+        assert one == two
+        assert engine.stats.batch_evaluations == 1
+
+    def test_max_batch_flushes_immediately(self):
+        instance, _ = web(20)
+        engine = Engine.open(instance)
+        sources = sources_of(instance, 6)
+
+        async def scenario():
+            # max_delay high enough that only the size trigger can flush.
+            async with engine.as_server(max_batch=3, max_delay=30.0) as server:
+                results = await server.submit_many("a b", sources)
+                return results, server.stats.size_flushes
+
+        results, size_flushes = asyncio.run(scenario())
+        assert results == engine.query_batch("a b", sources)
+        assert size_flushes == 2  # 6 sources / max_batch 3
+
+    def test_max_delay_flushes_a_partial_bucket(self):
+        instance, _ = web(20)
+        engine = Engine.open(instance)
+        [source] = sources_of(instance, 1)
+
+        async def scenario():
+            async with engine.as_server(max_batch=64, max_delay=0.001) as server:
+                answers = await server.submit("a b", source)
+                return answers, server.stats.delay_flushes
+
+        answers, delay_flushes = asyncio.run(scenario())
+        assert answers == engine.query_batch("a b", [source])[source]
+        assert delay_flushes == 1
+
+    def test_zero_delay_serves_every_request_alone(self):
+        instance, _ = web(20)
+        engine = Engine.open(instance)
+        sources = sources_of(instance, 3)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.0) as server:
+                results = await server.submit_many("a b", sources)
+                assert server.stats.immediate_flushes == 3
+                assert server.stats.size_flushes == 0
+                return results, server.stats.batches
+
+        results, batches = asyncio.run(scenario())
+        assert results == engine.query_batch("a b", sources)
+        assert batches == 3
+        # Tallied as immediate flushes, not as size-cap pressure.
+        assert engine.stats.batch_evaluations >= 3
+
+    def test_different_dfas_use_separate_buckets(self):
+        instance, _ = web(20)
+        engine = Engine.open(instance)
+        [source] = sources_of(instance, 1)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.01, concurrency=2) as server:
+                one = server.submit_nowait("a b", source)
+                two = server.submit_nowait("b a", source)
+                await asyncio.gather(one, two)
+                return server.stats.batches
+
+        assert asyncio.run(scenario()) == 2
+
+    def test_malformed_query_fails_fast_at_admission(self):
+        # Parse errors surface synchronously from submit, before any bucket
+        # is created — a bad request never poisons a shared batch.
+        instance, _ = web(10)
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.001) as server:
+                with pytest.raises(Exception, match="parenthesis"):
+                    server.submit_nowait("(unbalanced", "p0")
+                # submitted == served + failed even for admission failures.
+                assert server.stats.submitted == 1
+                assert server.stats.failed == 1
+                return server.stats.batches
+
+        assert asyncio.run(scenario()) == 0
+
+    def test_evaluation_error_fans_out_to_every_waiter(self):
+        # A flush-time engine failure must reject every coalesced waiter.
+        instance, _ = web(10)
+        engine = Engine.open(instance)
+        sources = sources_of(instance, 3)
+
+        class ExplodingEngine:
+            def admission(self, query):
+                return engine.admission(query)
+
+            def query_batch(self, query, batch_sources):
+                raise RuntimeError("backend exploded")
+
+        async def scenario():
+            async with QueryServer(ExplodingEngine(), max_delay=0.001) as server:
+                futures = [
+                    server.submit_nowait("a b", source) for source in sources
+                ]
+                outcomes = await asyncio.gather(*futures, return_exceptions=True)
+                return outcomes, server.stats.failed, server.stats.batches
+
+        outcomes, failed, batches = asyncio.run(scenario())
+        assert len(outcomes) == 3 and failed == 3 and batches == 1
+        assert all(
+            isinstance(outcome, RuntimeError) for outcome in outcomes
+        )
+
+    def test_close_flushes_pending_buckets(self):
+        instance, _ = web(20)
+        engine = Engine.open(instance)
+        [source] = sources_of(instance, 1)
+
+        async def scenario():
+            server = engine.as_server(max_batch=64, max_delay=30.0)
+            future = server.submit_nowait("a b", source)
+            await server.close()
+            assert server.stats.close_flushes == 1
+            return await future
+
+        answers = asyncio.run(scenario())
+        assert answers == engine.query_batch("a b", [source])[source]
+
+    def test_submit_after_close_raises(self):
+        instance, _ = web(10)
+        engine = Engine.open(instance)
+
+        async def scenario():
+            server = engine.as_server()
+            await server.close()
+            with pytest.raises(ReproError, match="closed"):
+                server.submit_nowait("a", "p0")
+
+        asyncio.run(scenario())
+
+    def test_rejects_bad_policy(self):
+        instance, _ = web(5)
+        engine = Engine.open(instance)
+        with pytest.raises(ReproError):
+            QueryServer(engine, max_batch=0)
+        with pytest.raises(ReproError):
+            QueryServer(engine, max_delay=-1.0)
+        with pytest.raises(ReproError):
+            QueryServer(engine, concurrency=0)
+
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_sharded_server_matches_direct_and_monolithic(self, backend):
+        instance, _ = web(40)
+        sharded = ShardedEngine.open(instance, shards=3, backend=backend)
+        mono = Engine.open(instance, backend=backend)
+        sources = sources_of(instance, 12)
+        queries = ("a (b + c)*", "a* b", "b")
+
+        async def scenario():
+            async with sharded.as_server(max_batch=8, max_delay=0.002) as server:
+                futures = {
+                    (query, source): server.submit_nowait(query, source)
+                    for query in queries
+                    for source in sources
+                }
+                return {
+                    key: await future for key, future in futures.items()
+                }
+
+        served = asyncio.run(scenario())
+        for query in queries:
+            direct = sharded.query_batch(query, sources)
+            reference = mono.query_batch(query, sources)
+            for source in sources:
+                assert served[(query, source)] == direct[source], (query, source)
+                assert direct[source] == reference[source], (query, source)
+
+    def test_admission_returns_prepared_form(self):
+        # The bucket evaluates the *rewritten* query directly; admission on
+        # a constrained session must hand back the prepared expression.
+        from repro.constraints import ConstraintSet, parse_constraint
+        from repro.engine import query_key
+
+        instance, _ = web(10)
+        constraints = ConstraintSet([parse_constraint("a b <= c")])
+        engine = Engine.open(instance, constraints=constraints)
+        key, prepared = engine.admission("a b")
+        assert key == engine.admission_key("a b") == query_key(prepared)
+
+    def test_admission_key_does_not_take_the_evaluation_lock(self):
+        # Regression: admission runs on the event loop while flushes hold
+        # the engine lock for a whole evaluation — it must never block on it.
+        instance, _ = web(10)
+        sharded = ShardedEngine.open(instance, shards=2)
+        acquired = sharded._lock.acquire()
+        assert acquired
+        try:
+            done = threading.Event()
+            keys: "list[str]" = []
+
+            def admit():
+                keys.append(sharded.admission_key("a b"))
+                done.set()
+
+            worker = threading.Thread(target=admit)
+            worker.start()
+            assert done.wait(timeout=10), (
+                "admission_key blocked behind the evaluation lock"
+            )
+            worker.join(timeout=10)
+            assert keys == ["a b"]
+        finally:
+            sharded._lock.release()
+
+    def test_constrained_server_coalesces_rewritten_queries(self):
+        from repro.constraints import ConstraintSet, parse_constraint
+
+        instance, _ = web(20)
+        constraints = ConstraintSet([parse_constraint("a b <= c")])
+        engine = Engine.open(instance, constraints=constraints)
+        sources = sources_of(instance, 4)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.005) as server:
+                return await server.submit_many("a b", sources)
+
+        served = asyncio.run(scenario())
+        assert served == engine.query_batch("a b", sources)
+        # The flush evaluated the *prepared* form: one rewrite pass total
+        # (the rewritten expression is a memo fixed point), never a second
+        # pass on its own output.
+        assert engine.stats.rewrites_applied <= 1
+
+
+# ---------------------------------------------------------------------------
+# Superstep scheduler.
+# ---------------------------------------------------------------------------
+class TestSuperstepScheduler:
+    def test_results_keep_step_order(self):
+        with SuperstepScheduler(4) as scheduler:
+            results = scheduler.run([lambda i=i: i * i for i in range(7)])
+        assert results == [i * i for i in range(7)]
+
+    def test_steps_really_overlap(self):
+        # Each step waits for the *other* step to have started: only a
+        # scheduler that runs both concurrently can finish, and its peak
+        # in-flight stat must record the overlap.
+        first, second = threading.Event(), threading.Event()
+
+        def step(mine, other):
+            mine.set()
+            assert other.wait(timeout=10), "steps did not overlap"
+            return True
+
+        with SuperstepScheduler(2) as scheduler:
+            results = scheduler.run(
+                [
+                    lambda: step(first, second),
+                    lambda: step(second, first),
+                ]
+            )
+            assert results == [True, True]
+            assert scheduler.concurrent_steps == 2
+            assert scheduler.steps == 2 and scheduler.barriers == 1
+
+    def test_single_step_skips_the_pool(self):
+        with SuperstepScheduler(2) as scheduler:
+            assert scheduler.run([lambda: 41]) == [41]
+            assert scheduler.steps == 1
+            assert scheduler.concurrent_steps == 1
+
+    def test_step_error_joins_the_barrier_first(self):
+        joined = threading.Event()
+
+        def failing():
+            raise RuntimeError("shard exploded")
+
+        def slow():
+            joined.set()
+            return "done"
+
+        with SuperstepScheduler(2) as scheduler:
+            with pytest.raises(RuntimeError, match="shard exploded"):
+                scheduler.run([failing, slow])
+        assert joined.is_set()  # the healthy step still completed
+
+    def test_closed_scheduler_raises(self):
+        scheduler = SuperstepScheduler(2)
+        scheduler.close()
+        with pytest.raises(ReproError, match="closed"):
+            scheduler.run([lambda: 1])
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ReproError):
+            SuperstepScheduler(0)
+
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_concurrent_supersteps_match_sequential(self, backend):
+        instance, _ = web(60)
+        sequential = ShardedEngine.open(instance, shards=4, backend=backend)
+        concurrent = ShardedEngine.open(
+            instance, shards=4, backend=backend, concurrency=4
+        )
+        try:
+            for query in ("a (b + c)*", "a* b", "%", "(a + b) c*"):
+                assert concurrent.query_all(query) == sequential.query_all(
+                    query
+                ), query
+            assert concurrent.scheduler is not None
+            # Multi-shard supersteps went through the scheduler (single
+            # active-shard rounds legitimately bypass it).
+            assert concurrent.scheduler.barriers >= 1
+            assert concurrent.scheduler.steps >= 2
+        finally:
+            concurrent.close()
+
+    def test_engine_open_concurrency_installs_a_scheduler(self):
+        instance, _ = web(10)
+        engine = ShardedEngine.open(instance, shards=2, concurrency=3)
+        try:
+            assert engine.scheduler is not None
+            assert engine.scheduler.max_workers == 3
+        finally:
+            engine.close()
+        sequential = ShardedEngine.open(instance, shards=2)
+        assert sequential.scheduler is None
+        assert ShardedEngine.open(instance, shards=2, concurrency=1).scheduler is None
+
+    def test_invalid_concurrency_rejected(self):
+        instance, _ = web(5)
+        with pytest.raises(ReproError):
+            ShardedEngine.open(instance, shards=2, concurrency=0)
+
+
+# ---------------------------------------------------------------------------
+# Line protocol: stdin batch helper and the TCP front-end.
+# ---------------------------------------------------------------------------
+class TestLineProtocol:
+    def test_request_lines_answered_in_order(self):
+        instance = Instance([("u", "a", "v"), ("v", "b", "w")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.001) as server:
+                return await serve_request_lines(
+                    server,
+                    [
+                        "q1\tu\ta b",
+                        "",  # blank lines are skipped
+                        "q2\tv\tb",
+                        "q3\tu\tzz",
+                        "malformed",
+                    ],
+                )
+
+        responses = asyncio.run(scenario())
+        assert responses[0] == "q1\tw"
+        assert responses[1] == "q2\tw"
+        assert responses[2] == "q3\t"  # no answers -> empty payload
+        assert responses[3].startswith("malformed\terror: malformed request")
+
+    def test_request_lines_window_preserves_order_and_answers(self):
+        # A max_inflight far below the line count: windows drain in turn,
+        # order and answers unchanged.
+        instance, _ = web(20)
+        engine = Engine.open(instance)
+        sources = sources_of(instance, 5)
+        lines = [
+            f"r{index}\t{sources[index % 5]}\ta b" for index in range(17)
+        ]
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.001) as server:
+                return await serve_request_lines(server, lines, max_inflight=3)
+
+        responses = asyncio.run(scenario())
+        expected = engine.query_batch("a b", sources)
+        assert len(responses) == 17
+        for index, response in enumerate(responses):
+            ident, _, payload = response.partition("\t")
+            assert ident == f"r{index}"
+            answers = set(payload.split()) - {""}
+            assert answers == {
+                str(oid) for oid in expected[sources[index % 5]]
+            }, index
+
+    def test_serve_stream_is_interactive(self):
+        # A request/response client: the next line is only produced AFTER
+        # the previous answer arrived.  Only a front-end that answers each
+        # request as it completes (not at a window boundary / EOF) can
+        # finish this exchange — the CLI's stdin mode runs on serve_stream
+        # for exactly this reason.
+        instance = Instance([("u", "a", "v"), ("v", "b", "w")])
+        engine = Engine.open(instance)
+        script = ["r1\tu\ta", "r2\tu\ta b", ""]
+        responses: "list[str]" = []
+        answered = asyncio.Event()
+
+        async def readline() -> str:
+            if responses:  # require the previous answer before continuing
+                await answered.wait()
+                answered.clear()
+            line = script.pop(0)
+            return line + "\n" if line else ""
+
+        def emit(response: str) -> None:
+            responses.append(response)
+            answered.set()
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.001) as server:
+                await asyncio.wait_for(
+                    serve_stream(server, readline, emit), timeout=30
+                )
+
+        asyncio.run(scenario())
+        assert responses == ["r1\tv", "r2\tw"]
+
+    def test_serve_stream_bounds_inflight(self):
+        instance = Instance([("u", "a", "v")])
+        engine = Engine.open(instance)
+        lines = [f"r{index}\tu\ta" for index in range(9)] + [""]
+        collected: "list[str]" = []
+
+        async def readline() -> str:
+            line = lines.pop(0)
+            return line + "\n" if line else ""
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.001) as server:
+                await serve_stream(
+                    server, readline, collected.append, max_inflight=2
+                )
+
+        asyncio.run(scenario())
+        assert sorted(collected) == sorted(f"r{index}\tv" for index in range(9))
+
+    def test_request_lines_emit_streams_windows(self):
+        # With emit=, responses stream out window by window (and are not
+        # accumulated) — the shape the CLI's lazy stdin mode relies on.
+        instance = Instance([("u", "a", "v")])
+        engine = Engine.open(instance)
+        lines = [f"r{index}\tu\ta" for index in range(7)]
+        streamed: "list[str]" = []
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.001) as server:
+                return await serve_request_lines(
+                    server, iter(lines), max_inflight=3, emit=streamed.append
+                )
+
+        returned = asyncio.run(scenario())
+        assert returned == []
+        assert streamed == [f"r{index}\tv" for index in range(7)]
+
+    def test_constrained_submit_admits_off_loop(self):
+        # submit() on a constrained session hops admission to the pool; the
+        # answers (and coalescing) must match the inline submit_nowait path.
+        from repro.constraints import ConstraintSet, parse_constraint
+
+        instance, _ = web(20)
+        constraints = ConstraintSet([parse_constraint("a b <= c")])
+        engine = Engine.open(instance, constraints=constraints)
+        sources = sources_of(instance, 4)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.005) as server:
+                answers = await asyncio.gather(
+                    *(server.submit("a b", source) for source in sources)
+                )
+                return dict(zip(sources, answers)), server.stats
+
+        served, stats = asyncio.run(scenario())
+        assert served == engine.query_batch("a b", sources)
+        assert stats.submitted == stats.served + stats.failed == 4
+
+    def test_bad_query_is_an_error_response_not_a_crash(self):
+        instance = Instance([("u", "a", "v")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.001) as server:
+                return await serve_request_lines(server, ["q1\tu\t(((("])
+
+        [response] = asyncio.run(scenario())
+        assert response.startswith("q1\terror: ")
+
+    def test_tcp_oversized_line_answers_error_and_keeps_responses(self):
+        # A line exceeding the stream limit loses framing: the connection
+        # must answer the in-flight requests plus one error line instead of
+        # dying with nothing.
+        instance = Instance([("u", "a", "v")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.001) as server:
+                listener = await serve_tcp(server, "127.0.0.1", 0)
+                port = listener.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(b"ok\tu\ta\n")
+                writer.write(b"x" * (2 << 20))  # > the 1 MiB line limit
+                await writer.drain()
+                writer.write_eof()
+                payload = (await reader.read()).decode("utf-8")
+                writer.close()
+                await writer.wait_closed()
+                listener.close()
+                await listener.wait_closed()
+                return payload
+
+        payload = asyncio.run(scenario())
+        lines = payload.splitlines()
+        assert "ok\tv" in lines
+        assert any("request line too long" in line for line in lines)
+
+    def test_tcp_inflight_cap_preserves_every_response(self):
+        # A tiny per-connection cap forces the read loop to apply
+        # backpressure; every pipelined request must still get its answer.
+        instance, _ = web(20)
+        engine = Engine.open(instance)
+        sources = sources_of(instance, 5)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.001) as server:
+                listener = await serve_tcp(server, "127.0.0.1", 0, max_inflight=2)
+                port = listener.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                for index in range(20):
+                    source = sources[index % len(sources)]
+                    writer.write(f"r{index}\t{source}\ta b\n".encode("utf-8"))
+                await writer.drain()
+                writer.write_eof()
+                payload = (await reader.read()).decode("utf-8")
+                writer.close()
+                await writer.wait_closed()
+                listener.close()
+                await listener.wait_closed()
+                return payload
+
+        payload = asyncio.run(scenario())
+        idents = {line.split("\t", 1)[0] for line in payload.splitlines()}
+        assert idents == {f"r{index}" for index in range(20)}
+
+    @pytest.mark.parametrize("shards", [None, 2])
+    def test_tcp_round_trip(self, shards):
+        instance, _ = web(25)
+        if shards is None:
+            engine = Engine.open(instance)
+        else:
+            engine = ShardedEngine.open(instance, shards=shards)
+        sources = sources_of(instance, 4)
+        expected = engine.query_batch("a (b + c)*", sources)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.002) as server:
+                listener = await serve_tcp(server, "127.0.0.1", 0)
+                port = listener.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                for index, source in enumerate(sources):
+                    writer.write(
+                        f"r{index}\t{source}\ta (b + c)*\n".encode("utf-8")
+                    )
+                await writer.drain()
+                writer.write_eof()
+                payload = (await reader.read()).decode("utf-8")
+                writer.close()
+                await writer.wait_closed()
+                listener.close()
+                await listener.wait_closed()
+                return payload, server.stats.submitted
+
+        payload, submitted = asyncio.run(scenario())
+        assert submitted == len(sources)
+        responses = dict(
+            line.split("\t", 1) for line in payload.splitlines() if line
+        )
+        for index, source in enumerate(sources):
+            answers = set(responses[f"r{index}"].split()) - {""}
+            assert answers == {str(oid) for oid in expected[source]}, source
+
+
+# ---------------------------------------------------------------------------
+# Thread sanity: many raw threads on one shared engine (no asyncio).
+# ---------------------------------------------------------------------------
+class TestThreadSanity:
+    QUERIES = ("a (b + c)*", "a* b", "b c", "(a + b)*", "c")
+
+    def _hammer(self, engine, reference, threads=8, rounds=12):
+        errors: "list[BaseException]" = []
+        barrier = threading.Barrier(threads)
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for round_index in range(rounds):
+                    query = self.QUERIES[(seed + round_index) % len(self.QUERIES)]
+                    got = engine.query_batch(query, reference[query][1])
+                    assert got == reference[query][0], query
+            except BaseException as error:  # surfaces in the main thread
+                errors.append(error)
+
+        workers = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert not any(thread.is_alive() for thread in workers)
+
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_shared_monolithic_engine_under_thread_load(self, backend):
+        instance, _ = web(40)
+        engine = Engine.open(instance, backend=backend)
+        sources = sources_of(instance, 8)
+        reference = {
+            query: (engine.query_batch(query, sources), sources)
+            for query in self.QUERIES
+        }
+        self._hammer(engine, reference)
+        # Every request was tallied exactly once: 5 warm-up calls plus
+        # threads x rounds hammered calls, none lost to racing increments.
+        assert engine.stats.batch_evaluations == len(self.QUERIES) + 8 * 12
+
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_shared_sharded_engine_under_thread_load(self, backend):
+        instance, _ = web(40)
+        engine = ShardedEngine.open(
+            instance, shards=3, backend=backend, concurrency=2
+        )
+        try:
+            sources = sources_of(instance, 8)
+            reference = {
+                query: (engine.query_batch(query, sources), sources)
+                for query in self.QUERIES
+            }
+            self._hammer(engine, reference, threads=6, rounds=8)
+            assert engine.stats.batch_evaluations == len(self.QUERIES) + 6 * 8
+        finally:
+            engine.close()
+
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_mutation_concurrent_with_queries_is_safe(self, backend):
+        # Regression (review repro): add_edge during an in-flight run used
+        # to crash the query thread (numpy gathered edge arrays holding
+        # freshly interned node ids beyond the run's node count).  In-place
+        # mutation now drains in-flight executor runs first.
+        instance, _ = web(400)
+        engine = Engine.open(instance, backend=backend)
+        sources = sources_of(instance, 12)
+        stop = threading.Event()
+        errors: "list[BaseException]" = []
+
+        def querier():
+            try:
+                while not stop.is_set():
+                    engine.query_batch("(a + b + c)*", sources)
+            except BaseException as error:
+                errors.append(error)
+
+        pause = threading.Event()  # never set: .wait() is a sub-ms sleep
+
+        def mutator():
+            # Spread the edits across ~0.2s of query activity so some land
+            # mid-run (a back-to-back blast tends to fall between runs).
+            try:
+                for index in range(150):
+                    engine.add_edge(f"mut{index}", "a", sources[index % 12])
+                    pause.wait(0.0005)
+                for index in range(150):
+                    engine.remove_edge(f"mut{index}", "a", sources[index % 12])
+                    pause.wait(0.0005)
+            except BaseException as error:
+                errors.append(error)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=querier) for _ in range(3)]
+        threads.append(threading.Thread(target=mutator))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        # The edit script is symmetric, so the final answers are clean.
+        reference = Engine.open(instance.copy(), backend=backend)
+        assert engine.query_batch("a (b + c)*", sources) == reference.query_batch(
+            "a (b + c)*", sources
+        )
+
+    def test_query_snapshot_survives_concurrent_rebuild(self):
+        # Query paths capture (table, graph) as one pair: a refresh in
+        # another thread that swaps the engine's graph (here simulated
+        # inline via an out-of-band edit) must not tear a query that is
+        # already past compilation into mixing old ids with a new graph.
+        from repro.engine import run_batch
+
+        instance = Instance([("u", "a", "v"), ("v", "b", "w")])
+        engine = Engine.open(instance)
+        compiled, graph = engine._compiled_on("a b")
+        instance.remove_edge("u", "a", "v")  # out-of-band: full rebuild due
+        instance.add_edge("u", "c", "v")
+        assert engine.refresh() is True
+        assert engine.graph is not graph
+        # The captured pair still serves a consistent pre-rebuild answer.
+        run = run_batch(graph, compiled, [graph.node_id("u")])
+        assert graph.oids_of(run.answers[0]) == {"w"}
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy cache under test")
+    def test_stale_edge_arrays_not_cached_after_mid_build_mutation(
+        self, monkeypatch
+    ):
+        # ABA regression: reader A starts lowering a label's edge arrays at
+        # version v; a mutation bumps the version AND another reader re-lowers
+        # the cache for the new version before A stores.  A's stale arrays
+        # must not be readmitted just because the live version matches the
+        # cache's again.
+        import repro.engine.csr as csr_mod
+        from repro.engine import CompiledGraph
+
+        graph = CompiledGraph.from_instance(Instance([("u", "a", "v")]))
+        label = graph.label_id("a")
+        original = csr_mod.LabelEdges.__init__
+        fired = []
+
+        def hooked(edges_self, src, dst):
+            if not fired:
+                fired.append(True)
+                graph.add_edge("u", "a", "w")  # version bump mid-build
+                graph.numpy_label_edges(label)  # reader B: reset + recache
+            original(edges_self, src, dst)
+
+        monkeypatch.setattr(csr_mod.LabelEdges, "__init__", hooked)
+        graph.numpy_label_edges(label)  # reader A: must not poison the cache
+        monkeypatch.setattr(csr_mod.LabelEdges, "__init__", original)
+        cached = graph.numpy_label_edges(label)
+        assert graph.node_id("w") in cached.dst.tolist()
+
+    def test_compile_cache_safe_under_concurrent_compiles(self):
+        # Many distinct queries from many threads: the LRU mutates heavily.
+        instance, _ = web(20)
+        engine = Engine.open(instance, cache_capacity=4)
+        queries = ["a", "a b", "a b c", "b*", "c b a", "(a + b)*"]
+        [source] = sources_of(instance, 1)
+        expected = {query: engine.answer_set(query, source) for query in queries}
+        errors: "list[BaseException]" = []
+
+        def worker(offset: int) -> None:
+            try:
+                for index in range(18):
+                    query = queries[(offset + index) % len(queries)]
+                    assert engine.answer_set(query, source) == expected[query]
+            except BaseException as error:
+                errors.append(error)
+
+        workers = [
+            threading.Thread(target=worker, args=(index,)) for index in range(6)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=60)
+        assert not errors, errors
