@@ -12,8 +12,14 @@ pool of distinct queries from scattered sources.  Two properties are gated:
 * **superstep overlap** — with ``concurrency=N`` the sharded engine's
   per-shard local fixpoints run on the thread-pool scheduler, and its
   ``concurrent_steps`` stat (peak steps simultaneously in flight) must
-  exceed 1 — the observable proof that per-shard supersteps overlap.
+  exceed 1 — the observable proof that per-shard supersteps overlap;
+* **telemetry overhead** — serving with telemetry capture enabled must
+  stay within **5%** of the same run with capture disabled
+  (``OVERHEAD_BOUND``), the contract that instrumentation is near-free.
 
+Per-request latency is measured at the admission boundary — a monotonic
+clock read when each request is submitted and again when its future
+resolves — and the artifact records the p50/p95/p99 of that distribution.
 Served answers are checked request-for-request against the sequential
 baseline (and the grouped direct ``query_batch``) before any timing is
 trusted.  The run always writes a machine-readable artifact
@@ -30,15 +36,26 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import math
 import random
 import sys
 import time
 
 from bench_sharded import build_workload
 
-from repro.engine import ShardedEngine
+from repro.engine import ShardedEngine, set_telemetry_enabled
 
 SPEEDUP_BOUND = 2.0
+OVERHEAD_BOUND = 1.05
+
+
+def percentile(values, quantile):
+    """Nearest-rank percentile of a list of measured latencies."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(len(ordered) * quantile))
+    return ordered[rank - 1]
 
 
 def make_requests(query_count, sources, total, seed):
@@ -58,21 +75,35 @@ def serve_sequentially(engine, queries, requests):
 
 
 def serve_concurrently(engine, queries, requests, *, max_batch, max_delay,
-                       concurrency):
-    """All requests admitted concurrently through the shared-batch queue."""
+                       concurrency, capture_latencies=False):
+    """All requests admitted concurrently through the shared-batch queue.
+
+    With ``capture_latencies`` each request is clocked from submission to
+    future resolution (``time.perf_counter`` at both ends); the timing
+    passes leave it off so throughput numbers carry no harness overhead.
+    """
+    latencies: list[float] = []
 
     async def scenario():
         async with engine.as_server(
             max_batch=max_batch, max_delay=max_delay, concurrency=concurrency
         ) as server:
-            futures = [
-                server.submit_nowait(queries[query_index], source)
-                for query_index, source in requests
-            ]
+            futures = []
+            for query_index, source in requests:
+                submitted_at = time.perf_counter()
+                future = server.submit_nowait(queries[query_index], source)
+                if capture_latencies:
+                    future.add_done_callback(
+                        lambda _f, t0=submitted_at: latencies.append(
+                            time.perf_counter() - t0
+                        )
+                    )
+                futures.append(future)
             answers = await asyncio.gather(*futures)
             return list(answers), server.stats
 
-    return asyncio.run(scenario())
+    answers, stats = asyncio.run(scenario())
+    return answers, stats, latencies
 
 
 def timed(fn, *args, **kwargs):
@@ -121,8 +152,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--check", action="store_true",
         help=f"exit 1 unless shared-batch serving is >= {SPEEDUP_BOUND}x the "
-        "sequential baseline and per-shard supersteps overlapped "
-        "(concurrent_steps > 1)",
+        "sequential baseline, per-shard supersteps overlapped "
+        f"(concurrent_steps > 1), and telemetry overhead <= {OVERHEAD_BOUND}x",
     )
     args = parser.parse_args(argv)
     if args.smoke:
@@ -146,10 +177,13 @@ def main(argv=None) -> int:
         instance, shard_map=shard_map, concurrency=args.concurrency
     )
     try:
+        # Telemetry capture on for the correctness + latency passes, so the
+        # enabled arm below is the instrumented steady state.
+        telemetry_before = set_telemetry_enabled(True)
         # Warm every cache, and pin served answers to the sequential baseline
         # (request for request) and the grouped direct batches.
         sequential_answers = serve_sequentially(engine, queries, requests)
-        served_answers, serving_stats = serve_concurrently(
+        served_answers, serving_stats, _ = serve_concurrently(
             engine, queries, requests,
             max_batch=args.max_batch, max_delay=args.max_delay,
             concurrency=args.concurrency,
@@ -173,15 +207,42 @@ def main(argv=None) -> int:
         if serving_stats.coalesced == 0 and len(requests) > len(queries):
             failures.append("admission queue coalesced nothing on a gateway load")
 
+        # Dedicated latency pass: per-request submit-to-resolve clocks.
+        (_, _, latencies), _ = timed(
+            serve_concurrently, engine, queries, requests,
+            max_batch=args.max_batch, max_delay=args.max_delay,
+            concurrency=args.concurrency, capture_latencies=True,
+        )
+
         _, sequential_s = best_of(
             args.repeat, serve_sequentially, engine, queries, requests
         )
-        (_, last_stats), served_s = best_of(
-            args.repeat, serve_concurrently, engine, queries, requests,
-            max_batch=args.max_batch, max_delay=args.max_delay,
-            concurrency=args.concurrency,
-        )
+        # Telemetry-enabled vs -disabled arms, interleaved within one
+        # best-of loop: alternating keeps machine drift from loading one
+        # arm only, which a back-to-back pair of best-of batches would.
+        served_s = disabled_s = float("inf")
+        last_stats = serving_stats
+        try:
+            for _ in range(args.repeat):
+                set_telemetry_enabled(True)
+                (_, stats, _), elapsed = timed(
+                    serve_concurrently, engine, queries, requests,
+                    max_batch=args.max_batch, max_delay=args.max_delay,
+                    concurrency=args.concurrency,
+                )
+                if elapsed < served_s:
+                    served_s, last_stats = elapsed, stats
+                set_telemetry_enabled(False)
+                _, elapsed = timed(
+                    serve_concurrently, engine, queries, requests,
+                    max_batch=args.max_batch, max_delay=args.max_delay,
+                    concurrency=args.concurrency,
+                )
+                disabled_s = min(disabled_s, elapsed)
+        finally:
+            set_telemetry_enabled(telemetry_before)
         speedup = sequential_s / served_s if served_s else float("inf")
+        overhead = served_s / disabled_s if disabled_s else float("inf")
         scheduler = engine.scheduler
         if scheduler is None:
             # --concurrency 1: no scheduler installed, supersteps sequential.
@@ -191,9 +252,25 @@ def main(argv=None) -> int:
     finally:
         engine.close()
 
+    latency_summary = {
+        "count": len(latencies),
+        "mean_s": sum(latencies) / len(latencies) if latencies else 0.0,
+        "p50_s": percentile(latencies, 0.50),
+        "p95_s": percentile(latencies, 0.95),
+        "p99_s": percentile(latencies, 0.99),
+    }
+
     print(f"{'mode':<34}{'time (s)':>10}{'speedup':>9}")
     print(f"{'sequential per-query serving':<34}{sequential_s:>10.4f}{1.0:>8.2f}x")
     print(f"{'concurrent shared-batch serving':<34}{served_s:>10.4f}{speedup:>8.2f}x")
+    print(f"{'  ... telemetry capture disabled':<34}{disabled_s:>10.4f}"
+          f"{overhead:>8.3f}x")
+    print(
+        f"request latency: p50 {latency_summary['p50_s'] * 1000:.2f}ms, "
+        f"p95 {latency_summary['p95_s'] * 1000:.2f}ms, "
+        f"p99 {latency_summary['p99_s'] * 1000:.2f}ms "
+        f"over {latency_summary['count']} requests"
+    )
     print(
         f"admission: {last_stats.batches} batches for {len(requests)} requests "
         f"({last_stats.coalesced} coalesced, widest {last_stats.max_batch_size}; "
@@ -226,6 +303,13 @@ def main(argv=None) -> int:
         "served_s": served_s,
         "speedup": speedup,
         "speedup_bound": SPEEDUP_BOUND,
+        "latency": latency_summary,
+        "telemetry": {
+            "enabled_s": served_s,
+            "disabled_s": disabled_s,
+            "overhead_ratio": overhead,
+            "overhead_bound": OVERHEAD_BOUND,
+        },
         "admission": {
             "batches": last_stats.batches,
             "coalesced": last_stats.coalesced,
@@ -266,12 +350,21 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             ok = False
+        if overhead > OVERHEAD_BOUND:
+            print(
+                f"CHECK FAILED: telemetry-enabled serving {overhead:.3f}x the "
+                f"disabled run (> {OVERHEAD_BOUND}x) — instrumentation is no "
+                "longer near-free",
+                file=sys.stderr,
+            )
+            ok = False
         if not ok:
             return 1
         print(
             f"CHECK OK: shared-batch serving {speedup:.2f}x >= "
             f"{SPEEDUP_BOUND}x sequential; superstep overlap peak "
-            f"{scheduler.concurrent_steps}"
+            f"{scheduler.concurrent_steps}; telemetry overhead "
+            f"{overhead:.3f}x <= {OVERHEAD_BOUND}x"
         )
     return 0
 

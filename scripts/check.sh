@@ -2,12 +2,15 @@
 # Repo health check: the tier-1 test suite (twice: numpy executor active,
 # then stubbed out) plus fast engine-benchmark smokes.
 #
-# Usage:  ./scripts/check.sh [tests|serve|smoke|all]
+# Usage:  ./scripts/check.sh [tests|serve|obs|smoke|all]
 #
 #   tests   the tier-1 pytest suite, once per numpy arm
 #   serve   the async serving suite under PYTHONASYNCIODEBUG=1 (both numpy
 #           arms; includes the N-threads-x-M-queries stress test on one
 #           shared engine)
+#   obs     the telemetry suite plus a live `serve --metrics` smoke that
+#           queries over TCP, asks !stats/!slow, and scrapes /metrics and
+#           /healthz over HTTP (both numpy arms)
 #   smoke   the benchmark harness smokes (tiny sizes)
 #   all     everything, in order (the default — bare ./scripts/check.sh)
 #
@@ -29,7 +32,8 @@
 #   python benchmarks/bench_sharded.py --check             (sharded warm
 #     serving within 1.5x of monolithic; per-shard warm start)
 #   python benchmarks/bench_serving.py --check             (shared-batch
-#     serving >= 2x sequential per-query; superstep overlap > 1)
+#     serving >= 2x sequential per-query; superstep overlap > 1;
+#     telemetry-enabled serving within 5% of disabled)
 # All bench scripts write BENCH_*.json artifacts recording the numbers.
 
 set -euo pipefail
@@ -58,6 +62,23 @@ run_serve() {
     echo "== serving: asyncio suite + thread stress (pure-Python arm, asyncio debug) =="
     PYTHONASYNCIODEBUG=1 REPRO_DISABLE_NUMPY=1 \
         python -m pytest tests/engine/test_serving.py -q
+}
+
+run_obs() {
+    echo "== observability: telemetry suite (numpy arm) =="
+    python -m pytest tests/engine/test_telemetry.py -q
+
+    echo
+    echo "== observability: telemetry suite (pure-Python arm) =="
+    REPRO_DISABLE_NUMPY=1 python -m pytest tests/engine/test_telemetry.py -q
+
+    echo
+    echo "== observability: live serve --metrics smoke (numpy arm) =="
+    python scripts/obs_smoke.py
+
+    echo
+    echo "== observability: live serve --metrics smoke (pure-Python arm) =="
+    REPRO_DISABLE_NUMPY=1 python scripts/obs_smoke.py
 }
 
 run_smoke() {
@@ -100,6 +121,9 @@ case "$step" in
     serve)
         run_serve
         ;;
+    obs)
+        run_obs
+        ;;
     smoke)
         run_smoke
         ;;
@@ -108,10 +132,12 @@ case "$step" in
         echo
         run_serve
         echo
+        run_obs
+        echo
         run_smoke
         ;;
     *)
-        echo "usage: $0 [tests|serve|smoke|all]" >&2
+        echo "usage: $0 [tests|serve|obs|smoke|all]" >&2
         exit 2
         ;;
 esac

@@ -120,6 +120,28 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
     return 0 if outcome.improved else 1
 
 
+def _print_stats_snapshot(snapshot: dict) -> None:
+    """Render one registry snapshot as ``# name value`` lines on stderr.
+
+    Both ``engine --stats`` and ``serve --stats`` go through here, so the
+    two subcommands expose one vocabulary of stable metric names (see README
+    "Observability") instead of divergent dataclass dumps.
+    """
+    from .engine.telemetry import render_text
+
+    for line in render_text(snapshot):
+        print(f"# {line}", file=sys.stderr)
+
+
+def _parse_host_port(text: str, flag: str) -> "tuple[str, int] | None":
+    """``HOST:PORT`` → ``(host, port)``, or ``None`` after printing an error."""
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"error: {flag} wants HOST:PORT", file=sys.stderr)
+        return None
+    return host.strip("[]"), int(port_text)  # bracketed IPv6 literals
+
+
 def _read_query_file(path: str) -> list[str]:
     queries: list[str] = []
     for line in Path(path).read_text(encoding="utf-8").splitlines():
@@ -213,6 +235,18 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             for source in sources:
                 answers = sorted(answers_by_source[source], key=str)
                 print(f"{query}\t{source}\t{' '.join(map(str, answers))}")
+            if args.explain:
+                # The evaluation that just returned is the tracer's most
+                # recent root trace; print its span tree per query.
+                trace = engine.metrics.tracer.last()
+                if trace is None:
+                    print(
+                        "# explain: no trace recorded (telemetry disabled?)",
+                        file=sys.stderr,
+                    )
+                else:
+                    for line in trace.render():
+                        print(f"# {line}", file=sys.stderr)
         if sharded and args.snapshot_dir:
             # Saved after serving, so every shard ships a warm query cache.
             engine.save(args.snapshot_dir, codec=args.snapshot_codec)
@@ -220,7 +254,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             # Saved after serving, so the snapshot ships a warm query cache.
             engine.save(args.save_snapshot, codec=args.snapshot_codec)
         if args.stats:
-            print(f"# {engine.describe()}", file=sys.stderr)
+            _print_stats_snapshot(engine.telemetry())
     finally:
         if sharded:
             engine.close()  # release the superstep scheduler's threads
@@ -251,10 +285,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             instance, constraints=constraints, backend=args.backend
         )
 
+    metrics_server = None
+    if args.metrics:
+        parsed = _parse_host_port(args.metrics, "--metrics")
+        if parsed is None:
+            return 2
+        from .engine.telemetry import TelemetryHTTPServer
+
+        try:
+            metrics_server = TelemetryHTTPServer(engine.metrics, *parsed)
+        except OSError as error:
+            print(
+                f"error: cannot serve metrics on {args.metrics}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        bound_host, bound_port = metrics_server.start()
+        print(f"metrics on {bound_host}:{bound_port}", file=sys.stderr, flush=True)
+
     def print_stats(server) -> None:
         if args.stats:
-            print(f"# {server.describe()}", file=sys.stderr)
-            print(f"# {engine.describe()}", file=sys.stderr)
+            # One unified snapshot: the server registers its gauges into the
+            # engine's registry, so serving_* and engine_*/sharded_* metrics
+            # come out of the same dump.
+            _print_stats_snapshot(server.metrics.snapshot())
 
     async def run_stdin() -> None:
         # Interactive stdin serving, same semantics as TCP: each request is
@@ -294,13 +348,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         if args.tcp:
-            host, _, port_text = args.tcp.rpartition(":")
-            if not host or not port_text.isdigit():
-                print("error: --tcp wants HOST:PORT", file=sys.stderr)
+            parsed = _parse_host_port(args.tcp, "--tcp")
+            if parsed is None:
                 return 2
-            host = host.strip("[]")  # bracketed IPv6 literals
             try:
-                asyncio.run(run_tcp(host, int(port_text)))
+                asyncio.run(run_tcp(*parsed))
             except KeyboardInterrupt:
                 pass
             except OSError as error:
@@ -312,6 +364,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             asyncio.run(run_stdin())
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
         if args.shards is not None:
             engine.close()  # release the superstep scheduler's threads
     return 0
@@ -422,7 +476,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each superstep's per-shard local fixpoints on N worker "
         "threads (requires --shards / a sharded --snapshot-dir)",
     )
-    engine_parser.add_argument("--stats", action="store_true", help="print engine statistics")
+    engine_parser.add_argument(
+        "--stats", action="store_true",
+        help="print the engine's metrics-registry snapshot to stderr "
+        "(stable 'name value' lines; see README Observability)",
+    )
+    engine_parser.add_argument(
+        "--explain", action="store_true",
+        help="print each query's span tree (compile, runs, supersteps) to stderr",
+    )
     engine_parser.set_defaults(handler=_cmd_engine)
 
     serve_parser = subparsers.add_parser(
@@ -466,7 +528,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--stats", action="store_true",
-        help="print serving and engine statistics to stderr",
+        help="print the unified serving+engine metrics snapshot to stderr",
+    )
+    serve_parser.add_argument(
+        "--metrics", metavar="HOST:PORT",
+        help="serve live telemetry over HTTP: /metrics (Prometheus text "
+        "format) and /healthz (PORT 0 binds an ephemeral port; the bound "
+        "address is printed to stderr)",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
 

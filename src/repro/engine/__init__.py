@@ -20,6 +20,12 @@ and :mod:`~repro.engine.serving` puts an asyncio admission queue in front of
 either session kind (``engine.as_server()`` — same-DFA requests coalesced
 into shared batches) while scheduling the sharded engine's per-shard
 superstep fixpoints concurrently (``ShardedEngine.open(..., concurrency=N)``).
+Cross-cutting observability lives in :mod:`~repro.engine.telemetry`: a
+per-session metrics registry (counters / callback gauges / fixed-bucket
+latency histograms) that the stats dataclasses register into, a structured
+span tracer threaded through admission → rewrite → compile → superstep →
+flush, and export surfaces (``engine.telemetry()``, Prometheus text, the
+line protocol's ``!stats``/``!trace``/``!slow`` verbs, ``serve --metrics``).
 """
 
 from .compiled_query import CompiledQuery, QueryCompiler, lower_query, query_key
@@ -55,6 +61,19 @@ from .sharding import (
     partition_instance,
     shard_graph,
 )
+from .telemetry import (
+    NULL_SPAN,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Telemetry,
+    TelemetryHTTPServer,
+    Trace,
+    Tracer,
+    render_text,
+    set_enabled as set_telemetry_enabled,
+    enabled as telemetry_enabled,
+)
 from .snapshot import (
     CODECS as SNAPSHOT_CODECS,
     FORMAT_VERSION as SNAPSHOT_FORMAT_VERSION,
@@ -75,8 +94,11 @@ __all__ = [
     "EngineStats",
     "ExplicitShardMap",
     "HashShardMap",
+    "Histogram",
     "Interner",
     "LabelEdges",
+    "MetricsRegistry",
+    "NULL_SPAN",
     "QueryCompiler",
     "QueryServer",
     "SNAPSHOT_CODECS",
@@ -88,8 +110,13 @@ __all__ = [
     "SingleRun",
     "SnapshotPayload",
     "SnapshotStamp",
+    "Span",
     "SuperstepCounters",
     "SuperstepScheduler",
+    "Telemetry",
+    "TelemetryHTTPServer",
+    "Trace",
+    "Tracer",
     "available_backends",
     "load_engine",
     "load_payload",
@@ -97,6 +124,7 @@ __all__ = [
     "numpy_available",
     "partition_instance",
     "query_key",
+    "render_text",
     "resolve_backend",
     "resolve_codec",
     "run_all_pairs",
@@ -106,6 +134,8 @@ __all__ = [
     "serve_request_lines",
     "serve_stream",
     "serve_tcp",
+    "set_telemetry_enabled",
     "shard_graph",
     "shared_engine",
+    "telemetry_enabled",
 ]

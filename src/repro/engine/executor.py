@@ -22,6 +22,7 @@ exercises the fallback path on machines that do have numpy installed.
 from __future__ import annotations
 
 import os
+from time import perf_counter
 from typing import Mapping, Sequence
 
 from ..exceptions import ReproError
@@ -74,8 +75,17 @@ def run_single(
     *,
     backend: str = "auto",
 ) -> SingleRun:
-    """Single-source product BFS with witnesses, on the chosen backend."""
-    return _module(backend).run_single(graph, query, source)
+    """Single-source product BFS with witnesses, on the chosen backend.
+
+    Every dispatched run is stamped with its wall-clock ``elapsed`` seconds
+    (likewise below) — the timing hook the telemetry layer's
+    ``engine_run_seconds`` histogram reads, kept here so both executors are
+    measured identically without timing code in their hot loops.
+    """
+    started = perf_counter()
+    run = _module(backend).run_single(graph, query, source)
+    run.elapsed = perf_counter() - started
+    return run
 
 
 def run_batch(
@@ -97,10 +107,13 @@ def run_batch(
     sizes the mask universe for the *global* batch when the local sources
     do not span it.  See :func:`repro.engine.executor_py.run_batch`.
     """
-    return _module(backend).run_batch(
+    started = perf_counter()
+    run = _module(backend).run_batch(
         graph, query, sources, witnesses=witnesses, seeds=seeds, known=known,
         num_bits=num_bits,
     )
+    run.elapsed = perf_counter() - started
+    return run
 
 
 def run_all_pairs(
@@ -111,4 +124,7 @@ def run_all_pairs(
     backend: str = "auto",
 ) -> BatchRun:
     """Batched evaluation from every node, on the chosen backend."""
-    return _module(backend).run_all_pairs(graph, query, witnesses=witnesses)
+    started = perf_counter()
+    run = _module(backend).run_all_pairs(graph, query, witnesses=witnesses)
+    run.elapsed = perf_counter() - started
+    return run

@@ -51,6 +51,9 @@ class SingleRun:
     visited_pairs: int = 0
     visited_objects: int = 0
     backend: str = "python"
+    # Wall-clock seconds of the executor call, stamped by the dispatcher
+    # (:mod:`repro.engine.executor`); telemetry-only, never compared.
+    elapsed: float = field(default=0.0, compare=False)
 
 
 @dataclass
@@ -68,6 +71,9 @@ class BatchRun:
     visited_pairs: int = 0
     visited_objects: int = 0
     backend: str = "python"
+    # Wall-clock seconds of the executor call, stamped by the dispatcher
+    # (:mod:`repro.engine.executor`); telemetry-only, never compared.
+    elapsed: float = field(default=0.0, compare=False)
     witness_resolver: "Callable[[int, int], tuple[int, ...] | None] | None" = field(
         default=None, repr=False, compare=False
     )

@@ -54,12 +54,22 @@ lowering is race-free — see the ``Engine`` / ``ShardedEngine`` docstrings.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
 from ..exceptions import ReproError
+from .telemetry import (
+    DEFAULT_SIZE_BUCKETS,
+    NULL_SPAN,
+    MetricsRegistry,
+    Telemetry,
+    slow_log_json,
+    trace_to_json,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..graph.instance import Oid
@@ -181,16 +191,49 @@ class ServingStats:
             f"{self.immediate_flushes} immediate, {self.close_flushes} close"
         )
 
+    _GAUGES = (
+        ("submitted", "requests admitted (or rejected at admission)"),
+        ("served", "requests resolved with an answer set"),
+        ("failed", "requests resolved with an error"),
+        ("batches", "shared-batch flushes"),
+        ("coalesced", "requests that shared their batch with another"),
+        ("max_batch_size", "widest admitted batch (distinct sources)"),
+        ("size_flushes", "flushes forced by max_batch"),
+        ("delay_flushes", "flushes forced by max_delay"),
+        ("immediate_flushes", "flushes with coalescing disabled (max_delay=0)"),
+        ("close_flushes", "flushes forced by close()"),
+    )
+
+    def register(self, registry: MetricsRegistry, prefix: str = "serving") -> None:
+        """Expose every counter through ``registry`` as a callback gauge.
+
+        The server registers into its *engine's* registry (see
+        :class:`QueryServer`), so one session snapshot covers admission and
+        evaluation together.  Gauge registration is last-wins: a second
+        server over the same engine re-points the serving gauges at its own
+        stats, which is the useful reading for the common
+        one-server-at-a-time lifecycle.
+        """
+        for attr, help_text in self._GAUGES:
+            registry.gauge(
+                f"{prefix}_{attr}", help_text, lambda a=attr: getattr(self, a)
+            )
+
 
 class _Bucket:
     """One admission bucket: every in-flight request sharing a DFA key."""
 
-    __slots__ = ("query", "waiters", "timer")
+    __slots__ = ("query", "waiters", "timer", "span", "created_at")
 
-    def __init__(self, query) -> None:
+    def __init__(self, query, span=NULL_SPAN, created_at: float = 0.0) -> None:
         self.query = query  # the prepared (rewritten) query, compiled once
         self.waiters: "dict[Oid, list[asyncio.Future]]" = {}
         self.timer: "asyncio.TimerHandle | None" = None
+        # Telemetry: the batch's root span ("serve.batch"), opened at bucket
+        # creation so the admission wait is on the trace; NULL_SPAN when
+        # capture is disabled.
+        self.span = span
+        self.created_at = created_at
 
 
 class QueryServer:
@@ -234,6 +277,31 @@ class QueryServer:
         self.max_batch = max_batch
         self.max_delay = max_delay
         self.stats = ServingStats()
+        # The serving layer shares the *engine's* telemetry bundle: one
+        # registry snapshot (and one trace tree per batch) covers admission,
+        # compile and evaluation.  A bare test double without a ``metrics``
+        # attribute gets a private bundle so the server still works.
+        self.metrics: Telemetry = getattr(engine, "metrics", None) or Telemetry()
+        registry = self.metrics.registry
+        self.stats.register(registry)
+        self._hist_request = registry.histogram(
+            "serving_request_seconds", "submit-to-resolve latency per request"
+        )
+        self._hist_flush = registry.histogram(
+            "serving_flush_seconds",
+            "bucket lifetime: first admission to answer fan-out",
+        )
+        self._hist_wait = registry.histogram(
+            "serving_admission_wait_seconds",
+            "bucket wait between first admission and flush",
+        )
+        self._hist_batch_sources = registry.histogram(
+            "serving_batch_sources", "distinct sources per flushed batch",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._control_requests = registry.counter(
+            "serving_control_requests", "line-protocol control verbs handled"
+        )
         self._buckets: "dict[str, _Bucket]" = {}
         self._inflight: "set[asyncio.Task]" = set()
         self._pool = ThreadPoolExecutor(
@@ -270,15 +338,33 @@ class QueryServer:
     def _admit(self, key: str, prepared, source: "Oid") -> "asyncio.Future":
         """Insert one admitted request into its bucket (event-loop only)."""
         loop = asyncio.get_running_loop()
+        traced = self.metrics.enabled  # one flag read per admission
         bucket = self._buckets.get(key)
         if bucket is None:
-            bucket = self._buckets[key] = _Bucket(prepared)
+            if traced:
+                bucket = _Bucket(
+                    prepared,
+                    span=self.metrics.span("serve.batch", key=key),
+                    created_at=perf_counter(),
+                )
+            else:
+                bucket = _Bucket(prepared)
+            self._buckets[key] = bucket
             if self.max_delay > 0:
                 bucket.timer = loop.call_later(
                     self.max_delay, self._flush, key, "delay"
                 )
         future: "asyncio.Future" = loop.create_future()
         bucket.waiters.setdefault(source, []).append(future)
+        if traced:
+            # Per-request submit-to-resolve latency, stamped at admission and
+            # observed when the future settles (success or failure alike).
+            admitted_at = perf_counter()
+            future.add_done_callback(
+                lambda _f, _t=admitted_at: self._hist_request.observe(
+                    perf_counter() - _t
+                )
+            )
         if len(bucket.waiters) >= self.max_batch:
             self._flush(key, "size")
         elif self.max_delay == 0:
@@ -362,6 +448,19 @@ class QueryServer:
             self.stats.coalesced += requests
         if len(bucket.waiters) > self.stats.max_batch_size:
             self.stats.max_batch_size = len(bucket.waiters)
+        if bucket.span is not NULL_SPAN:
+            # The wait between the bucket's first admission and this flush,
+            # as a pre-timed child span — the interval was measured by the
+            # admission path, not re-clocked here.
+            wait = perf_counter() - bucket.created_at
+            bucket.span.event(
+                "admission_wait", bucket.created_at, wait, reason=reason
+            )
+            bucket.span.set(
+                reason=reason, sources=len(bucket.waiters), requests=requests
+            )
+            self._hist_wait.observe(wait)
+            self._hist_batch_sources.observe(len(bucket.waiters))
         task = asyncio.get_running_loop().create_task(self._serve(bucket))
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
@@ -369,23 +468,40 @@ class QueryServer:
     async def _serve(self, bucket: _Bucket) -> None:
         sources = list(bucket.waiters)
         loop = asyncio.get_running_loop()
+        tele = self.metrics
+        # The evaluation runs on a pool thread, where the event loop's
+        # contextvars do not follow; the closure re-activates the batch's
+        # evaluate span there so the engine's own spans nest beneath it.
+        eval_span = tele.span_under(bucket.span, "evaluate")
+
+        def evaluate():
+            with tele.under(eval_span):
+                try:
+                    return self.engine.query_batch(bucket.query, sources)
+                finally:
+                    eval_span.end()
+
         try:
-            results = await loop.run_in_executor(
-                self._pool, self.engine.query_batch, bucket.query, sources
-            )
+            results = await loop.run_in_executor(self._pool, evaluate)
         except BaseException as error:
             for waiting in bucket.waiters.values():
                 for future in waiting:
                     self.stats.failed += 1
                     if not future.done():
                         future.set_exception(error)
+            bucket.span.end(error=repr(error))
+            self._hist_flush.observe(bucket.span.duration)
             return
+        fanout_span = tele.span_under(bucket.span, "fanout")
         for source, waiting in bucket.waiters.items():
             answers = results[source]
             for future in waiting:
                 self.stats.served += 1
                 if not future.done():
                     future.set_result(answers)
+        fanout_span.end()
+        bucket.span.end()
+        self._hist_flush.observe(bucket.span.duration)
 
     # -- lifecycle ------------------------------------------------------------
     async def close(self) -> None:
@@ -428,12 +544,51 @@ def format_answers(answers: "set[Oid]") -> str:
     return " ".join(sorted(map(str, answers)))
 
 
+def handle_control(server: QueryServer, line: str) -> str:
+    """Answer one ``!``-prefixed control line against the live telemetry.
+
+    Verbs (all answered as ``!verb<TAB>one-line-json``, errors as
+    ``!verb<TAB>error: ...``):
+
+    * ``!stats`` — the session's full registry snapshot (the same dict
+      ``engine.telemetry()`` / ``--stats`` render);
+    * ``!trace <id>`` — one recorded trace with its span breakdown;
+    * ``!slow [N]`` — the N (default 5) slowest traces, worst first.
+    """
+    server._control_requests.inc()
+    parts = line.split()
+    verb, args = parts[0], parts[1:]
+    if verb == "!stats":
+        snapshot = server.metrics.snapshot()
+        return f"!stats\t{json.dumps(snapshot, separators=(',', ':'), default=str)}"
+    if verb == "!trace":
+        if len(args) != 1:
+            return "!trace\terror: usage: !trace <id>"
+        trace = server.metrics.tracer.get(args[0])
+        if trace is None:
+            return f"!trace\terror: unknown trace id {args[0]!r}"
+        return f"!trace\t{trace_to_json(trace)}"
+    if verb == "!slow":
+        count = 5
+        if args:
+            try:
+                count = int(args[0])
+            except ValueError:
+                return "!slow\terror: usage: !slow [N]"
+        return f"!slow\t{slow_log_json(server.metrics.tracer, count)}"
+    return f"{verb}\terror: unknown control verb (try !stats, !trace <id>, !slow N)"
+
+
 async def respond_line(server: QueryServer, line: str) -> str:
     """Serve one ``id<TAB>source<TAB>query`` request line; never raises.
 
     Malformed lines and evaluation errors come back as ``id<TAB>error: ...``
-    so one bad request cannot take down a connection.
+    so one bad request cannot take down a connection.  Lines starting with
+    ``!`` are control verbs answered from live telemetry instead of the
+    engine — see :func:`handle_control`.
     """
+    if line.startswith("!"):
+        return handle_control(server, line)
     parts = line.split("\t", 2)
     if len(parts) != 3 or not parts[0]:
         ident = parts[0] if parts and parts[0] else "?"

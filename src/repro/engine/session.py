@@ -52,6 +52,7 @@ from ..regex import Regex
 from .compiled_query import CompiledQuery, QueryCompiler, query_key
 from .csr import CompiledGraph
 from .executor import BACKENDS, resolve_backend, run_all_pairs, run_batch, run_single
+from .telemetry import MetricsRegistry, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..constraints.constraint import ConstraintSet
@@ -141,6 +142,39 @@ class EngineStats:
     def record_backend(self, backend: str) -> None:
         self.backend_runs[backend] = self.backend_runs.get(backend, 0) + 1
 
+    _GAUGES = (
+        ("graph_builds", "full compiled-graph builds"),
+        ("snapshot_restores", "sessions warm-started from a snapshot"),
+        ("interner_growths", "node-interner growths without rebuild"),
+        ("incremental_edges", "edges absorbed via the CSR overflow path"),
+        ("incremental_removals", "edges removed via the tombstone path"),
+        ("single_evaluations", "single-source evaluations"),
+        ("batch_evaluations", "batched evaluations"),
+        ("batched_sources", "sources answered across batched evaluations"),
+        ("visited_pairs", "(node, state) pairs visited by executor runs"),
+        ("rewrites_applied", "queries improved by the constraint rewriter"),
+    )
+
+    def register(self, registry: MetricsRegistry, prefix: str = "engine") -> None:
+        """Expose every counter through ``registry`` as a callback gauge.
+
+        The callbacks close over this stats object (never over the owning
+        engine — gauge registration must not extend the engine's lifetime),
+        so snapshots always read the live values without a second write
+        path.  Metric names (``engine_graph_builds``, ...) are part of the
+        documented surface; see README "Observability".
+        """
+        for attr, help_text in self._GAUGES:
+            registry.gauge(
+                f"{prefix}_{attr}", help_text, lambda a=attr: getattr(self, a)
+            )
+        registry.gauge(
+            f"{prefix}_backend_runs",
+            "evaluations served per executor backend",
+            lambda: dict(self.backend_runs),
+            labelnames=("backend",),
+        )
+
     def summary(self, engine: "Engine") -> str:
         compiler = engine.compiler
         backends = (
@@ -209,11 +243,14 @@ class ServingSurface:
         from ..optimize.cost import DEFAULT_COST_MODEL
         from ..optimize.rewriter import rewrite_query
 
-        outcome = rewrite_query(
-            query if isinstance(query, (Regex, str)) else query.expression,
-            constraints,
-            self.cost_model or DEFAULT_COST_MODEL,
-        )
+        with self.metrics.span("engine.rewrite") as rewrite_span:
+            outcome = rewrite_query(
+                query if isinstance(query, (Regex, str)) else query.expression,
+                constraints,
+                self.cost_model or DEFAULT_COST_MODEL,
+            )
+            rewrite_span.set(improved=outcome.improved)
+        self._hist_rewrite.observe(rewrite_span.duration)
         best_key = query_key(outcome.best)
         with self._rewrite_lock:
             fresh = key not in self._rewrites
@@ -243,6 +280,17 @@ class ServingSurface:
     def admission_key(self, query) -> str:
         """The shared-batch coalescing key of ``query`` (see :meth:`admission`)."""
         return self.admission(query)[0]
+
+    def telemetry(self) -> dict:
+        """One JSON-ready snapshot of the session's metrics registry.
+
+        Covers everything registered into it — the session's own stats
+        gauges and histograms, plus whatever a :class:`QueryServer` over
+        this session registered (see
+        :meth:`repro.engine.telemetry.MetricsRegistry.snapshot` for the key
+        conventions).
+        """
+        return self.metrics.snapshot()
 
     def as_server(
         self,
@@ -308,6 +356,39 @@ class Engine(ServingSurface):
         self.backend = backend
         self.compiler = QueryCompiler(cache_capacity)
         self.stats = EngineStats()
+        # One telemetry bundle (metrics registry + trace ring) per session.
+        # The serving layer registers into this same registry, so one
+        # snapshot covers admission, compile and evaluation.  Gauge
+        # callbacks close over the stats/compiler objects, never over the
+        # engine: ``shared_engine`` relies on plain refcounting to free the
+        # session, so no registry callback may point back at ``self``.
+        self.metrics = Telemetry()
+        registry = self.metrics.registry
+        self.stats.register(registry)
+        compiler = self.compiler
+        registry.gauge(
+            "engine_compile_hits", "query-cache hits", lambda: compiler.hits
+        )
+        registry.gauge(
+            "engine_compile_misses", "query lowerings (cache misses)",
+            lambda: compiler.misses,
+        )
+        registry.gauge(
+            "engine_cached_queries", "compiled tables resident in the LRU",
+            lambda: len(compiler),
+        )
+        self._hist_query = registry.histogram(
+            "engine_query_seconds", "end-to-end evaluation latency per call"
+        )
+        self._hist_run = registry.histogram(
+            "engine_run_seconds", "executor run latency (traversal only)"
+        )
+        self._hist_compile = registry.histogram(
+            "engine_compile_seconds", "DFA lookup/lowering latency per query"
+        )
+        self._hist_rewrite = registry.histogram(
+            "engine_rewrite_seconds", "cold constraint-rewrite search latency"
+        )
         # Label-order seed for every graph build of this session.  The
         # sharded engine passes one *shared, live* list to all its shard
         # engines, so even a full rebuild interns the global label universe
@@ -582,13 +663,31 @@ class Engine(ServingSurface):
         with self._lock:
             self.refresh()
             graph = self._graph
-        return self.compiler.compile(self._prepared(query), graph), graph
+        prepared = self._prepared(query)
+        misses_before = self.compiler.misses
+        with self.metrics.span("engine.compile") as compile_span:
+            compiled = self.compiler.compile(prepared, graph)
+            compile_span.set(
+                cached=self.compiler.misses == misses_before,
+                dfa_size=compiled.dfa_size,
+            )
+        self._hist_compile.observe(compile_span.duration)
+        return compiled, graph
 
     # -- evaluation -----------------------------------------------------------
     def query(
         self, query: "RegularPathQuery | Regex | str", source: Oid
     ) -> EvaluationResult:
         """Single-source evaluation with witnesses, as an ``EvaluationResult``."""
+        with self.metrics.span("engine.query", mode="single") as query_span:
+            result = self._query_single(query, source)
+            query_span.set(answers=len(result.answers))
+        self._hist_query.observe(query_span.duration)
+        return result
+
+    def _query_single(
+        self, query: "RegularPathQuery | Regex | str", source: Oid
+    ) -> EvaluationResult:
         compiled, graph = self._compiled_on(query)
         with self._lock:
             self.stats.single_evaluations += 1
@@ -602,7 +701,10 @@ class Engine(ServingSurface):
                 result.witness_paths[source] = ()
             return result
         with self._run_lock.read():
-            run = run_single(graph, compiled, node, backend=self.backend)
+            with self.metrics.span("engine.run", mode="single") as run_span:
+                run = run_single(graph, compiled, node, backend=self.backend)
+                run_span.set(backend=run.backend, visited=run.visited_pairs)
+        self._hist_run.observe(run.elapsed)
         with self._lock:
             self.stats.visited_pairs += run.visited_pairs
             self.stats.record_backend(run.backend)
@@ -651,6 +753,17 @@ class Engine(ServingSurface):
         sources: "Sequence[Oid] | Iterable[Oid]",
     ) -> dict[Oid, set[Oid]]:
         """Evaluate one query from many sources in one shared traversal."""
+        with self.metrics.span("engine.query", mode="batch") as query_span:
+            results = self._query_batch(query, sources)
+            query_span.set(sources=len(results))
+        self._hist_query.observe(query_span.duration)
+        return results
+
+    def _query_batch(
+        self,
+        query: "RegularPathQuery | Regex | str",
+        sources: "Sequence[Oid] | Iterable[Oid]",
+    ) -> dict[Oid, set[Oid]]:
         compiled, graph = self._compiled_on(query)
         known, known_oids, unknown = self._partition_batch_sources(graph, sources)
         results: dict[Oid, set[Oid]] = {}
@@ -660,7 +773,10 @@ class Engine(ServingSurface):
             results[source] = {source} if compiled.accepts_empty_word() else set()
         if known:
             with self._run_lock.read():
-                run = run_batch(graph, compiled, known, backend=self.backend)
+                with self.metrics.span("engine.run", mode="batch") as run_span:
+                    run = run_batch(graph, compiled, known, backend=self.backend)
+                    run_span.set(backend=run.backend, visited=run.visited_pairs)
+            self._hist_run.observe(run.elapsed)
             with self._lock:
                 self.stats.visited_pairs += run.visited_pairs
                 self.stats.record_backend(run.backend)
@@ -681,6 +797,17 @@ class Engine(ServingSurface):
         word per ``(source, answer)`` pair.  The traversal statistics are
         those of the whole batch, mirrored into every per-source result.
         """
+        with self.metrics.span("engine.query", mode="batch_results") as query_span:
+            results = self._query_batch_results(query, sources)
+            query_span.set(sources=len(results))
+        self._hist_query.observe(query_span.duration)
+        return results
+
+    def _query_batch_results(
+        self,
+        query: "RegularPathQuery | Regex | str",
+        sources: "Sequence[Oid] | Iterable[Oid]",
+    ) -> dict[Oid, EvaluationResult]:
         compiled, graph = self._compiled_on(query)
         known, known_oids, unknown = self._partition_batch_sources(graph, sources)
         results: dict[Oid, EvaluationResult] = {}
@@ -699,9 +826,12 @@ class Engine(ServingSurface):
         # resolver stale (the stamp check is for callers who stash the run,
         # not for the engine's own replay).
         with self._run_lock.read():
-            run = run_batch(
-                graph, compiled, known, witnesses=True, backend=self.backend
-            )
+            with self.metrics.span("engine.run", mode="batch_results") as run_span:
+                run = run_batch(
+                    graph, compiled, known, witnesses=True, backend=self.backend
+                )
+                run_span.set(backend=run.backend, visited=run.visited_pairs)
+            self._hist_run.observe(run.elapsed)
             for oid, node, answer_nodes in zip(known_oids, known, run.answers):
                 result = EvaluationResult(
                     answers=graph.oids_of(answer_nodes),
@@ -724,9 +854,21 @@ class Engine(ServingSurface):
         self, query: "RegularPathQuery | Regex | str"
     ) -> dict[Oid, set[Oid]]:
         """All-pairs evaluation: the answer set of every object of the graph."""
+        with self.metrics.span("engine.query", mode="all_pairs") as query_span:
+            results = self._query_all(query)
+            query_span.set(sources=len(results))
+        self._hist_query.observe(query_span.duration)
+        return results
+
+    def _query_all(
+        self, query: "RegularPathQuery | Regex | str"
+    ) -> dict[Oid, set[Oid]]:
         compiled, graph = self._compiled_on(query)  # one consistent snapshot
         with self._run_lock.read():
-            run = run_all_pairs(graph, compiled, backend=self.backend)
+            with self.metrics.span("engine.run", mode="all_pairs") as run_span:
+                run = run_all_pairs(graph, compiled, backend=self.backend)
+                run_span.set(backend=run.backend, visited=run.visited_pairs)
+        self._hist_run.observe(run.elapsed)
         with self._lock:
             self.stats.batch_evaluations += 1
             self.stats.batched_sources += graph.num_nodes

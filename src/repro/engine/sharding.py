@@ -58,6 +58,7 @@ from .compiled_query import query_key
 from .csr import CompiledGraph
 from .executor import BACKENDS, resolve_backend, run_batch
 from .session import Engine, ServingSurface
+from .telemetry import MetricsRegistry, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..constraints.constraint import ConstraintSet
@@ -283,13 +284,55 @@ class ShardedStats:
 
     def record_local_run(self, backend: str) -> None:
         self.local_runs += 1
-        self.last_run.local_runs += 1
         self.backend_runs[backend] = self.backend_runs.get(backend, 0) + 1
 
     def record_evaluation(self, backend: str) -> None:
         self.backend_evaluations[backend] = (
             self.backend_evaluations.get(backend, 0) + 1
         )
+
+    _GAUGES = (
+        ("single_evaluations", "single-source evaluations"),
+        ("batch_evaluations", "batched evaluations"),
+        ("batched_sources", "sources answered across batched evaluations"),
+        ("supersteps", "bulk-synchronous superstep rounds"),
+        ("local_runs", "per-shard local executor runs"),
+        ("exchanged_facts", "cross-shard frontier facts shipped at barriers"),
+        ("visited_pairs", "(node, state) pairs visited across shards"),
+        ("visited_objects", "objects visited across shards"),
+        ("rewrites_applied", "queries improved by the constraint rewriter"),
+    )
+
+    def register(self, registry: MetricsRegistry, prefix: str = "sharded") -> None:
+        """Expose every counter through ``registry`` as a callback gauge.
+
+        Mirrors :meth:`EngineStats.register`; the ``last_run`` gauges read
+        the most recently *published* evaluation (see :meth:`ShardedEngine.
+        _evaluate` — the reference is swapped atomically, never mutated in
+        place), so a scrape racing an evaluation sees a consistent triple.
+        """
+        for attr, help_text in self._GAUGES:
+            registry.gauge(
+                f"{prefix}_{attr}", help_text, lambda a=attr: getattr(self, a)
+            )
+        registry.gauge(
+            f"{prefix}_backend_runs",
+            "local executor runs per backend (superstep re-seeds count)",
+            lambda: dict(self.backend_runs),
+            labelnames=("backend",),
+        )
+        registry.gauge(
+            f"{prefix}_backend_evaluations",
+            "logical evaluations per backend (monolithic-comparable)",
+            lambda: dict(self.backend_evaluations),
+            labelnames=("backend",),
+        )
+        for attr in ("supersteps", "local_runs", "exchanged_facts"):
+            registry.gauge(
+                f"{prefix}_last_run_{attr}",
+                f"{attr} of the most recent evaluation, in isolation",
+                lambda a=attr: getattr(self.last_run, a),
+            )
 
     def summary(self, engine: "ShardedEngine") -> str:
         backends = (
@@ -300,6 +343,10 @@ class ShardedStats:
             )
             or "none"
         )
+        # One reference read: ``last_run`` is swapped atomically per
+        # evaluation (never reset in place), so the triple below is always
+        # one completed evaluation's, even with an evaluation mid-flight.
+        last = self.last_run
         return (
             f"shards: {engine.num_shards} "
             f"({engine.warm_shards} warm-started, {engine.rebuilt_shards} rebuilt); "
@@ -307,8 +354,8 @@ class ShardedStats:
             f"{self.batch_evaluations} batched ({self.batched_sources} sources); "
             f"supersteps: {self.supersteps} ({self.local_runs} local runs, "
             f"{self.exchanged_facts} cross-shard frontier exports; last "
-            f"evaluation {self.last_run.supersteps} supersteps / "
-            f"{self.last_run.local_runs} runs); "
+            f"evaluation {last.supersteps} supersteps / "
+            f"{last.local_runs} runs); "
             f"backend evaluations/runs: {backends}; "
             f"visited pairs: {self.visited_pairs}"
         )
@@ -373,6 +420,37 @@ class ShardedEngine(ServingSurface):
             resolve_backend(backend)  # raises with the canonical message
         self.backend = backend
         self.stats = ShardedStats()
+        # One telemetry bundle for the whole sharded session.  Shard engines
+        # carry their own (never-snapshotted) registries; their *spans* still
+        # join this session's traces — span parentage follows the active
+        # context, not the owning session — so a trace shows shard compiles
+        # under the sharded evaluation that triggered them.
+        self.metrics = Telemetry()
+        registry = self.metrics.registry
+        self.stats.register(registry)
+        registry.gauge(
+            "sharded_shards", "shard count", self._map.num_shards.__int__
+        )
+        registry.gauge(
+            "sharded_warm_shards", "shards warm-started from snapshots",
+            lambda: self.warm_shards,
+        )
+        registry.gauge(
+            "sharded_rebuilt_shards", "shards built from scratch",
+            lambda: self.rebuilt_shards,
+        )
+        self._hist_query = registry.histogram(
+            "sharded_query_seconds", "end-to-end evaluation latency per call"
+        )
+        self._hist_superstep = registry.histogram(
+            "sharded_superstep_seconds", "one bulk-synchronous superstep round"
+        )
+        self._hist_local = registry.histogram(
+            "sharded_local_fixpoint_seconds", "one shard's local superstep"
+        )
+        self._hist_rewrite = registry.histogram(
+            "sharded_rewrite_seconds", "cold constraint-rewrite search latency"
+        )
         # Serializes evaluations and mutation against concurrent server
         # threads; per-shard superstep work happens on scheduler threads
         # *inside* an evaluation, while the caller's thread holds this lock.
@@ -388,6 +466,20 @@ class ShardedEngine(ServingSurface):
             from .serving import SuperstepScheduler
 
             self._scheduler = SuperstepScheduler(concurrency)
+            scheduler = self._scheduler
+            registry.gauge(
+                "sharded_scheduler_steps", "per-shard steps scheduled",
+                lambda: scheduler.steps,
+            )
+            registry.gauge(
+                "sharded_scheduler_barriers", "superstep barriers joined",
+                lambda: scheduler.barriers,
+            )
+            registry.gauge(
+                "sharded_scheduler_concurrent_steps",
+                "peak simultaneously in-flight shard steps",
+                lambda: scheduler.concurrent_steps,
+            )
         self._labels: list[str] = []
         self._label_set: set[str] = set()
         # Constraint pre-rewrite happens ONCE here, not per shard: every
@@ -679,7 +771,13 @@ class ShardedEngine(ServingSurface):
         """
         self.refresh()
         compiled = self._compiled_everywhere(self._prepared(query))
-        self.stats.last_run.reset()
+        # The per-evaluation view accumulates in a *local* object and is
+        # published into ``stats.last_run`` in one reference assignment at
+        # the end: a concurrent ``summary()``/gauge read never sees the
+        # half-reset, half-accumulated state the old in-place ``reset()``
+        # exposed mid-flight (it always reads the last finished evaluation).
+        counters = SuperstepCounters()
+        tele = self.metrics
         bit_of: dict = {}
         for oid in sources:
             if oid not in bit_of:
@@ -702,20 +800,39 @@ class ShardedEngine(ServingSurface):
         evaluation_backend: "str | None" = None
         while any(pending):
             self.stats.supersteps += 1
-            self.stats.last_run.supersteps += 1
+            counters.supersteps += 1
             active = [shard for shard in range(count) if pending[shard]]
-            steps = [
-                (
-                    lambda shard=shard: self._local_fixpoint(
-                        shard,
-                        pending[shard],
-                        frontiers[shard],
-                        compiled[shard],
-                        num_bits,
+            # The superstep span parents the per-shard fixpoint spans, which
+            # run on scheduler worker threads — the contextvar does not
+            # follow them there, so parentage is explicit (span_under).
+            superstep_span = tele.span(
+                "sharded.superstep", round=counters.supersteps, shards=len(active)
+            )
+
+            def make_step(shard: int):
+                def step():
+                    local_span = tele.span_under(
+                        superstep_span, "sharded.local_fixpoint", shard=shard
                     )
-                )
-                for shard in active
-            ]
+                    try:
+                        frontier, exports, backend = self._local_fixpoint(
+                            shard,
+                            pending[shard],
+                            frontiers[shard],
+                            compiled[shard],
+                            num_bits,
+                        )
+                    finally:
+                        local_span.end()
+                    local_span.set(
+                        exports=len(exports), backend=backend or "absorbed"
+                    )
+                    self._hist_local.observe(local_span.duration)
+                    return frontier, exports, backend
+
+                return step
+
+            steps = [make_step(shard) for shard in active]
             if self._scheduler is not None and len(steps) > 1:
                 results = self._scheduler.run(steps)
             else:
@@ -727,6 +844,7 @@ class ShardedEngine(ServingSurface):
                 frontiers[shard] = frontier
                 if backend is not None:
                     self.stats.record_local_run(backend)
+                    counters.local_runs += 1
                     evaluation_backend = backend
                 all_exports.extend(exports)
             # Barrier, part 2: scatter — route each exported ghost fact to
@@ -748,8 +866,11 @@ class ShardedEngine(ServingSurface):
                 if new_bits:
                     next_pending[home][(state, home_node)] |= new_bits
                     self.stats.exchanged_facts += 1
-                    self.stats.last_run.exchanged_facts += 1
+                    counters.exchanged_facts += 1
             pending = next_pending
+            superstep_span.end(exchanged=counters.exchanged_facts)
+            self._hist_superstep.observe(superstep_span.duration)
+        self.stats.last_run = counters  # atomic publish (see above)
         if evaluation_backend is not None:
             self.stats.record_evaluation(evaluation_backend)
 
@@ -790,6 +911,17 @@ class ShardedEngine(ServingSurface):
         sources: "Sequence[Oid] | Iterable[Oid]",
     ) -> "dict[Oid, set[Oid]]":
         """Evaluate one query from many sources across all shards."""
+        with self.metrics.span("sharded.query", mode="batch") as query_span:
+            results = self._query_batch(query, sources)
+            query_span.set(sources=len(results))
+        self._hist_query.observe(query_span.duration)
+        return results
+
+    def _query_batch(
+        self,
+        query,
+        sources: "Sequence[Oid] | Iterable[Oid]",
+    ) -> "dict[Oid, set[Oid]]":
         with self._lock:
             source_list = list(sources)
             self.stats.batch_evaluations += 1
@@ -824,6 +956,17 @@ class ShardedEngine(ServingSurface):
         (computed once for the whole batch).  The traversal statistics are
         those of the whole batch, mirrored into every per-source result.
         """
+        with self.metrics.span("sharded.query", mode="batch_results") as query_span:
+            results = self._query_batch_results(query, sources)
+            query_span.set(sources=len(results))
+        self._hist_query.observe(query_span.duration)
+        return results
+
+    def _query_batch_results(
+        self,
+        query,
+        sources: "Sequence[Oid] | Iterable[Oid]",
+    ) -> "dict[Oid, EvaluationResult]":
         with self._lock:
             source_list = list(sources)
             self.stats.batch_evaluations += 1
@@ -860,6 +1003,13 @@ class ShardedEngine(ServingSurface):
 
     def query(self, query, source: Oid) -> EvaluationResult:
         """Single-source evaluation with witnesses, as an ``EvaluationResult``."""
+        with self.metrics.span("sharded.query", mode="single") as query_span:
+            result = self._query_single(query, source)
+            query_span.set(answers=len(result.answers))
+        self._hist_query.observe(query_span.duration)
+        return result
+
+    def _query_single(self, query, source: Oid) -> EvaluationResult:
         with self._lock:
             self.stats.single_evaluations += 1
             self.refresh()

@@ -45,7 +45,7 @@ class TestEngineCommand:
         code = main(["engine", graph_file, query_file, "-s", "o1", "--stats"])
         assert code == 0
         err = capsys.readouterr().err
-        assert "compiles" in err and "batched" in err
+        assert "engine_compile_misses" in err and "engine_batched_sources" in err
 
     def test_conflicting_source_flags_rejected(self, graph_file, query_file, capsys):
         code = main(["engine", graph_file, query_file, "-s", "o1", "--all-sources"])
@@ -94,8 +94,9 @@ class TestEngineSnapshotFlags:
         assert captured.out == first
         # Warm start: the graph was restored, not rebuilt, and the persisted
         # query cache served both queries without a single compile.
-        assert "graph builds: 0, 1 snapshot warm-start" in captured.err
-        assert "compiles: 0" in captured.err
+        assert "engine_graph_builds 0" in captured.err
+        assert "engine_snapshot_restores 1" in captured.err
+        assert "engine_compile_misses 0" in captured.err
 
     def test_load_snapshot_falls_back_on_mismatched_graph(
         self, graph_file, query_file, tmp_path, capsys
@@ -119,7 +120,7 @@ class TestEngineSnapshotFlags:
         ) == 0
         captured = capsys.readouterr()
         assert "a b*\to1\to2 o3" in captured.out.splitlines()
-        assert "graph builds: 1" in captured.err
+        assert "engine_graph_builds 1" in captured.err
 
     def test_binary_codec_flag(self, graph_file, query_file, tmp_path, capsys):
         snap = tmp_path / "graph.bin"
@@ -150,7 +151,7 @@ class TestEngineBackendFlag:
         assert code == 0
         captured = capsys.readouterr()
         assert "a b*\to1\to2 o3" in captured.out.splitlines()
-        assert "backend runs: python=" in captured.err
+        assert "engine_backend_runs{python}" in captured.err
 
     def test_numpy_backend_when_available(self, graph_file, query_file, capsys):
         from repro.engine import numpy_available
@@ -163,7 +164,7 @@ class TestEngineBackendFlag:
         assert code == 0
         captured = capsys.readouterr()
         assert "a b*\to1\to2 o3" in captured.out.splitlines()
-        assert "backend runs: numpy=" in captured.err
+        assert "engine_backend_runs{numpy}" in captured.err
 
     def test_auto_backend_matches_availability(self, graph_file, query_file, capsys):
         from repro.engine import resolve_backend
@@ -173,7 +174,7 @@ class TestEngineBackendFlag:
         )
         assert code == 0
         expected = resolve_backend("auto")
-        assert f"backend runs: {expected}=" in capsys.readouterr().err
+        assert f"engine_backend_runs{{{expected}}}" in capsys.readouterr().err
 
     def test_unknown_backend_rejected_by_argparse(self, graph_file, query_file, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -198,7 +199,7 @@ class TestEngineShardedFlags:
         )
         assert code == 0
         first = capsys.readouterr()
-        assert "0 warm-started" in first.err
+        assert "sharded_warm_shards 0" in first.err
         assert (tmp_path / "shards" / "manifest.json").is_file()
         # Second invocation warm-starts every shard from the directory.
         code = main(
@@ -208,7 +209,8 @@ class TestEngineShardedFlags:
         assert code == 0
         second = capsys.readouterr()
         assert second.out == first.out
-        assert "3 warm-started, 0 rebuilt" in second.err
+        assert "sharded_warm_shards 3" in second.err
+        assert "sharded_rebuilt_shards 0" in second.err
 
     def test_snapshot_dir_without_shards_needs_manifest(
         self, graph_file, query_file, tmp_path, capsys
@@ -283,7 +285,7 @@ class TestServeCommand:
         assert code == 0
         assert len(captured.out.splitlines()) == 6
         # All six requests shared one admission bucket -> one batch.
-        assert "batches: 1" in captured.err
+        assert "serving_batches 1" in captured.err
 
     def test_sharded_serve_with_concurrency(self, graph_file, monkeypatch, capsys):
         code, captured = self._serve(
@@ -294,7 +296,7 @@ class TestServeCommand:
         )
         assert code == 0
         assert captured.out.splitlines() == ["r1\to2 o3"]
-        assert "shards: 2" in captured.err
+        assert "sharded_shards 2" in captured.err
 
     def test_malformed_and_failing_requests_answer_errors(
         self, graph_file, monkeypatch, capsys

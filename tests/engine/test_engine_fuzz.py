@@ -261,6 +261,15 @@ def test_served_answers_match_direct_and_baseline(
             return {key: await future for key, future in futures.items()}
 
     served = asyncio.run(scenario())
+    # Admission arithmetic, read back from the telemetry registry itself:
+    # every admitted request resolved exactly once, one way or the other.
+    snapshot = sharded.metrics.snapshot()
+    assert snapshot["serving_submitted"] == len(queries) * len(sources)
+    assert (
+        snapshot["serving_submitted"]
+        == snapshot["serving_served"] + snapshot["serving_failed"]
+    )
+    assert snapshot["serving_failed"] == 0
     for query_index in range(len(queries)):
         for source in sources:
             assert served[(query_index, source)] == direct[query_index][source], (

@@ -8,6 +8,7 @@ single stale shard recompiles alone while every warm shard loads from disk.
 
 import json
 import os
+import threading
 
 import pytest
 
@@ -366,6 +367,47 @@ class TestShardedStatsAccounting:
             == first_runs + sharded.stats.last_run.local_runs
         )
         assert sharded.stats.last_run.supersteps >= 1
+
+    def test_last_run_publish_is_atomic_under_concurrent_readers(self):
+        # Regression: ``last_run`` used to be reset *in place* at the start
+        # of each evaluation, so a concurrent ``describe()``/gauge read
+        # could observe a half-filled counters object.  Counters are now
+        # accumulated locally and published by one reference assignment, so
+        # every observed last_run must be a *completed* evaluation's values.
+        instance, _ = web(40)
+        sharded = ShardedEngine.open(instance, shards=3)
+        sources = sorted(instance.objects, key=repr)[:6]
+        sharded.query_batch("a (b + c)*", sources)
+        reference = sharded.stats.last_run
+        expected = (
+            reference.supersteps,
+            reference.local_runs,
+            reference.exchanged_facts,
+        )
+
+        torn = []
+        stop = threading.Event()
+
+        def read():
+            while not stop.is_set():
+                last = sharded.stats.last_run
+                observed = (last.supersteps, last.local_runs, last.exchanged_facts)
+                if observed != expected:
+                    torn.append(observed)
+
+        readers = [threading.Thread(target=read) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        try:
+            # Identical repeated evaluations: every *complete* publication
+            # carries the same values, so any deviation is a torn read.
+            for _ in range(30):
+                sharded.query_batch("a (b + c)*", sources)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert not torn, f"partially-published last_run observed: {torn[:5]}"
 
     def test_describe_reports_both_tallies(self):
         instance, _ = web(20)
