@@ -20,6 +20,19 @@ pool of distinct queries from scattered sources.  Two properties are gated:
 Per-request latency is measured at the admission boundary — a monotonic
 clock read when each request is submitted and again when its future
 resolves — and the artifact records the p50/p95/p99 of that distribution.
+A dedicated streaming pass serves the same requests through
+``submit_stream`` and clocks submission to *first streamed answer* (or to
+completion, for empty answer sets): the ``latency.first_answer_*``
+artifact fields.  ``--check`` additionally gates first-answer p99 below
+the *recorded* resolve baseline — the ``latency.p99_s`` of the committed
+artifact at the same path, read before this run overwrites it (first
+generation falls back to the same run's resolve p99) — and pins the
+engine-side cost flat: the per-run means of ``engine_run_seconds`` and
+``sharded_superstep_seconds`` during the streaming arm must stay within
+``FLATNESS_BOUND`` of the batch arm's
+(``sharded_local_fixpoint_seconds`` is reported but not gated: the
+fixpoint span *contains* the sink callback, so its inflation is the
+emission work itself, already bounded by the superstep gate above it).
 Served answers are checked request-for-request against the sequential
 baseline (and the grouped direct ``query_batch``) before any timing is
 trusted.  The run always writes a machine-readable artifact
@@ -47,6 +60,21 @@ from repro.engine import ShardedEngine, set_telemetry_enabled
 
 SPEEDUP_BOUND = 2.0
 OVERHEAD_BOUND = 1.05
+# Streaming must not make the engine itself work harder: per-run means of
+# the evaluation histograms in the streaming arm vs the batch arm.  Only
+# the names the serving session actually registers appear (a sharded
+# session exposes the superstep/fixpoint pair; a monolithic one exposes
+# engine_run_seconds).  The local-fixpoint span contains the answer-sink
+# callback, so its streaming-arm mean inflates by the emission work
+# itself — it is reported for visibility but only the GATED names fail
+# the check.
+FLATNESS_BOUND = 1.5
+FLATNESS_HISTOGRAMS = (
+    "engine_run_seconds",
+    "sharded_superstep_seconds",
+    "sharded_local_fixpoint_seconds",
+)
+GATED_HISTOGRAMS = ("engine_run_seconds", "sharded_superstep_seconds")
 
 
 def percentile(values, quantile):
@@ -106,6 +134,81 @@ def serve_concurrently(engine, queries, requests, *, max_batch, max_delay,
     return answers, stats, latencies
 
 
+def serve_streaming(engine, queries, requests, *, max_batch, max_delay,
+                    concurrency):
+    """All requests served through ``submit_stream``, first answers clocked.
+
+    Each request's first-answer latency is submission to the first
+    ``async for`` yield — or to stream completion for an empty answer set,
+    the same time-to-certainty convention the
+    ``serving_first_answer_seconds`` histogram uses.  Returns the resolved
+    full answer sets (pinned against the sequential baseline by the
+    caller), the serving stats, and the first-answer latencies.
+    """
+    first_latencies: list[float] = []
+
+    async def consume(stream, submitted_at):
+        seen_first = False
+        async for _ in stream:
+            first_latencies.append(time.perf_counter() - submitted_at)
+            seen_first = True
+            # First answer clocked; the remainder comes from result() so
+            # the harness's per-answer iteration does not steal loop time
+            # from the evaluations still in flight (full-iteration parity
+            # is pinned by the fuzz suite, not re-measured here).
+            break
+        answers = await stream.result()
+        if not seen_first:
+            first_latencies.append(time.perf_counter() - submitted_at)
+        return answers
+
+    async def scenario():
+        async with engine.as_server(
+            max_batch=max_batch, max_delay=max_delay, concurrency=concurrency
+        ) as server:
+            tasks = []
+            for query_index, source in requests:
+                submitted_at = time.perf_counter()
+                stream = server.submit_stream(queries[query_index], source)
+                tasks.append(
+                    asyncio.get_running_loop().create_task(
+                        consume(stream, submitted_at)
+                    )
+                )
+            answers = await asyncio.gather(*tasks)
+            return list(answers), server.stats
+
+    answers, stats = asyncio.run(scenario())
+    return answers, stats, first_latencies
+
+
+def fold_histogram_deltas(totals, engine, before):
+    """Fold one arm window's evaluation-histogram deltas into ``totals``.
+
+    ``before`` is a prior ``engine.metrics.registry.snapshot()``; the delta
+    between it and a fresh snapshot isolates one window's observations from
+    the process-cumulative histogram totals.  ``totals`` maps histogram name
+    to accumulated ``[sum seconds, count]`` across every window of the arm.
+    """
+    after = engine.metrics.registry.snapshot()
+    for name in FLATNESS_HISTOGRAMS:
+        if name not in after:
+            continue
+        total, count = totals.setdefault(name, [0.0, 0])
+        totals[name] = [
+            total + after[name]["sum"] - before.get(name, {}).get("sum", 0.0),
+            count + after[name]["count"] - before.get(name, {}).get("count", 0),
+        ]
+
+
+def histogram_means(totals):
+    """``{name: (mean seconds, count)}`` of accumulated histogram totals."""
+    return {
+        name: (total / count if count else 0.0, count)
+        for name, (total, count) in totals.items()
+    }
+
+
 def timed(fn, *args, **kwargs):
     start = time.perf_counter()
     result = fn(*args, **kwargs)
@@ -162,6 +265,18 @@ def main(argv=None) -> int:
     if args.json is None:
         args.json = "BENCH_serving_smoke.json" if args.smoke else "BENCH_serving.json"
 
+    # The recorded resolve baseline the streaming gate compares against:
+    # the committed artifact at this path, read before the run overwrites
+    # it.  Missing or unreadable (first generation, or a fresh smoke
+    # path) leaves it None and the gate falls back to the same run's own
+    # resolve p99.
+    recorded_p99 = None
+    try:
+        with open(args.json, "r", encoding="utf-8") as handle:
+            recorded_p99 = json.load(handle)["latency"]["p99_s"] or None
+    except (OSError, ValueError, KeyError, TypeError):
+        recorded_p99 = None
+
     instance, shard_map, queries, sources = build_workload(
         args.cluster_nodes, args.clusters, args.queries, args.seed
     )
@@ -207,12 +322,50 @@ def main(argv=None) -> int:
         if serving_stats.coalesced == 0 and len(requests) > len(queries):
             failures.append("admission queue coalesced nothing on a gateway load")
 
-        # Dedicated latency pass: per-request submit-to-resolve clocks.
-        (_, _, latencies), _ = timed(
-            serve_concurrently, engine, queries, requests,
-            max_batch=args.max_batch, max_delay=args.max_delay,
-            concurrency=args.concurrency, capture_latencies=True,
-        )
+        # Dedicated latency passes, interleaved ``--repeat`` times: the
+        # batch arm clocks per-request submit-to-resolve, the streaming arm
+        # submit-to-first-answer.  The evaluation histograms are bracketed
+        # around each window and folded per arm, so flatness compares
+        # mean-for-mean over every repeat; the latency vectors keep the
+        # lowest-p99 repeat — the same machine-noise defence the best-of
+        # timing arms use — and interleaving keeps drift from loading one
+        # arm only.
+        batch_totals: dict = {}
+        streaming_totals: dict = {}
+        latencies: "list[float]" = []
+        first_latencies: "list[float]" = []
+        for _ in range(args.repeat):
+            before = engine.metrics.registry.snapshot()
+            (_, _, candidate), _ = timed(
+                serve_concurrently, engine, queries, requests,
+                max_batch=args.max_batch, max_delay=args.max_delay,
+                concurrency=args.concurrency, capture_latencies=True,
+            )
+            fold_histogram_deltas(batch_totals, engine, before)
+            if not latencies or (
+                percentile(candidate, 0.99) < percentile(latencies, 0.99)
+            ):
+                latencies = candidate
+
+            before = engine.metrics.registry.snapshot()
+            streamed_answers, _, candidate_first = serve_streaming(
+                engine, queries, requests,
+                max_batch=args.max_batch, max_delay=args.max_delay,
+                concurrency=args.concurrency,
+            )
+            fold_histogram_deltas(streaming_totals, engine, before)
+            if streamed_answers != sequential_answers:
+                failures.append(
+                    "streamed answer sets diverge from sequential serving"
+                )
+                break
+            if not first_latencies or (
+                percentile(candidate_first, 0.99)
+                < percentile(first_latencies, 0.99)
+            ):
+                first_latencies = candidate_first
+        batch_means = histogram_means(batch_totals)
+        streaming_means = histogram_means(streaming_totals)
 
         _, sequential_s = best_of(
             args.repeat, serve_sequentially, engine, queries, requests
@@ -258,6 +411,25 @@ def main(argv=None) -> int:
         "p50_s": percentile(latencies, 0.50),
         "p95_s": percentile(latencies, 0.95),
         "p99_s": percentile(latencies, 0.99),
+        "first_answer_count": len(first_latencies),
+        "first_answer_p50_s": percentile(first_latencies, 0.50),
+        "first_answer_p95_s": percentile(first_latencies, 0.95),
+        "first_answer_p99_s": percentile(first_latencies, 0.99),
+    }
+    flatness = {
+        name: {
+            "batch_mean_s": batch_means[name][0],
+            "batch_count": batch_means[name][1],
+            "streaming_mean_s": streaming_means[name][0],
+            "streaming_count": streaming_means[name][1],
+            "ratio": (
+                streaming_means[name][0] / batch_means[name][0]
+                if batch_means[name][0]
+                else 1.0
+            ),
+        }
+        for name in FLATNESS_HISTOGRAMS
+        if name in batch_means and name in streaming_means
     }
 
     print(f"{'mode':<34}{'time (s)':>10}{'speedup':>9}")
@@ -271,6 +443,18 @@ def main(argv=None) -> int:
         f"p99 {latency_summary['p99_s'] * 1000:.2f}ms "
         f"over {latency_summary['count']} requests"
     )
+    print(
+        f"first answer:    p50 {latency_summary['first_answer_p50_s'] * 1000:.2f}ms, "
+        f"p95 {latency_summary['first_answer_p95_s'] * 1000:.2f}ms, "
+        f"p99 {latency_summary['first_answer_p99_s'] * 1000:.2f}ms "
+        f"over {latency_summary['first_answer_count']} streamed requests"
+    )
+    for name, arm in flatness.items():
+        print(
+            f"flatness {name}: streaming mean "
+            f"{arm['streaming_mean_s'] * 1000:.3f}ms vs batch "
+            f"{arm['batch_mean_s'] * 1000:.3f}ms ({arm['ratio']:.3f}x)"
+        )
     print(
         f"admission: {last_stats.batches} batches for {len(requests)} requests "
         f"({last_stats.coalesced} coalesced, widest {last_stats.max_batch_size}; "
@@ -304,6 +488,12 @@ def main(argv=None) -> int:
         "speedup": speedup,
         "speedup_bound": SPEEDUP_BOUND,
         "latency": latency_summary,
+        "streaming": {
+            "flatness_bound": FLATNESS_BOUND,
+            "gated_histograms": list(GATED_HISTOGRAMS),
+            "histograms": flatness,
+            "recorded_resolve_p99_s": recorded_p99,
+        },
         "telemetry": {
             "enabled_s": served_s,
             "disabled_s": disabled_s,
@@ -358,13 +548,37 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             ok = False
+        first_p99 = latency_summary["first_answer_p99_s"]
+        baseline_p99 = recorded_p99 or latency_summary["p99_s"]
+        baseline_kind = "recorded" if recorded_p99 else "same-run"
+        if not first_p99 or first_p99 >= baseline_p99:
+            print(
+                f"CHECK FAILED: first streamed answer p99 "
+                f"{first_p99 * 1000:.2f}ms is not below the {baseline_kind} "
+                f"full-resolve p99 baseline {baseline_p99 * 1000:.2f}ms — "
+                "streaming is not beating batch completion",
+                file=sys.stderr,
+            )
+            ok = False
+        for name, arm in flatness.items():
+            if (name in GATED_HISTOGRAMS and arm["streaming_count"]
+                    and arm["ratio"] > FLATNESS_BOUND):
+                print(
+                    f"CHECK FAILED: {name} mean grew {arm['ratio']:.3f}x (> "
+                    f"{FLATNESS_BOUND}x) in the streaming arm — the answer "
+                    "sink is taxing the evaluation hot loop",
+                    file=sys.stderr,
+                )
+                ok = False
         if not ok:
             return 1
         print(
             f"CHECK OK: shared-batch serving {speedup:.2f}x >= "
             f"{SPEEDUP_BOUND}x sequential; superstep overlap peak "
             f"{scheduler.concurrent_steps}; telemetry overhead "
-            f"{overhead:.3f}x <= {OVERHEAD_BOUND}x"
+            f"{overhead:.3f}x <= {OVERHEAD_BOUND}x; first answer p99 "
+            f"{first_p99 * 1000:.2f}ms < {baseline_kind} resolve p99 "
+            f"{baseline_p99 * 1000:.2f}ms; evaluation means flat"
         )
     return 0
 

@@ -7,7 +7,9 @@
 #   tests   the tier-1 pytest suite, once per numpy arm
 #   serve   the async serving suite under PYTHONASYNCIODEBUG=1 (both numpy
 #           arms; includes the N-threads-x-M-queries stress test on one
-#           shared engine)
+#           shared engine) plus a live streamed-TCP smoke: a STREAM
+#           request's chunk lines, a LIMIT/CURSOR page walk, and a forged
+#           cursor rejection against a real `serve --tcp` process
 #   obs     the telemetry suite plus a live `serve --metrics` smoke that
 #           queries over TCP, asks !stats/!slow, and scrapes /metrics and
 #           /healthz over HTTP (both numpy arms)
@@ -33,7 +35,9 @@
 #     serving within 1.5x of monolithic; per-shard warm start)
 #   python benchmarks/bench_serving.py --check             (shared-batch
 #     serving >= 2x sequential per-query; superstep overlap > 1;
-#     telemetry-enabled serving within 5% of disabled)
+#     telemetry-enabled serving within 5% of disabled; streamed first
+#     answers p99 below the recorded full-resolve p99 with the
+#     evaluation histograms flat)
 # All bench scripts write BENCH_*.json artifacts recording the numbers.
 
 set -euo pipefail
@@ -62,6 +66,14 @@ run_serve() {
     echo "== serving: asyncio suite + thread stress (pure-Python arm, asyncio debug) =="
     PYTHONASYNCIODEBUG=1 REPRO_DISABLE_NUMPY=1 \
         python -m pytest tests/engine/test_serving.py -q
+
+    echo
+    echo "== serving: live streamed TCP smoke (numpy arm) =="
+    python scripts/serve_stream_smoke.py
+
+    echo
+    echo "== serving: live streamed TCP smoke (pure-Python arm) =="
+    REPRO_DISABLE_NUMPY=1 python scripts/serve_stream_smoke.py
 }
 
 run_obs() {

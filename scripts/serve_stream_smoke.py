@@ -1,0 +1,134 @@
+"""End-to-end streaming/pagination smoke: `serve --tcp` for real.
+
+Spawns the CLI serving process on an ephemeral TCP port and exercises the
+incremental delivery surfaces of the line protocol the way a client would:
+
+* a ``STREAM`` request must answer with ``id<TAB>+<TAB>answer`` chunk
+  lines followed by the standard full response line, the union of the
+  chunks equal to the closing answer set;
+* a ``LIMIT``/``CURSOR`` page walk must hand back the full answer set as
+  the concatenation of its pages, in sorted order without overlap;
+* a forged cursor token must come back as an ``error:`` line, not a page.
+
+Run by ``scripts/check.sh serve`` in both numpy arms.  Stdlib only::
+
+    PYTHONPATH=src python scripts/serve_stream_smoke.py
+"""
+
+from __future__ import annotations
+
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ANNOUNCE = re.compile(r"^serving on (.+):(\d+)$")
+
+
+def fail(message: str):
+    print(f"FATAL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_serving(process) -> "tuple[str, int]":
+    """Read the 'serving on host:port' announcement off the server's stderr."""
+    while True:
+        line = process.stderr.readline()
+        if not line:
+            fail(
+                "server exited before announcing its endpoint "
+                f"(rc={process.poll()})"
+            )
+        match = ANNOUNCE.match(line.strip())
+        if match:
+            return match.group(1), int(match.group(2))
+
+
+def tcp_round_trip(host: str, port: int, lines: "list[str]") -> "list[str]":
+    with socket.create_connection((host, port), timeout=10) as connection:
+        connection.sendall(("\n".join(lines) + "\n").encode("utf-8"))
+        connection.shutdown(socket.SHUT_WR)
+        reader = connection.makefile("r", encoding="utf-8")
+        return [reply.rstrip("\n") for reply in reader]
+
+
+def main() -> int:
+    from repro.graph import figure2_graph, instance_to_edge_list
+
+    instance, _ = figure2_graph()
+    with tempfile.TemporaryDirectory() as tmp:
+        graph = Path(tmp) / "figure2.edges"
+        graph.write_text(instance_to_edge_list(instance), encoding="utf-8")
+
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(graph),
+                "--tcp", "127.0.0.1:0",
+            ],
+            cwd=REPO,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            host, port = wait_for_serving(process)
+
+            # STREAM: chunk lines as answers land, then the closing full
+            # response; the chunks must union to exactly the close set.
+            replies = tcp_round_trip(host, port, ["s1\to1\ta b*\tSTREAM"])
+            chunks = [r for r in replies if r.startswith("s1\t+\t")]
+            closes = [
+                r for r in replies
+                if r.startswith("s1\t") and not r.startswith("s1\t+\t")
+            ]
+            if len(closes) != 1:
+                fail(f"STREAM did not close with one full response: {replies!r}")
+            if replies[-1] != closes[0]:
+                fail(f"STREAM chunks arrived after the close line: {replies!r}")
+            final = set(closes[0].split("\t", 1)[1].split())
+            streamed = {r.split("\t", 2)[2] for r in chunks}
+            if final != {"o2", "o3"} or streamed != final:
+                fail(
+                    f"STREAM answers wrong: chunks {sorted(streamed)!r} "
+                    f"vs close {sorted(final)!r}"
+                )
+
+            # LIMIT/CURSOR: walk one-answer pages until no cursor remains;
+            # the concatenation must equal the full sorted answer set.
+            pages: "list[str]" = []
+            modifier = "LIMIT 1"
+            for hop in range(10):
+                (reply,) = tcp_round_trip(
+                    host, port, [f"p{hop}\to1\ta b*\t{modifier}"]
+                )
+                fields = reply.split("\t")
+                if len(fields) < 2 or fields[1].startswith("error:"):
+                    fail(f"page walk failed at hop {hop}: {reply!r}")
+                pages.extend(fields[1].split())
+                if len(fields) == 2:
+                    break
+                modifier = f"LIMIT 1 {fields[2]}"
+            else:
+                fail("page walk never terminated")
+            if pages != sorted(final):
+                fail(f"concatenated pages {pages!r} != answers {sorted(final)!r}")
+
+            # A forged cursor must be rejected with an error line.
+            (reply,) = tcp_round_trip(
+                host, port, ["bad\to1\ta b*\tLIMIT 1 CURSOR forged"]
+            )
+            if not reply.startswith("bad\terror:"):
+                fail(f"forged cursor was not rejected: {reply!r}")
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+    print("serve stream smoke: ok (STREAM chunks, page walk, forged cursor)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

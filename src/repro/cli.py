@@ -26,9 +26,14 @@ small graph-database tool:
 * ``python -m repro serve GRAPH`` — the async serving loop
   (``repro.engine.serving``): requests arrive as ``id<TAB>source<TAB>query``
   lines (stdin by default, or a TCP listener with ``--tcp HOST:PORT``) and
-  are answered as ``id<TAB>answer answer ...``; in-flight requests that
+  are answered as ``id<TAB>answer answer ...``; an optional fourth field
+  selects a delivery mode — ``LIMIT n [CURSOR c]`` answers one sorted page
+  behind an opaque resume cursor, ``STREAM`` emits ``id<TAB>+<TAB>answer``
+  chunk lines as the engine derives answers before the closing full
+  response; in-flight requests that
   compile to the same DFA are coalesced into shared batched evaluations
-  under the ``--max-batch`` / ``--max-delay`` admission policy.
+  under the ``--max-batch`` / ``--max-delay`` admission policy (the size
+  trigger counts requests, duplicate sources included).
 
 All commands exit with status 0 on success, 1 on a "negative" outcome (e.g. a
 constraint that does not hold, an implication that is refuted), and 2 on bad
@@ -510,8 +515,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--max-batch", type=int, default=64, metavar="N",
-        help="flush an admission bucket once it holds N distinct sources "
-        "(default: 64)",
+        help="flush an admission bucket once it holds N requests — "
+        "duplicate sources count (default: 64)",
     )
     serve_parser.add_argument(
         "--max-delay", type=float, default=0.002, metavar="SECONDS",

@@ -44,6 +44,7 @@ from .executor import (
 from .interning import Interner
 from .session import Engine, EngineStats, shared_engine
 from .serving import (
+    AnswerStream,
     QueryServer,
     ServingStats,
     SuperstepScheduler,
@@ -100,6 +101,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "QueryCompiler",
+    "AnswerStream",
     "QueryServer",
     "SNAPSHOT_CODECS",
     "SNAPSHOT_FORMAT_VERSION",

@@ -97,6 +97,7 @@ def run_batch(
     seeds: "Mapping[tuple[int, int], int] | None" = None,
     known: "Mapping[tuple[int, int], int] | None" = None,
     num_bits: "int | None" = None,
+    answer_sink=None,
     backend: str = "auto",
 ) -> BatchRun:
     """Shared multi-source traversal, on the chosen backend.
@@ -105,12 +106,15 @@ def run_batch(
     ``known`` pre-loads prior facts without re-propagating them — the
     import half of the sharded engine's superstep exchange; ``num_bits``
     sizes the mask universe for the *global* batch when the local sources
-    do not span it.  See :func:`repro.engine.executor_py.run_batch`.
+    do not span it; ``answer_sink(bit, nodes)`` streams newly accepting
+    facts out of the fixpoint as they land, grouped by source bit (both
+    backends honor the same at-most-once contract).  See
+    :func:`repro.engine.executor_py.run_batch`.
     """
     started = perf_counter()
     run = _module(backend).run_batch(
         graph, query, sources, witnesses=witnesses, seeds=seeds, known=known,
-        num_bits=num_bits,
+        num_bits=num_bits, answer_sink=answer_sink,
     )
     run.elapsed = perf_counter() - started
     return run

@@ -28,7 +28,7 @@ pair membership directly against the packed mask tensor.
 from __future__ import annotations
 
 import sys
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -250,6 +250,74 @@ def _inject_mask(
         word += 1
 
 
+def _emit_bit_groups(answer_sink, fresh: "np.ndarray") -> None:
+    """Call ``answer_sink(bit, nodes)`` for every source bit set in ``fresh``.
+
+    The grouping runs vectorized: per present bit, one masked select over
+    the round's fresh rows — the only per-node Python is the final
+    ``tolist``.  Keeping the sink contract per *bit group* (not per fact)
+    is what lets a streaming evaluation hand thousands of facts to the
+    serving layer without holding the GIL through per-fact bookkeeping.
+    """
+    words = fresh.shape[1]
+    if words == 1:
+        column = fresh[:, 0]
+        nodes = np.nonzero(column)[0]
+        if nodes.size == 0:
+            return
+        values = column[nodes]
+        present = int(np.bitwise_or.reduce(values))
+        while present:
+            low = present & -present
+            members = nodes[(values & np.uint64(low)) != 0]
+            answer_sink(low.bit_length() - 1, members.tolist())
+            present ^= low
+        return
+    # Wide batches (> 64 sources): per-word pass, same per-bit selects.
+    for word in range(words):
+        column = fresh[:, word]
+        nodes = np.nonzero(column)[0]
+        if nodes.size == 0:
+            continue
+        values = column[nodes]
+        present = int(np.bitwise_or.reduce(values))
+        base = word << 6
+        while present:
+            low = present & -present
+            members = nodes[(values & np.uint64(low)) != 0]
+            answer_sink(base + low.bit_length() - 1, members.tolist())
+            present ^= low
+
+
+def _emit_new_accepting(
+    answer_sink,
+    accept_union: "np.ndarray",
+    delta: "np.ndarray",
+    query: CompiledQuery,
+    states: "Iterable[int] | None" = None,
+) -> None:
+    """Stream the round's newly accepting facts and fold them into the union.
+
+    ``states`` restricts the scan to accepting states known to have
+    received bits this round (the caller's active set) — the per-round
+    cost of a pure-propagation round is then a set intersection, not a
+    per-state array scan.
+    """
+    if states is None:
+        states = [s for s in range(query.num_states) if query.accepting[s]]
+    fresh: "np.ndarray | None" = None
+    for state in states:
+        block = delta[state]
+        fresh = block if fresh is None else fresh | block
+    if fresh is None:
+        return
+    fresh = fresh & ~accept_union
+    if not fresh.any():
+        return
+    accept_union |= fresh
+    _emit_bit_groups(answer_sink, fresh)
+
+
 def run_batch(
     graph: CompiledGraph,
     query: CompiledQuery,
@@ -259,6 +327,7 @@ def run_batch(
     seeds: "Mapping[tuple[int, int], int] | None" = None,
     known: "Mapping[tuple[int, int], int] | NpFrontier | None" = None,
     num_bits: "int | None" = None,
+    answer_sink=None,
 ) -> BatchRun:
     """Delta-driven vectorized fixpoint of the batched bitmask traversal.
 
@@ -269,6 +338,14 @@ def run_batch(
     place, paying zero conversion — and ``num_bits`` sizes the packed word
     dimension for the global batch width when it exceeds the local source
     count.
+
+    ``answer_sink`` streams accepting facts per fixpoint round, with the
+    scalar executor's contract (``answer_sink(bit, nodes)`` per source bit
+    with fresh facts, each ``(bit, node)`` fact at most once,
+    continued-frontier facts never re-reported): after seeding and again
+    after every delta round, the bits that newly landed on accepting
+    states — beyond the cumulative accepting union — go out grouped by
+    source bit.
     """
     n = graph.num_nodes
     run = BatchRun(sources=tuple(sources), backend="numpy")
@@ -308,6 +385,18 @@ def run_batch(
         if known:
             for (state, node), mask in known.items():
                 _inject_mask(masks, None, None, state, node, mask)
+    # Streaming: the per-node union of bits already known to be accepting,
+    # seeded from the pre-run masks so continued frontiers only report
+    # genuinely new facts (the semi-naive property, for answers).
+    accept_union: "np.ndarray | None" = None
+    accepting_states: "frozenset[int]" = frozenset()
+    if answer_sink is not None:
+        accepting_states = frozenset(
+            state for state in range(num_states) if query.accepting[state]
+        )
+        accept_union = np.zeros((n, words), dtype=np.uint64)
+        for state in accepting_states:
+            accept_union |= masks[state]
     delta = np.zeros_like(masks)
     touched = np.zeros((num_states, n), dtype=bool)
     for source, bit in bit_of.items():
@@ -315,6 +404,9 @@ def run_batch(
     if seeds:
         for (state, node), mask in seeds.items():
             _inject_mask(masks, delta, touched, state, node, mask)
+    if accept_union is not None:
+        # Injected bits landing on accepting pairs are answers already.
+        _emit_new_accepting(answer_sink, accept_union, delta, query)
 
     # Delta-driven rounds: only bits that appeared in the previous round are
     # propagated, and only states that received bits are revisited.
@@ -342,6 +434,12 @@ def run_batch(
                 next_delta[next_state][edges.dst_unique] |= new_bits
                 touched[next_state][edges.dst_unique[grew]] = True
                 next_active.add(next_state)
+        if accept_union is not None:
+            emit_states = accepting_states & next_active
+            if emit_states:
+                _emit_new_accepting(
+                    answer_sink, accept_union, next_delta, query, emit_states
+                )
         # Swap the two round buffers; only the old round's active states can
         # hold stale bits, so clearing those rows resets the next buffer.
         delta, next_delta = next_delta, delta

@@ -41,6 +41,12 @@ from typing import Callable, Iterable, Mapping, Sequence
 from .compiled_query import CompiledQuery
 from .csr import CompiledGraph
 
+# Streaming ``answer_sink`` facts are buffered and flushed in per-bit
+# groups every this many queue expansions: one downstream call then
+# covers a whole group of facts, without letting answers sit longer
+# than a sliver of the traversal.
+_SINK_FLUSH_EVERY = 64
+
 
 @dataclass
 class SingleRun:
@@ -116,7 +122,7 @@ class PyFrontier:
     raises instead of silently serving a mix of old and new reachability.
     """
 
-    __slots__ = ("masks", "n", "changed", "version")
+    __slots__ = ("masks", "n", "changed", "version", "accept_union")
 
     def __init__(
         self,
@@ -124,11 +130,17 @@ class PyFrontier:
         n: int,
         changed: "set[int]",
         version: "int | None" = None,
+        accept_union: "list[int] | None" = None,
     ) -> None:
         self.masks = masks
         self.n = n
         self.changed = changed
         self.version = version
+        # Streaming chains hand their per-node accepting-bit union along
+        # with the masks, so a continued run resumes at-most-once
+        # reporting without rescanning every accepting pair (None when
+        # the producing run had no ``answer_sink``).
+        self.accept_union = accept_union
 
     def mask_at(self, state: int, node: int) -> int:
         """The current source bitmask of one product pair."""
@@ -335,6 +347,7 @@ def run_batch(
     seeds: "Mapping[tuple[int, int], int] | None" = None,
     known: "Mapping[tuple[int, int], int] | PyFrontier | None" = None,
     num_bits: "int | None" = None,
+    answer_sink: "Callable[[int, Sequence[int]], None] | None" = None,
 ) -> BatchRun:
     """Evaluate one query from many sources in a single shared traversal.
 
@@ -349,6 +362,19 @@ def run_batch(
     carrying higher global bit positions (the pure-Python masks are
     arbitrary-precision ints, so it is accepted for API symmetry with the
     numpy executor and otherwise ignored).
+
+    ``answer_sink`` streams accepting facts *during* the fixpoint: it is
+    called as ``answer_sink(bit, nodes)`` — one source bit, the nodes that
+    bit newly reached in an accepting state.  Facts are buffered and
+    flushed in per-bit groups every ``_SINK_FLUSH_EVERY`` queue
+    expansions (and at the fixpoint's end), so the per-call cost
+    downstream is amortized across many facts without holding answers
+    back longer than a sliver of the traversal.  Each ``(bit, node)``
+    fact is reported at most once per run, and bits that were already
+    accepting in a continued ``known`` frontier are never re-reported —
+    so across a chain of continued runs the union of everything streamed
+    equals the final accepting facts.  The sink runs on the executor's
+    thread and must be cheap; exceptions it raises abort the run.
     """
     n = graph.num_nodes
     run = BatchRun(sources=tuple(sources))
@@ -384,6 +410,35 @@ def run_batch(
         if known:
             for (state, node), mask in known.items():
                 masks[state * n + node] |= mask
+    # Streaming: the per-node union of bits already known to be accepting.
+    # Seeding it from the pre-run masks is what makes continued frontiers
+    # report only genuinely new facts (the semi-naive property, for answers).
+    accept_union: "list[int] | None" = None
+    # Newly accepting facts gather here between sink flushes, grouped by
+    # source bit; a flush hands each group downstream in one call.
+    sink_bucket: "dict[int, list[int]]" = {}
+    since_flush = 0
+
+    def flush_sink() -> None:
+        for bit, group in sink_bucket.items():
+            answer_sink(bit, group)
+        sink_bucket.clear()
+
+    if answer_sink is not None:
+        if isinstance(known, PyFrontier):
+            accept_union = known.accept_union
+        if accept_union is None:
+            accept_union = [0] * n
+            # A fresh run's masks are still empty here (sources and seeds
+            # inject below); only a continued/known frontier without a
+            # carried union needs the full rescan.
+            if known is not None:
+                for state in range(num_states):
+                    if accepting[state]:
+                        base = state * n
+                        for node, mask in enumerate(masks[base:base + n]):
+                            if mask:
+                                accept_union[node] |= mask
     changed: set[int] = set()
     pending = bytearray(num_states * n)
     # A pair re-enters the queue whenever its source mask grows, so count a
@@ -408,10 +463,33 @@ def run_batch(
                 if not pending[key]:
                     pending[key] = 1
                     queue.append(key)
+    if accept_union is not None:
+        # Injected bits landing on accepting pairs are answers already
+        # (a source whose initial state accepts; an imported seed on an
+        # accepting state) — stream them before the fixpoint starts.
+        for key in sorted(changed):
+            state, node = divmod(key, n)
+            if accepting[state]:
+                fresh = masks[key] & ~accept_union[node]
+                if fresh:
+                    accept_union[node] |= fresh
+                    while fresh:
+                        low = fresh & -fresh
+                        sink_bucket.setdefault(
+                            low.bit_length() - 1, []
+                        ).append(node)
+                        fresh ^= low
+        if sink_bucket:
+            flush_sink()
 
     while queue:
         key = queue.popleft()
         pending[key] = 0
+        if sink_bucket:
+            since_flush += 1
+            if since_flush >= _SINK_FLUSH_EVERY:
+                since_flush = 0
+                flush_sink()
         mask = masks[key]
         if not expanded[key]:
             expanded[key] = 1
@@ -435,9 +513,22 @@ def run_batch(
                 if masks[successor_key] | mask != masks[successor_key]:
                     masks[successor_key] |= mask
                     changed.add(successor_key)
+                    if accept_union is not None and accepting[next_state]:
+                        fresh = masks[successor_key] & ~accept_union[target]
+                        if fresh:
+                            accept_union[target] |= fresh
+                            while fresh:
+                                low = fresh & -fresh
+                                sink_bucket.setdefault(
+                                    low.bit_length() - 1, []
+                                ).append(target)
+                                fresh ^= low
                     if not pending[successor_key]:
                         pending[successor_key] = 1
                         queue.append(successor_key)
+
+    if sink_bucket:
+        flush_sink()
 
     # Combine accepting states into one answer mask per node, then scatter
     # the bits back into per-source answer sets.  Seeded runs may carry
@@ -465,7 +556,7 @@ def run_batch(
     for position, source in enumerate(sources):
         run.answers[position] = per_source[bit_of[source]]
 
-    run.frontier = PyFrontier(masks, n, changed, graph.version)
+    run.frontier = PyFrontier(masks, n, changed, graph.version, accept_union)
     if witnesses:
         bits = dict(bit_of)
         snapshot_version = graph.version

@@ -16,8 +16,9 @@ independent halves:
   :meth:`~repro.engine.session.Engine.admission_key` — the canonical
   constraint-rewritten expression) are coalesced into one shared
   ``query_batch`` evaluation under a **max-batch-size / max-delay** policy:
-  a bucket flushes as soon as it holds ``max_batch`` distinct sources, or
-  ``max_delay`` seconds after its first request, whichever comes first.
+  a bucket flushes as soon as it holds ``max_batch`` requests (futures —
+  duplicate sources count, matching the stats; see :class:`ServingStats`),
+  or ``max_delay`` seconds after its first request, whichever comes first.
   Flushes execute on a small thread pool so the event loop never blocks on
   an engine round-trip, and the per-source answer sets are fanned back out
   to the waiting futures.  The batched bitmask executor makes the shared
@@ -36,12 +37,29 @@ independent halves:
   peak of simultaneously in-flight shard steps is exported as
   :attr:`SuperstepScheduler.concurrent_steps`.
 
+On top of the shared-batch core, answers also *stream*:
+:meth:`QueryServer.submit_stream` admits like ``submit`` but returns an
+:class:`AnswerStream` — an async iterator that yields each answer the
+moment the engine derives the accepting fact (per fixpoint round / per
+shard-local superstep round, through the engines'
+``query_batch_streaming``), instead of blocking on the whole batch
+fixpoint.  Time-to-first-answer is the interactive latency story
+(``serving_first_answer_seconds``); the full answer set still resolves at
+batch completion and is identical to ``submit``'s.  Requests whose source
+is already covered by an *in-flight* batch of the same key merge into it
+(overlapping source sets share one evaluation — see :meth:`_admit`).
+
 A thin line protocol (:func:`serve_connection` / :func:`serve_tcp` /
 :func:`serve_stream` / :func:`serve_request_lines`) adapts the server to
 stdin and TCP front-ends
 for the CLI's ``serve`` subcommand: one request per line,
 ``id<TAB>source<TAB>query``, answered as ``id<TAB>answer answer ...``
 (answers sorted, space-separated; errors as ``id<TAB>error: ...``).
+An optional fourth request field selects a delivery mode: ``LIMIT n
+[CURSOR c]`` answers one sorted page at a time behind opaque resume
+cursors, and ``STREAM`` emits ``id<TAB>+<TAB>answer`` chunk lines as
+answers land before the standard full response closes the request — see
+:func:`respond_line` for the grammar.
 Responses are written as they complete, so slow queries never head-of-line
 block fast ones — the ``id`` is what correlates them.
 
@@ -54,8 +72,12 @@ lowering is race-free — see the ``Engine`` / ``ShardedEngine`` docstrings.
 from __future__ import annotations
 
 import asyncio
+import base64
+import hashlib
 import json
 import threading
+from bisect import bisect_right
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -77,6 +99,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .sharding import ShardedEngine
 
 T = TypeVar("T")
+
+# Engine threads wake the event loop for incremental answer delivery at
+# most once per interval (plus a final flush at completion): delivery stays
+# prompt — the interval is a small fraction of any real first-answer
+# latency — without a per-fixpoint-round cross-thread wake-up storm taxing
+# the evaluations still running.
+DRAIN_WAKE_INTERVAL_S = 0.002
 
 
 class SuperstepScheduler:
@@ -104,6 +133,13 @@ class SuperstepScheduler:
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-superstep"
         )
+        # Spawn every worker now, not lazily at the first contended
+        # superstep (thread creation under a busy GIL stalls for
+        # milliseconds).
+        ready = threading.Barrier(max_workers + 1)
+        for _ in range(max_workers):
+            self._pool.submit(ready.wait)
+        ready.wait()
         self._lock = threading.Lock()
         self._in_flight = 0
         self._closed = False
@@ -166,7 +202,20 @@ class SuperstepScheduler:
 
 @dataclass
 class ServingStats:
-    """Counters of one :class:`QueryServer`'s lifetime."""
+    """Counters of one :class:`QueryServer`'s lifetime.
+
+    The size policy and every stat derived from it count **requests**
+    (waiter futures), not distinct sources: a bucket flushes once it holds
+    ``max_batch`` requests, ``max_batch_size`` records the widest flush in
+    requests, and ``coalesced`` counts requests that shared a flush with at
+    least one other.  Duplicate sources therefore fill a bucket exactly
+    like distinct ones — the trigger and the counters can no longer
+    disagree about what a "full" batch means (the trigger used to count
+    distinct sources while the stats counted futures, so duplicate-heavy
+    traffic never size-flushed yet reported oversized batches).  Distinct
+    sources per flush remain observable through the
+    ``serving_batch_sources`` histogram, which is the evaluation-cost view.
+    """
 
     submitted: int = 0
     served: int = 0
@@ -174,18 +223,24 @@ class ServingStats:
     batches: int = 0
     # Requests that shared their batch with at least one other request.
     coalesced: int = 0
-    # Widest admitted batch (distinct sources of one flush).
+    # Widest admitted batch (requests of one flush; see the class docstring).
     max_batch_size: int = 0
     size_flushes: int = 0
     delay_flushes: int = 0
     # Flushes forced by max_delay == 0 (coalescing disabled).
     immediate_flushes: int = 0
     close_flushes: int = 0
+    # Requests that attached to an already-evaluating batch of their key
+    # (overlapping source sets; resolved by that batch's fan-out).
+    merged: int = 0
+    # Requests admitted through submit_stream (a subset of submitted).
+    streamed: int = 0
 
     def summary(self) -> str:
         return (
             f"requests: {self.submitted} submitted, {self.served} served, "
-            f"{self.failed} failed; batches: {self.batches} "
+            f"{self.failed} failed ({self.streamed} streamed, "
+            f"{self.merged} merged in-flight); batches: {self.batches} "
             f"({self.coalesced} requests coalesced, widest {self.max_batch_size}); "
             f"flushes: {self.size_flushes} size, {self.delay_flushes} delay, "
             f"{self.immediate_flushes} immediate, {self.close_flushes} close"
@@ -197,11 +252,13 @@ class ServingStats:
         ("failed", "requests resolved with an error"),
         ("batches", "shared-batch flushes"),
         ("coalesced", "requests that shared their batch with another"),
-        ("max_batch_size", "widest admitted batch (distinct sources)"),
+        ("max_batch_size", "widest admitted batch (requests)"),
         ("size_flushes", "flushes forced by max_batch"),
         ("delay_flushes", "flushes forced by max_delay"),
         ("immediate_flushes", "flushes with coalescing disabled (max_delay=0)"),
         ("close_flushes", "flushes forced by close()"),
+        ("merged", "requests attached to an in-flight batch of their key"),
+        ("streamed", "requests admitted via submit_stream"),
     )
 
     def register(self, registry: MetricsRegistry, prefix: str = "serving") -> None:
@@ -223,17 +280,139 @@ class ServingStats:
 class _Bucket:
     """One admission bucket: every in-flight request sharing a DFA key."""
 
-    __slots__ = ("query", "waiters", "timer", "span", "created_at")
+    __slots__ = (
+        "query", "waiters", "streams", "requests", "timer", "span", "created_at"
+    )
 
     def __init__(self, query, span=NULL_SPAN, created_at: float = 0.0) -> None:
         self.query = query  # the prepared (rewritten) query, compiled once
         self.waiters: "dict[Oid, list[asyncio.Future]]" = {}
+        # Streaming requests, keyed like waiters; every stream's ``future``
+        # is *also* in waiters, so fan-out/error accounting sees one kind.
+        self.streams: "dict[Oid, list[AnswerStream]]" = {}
+        # Size-policy unit: admitted requests (futures), incremented on every
+        # admission including duplicate sources — see ServingStats.
+        self.requests = 0
         self.timer: "asyncio.TimerHandle | None" = None
         # Telemetry: the batch's root span ("serve.batch"), opened at bucket
         # creation so the admission wait is on the trace; NULL_SPAN when
         # capture is disabled.
         self.span = span
         self.created_at = created_at
+
+
+class AnswerStream:
+    """Incrementally delivered answers of one streamed request.
+
+    Returned by :meth:`QueryServer.submit_stream`.  Iterate asynchronously to
+    receive each answer the moment the engine derives its accepting fact::
+
+        stream = server.submit_stream(query, source)
+        async for answer in stream:
+            ...                      # answers land per fixpoint round
+        answers = await stream.result()   # the complete set, == submit()'s
+
+    Each answer is yielded exactly once, in derivation order; iteration ends
+    when the batch evaluation completes.  :meth:`result` awaits the full
+    answer set (identical to what ``await server.submit(...)`` returns) and
+    re-raises the batch's error if evaluation failed — the same error the
+    iterator raises mid-loop.  All methods are event-loop-only, matching the
+    rest of the serving layer.
+    """
+
+    __slots__ = ("future", "_pending", "_streamed", "_waiter", "_done",
+                 "_error", "_on_first")
+
+    def __init__(self, loop: "asyncio.AbstractEventLoop", on_first=None) -> None:
+        # Resolves to the full answer set at batch completion; registered in
+        # the bucket's waiters, so served/failed accounting is uniform.
+        self.future: "asyncio.Future" = loop.create_future()
+        self._pending: "deque" = deque()
+        self._streamed: list = []
+        self._waiter: "asyncio.Future | None" = None
+        self._done = False
+        self._error: "BaseException | None" = None
+        # Fired once, when the first answer arrives (or at completion for an
+        # empty answer set) — the serving_first_answer_seconds hook.
+        self._on_first = on_first
+
+    def _wake(self) -> None:
+        waiter, self._waiter = self._waiter, None
+        if waiter is not None and not waiter.done():
+            waiter.set_result(None)
+
+    def _first(self) -> None:
+        on_first, self._on_first = self._on_first, None
+        if on_first is not None:
+            on_first()
+
+    def _push(self, answers: "Iterable[Oid]") -> None:
+        """Deliver newly derived answers (event-loop only).
+
+        The executor contract already guarantees each accepting fact lands
+        at most once per evaluation, so delivery is a plain extend; the
+        wire-space reconciliation against the full answer set is deferred
+        to :meth:`_finish`, keeping this per-round path cheap while the
+        evaluation threads are still computing.  A straggler push after
+        completion is dropped — the finish path already reconciled the
+        full set.
+        """
+        if self._done or not answers:
+            return
+        self._streamed.extend(answers)
+        self._first()
+        self._pending.extend(answers)
+        self._wake()
+
+    def _finish(self, answers: "set[Oid]") -> None:
+        """Complete the stream with the full answer set (event-loop only)."""
+        # Anything the incremental path missed (e.g. the engine cannot
+        # stream) still reaches the iterator, in sorted order for stability.
+        # Reconciliation happens in wire (``str``) space while raw answers
+        # are what the iterator yields — so an engine that emits an answer
+        # raw and a completion path that re-walks the full set cannot
+        # deliver the same logical answer twice under two types.
+        seen = {str(a) for a in self._streamed}
+        remainder = sorted((a for a in answers if str(a) not in seen), key=str)
+        self._pending.extend(remainder)
+        self._done = True
+        # An empty answer set's "first answer" is its completion: the
+        # histogram then measures time-to-certainty, never goes unobserved.
+        self._first()
+        if not self.future.done():
+            self.future.set_result(answers)
+        self._wake()
+
+    def _fail(self, error: BaseException) -> None:
+        self._done = True
+        self._error = error
+        self._first()
+        if not self.future.done():
+            self.future.set_exception(error)
+            # The batch error is surfaced via result()/iteration; stop the
+            # loop's unretrieved-exception warning if the caller only
+            # iterates.
+            self.future.exception()
+        self._wake()
+
+    async def result(self) -> "set[Oid]":
+        """Await the complete answer set (identical to ``submit``'s)."""
+        return await self.future
+
+    def __aiter__(self) -> "AnswerStream":
+        return self
+
+    async def __anext__(self) -> "Oid":
+        while True:
+            if self._pending:
+                return self._pending.popleft()
+            if self._error is not None:
+                raise self._error
+            if self._done:
+                raise StopAsyncIteration
+            assert self._waiter is None, "one consumer per AnswerStream"
+            self._waiter = asyncio.get_running_loop().create_future()
+            await self._waiter
 
 
 class QueryServer:
@@ -248,10 +427,16 @@ class QueryServer:
 
     ``submit`` admits the request into the bucket of its
     :meth:`~repro.engine.session.Engine.admission_key`; the bucket flushes
-    into one shared ``query_batch`` when it reaches ``max_batch`` distinct
-    sources or ``max_delay`` seconds after its first request.  Flushes run
+    into one shared ``query_batch`` when it holds ``max_batch`` requests
+    (futures — duplicate sources count; see :class:`ServingStats`) or
+    ``max_delay`` seconds after its first request.  Flushes run
     on a ``concurrency``-wide thread pool (default 1), so distinct-DFA
     batches can evaluate in parallel while the event loop keeps admitting.
+    :meth:`submit_stream` admits identically but returns an
+    :class:`AnswerStream` that yields answers as the engine derives them.
+    A request whose source is already covered by an *in-flight* batch of
+    its key merges into that batch instead of opening a new bucket —
+    overlapping source sets across requests share one evaluation.
 
     The answer ``set`` a request resolves to may be shared with other
     coalesced requests of the same ``(query, source)`` — treat it as
@@ -299,14 +484,29 @@ class QueryServer:
             "serving_batch_sources", "distinct sources per flushed batch",
             buckets=DEFAULT_SIZE_BUCKETS,
         )
+        self._hist_first_answer = registry.histogram(
+            "serving_first_answer_seconds",
+            "submit-to-first-streamed-answer latency per streamed request",
+        )
         self._control_requests = registry.counter(
             "serving_control_requests", "line-protocol control verbs handled"
         )
         self._buckets: "dict[str, _Bucket]" = {}
+        # Flushed-but-unresolved buckets by key, newest last: the merge
+        # target for requests whose source an in-flight batch already covers.
+        self._serving: "dict[str, list[_Bucket]]" = {}
         self._inflight: "set[asyncio.Task]" = set()
         self._pool = ThreadPoolExecutor(
             max_workers=concurrency or 1, thread_name_prefix="repro-serve"
         )
+        # Spawn every evaluation worker up front: lazy per-submit thread
+        # creation otherwise lands mid-load, where starting a thread while
+        # evaluations hold the GIL stalls the event loop for milliseconds
+        # per flush.
+        ready = threading.Barrier((concurrency or 1) + 1)
+        for _ in range(concurrency or 1):
+            self._pool.submit(ready.wait)
+        ready.wait()
         self._closed = False
 
     # -- admission ------------------------------------------------------------
@@ -336,42 +536,75 @@ class QueryServer:
         return self._admit(key, prepared, source)
 
     def _admit(self, key: str, prepared, source: "Oid") -> "asyncio.Future":
-        """Insert one admitted request into its bucket (event-loop only)."""
+        """Insert one admitted request into its bucket (event-loop only).
+
+        Merge-in-flight: when no bucket is *pending* for ``key`` but an
+        already-flushed batch of the same key is still evaluating and its
+        source set covers ``source``, the request attaches to that batch's
+        waiters instead of opening a fresh bucket — its answers are already
+        being computed, so the overlapping request rides the in-flight
+        evaluation for free (``stats.merged``).  Merged requests do not
+        count toward any size trigger (the batch's shape is already fixed),
+        and streaming requests never merge (the rounds they would stream
+        already happened).
+        """
         loop = asyncio.get_running_loop()
         traced = self.metrics.enabled  # one flag read per admission
         bucket = self._buckets.get(key)
         if bucket is None:
-            if traced:
-                bucket = _Bucket(
-                    prepared,
-                    span=self.metrics.span("serve.batch", key=key),
-                    created_at=perf_counter(),
-                )
-            else:
-                bucket = _Bucket(prepared)
-            self._buckets[key] = bucket
-            if self.max_delay > 0:
-                bucket.timer = loop.call_later(
-                    self.max_delay, self._flush, key, "delay"
-                )
+            for serving in self._serving.get(key, ()):
+                if serving.waiters.get(source):
+                    future = loop.create_future()
+                    serving.waiters[source].append(future)
+                    self.stats.merged += 1
+                    if traced:
+                        self._observe_request_latency(future)
+                    return future
+            bucket = self._bucket(key, prepared, loop, traced)
         future: "asyncio.Future" = loop.create_future()
         bucket.waiters.setdefault(source, []).append(future)
+        bucket.requests += 1
         if traced:
-            # Per-request submit-to-resolve latency, stamped at admission and
-            # observed when the future settles (success or failure alike).
-            admitted_at = perf_counter()
-            future.add_done_callback(
-                lambda _f, _t=admitted_at: self._hist_request.observe(
-                    perf_counter() - _t
-                )
+            self._observe_request_latency(future)
+        self._maybe_flush(key, bucket)
+        return future
+
+    def _bucket(self, key: str, prepared, loop, traced: bool) -> _Bucket:
+        """Open (and register) a fresh pending bucket for ``key``."""
+        if traced:
+            bucket = _Bucket(
+                prepared,
+                span=self.metrics.span("serve.batch", key=key),
+                created_at=perf_counter(),
             )
-        if len(bucket.waiters) >= self.max_batch:
+        else:
+            bucket = _Bucket(prepared)
+        self._buckets[key] = bucket
+        if self.max_delay > 0:
+            bucket.timer = loop.call_later(
+                self.max_delay, self._flush, key, "delay"
+            )
+        return bucket
+
+    def _observe_request_latency(self, future: "asyncio.Future") -> None:
+        # Per-request submit-to-resolve latency, stamped at admission and
+        # observed when the future settles (success or failure alike).
+        admitted_at = perf_counter()
+        future.add_done_callback(
+            lambda _f, _t=admitted_at: self._hist_request.observe(
+                perf_counter() - _t
+            )
+        )
+
+    def _maybe_flush(self, key: str, bucket: _Bucket) -> None:
+        # Size policy counts requests (futures), matching the stats — see
+        # ServingStats for why duplicates must advance the trigger.
+        if bucket.requests >= self.max_batch:
             self._flush(key, "size")
         elif self.max_delay == 0:
             # Coalescing disabled: every request is its own batch, tallied
             # separately so the stats cannot read as size-cap pressure.
             self._flush(key, "immediate")
-        return future
 
     async def _admitted(self, query, count: int):
         """``(key, prepared)`` with stats accounting for ``count`` requests.
@@ -410,15 +643,64 @@ class QueryServer:
         key, prepared = await self._admitted(query, 1)
         return await self._admit(key, prepared, source)
 
+    def submit_stream(self, query, source: "Oid") -> AnswerStream:
+        """Admit one request; answers stream out as the engine derives them.
+
+        Synchronous like :meth:`submit_nowait` (event-loop only, admission
+        inline); returns an :class:`AnswerStream` immediately.  The request
+        coalesces with plain ``submit`` requests into the same shared
+        batches — the whole bucket is then evaluated through the engine's
+        ``query_batch_streaming``, so coalesced non-streaming requests cost
+        nothing extra and streamed requests see per-round answers.  On an
+        engine without ``query_batch_streaming`` the stream degrades
+        gracefully: all answers arrive at completion.  Streaming requests
+        never merge into an in-flight batch (its early rounds — and their
+        answers — already happened); they always join or open a pending
+        bucket.
+        """
+        if self._closed:
+            raise ReproError("the query server has been closed")
+        loop = asyncio.get_running_loop()
+        self.stats.submitted += 1
+        self.stats.streamed += 1
+        try:
+            key, prepared = self.engine.admission(query)
+        except BaseException:
+            self.stats.failed += 1
+            raise
+        admitted_at = perf_counter()
+        stream = AnswerStream(
+            loop,
+            on_first=lambda _t=admitted_at: self._hist_first_answer.observe(
+                perf_counter() - _t
+            ),
+        )
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._bucket(key, prepared, loop, self.metrics.enabled)
+        bucket.waiters.setdefault(source, []).append(stream.future)
+        bucket.streams.setdefault(source, []).append(stream)
+        bucket.requests += 1
+        if self.metrics.enabled:
+            self._observe_request_latency(stream.future)
+        self._maybe_flush(key, bucket)
+        return stream
+
     async def submit_many(
         self, query, sources: "Iterable[Oid]"
     ) -> "dict[Oid, set[Oid]]":
-        """Admit one request per source (all coalescible) and await them all.
+        """Admit one request per *distinct* source and await them all.
 
         The admission key is computed once for the whole group (off the
-        event loop on a constrained session, like :meth:`submit`).
+        event loop on a constrained session, like :meth:`submit`).  Sources
+        are deduplicated first (order-preserving): the returned mapping has
+        one entry per distinct source either way, so admitting a request
+        per duplicate only inflated ``submitted``/``served`` with phantom
+        requests no caller could observe — deduplicating keeps
+        ``submitted == served + failed`` an exact invariant under repeated
+        sources.
         """
-        source_list = list(sources)
+        source_list = list(dict.fromkeys(sources))
         if not source_list:
             return {}
         key, prepared = await self._admitted(query, len(source_list))
@@ -443,11 +725,13 @@ class QueryServer:
             self.stats.immediate_flushes += 1
         else:
             self.stats.close_flushes += 1
-        requests = sum(len(waiting) for waiting in bucket.waiters.values())
+        # Requests is the size-policy unit (see ServingStats): the same count
+        # the trigger in _maybe_flush compared against max_batch.
+        requests = bucket.requests
         if requests > 1:
             self.stats.coalesced += requests
-        if len(bucket.waiters) > self.stats.max_batch_size:
-            self.stats.max_batch_size = len(bucket.waiters)
+        if requests > self.stats.max_batch_size:
+            self.stats.max_batch_size = requests
         if bucket.span is not NULL_SPAN:
             # The wait between the bucket's first admission and this flush,
             # as a pre-timed child span — the interval was measured by the
@@ -461,11 +745,30 @@ class QueryServer:
             )
             self._hist_wait.observe(wait)
             self._hist_batch_sources.observe(len(bucket.waiters))
-        task = asyncio.get_running_loop().create_task(self._serve(bucket))
+        # From flush to fan-out the batch is a merge target for overlapping
+        # requests of its key — see _admit.
+        self._serving.setdefault(key, []).append(bucket)
+        task = asyncio.get_running_loop().create_task(self._serve(key, bucket))
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
-    async def _serve(self, bucket: _Bucket) -> None:
+    def _unserve(self, key: str, bucket: _Bucket) -> None:
+        """Withdraw a batch from the merge-target index (event-loop only).
+
+        Called at the top of the fan-out / error path, *before* any await:
+        once answers start settling, a would-be merger must open a fresh
+        bucket instead, so no request can attach after its futures resolved.
+        """
+        serving = self._serving.get(key)
+        if serving is not None:
+            try:
+                serving.remove(bucket)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            if not serving:
+                del self._serving[key]
+
+    async def _serve(self, key: str, bucket: _Bucket) -> None:
         sources = list(bucket.waiters)
         loop = asyncio.get_running_loop()
         tele = self.metrics
@@ -473,26 +776,110 @@ class QueryServer:
         # contextvars do not follow; the closure re-activates the batch's
         # evaluate span there so the engine's own spans nest beneath it.
         eval_span = tele.span_under(bucket.span, "evaluate")
+        streaming = bool(bucket.streams) and hasattr(
+            self.engine, "query_batch_streaming"
+        )
+        if streaming:
+            stream_span = tele.span_under(
+                bucket.span, "serve.stream",
+                streams=sum(len(s) for s in bucket.streams.values()),
+            )
+            facts = 0
 
-        def evaluate():
-            with tele.under(eval_span):
-                try:
-                    return self.engine.query_batch(bucket.query, sources)
-                finally:
-                    eval_span.end()
+            # Cross-thread micro-batching: engine threads append to a
+            # lock-guarded queue and at most ONE drain callback is in
+            # flight on the loop at a time, scheduled at most once per
+            # DRAIN_WAKE_INTERVAL_S — a fixpoint emitting thousands of
+            # facts over hundreds of rounds costs a handful of loop
+            # wake-ups, not one per fact or per round.  Facts an interval
+            # holds back are flushed by the next due wake-up or by the
+            # completion drain before fan-out.
+            pending_facts: "deque" = deque()
+            pending_lock = threading.Lock()
+            drain_scheduled = False
+            last_wake = 0.0
+
+            def drain() -> None:
+                # Event-loop side: push to every stream of each source.
+                nonlocal drain_scheduled, facts
+                with pending_lock:
+                    batch = list(pending_facts)
+                    pending_facts.clear()
+                    drain_scheduled = False
+                for source, answers in batch:
+                    facts += len(answers)
+                    for stream in bucket.streams.get(source, ()):
+                        stream._push(answers)
+
+            final_drain = drain
+
+            def emitted(source: "Oid", answers: "Iterable[Oid]") -> None:
+                # Engine side: called from evaluation / scheduler threads.
+                nonlocal drain_scheduled, last_wake
+                # Ownership transfer: emit callers hand a freshly built
+                # sequence per call (the executor sinks do), so no
+                # defensive copy on the evaluation thread.
+                now = perf_counter()
+                with pending_lock:
+                    pending_facts.append((source, answers))
+                    schedule = (
+                        not drain_scheduled
+                        and now - last_wake >= DRAIN_WAKE_INTERVAL_S
+                    )
+                    if schedule:
+                        drain_scheduled = True
+                        last_wake = now
+                if schedule:
+                    loop.call_soon_threadsafe(drain)
+
+            def evaluate():
+                with tele.under(eval_span):
+                    try:
+                        return self.engine.query_batch_streaming(
+                            bucket.query, sources, emitted
+                        )
+                    finally:
+                        eval_span.end()
+        else:
+            stream_span = NULL_SPAN
+            final_drain = None
+
+            def evaluate():
+                with tele.under(eval_span):
+                    try:
+                        return self.engine.query_batch(bucket.query, sources)
+                    finally:
+                        eval_span.end()
 
         try:
             results = await loop.run_in_executor(self._pool, evaluate)
         except BaseException as error:
+            self._unserve(key, bucket)
             for waiting in bucket.waiters.values():
                 for future in waiting:
                     self.stats.failed += 1
                     if not future.done():
                         future.set_exception(error)
+            for streams in bucket.streams.values():
+                for stream in streams:
+                    stream._fail(error)
+            stream_span.end(error=repr(error))
             bucket.span.end(error=repr(error))
             self._hist_flush.observe(bucket.span.duration)
             return
+        self._unserve(key, bucket)
+        if final_drain is not None:
+            # Flush facts the wake-interval gate held back: the engine has
+            # stopped emitting (evaluation returned), so this clears the
+            # queue for good and any still-queued drain callback no-ops.
+            final_drain()
         fanout_span = tele.span_under(bucket.span, "fanout")
+        # Streams finish first: _finish resolves stream.future (also in
+        # waiters), flushes any un-streamed remainder into the iterator and
+        # fires the first-answer hook for empty answer sets.
+        for source, streams in bucket.streams.items():
+            for stream in streams:
+                stream._finish(results[source])
         for source, waiting in bucket.waiters.items():
             answers = results[source]
             for future in waiting:
@@ -500,6 +887,9 @@ class QueryServer:
                 if not future.done():
                     future.set_result(answers)
         fanout_span.end()
+        if stream_span is not NULL_SPAN:
+            stream_span.set(facts=facts)
+            stream_span.end()
         bucket.span.end()
         self._hist_flush.observe(bucket.span.duration)
 
@@ -579,21 +969,159 @@ def handle_control(server: QueryServer, line: str) -> str:
     return f"{verb}\terror: unknown control verb (try !stats, !trace <id>, !slow N)"
 
 
-async def respond_line(server: QueryServer, line: str) -> str:
-    """Serve one ``id<TAB>source<TAB>query`` request line; never raises.
+def _page_digest(server: QueryServer, query, source: "Oid") -> str:
+    """Short fingerprint binding a cursor to its ``(query, source)`` pair.
 
-    Malformed lines and evaluation errors come back as ``id<TAB>error: ...``
-    so one bad request cannot take down a connection.  Lines starting with
-    ``!`` are control verbs answered from live telemetry instead of the
-    engine — see :func:`handle_control`.
+    Built from the *admission key* (the canonical rewritten form), so two
+    spellings of the same query share cursors — exactly the requests that
+    share batches.
+    """
+    key = server.engine.admission_key(query)
+    material = f"{key}\x00{source}".encode("utf-8")
+    return hashlib.blake2b(material, digest_size=8).hexdigest()
+
+
+def encode_cursor(digest: str, last_answer: str) -> str:
+    """The opaque wire form of a resume point: base64url, no padding."""
+    payload = json.dumps(
+        {"h": digest, "a": last_answer}, separators=(",", ":")
+    ).encode("utf-8")
+    return base64.urlsafe_b64encode(payload).decode("ascii").rstrip("=")
+
+
+def decode_cursor(token: str, digest: str) -> str:
+    """Validate ``token`` against ``digest``; returns the resume answer.
+
+    Raises :class:`~repro.exceptions.ReproError` on any defect — garbage
+    base64, non-JSON payload, wrong shape, or a cursor minted for a
+    different ``(query, source)`` pair.
+    """
+    try:
+        padded = token + "=" * (-len(token) % 4)
+        payload = json.loads(base64.urlsafe_b64decode(padded.encode("ascii")))
+        if not isinstance(payload, dict):
+            raise ValueError("not an object")
+        if payload.get("h") != digest:
+            raise ValueError("cursor/query mismatch")
+        last = payload["a"]
+        if not isinstance(last, str):
+            raise ValueError("resume point is not a string")
+    except ReproError:
+        raise
+    except Exception:
+        raise ReproError(
+            "invalid cursor (not one this server issued for this query/source)"
+        ) from None
+    return last
+
+
+async def _respond_page(
+    server: QueryServer, ident: str, source: str, query: str, tokens: "list[str]"
+) -> str:
+    """One ``LIMIT n [CURSOR c]`` page: a sorted slice plus a resume cursor."""
+    if len(tokens) not in (2, 4) or (len(tokens) == 4 and tokens[2] != "CURSOR"):
+        return f"{ident}\terror: malformed modifier (want LIMIT n [CURSOR c])"
+    try:
+        limit = int(tokens[1])
+    except ValueError:
+        limit = 0
+    if limit < 1:
+        return f"{ident}\terror: LIMIT must be a positive integer"
+    try:
+        answers = await server.submit(query, source)
+        digest = _page_digest(server, query, source)
+        last = decode_cursor(tokens[3], digest) if len(tokens) == 4 else None
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        raise
+    except Exception as error:
+        return f"{ident}\terror: {error}"
+    # Pages slice the *sorted* wire order (the order format_answers emits),
+    # resuming strictly after the cursor's answer — so pagination stays
+    # correct even when the answer set grows between pages: new answers
+    # after the resume point appear, and concatenated pages with a fixed
+    # snapshot equal the full set.
+    ordered = sorted(map(str, answers))
+    start = bisect_right(ordered, last) if last is not None else 0
+    page = ordered[start:start + limit]
+    body = " ".join(page)
+    if start + limit < len(ordered):
+        token = encode_cursor(digest, page[-1])
+        return f"{ident}\t{body}\tCURSOR {token}"
+    return f"{ident}\t{body}"
+
+
+async def _respond_streaming(
+    server: QueryServer,
+    ident: str,
+    source: str,
+    query: str,
+    emit: "Callable[[str], None] | None",
+) -> str:
+    """One ``STREAM`` request: chunk lines as answers land, then the close.
+
+    Each answer is emitted as ``id<TAB>+<TAB>answer`` the moment it arrives;
+    the standard full response line closes the request (its answer set is
+    the union of the chunks).  Without an ``emit`` channel (ordered batch
+    fronts) the request degrades to a plain full response.
+    """
+    try:
+        stream = server.submit_stream(query, source)
+    except Exception as error:
+        return f"{ident}\terror: {error}"
+    try:
+        if emit is not None:
+            async for answer in stream:
+                emit(f"{ident}\t+\t{answer}")
+        answers = await stream.result()
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        raise
+    except Exception as error:
+        return f"{ident}\terror: {error}"
+    return f"{ident}\t{format_answers(answers)}"
+
+
+async def respond_line(
+    server: QueryServer,
+    line: str,
+    emit: "Callable[[str], None] | None" = None,
+) -> str:
+    """Serve one request line; never raises.  The grammar::
+
+        request   = id TAB source TAB query [TAB modifier]
+        modifier  = "LIMIT" SP n [SP "CURSOR" SP c]   ; one sorted page
+                  | "STREAM"                          ; incremental chunks
+        response  = id TAB answers [TAB "CURSOR" SP c]   ; full or page
+                  | id TAB "+" TAB answer                ; STREAM chunk
+                  | id TAB "error: " message
+
+    Unmodified requests answer with the full sorted answer set.  ``LIMIT``
+    answers at most ``n`` answers (sorted order) and, when more remain, a
+    trailing ``CURSOR`` field whose opaque token resumes the next page —
+    tokens are bound to the ``(query, source)`` pair and rejected with an
+    error line otherwise.  ``STREAM`` emits ``id<TAB>+<TAB>answer`` chunk
+    lines through ``emit`` as answers land, closed by the standard full
+    response line.  Malformed lines and evaluation errors come back as
+    ``id<TAB>error: ...`` so one bad request cannot take down a connection.
+    Lines starting with ``!`` are control verbs answered from live
+    telemetry instead of the engine — see :func:`handle_control`.
     """
     if line.startswith("!"):
         return handle_control(server, line)
-    parts = line.split("\t", 2)
-    if len(parts) != 3 or not parts[0]:
+    parts = line.split("\t")
+    if len(parts) not in (3, 4) or not parts[0]:
         ident = parts[0] if parts and parts[0] else "?"
-        return f"{ident}\terror: malformed request (want id<TAB>source<TAB>query)"
-    ident, source, query = parts
+        return (
+            f"{ident}\terror: malformed request "
+            "(want id<TAB>source<TAB>query[<TAB>LIMIT n [CURSOR c] | STREAM])"
+        )
+    ident, source, query = parts[0], parts[1], parts[2]
+    if len(parts) == 4:
+        tokens = parts[3].split()
+        if tokens and tokens[0] == "STREAM" and len(tokens) == 1:
+            return await _respond_streaming(server, ident, source, query, emit)
+        if tokens and tokens[0] == "LIMIT":
+            return await _respond_page(server, ident, source, query, tokens)
+        return f"{ident}\terror: unknown modifier (want LIMIT n [CURSOR c] or STREAM)"
     try:
         answers = await server.submit(query, source)
     except asyncio.CancelledError:  # pragma: no cover - shutdown path
@@ -676,7 +1204,8 @@ async def serve_stream(
     loop = asyncio.get_running_loop()
 
     async def respond(line: str) -> None:
-        emit(await respond_line(server, line))
+        # STREAM chunk lines ride the same emit channel as full responses.
+        emit(await respond_line(server, line, emit))
 
     while True:
         raw = await readline()
@@ -709,13 +1238,25 @@ async def serve_connection(
     # patch levels correct (whole lines stay atomic either way).
     write_lock = asyncio.Lock()
 
+    def emit_partial(partial: str) -> None:
+        # STREAM chunk lines: written without draining (they are small and
+        # the closing full response drains under the lock).  A client that
+        # disconnected mid-stream must not kill the serving task — the
+        # request still completes and accounting stays exact.
+        try:
+            writer.write(partial.encode("utf-8") + b"\n")
+        except (ConnectionError, RuntimeError):  # pragma: no cover
+            pass
+
     async def respond(line: str) -> None:
-        response = await respond_line(server, line)
+        response = await respond_line(server, line, emit_partial)
         async with write_lock:
-            writer.write(response.encode("utf-8") + b"\n")
             try:
+                writer.write(response.encode("utf-8") + b"\n")
                 await writer.drain()
-            except ConnectionError:  # pragma: no cover - client went away
+            except (ConnectionError, RuntimeError):
+                # Client went away (or transport already closed) — the
+                # answer is computed and counted; delivery is best-effort.
                 pass
 
     try:

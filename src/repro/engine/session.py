@@ -42,7 +42,7 @@ import weakref
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from ..exceptions import ReproError
 from ..graph.instance import Instance, Oid
@@ -759,10 +759,34 @@ class Engine(ServingSurface):
         self._hist_query.observe(query_span.duration)
         return results
 
+    def query_batch_streaming(
+        self,
+        query: "RegularPathQuery | Regex | str",
+        sources: "Sequence[Oid] | Iterable[Oid]",
+        emit: "Callable[[Oid, Iterable[Oid]], None]",
+    ) -> dict[Oid, set[Oid]]:
+        """Batched evaluation that also streams answers as they land.
+
+        ``emit(source, answers)`` is called *during* the evaluation — from
+        the thread running it, once per newly accepting fact (per fixpoint
+        round on the numpy backend) — and each ``(source, answer)`` pair is
+        emitted at most once; the union of everything emitted for a source
+        equals its entry of the returned dict, which is exactly what
+        :meth:`query_batch` returns.  ``emit`` must be cheap and
+        thread-safe (the serving layer hops it back onto its event loop);
+        exceptions it raises abort the run.
+        """
+        with self.metrics.span("engine.query", mode="batch_streaming") as query_span:
+            results = self._query_batch(query, sources, emit=emit)
+            query_span.set(sources=len(results))
+        self._hist_query.observe(query_span.duration)
+        return results
+
     def _query_batch(
         self,
         query: "RegularPathQuery | Regex | str",
         sources: "Sequence[Oid] | Iterable[Oid]",
+        emit: "Callable[[Oid, Iterable[Oid]], None] | None" = None,
     ) -> dict[Oid, set[Oid]]:
         compiled, graph = self._compiled_on(query)
         known, known_oids, unknown = self._partition_batch_sources(graph, sources)
@@ -771,10 +795,34 @@ class Engine(ServingSurface):
             # Unknown sources have an empty description; they answer
             # themselves exactly when the query accepts the empty word.
             results[source] = {source} if compiled.accepts_empty_word() else set()
+            if emit is not None and results[source]:
+                emit(source, (source,))
+        answer_sink = None
+        if emit is not None and known:
+            # The executor assigns mask bits by first occurrence of each
+            # source node; rebuild that order so streamed bits map back to
+            # the oids the caller asked about (duplicate oids share a bit).
+            order: "list[Oid]" = []
+            seen_nodes: set[int] = set()
+            for node, oid in zip(known, known_oids):
+                if node not in seen_nodes:
+                    seen_nodes.add(node)
+                    order.append(oid)
+            oid_of = graph.nodes.backing_list()
+
+            def answer_sink(bit, nodes):
+                # The executor hands a whole round's facts for one source
+                # bit at a time; mapping node ids to oids is the only
+                # per-fact work left on the evaluation thread.
+                emit(order[bit], [oid_of[node] for node in nodes])
+
         if known:
             with self._run_lock.read():
                 with self.metrics.span("engine.run", mode="batch") as run_span:
-                    run = run_batch(graph, compiled, known, backend=self.backend)
+                    run = run_batch(
+                        graph, compiled, known, backend=self.backend,
+                        answer_sink=answer_sink,
+                    )
                     run_span.set(backend=run.backend, visited=run.visited_pairs)
             self._hist_run.observe(run.elapsed)
             with self._lock:

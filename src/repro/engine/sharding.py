@@ -709,6 +709,7 @@ class ShardedEngine(ServingSurface):
         frontier,
         compiled: "CompiledQuery",
         num_bits: int,
+        answer_sink=None,
     ):
         """One shard's local superstep: drive the executor to a fixpoint.
 
@@ -740,6 +741,7 @@ class ShardedEngine(ServingSurface):
             seeds=seeds,
             known=frontier,
             num_bits=num_bits,
+            answer_sink=answer_sink,
             backend=self.backend,
         )
         self._ghost_nodes(shard)  # refresh the cache (this shard's only)
@@ -755,7 +757,9 @@ class ShardedEngine(ServingSurface):
             ]
         return run.frontier, exports, run.backend
 
-    def _evaluate(self, query, sources: "Sequence[Oid]") -> _GlobalRun:
+    def _evaluate(
+        self, query, sources: "Sequence[Oid]", answer_sink=None
+    ) -> _GlobalRun:
         """Run the scatter-gather superstep fixpoint for ``sources``.
 
         ``sources`` must be objects of the instance.  Each shard's state
@@ -768,6 +772,15 @@ class ShardedEngine(ServingSurface):
         per-shard :meth:`_local_fixpoint` steps (scheduled concurrently when
         a :attr:`scheduler` is installed), then a barrier that routes every
         exported ghost fact to its owner as the next round's seed frontier.
+
+        ``answer_sink(source_oid, answers)``, when given, streams *owned*
+        accepting facts out of the supersteps as they land: each shard's
+        executor reports newly accepting ``(node, bits)`` facts mid-round,
+        ghost nodes are filtered (their owner streams them), and each
+        ``(source, answer)`` pair is delivered at most once per evaluation
+        (the executors never re-report facts a continued frontier already
+        held).  The sink runs on scheduler worker threads — it must be
+        cheap and thread-safe.
         """
         self.refresh()
         compiled = self._compiled_everywhere(self._prepared(query))
@@ -797,6 +810,27 @@ class ShardedEngine(ServingSurface):
             node = self._shards[shard].graph.node_id(oid)
             pending[shard][(initial, node)] |= 1 << bit
 
+        bit_to_oid = list(bit_of)  # insertion order: position == bit
+
+        def make_shard_sink(shard: int):
+            """Adapt the executor's (node, bits) facts to (source oid, answer)."""
+            graph = self._shards[shard].graph
+            ghosts = self._ghost_nodes(shard)
+            oid_of = graph.nodes.backing_list()
+
+            def sink(bit, nodes):
+                # The executor hands a whole round's facts for one source
+                # bit at a time; this runs inside the local fixpoint, so
+                # the ghost filter plus node→oid mapping is the only
+                # per-fact work left on the evaluation thread.
+                answers = [
+                    oid_of[node] for node in nodes if node not in ghosts
+                ]
+                if answers:
+                    answer_sink(bit_to_oid[bit], answers)
+
+            return sink
+
         evaluation_backend: "str | None" = None
         while any(pending):
             self.stats.supersteps += 1
@@ -821,6 +855,11 @@ class ShardedEngine(ServingSurface):
                             frontiers[shard],
                             compiled[shard],
                             num_bits,
+                            answer_sink=(
+                                make_shard_sink(shard)
+                                if answer_sink is not None
+                                else None
+                            ),
                         )
                     finally:
                         local_span.end()
@@ -917,10 +956,33 @@ class ShardedEngine(ServingSurface):
         self._hist_query.observe(query_span.duration)
         return results
 
+    def query_batch_streaming(
+        self,
+        query,
+        sources: "Sequence[Oid] | Iterable[Oid]",
+        emit,
+    ) -> "dict[Oid, set[Oid]]":
+        """Batched evaluation that also streams answers as they land.
+
+        The sharded twin of :meth:`Engine.query_batch_streaming`:
+        ``emit(source, answers)`` receives each ``(source, answer)`` pair at
+        most once, as the owning shard's local fixpoint derives it —
+        mid-superstep, from scheduler worker threads — and the union of
+        everything emitted equals the returned dict, which is exactly what
+        :meth:`query_batch` returns.  ``emit`` must be cheap and
+        thread-safe.
+        """
+        with self.metrics.span("sharded.query", mode="batch_streaming") as query_span:
+            results = self._query_batch(query, sources, emit=emit)
+            query_span.set(sources=len(results))
+        self._hist_query.observe(query_span.duration)
+        return results
+
     def _query_batch(
         self,
         query,
         sources: "Sequence[Oid] | Iterable[Oid]",
+        emit=None,
     ) -> "dict[Oid, set[Oid]]":
         with self._lock:
             source_list = list(sources)
@@ -928,7 +990,7 @@ class ShardedEngine(ServingSurface):
             self.stats.batched_sources += len(source_list)
             self.refresh()
             known = [oid for oid in source_list if oid in self._instance]
-            run = self._evaluate(query, known)
+            run = self._evaluate(query, known, answer_sink=emit)
             results: "dict[Oid, set[Oid]]" = {}
             accepts_empty = run.compiled[0].accepts_empty_word()
             for oid in source_list:
@@ -939,6 +1001,8 @@ class ShardedEngine(ServingSurface):
                     # Unknown sources have an empty description; they answer
                     # themselves exactly when the query accepts the empty word.
                     results[oid] = {oid} if accepts_empty else set()
+                    if emit is not None and results[oid]:
+                        emit(oid, (oid,))
             return results
 
     def query_batch_results(

@@ -223,7 +223,19 @@ class Histogram:
         return self._sum
 
     def percentile(self, quantile: float) -> float:
-        """The interpolated ``quantile`` (in ``[0, 1]``) of the distribution."""
+        """The interpolated ``quantile`` (in ``[0, 1]``) of the distribution.
+
+        An empty histogram reports ``0.0`` for every quantile (there is no
+        distribution to estimate — callers render it as "no samples", they
+        do not get ``inf``/``nan`` arithmetic artifacts).  The bucket
+        holding the target uses the observed ``min`` as its lower edge when
+        no observation precedes it (the overflow bucket's upper edge is the
+        observed ``max`` already): a distribution living entirely in the
+        overflow bucket interpolates within ``[min, max]`` instead of
+        upward from the last bucket *bound* — a value that was never
+        observed — and a single-valued distribution reports that exact
+        value at every quantile.
+        """
         if not 0 <= quantile <= 1:
             raise ReproError(f"quantile must be in [0, 1], got {quantile}")
         with self._lock:
@@ -247,6 +259,13 @@ class Histogram:
                     else max(self._max, lower)
                 )
                 if cumulative + count >= target:
+                    # The observed minimum is a tighter lower edge than the
+                    # bucket bound when no observation precedes this bucket
+                    # — without it, a distribution living entirely in the
+                    # overflow bucket interpolates upward from the last
+                    # bucket *bound*, a value that was never observed.
+                    if cumulative == 0:
+                        lower = max(lower, self._min)
                     fraction = (target - cumulative) / count
                     estimate = lower + (upper - lower) * fraction
                     # Never estimate outside the observed range.

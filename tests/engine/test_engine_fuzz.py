@@ -281,6 +281,152 @@ def test_served_answers_match_direct_and_baseline(
         assert direct[0][source] == evaluate_baseline(rpq, source, instance).answers
 
 
+@given(
+    small_instances(max_nodes=6, max_edges=12),
+    regexes(max_leaves=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_streamed_answers_match_batch_submit_and_baseline(
+    graph_and_source, expression
+):
+    """Streamed ≡ batch ``submit`` ≡ direct ≡ baseline, per source.
+
+    Every example submits the query from every source twice — once through
+    ``submit_stream`` (collecting the incremental feed *and* the resolved
+    set) and once through ``submit_nowait`` — coalescing into the same
+    shared batches, and pins all four views of the answer set to each
+    other: no duplicate streamed facts, no missing ones, exact accounting.
+    """
+    import asyncio
+
+    instance, _ = graph_and_source
+    sources = sorted(instance.objects, key=repr)
+    sharded = ShardedEngine.open(instance, shards=2)
+    direct = sharded.query_batch(expression, sources)
+
+    async def scenario():
+        async with sharded.as_server(max_batch=3, max_delay=0.001) as server:
+            streams = {
+                source: server.submit_stream(expression, source)
+                for source in sources
+            }
+            plain = {
+                source: server.submit_nowait(expression, source)
+                for source in sources
+            }
+            collected = {}
+            for source, stream in streams.items():
+                incremental = [answer async for answer in stream]
+                collected[source] = (incremental, await stream.result())
+            resolved = {source: await f for source, f in plain.items()}
+            return collected, resolved, server.stats
+
+    collected, resolved, stats = asyncio.run(scenario())
+    assert stats.submitted == stats.served + stats.failed
+    assert stats.failed == 0
+    assert stats.streamed == len(sources)
+    rpq = RegularPathQuery.of(expression)
+    for source in sources:
+        incremental, full = collected[source]
+        # Exactly-once in wire space: no duplicate even across oid types.
+        assert len(incremental) == len({str(a) for a in incremental}), source
+        assert set(map(str, incremental)) == {
+            str(oid) for oid in direct[source]
+        }, source
+        assert full == direct[source], source
+        assert resolved[source] == direct[source], source
+        assert direct[source] == evaluate_baseline(rpq, source, instance).answers
+
+
+@given(
+    small_instances(max_nodes=5, max_edges=8),
+    regexes(max_leaves=4),
+    edit_scripts(max_nodes=5, max_ops=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_page_concatenation_matches_full_set_across_cursors(
+    graph_and_source, expression, script
+):
+    """Cursor pages concatenate to the full set, even with interleaved edits.
+
+    Quiescent pagination must concatenate to *exactly* the full sorted
+    answer set (before the edit script and again after it).  With one edit
+    applied between every two pages, each page evaluates a different graph;
+    the pinned invariants are the ones resumption guarantees: pages stay
+    strictly sorted (no duplicate, no regression), every answer present in
+    *every* snapshot is delivered, and nothing is delivered that no
+    snapshot contained.
+    """
+    import asyncio
+
+    from repro.engine.serving import respond_line
+
+    instance, _ = graph_and_source
+    engine = Engine.open(instance)
+    mirror = instance.copy()
+    source = sorted(instance.objects, key=repr)[0]
+
+    async def snapshot(server):
+        # The full-set reference *through the protocol itself*, so pages and
+        # reference agree on the wire form of sources and answers.
+        response = await respond_line(server, f"f\t{source}\t{expression}")
+        fields = response.split("\t")
+        assert not fields[1].startswith("error:"), response
+        return set(fields[1].split())
+
+    edits = list(script)
+
+    def apply_one_edit():
+        while edits:
+            kind, edit_source, label, destination = edits.pop(0)
+            if kind == "add" and not mirror.has_edge(
+                edit_source, label, destination
+            ):
+                mirror.add_edge(edit_source, label, destination)
+                engine.add_edge(edit_source, label, destination)
+                return
+            if kind != "add" and mirror.has_edge(edit_source, label, destination):
+                mirror.remove_edge(edit_source, label, destination)
+                engine.remove_edge(edit_source, label, destination)
+                return
+
+    async def paginate(server, between_pages=None):
+        pages, snapshots, cursor = [], [], None
+        while True:
+            snapshots.append(await snapshot(server))
+            suffix = f" CURSOR {cursor}" if cursor else ""
+            response = await respond_line(
+                server, f"p\t{source}\t{expression}\tLIMIT 2{suffix}"
+            )
+            fields = response.split("\t")
+            assert not fields[1].startswith("error:"), response
+            pages.extend(fields[1].split())
+            if len(fields) != 3:
+                return pages, snapshots
+            cursor = fields[2][len("CURSOR "):]
+            if between_pages is not None:
+                between_pages()
+
+    async def scenario():
+        async with engine.as_server(max_batch=4, max_delay=0.001) as server:
+            quiescent, _ = await paginate(server)
+            assert quiescent == sorted(await snapshot(server))
+            edited, snapshots = await paginate(server, apply_one_edit)
+            while edits:  # flush whatever the pagination didn't consume
+                apply_one_edit()
+            final, _ = await paginate(server)
+            assert final == sorted(await snapshot(server))
+            return edited, snapshots
+
+    edited, snapshots = asyncio.run(scenario())
+    # Strictly ascending: resume-after-cursor can neither duplicate an
+    # answer nor step backwards, whatever the edits did.
+    assert all(a < b for a, b in zip(edited, edited[1:]))
+    always = set.intersection(*snapshots)
+    ever = set.union(*snapshots)
+    assert always <= set(edited) <= ever
+
+
 @pytest.mark.skipif(not numpy_available(), reason="numpy backend unavailable")
 def test_fuzz_covers_numpy_backend():
     """Guard: the harness above really is differential, not python-only."""

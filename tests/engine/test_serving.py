@@ -25,6 +25,7 @@ from repro.engine import (
     serve_stream,
     serve_tcp,
 )
+from repro.engine.serving import respond_line
 from repro.exceptions import ReproError
 from repro.graph import Instance, web_like_graph
 
@@ -833,3 +834,466 @@ class TestThreadSanity:
         for thread in workers:
             thread.join(timeout=60)
         assert not errors, errors
+
+
+# ---------------------------------------------------------------------------
+# Streaming: submit_stream / AnswerStream.
+# ---------------------------------------------------------------------------
+class TestStreaming:
+    @pytest.mark.parametrize("shards", [None, 3])
+    def test_streamed_answers_equal_batch_answers(self, shards):
+        instance, _ = web(40)
+        if shards is None:
+            engine = Engine.open(instance)
+        else:
+            engine = ShardedEngine.open(instance, shards=shards)
+        sources = sources_of(instance, 4)
+        expected = engine.query_batch("a (b + c)*", sources)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.005) as server:
+                streams = {
+                    source: server.submit_stream("a (b + c)*", source)
+                    for source in sources
+                }
+                collected = {}
+                for source, stream in streams.items():
+                    collected[source] = [answer async for answer in stream]
+                results = {
+                    source: await stream.result()
+                    for source, stream in streams.items()
+                }
+                return collected, results
+
+        collected, results = asyncio.run(scenario())
+        for source in sources:
+            # Exactly-once: no duplicates in the incremental feed.
+            assert len(collected[source]) == len(set(collected[source]))
+            assert set(collected[source]) == {
+                str(oid) for oid in expected[source]
+            }
+            # The resolved set is identical to submit()'s contract.
+            assert results[source] == expected[source]
+
+    def test_streams_coalesce_with_plain_requests(self):
+        instance, _ = web(30)
+        engine = Engine.open(instance)
+        [one, two] = sources_of(instance, 2)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.01) as server:
+                stream = server.submit_stream("a (b + c)*", one)
+                plain = server.submit_nowait("a (b + c)*", two)
+                streamed = [answer async for answer in stream]
+                return streamed, await plain, server.stats
+
+        streamed, plain, stats = asyncio.run(scenario())
+        # One shared evaluation served both request kinds.
+        assert engine.stats.batch_evaluations == 1
+        assert stats.streamed == 1
+        assert stats.submitted == 2
+        assert stats.served == 2
+        assert plain == engine.query_batch("a (b + c)*", [two])[two]
+        assert set(streamed) == {
+            str(oid) for oid in engine.query_batch("a (b + c)*", [one])[one]
+        }
+
+    def test_empty_answer_set_completes_stream(self):
+        instance = Instance([("u", "a", "v")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.001) as server:
+                stream = server.submit_stream("b b", "u")
+                streamed = [answer async for answer in stream]
+                return streamed, await stream.result()
+
+        streamed, answers = asyncio.run(scenario())
+        assert streamed == []
+        assert answers == set()
+
+    def test_stream_error_raises_in_iterator_and_result(self):
+        instance = Instance([("u", "a", "v")])
+        engine = Engine.open(instance)
+
+        class Boom(RuntimeError):
+            pass
+
+        def explode(*args, **kwargs):
+            raise Boom("evaluation failed")
+
+        engine.query_batch_streaming = explode
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.001) as server:
+                stream = server.submit_stream("a", "u")
+                with pytest.raises(Boom):
+                    async for _ in stream:
+                        pass
+                with pytest.raises(Boom):
+                    await stream.result()
+                return server.stats
+
+        stats = asyncio.run(scenario())
+        assert stats.failed == 1
+        assert stats.submitted == stats.served + stats.failed
+
+    def test_stream_degrades_without_streaming_engine(self):
+        # An engine exposing only query_batch still serves streams: every
+        # answer arrives at completion, through the same iterator.
+        instance, _ = web(20)
+        engine = Engine.open(instance)
+        [source] = sources_of(instance, 1)
+        expected = engine.query_batch("a (b + c)*", [source])[source]
+
+        class BatchOnly:
+            def __init__(self, inner):
+                self._inner = inner
+                self.metrics = inner.metrics
+
+            def admission(self, query):
+                return self._inner.admission(query)
+
+            def query_batch(self, query, sources):
+                return self._inner.query_batch(query, sources)
+
+        async def scenario():
+            async with QueryServer(
+                BatchOnly(engine), max_delay=0.001
+            ) as server:
+                stream = server.submit_stream("a (b + c)*", source)
+                streamed = [answer async for answer in stream]
+                return streamed, await stream.result()
+
+        streamed, answers = asyncio.run(scenario())
+        assert answers == expected
+        assert set(streamed) == {str(oid) for oid in expected}
+
+    def test_first_answer_histogram_observed(self):
+        from repro.engine import set_telemetry_enabled
+
+        previous = set_telemetry_enabled(True)
+        try:
+            self._first_answer_scenario()
+        finally:
+            set_telemetry_enabled(previous)
+
+    def _first_answer_scenario(self):
+        instance, _ = web(25)
+        engine = Engine.open(instance)
+        [source] = sources_of(instance, 1)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.001) as server:
+                stream = server.submit_stream("a (b + c)*", source)
+                async for _ in stream:
+                    pass
+                await stream.result()
+                return server.metrics.registry.snapshot()
+
+        snapshot = asyncio.run(scenario())
+        hist = snapshot["serving_first_answer_seconds"]
+        assert hist["count"] == 1
+        assert hist["sum"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Admission accounting regressions (the three bugfix sweeps of PR 7).
+# ---------------------------------------------------------------------------
+class TestAccountingRegressions:
+    def test_submit_many_duplicate_sources_exact_accounting(self):
+        # Regression: duplicates used to admit one request (and register
+        # one future) per occurrence, then collapse via dict(zip(...)) —
+        # submitted counted phantom requests no caller could observe.
+        instance, _ = web(20)
+        engine = Engine.open(instance)
+        [one, two] = sources_of(instance, 2)
+        sources = [one, two, one, one, two]
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.002) as server:
+                answers = await server.submit_many("a (b + c)*", sources)
+                return answers, server.stats
+
+        answers, stats = asyncio.run(scenario())
+        assert set(answers) == {one, two}
+        assert stats.submitted == 2  # distinct sources, not occurrences
+        assert stats.served == 2
+        assert stats.failed == 0
+        assert stats.submitted == stats.served + stats.failed
+        assert answers == engine.query_batch("a (b + c)*", [one, two])
+
+    def test_duplicate_source_requests_advance_size_trigger(self):
+        # Regression: the size trigger counted distinct sources while the
+        # stats counted futures — a bucket of N requests on one source
+        # never size-flushed.  The policy unit is now requests everywhere.
+        instance, _ = web(20)
+        engine = Engine.open(instance)
+        [source] = sources_of(instance, 1)
+
+        async def scenario():
+            async with engine.as_server(max_batch=3, max_delay=30.0) as server:
+                futures = [
+                    server.submit_nowait("a b", source) for _ in range(3)
+                ]
+                # The third request hit max_batch: flushed by size, no timer.
+                assert server.stats.size_flushes == 1
+                await asyncio.gather(*futures)
+                return server.stats
+
+        stats = asyncio.run(scenario())
+        assert stats.size_flushes == 1
+        assert stats.batches == 1
+        assert stats.coalesced == 3
+        assert stats.max_batch_size == 3  # same unit as the trigger
+        assert stats.submitted == stats.served + stats.failed == 3
+
+    def test_merged_request_rides_in_flight_batch(self):
+        instance, _ = web(25)
+        engine = Engine.open(instance)
+        [one, two] = sources_of(instance, 2)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.0) as server:
+                # max_delay=0 flushes immediately: the first request's batch
+                # is in flight when the second (same key, same source)
+                # arrives, so it merges instead of opening a new bucket.
+                first = server.submit_nowait("a (b + c)*", one)
+                merged = server.submit_nowait("a (b + c)*", one)
+                other = server.submit_nowait("a (b + c)*", two)
+                results = await asyncio.gather(first, merged, other)
+                return results, server.stats
+
+        (first, merged, other), stats = asyncio.run(scenario())
+        assert first == merged
+        assert stats.merged == 1
+        assert stats.batches == 2  # the merged request opened no batch
+        assert stats.submitted == stats.served + stats.failed == 3
+        assert engine.stats.batch_evaluations == 2
+
+    def test_streams_never_merge_into_in_flight_batches(self):
+        # A stream arriving after its key flushed must re-evaluate: the
+        # rounds it would have streamed already happened.
+        instance, _ = web(25)
+        engine = Engine.open(instance)
+        [source] = sources_of(instance, 1)
+        expected = engine.query_batch("a (b + c)*", [source])[source]
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.0) as server:
+                plain = server.submit_nowait("a (b + c)*", source)
+                stream = server.submit_stream("a (b + c)*", source)
+                streamed = [answer async for answer in stream]
+                return await plain, streamed, server.stats
+
+        plain, streamed, stats = asyncio.run(scenario())
+        assert plain == expected
+        assert set(streamed) == {str(oid) for oid in expected}
+        assert stats.merged == 0
+        assert stats.batches == 2
+
+
+# ---------------------------------------------------------------------------
+# Page + stream modifiers on the line protocol.
+# ---------------------------------------------------------------------------
+class TestPageProtocol:
+    QUERY = "a (b + c)*"
+
+    def _server(self, instance, engine, **policy):
+        policy.setdefault("max_delay", 0.002)
+        return engine.as_server(**policy)
+
+    def test_pages_concatenate_to_the_full_sorted_set(self):
+        instance, _ = web(40)
+        engine = Engine.open(instance)
+        # Pick the richest source so the answer set really paginates.
+        candidates = sources_of(instance, 20)
+        reference = engine.query_batch(self.QUERY, candidates)
+        source = max(candidates, key=lambda oid: len(reference[oid]))
+        expected = sorted(str(oid) for oid in reference[source])
+        assert len(expected) > 5  # the workload must actually paginate
+
+        async def scenario():
+            async with self._server(instance, engine) as server:
+                pages, cursor, hops = [], None, 0
+                while True:
+                    suffix = f" CURSOR {cursor}" if cursor else ""
+                    response = await respond_line(
+                        server,
+                        f"p{hops}\t{source}\t{self.QUERY}\tLIMIT 3{suffix}",
+                    )
+                    fields = response.split("\t")
+                    assert not fields[1].startswith("error:"), response
+                    pages.extend(fields[1].split())
+                    hops += 1
+                    if len(fields) == 3:
+                        assert fields[2].startswith("CURSOR ")
+                        cursor = fields[2][len("CURSOR "):]
+                    else:
+                        return pages, hops
+
+        pages, hops = asyncio.run(scenario())
+        assert pages == expected  # sorted order, nothing lost or duplicated
+        assert hops == -(-len(expected) // 3)  # ceil(n / page size)
+
+    def test_last_page_has_no_cursor_and_short_page_is_exact(self):
+        instance = Instance([("u", "a", "v"), ("u", "a", "w")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with self._server(instance, engine) as server:
+                return await respond_line(server, f"r\tu\ta\tLIMIT 10")
+
+        response = asyncio.run(scenario())
+        assert response == "r\tv w"  # fits one page: no CURSOR field
+
+    def test_malformed_limit_modifiers_answer_errors(self):
+        instance = Instance([("u", "a", "v")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with self._server(instance, engine) as server:
+                return [
+                    await respond_line(server, f"r1\tu\ta\tLIMIT"),
+                    await respond_line(server, f"r2\tu\ta\tLIMIT zero"),
+                    await respond_line(server, f"r3\tu\ta\tLIMIT 0"),
+                    await respond_line(server, f"r4\tu\ta\tLIMIT 2 KURSOR x"),
+                    await respond_line(server, f"r5\tu\ta\tPAGES 2"),
+                ]
+
+        responses = asyncio.run(scenario())
+        for response in responses:
+            ident, body = response.split("\t", 1)
+            assert body.startswith("error:"), response
+
+    def test_invalid_cursor_answers_error_not_crash(self):
+        instance = Instance([("u", "a", "v"), ("u", "a", "w")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with self._server(instance, engine) as server:
+                garbage = await respond_line(
+                    server, "r1\tu\ta\tLIMIT 1 CURSOR :::not-base64:::"
+                )
+                # A well-formed token minted for a DIFFERENT (query, source)
+                # must be rejected too: mint one for source u, replay it
+                # against source w... which requires a real first page.
+                first = await respond_line(server, "r2\tu\ta\tLIMIT 1")
+                token = first.split("\t")[2][len("CURSOR "):]
+                replayed = await respond_line(
+                    server, f"r3\tw\ta\tLIMIT 1 CURSOR {token}"
+                )
+                mismatched = await respond_line(
+                    server, f"r4\tu\ta a\tLIMIT 1 CURSOR {token}"
+                )
+                return garbage, replayed, mismatched
+
+        garbage, replayed, mismatched = asyncio.run(scenario())
+        assert "error:" in garbage and "cursor" in garbage
+        assert "error:" in replayed and "cursor" in replayed
+        assert "error:" in mismatched and "cursor" in mismatched
+
+    def test_stream_modifier_emits_chunks_then_full_response(self):
+        instance, _ = web(30)
+        engine = Engine.open(instance)
+        [source] = sources_of(instance, 1)
+        expected = {
+            str(oid) for oid in engine.query_batch(self.QUERY, [source])[source]
+        }
+
+        async def scenario():
+            async with self._server(instance, engine) as server:
+                chunks = []
+                response = await respond_line(
+                    server, f"s\t{source}\t{self.QUERY}\tSTREAM", chunks.append
+                )
+                return chunks, response
+
+        chunks, response = asyncio.run(scenario())
+        assert response == f"s\t{' '.join(sorted(expected))}"
+        parsed = [chunk.split("\t") for chunk in chunks]
+        assert all(fields[:2] == ["s", "+"] for fields in parsed)
+        assert {fields[2] for fields in parsed} == expected
+        assert len(parsed) == len(expected)  # exactly once each
+
+    def test_stream_modifier_without_emit_degrades_to_full_response(self):
+        # Ordered batch fronts (serve_request_lines) have no partial
+        # channel: STREAM answers like a plain request.
+        instance = Instance([("u", "a", "v"), ("u", "a", "w")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with self._server(instance, engine) as server:
+                return await serve_request_lines(server, ["r\tu\ta\tSTREAM"])
+
+        [response] = asyncio.run(scenario())
+        assert response == "r\tv w"
+
+    def test_stream_over_tcp_interleaves_chunks(self):
+        instance, _ = web(30)
+        engine = Engine.open(instance)
+        [source] = sources_of(instance, 1)
+        expected = {
+            str(oid) for oid in engine.query_batch(self.QUERY, [source])[source]
+        }
+
+        async def scenario():
+            async with self._server(instance, engine) as server:
+                listener = await serve_tcp(server, "127.0.0.1", 0)
+                port = listener.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(f"s\t{source}\t{self.QUERY}\tSTREAM\n".encode())
+                await writer.drain()
+                writer.write_eof()
+                payload = (await reader.read()).decode("utf-8")
+                writer.close()
+                await writer.wait_closed()
+                listener.close()
+                await listener.wait_closed()
+                return payload
+
+        lines = asyncio.run(scenario()).splitlines()
+        chunks = [line for line in lines if line.split("\t")[1:2] == ["+"]]
+        finals = [line for line in lines if line.split("\t")[1:2] != ["+"]]
+        assert {chunk.split("\t")[2] for chunk in chunks} == expected
+        assert finals == [f"s\t{' '.join(sorted(expected))}"]
+
+    def test_mid_stream_disconnect_leaves_server_healthy(self):
+        instance, _ = web(30)
+        engine = Engine.open(instance)
+        [source] = sources_of(instance, 1)
+        expected = engine.query_batch(self.QUERY, [source])[source]
+
+        async def scenario():
+            async with self._server(instance, engine) as server:
+                listener = await serve_tcp(server, "127.0.0.1", 0)
+                port = listener.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(f"s\t{source}\t{self.QUERY}\tSTREAM\n".encode())
+                await writer.drain()
+                # Hang up without reading anything; the serving task must
+                # finish the request (accounting stays exact) instead of
+                # dying on the dead transport.
+                writer.close()
+                await writer.wait_closed()
+                # The same server keeps serving new connections.
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(f"ok\t{source}\t{self.QUERY}\n".encode())
+                await writer.drain()
+                writer.write_eof()
+                payload = (await reader.read()).decode("utf-8")
+                writer.close()
+                await writer.wait_closed()
+                listener.close()
+                await listener.wait_closed()
+                return payload, server.stats
+
+        payload, stats = asyncio.run(scenario())
+        answered = dict(
+            line.split("\t", 1)
+            for line in payload.splitlines()
+            if "\t+\t" not in line
+        )
+        assert set(answered["ok"].split()) == {str(oid) for oid in expected}
+        assert stats.submitted == stats.served + stats.failed
+        assert stats.failed == 0

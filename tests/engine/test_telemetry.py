@@ -165,6 +165,40 @@ class TestHistogramPercentiles:
         assert hist.percentile(1.0) == pytest.approx(3.0)
         assert hist.percentile(0.99) <= 3.0
 
+    def test_overflow_only_distribution_uses_observed_min(self, telemetry_on):
+        # Every observation beyond the last bound: interpolation must run
+        # within [min, max], not upward from the bucket bound 2.0 — a value
+        # that was never observed (the old estimate for p50 here was 501.0,
+        # i.e. 2.0 + 998 * 0.5).
+        hist = Histogram("h", "", buckets=(1.0, 2.0))
+        hist.observe(10.0)
+        hist.observe(1000.0)
+        assert hist.percentile(0.0) == pytest.approx(10.0)
+        assert hist.percentile(0.5) == pytest.approx(505.0)  # 10 + 990 * 0.5
+        assert hist.percentile(1.0) == pytest.approx(1000.0)
+
+    def test_overflow_only_single_value_exact_at_every_quantile(
+        self, telemetry_on
+    ):
+        hist = Histogram("h", "", buckets=(1.0,))
+        for _ in range(3):
+            hist.observe(50.0)
+        for quantile in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.percentile(quantile) == pytest.approx(50.0)
+
+    def test_single_value_in_bounded_bucket_exact(self, telemetry_on):
+        hist = Histogram("h", "", buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        for quantile in (0.0, 0.5, 0.99, 1.0):
+            assert hist.percentile(quantile) == pytest.approx(1.5)
+
+    def test_empty_histogram_zero_at_every_quantile(self):
+        # Pinned: no samples means 0.0 everywhere — never inf/nan and never
+        # a bucket bound.
+        hist = Histogram("h", "", buckets=(1.0, 2.0))
+        for quantile in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.percentile(quantile) == 0.0
+
     def test_empty_histogram_reports_zero(self):
         hist = Histogram("h", "")
         assert hist.percentile(0.99) == 0.0
