@@ -2,8 +2,12 @@
 # Repo health check: the tier-1 test suite (twice: numpy executor active,
 # then stubbed out) plus fast engine-benchmark smokes.
 #
-# Usage:  ./scripts/check.sh [tests|serve|obs|smoke|all]
+# Usage:  ./scripts/check.sh [lint|tests|serve|obs|smoke|all]
 #
+#   lint    the concurrency-contract static analyzer (python -m
+#           repro.analysis) over src/repro — lock discipline, event-loop
+#           blocking, lock-order cycles — plus ruff when installed (CI
+#           always installs it); writes ANALYSIS_report.json
 #   tests   the tier-1 pytest suite, once per numpy arm
 #   serve   the async serving suite under PYTHONASYNCIODEBUG=1 (both numpy
 #           arms; includes the N-threads-x-M-queries stress test on one
@@ -45,6 +49,19 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+run_lint() {
+    echo "== lint: concurrency contract (repro.analysis) =="
+    python -m repro.analysis src/repro --json-out ANALYSIS_report.json
+
+    echo
+    if command -v ruff >/dev/null 2>&1; then
+        echo "== lint: ruff (pyflakes + bugbear subset, pyproject.toml) =="
+        ruff check src tests
+    else
+        echo "== lint: ruff not installed; skipped (CI installs and runs it) =="
+    fi
+}
+
 run_tests() {
     echo "== tier-1: full test suite (numpy backend, when available) =="
     python -m pytest -x -q
@@ -68,6 +85,11 @@ run_serve() {
         python -m pytest tests/engine/test_serving.py -q
 
     echo
+    echo "== serving: asyncio suite under the lock-order witness =="
+    REPRO_LOCK_WITNESS=1 PYTHONASYNCIODEBUG=1 \
+        python -m pytest tests/engine/test_serving.py -q
+
+    echo
     echo "== serving: live streamed TCP smoke (numpy arm) =="
     python scripts/serve_stream_smoke.py
 
@@ -83,6 +105,10 @@ run_obs() {
     echo
     echo "== observability: telemetry suite (pure-Python arm) =="
     REPRO_DISABLE_NUMPY=1 python -m pytest tests/engine/test_telemetry.py -q
+
+    echo
+    echo "== observability: telemetry suite under the lock-order witness =="
+    REPRO_LOCK_WITNESS=1 python -m pytest tests/engine/test_telemetry.py -q
 
     echo
     echo "== observability: live serve --metrics smoke (numpy arm) =="
@@ -127,6 +153,9 @@ run_smoke() {
 
 step="${1:-all}"
 case "$step" in
+    lint)
+        run_lint
+        ;;
     tests)
         run_tests
         ;;
@@ -140,6 +169,8 @@ case "$step" in
         run_smoke
         ;;
     all)
+        run_lint
+        echo
         run_tests
         echo
         run_serve
@@ -149,7 +180,7 @@ case "$step" in
         run_smoke
         ;;
     *)
-        echo "usage: $0 [tests|serve|obs|smoke|all]" >&2
+        echo "usage: $0 [lint|tests|serve|obs|smoke|all]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,34 @@
+"""Static analysis of the engine's concurrency contract.
+
+``python -m repro.analysis src/repro`` checks the annotated tree against
+four rules (LockDiscipline, NoRunUnderLock, LoopNeverBlocks, LockOrder);
+see :mod:`repro.analysis.rules` for the rule set and
+:mod:`repro.analysis.annotations` for the source-level annotation syntax.
+"""
+
+from .annotations import acquires, guarded_by
+from .core import Report, Violation, analyze_paths
+from .lockgraph import LockGraph, engine_static_edges, engine_static_graph
+from .rules import (
+    LockDiscipline,
+    LockOrder,
+    LoopNeverBlocks,
+    NoRunUnderLock,
+    default_rules,
+)
+
+__all__ = [
+    "LockDiscipline",
+    "LockGraph",
+    "LockOrder",
+    "LoopNeverBlocks",
+    "NoRunUnderLock",
+    "Report",
+    "Violation",
+    "acquires",
+    "analyze_paths",
+    "default_rules",
+    "engine_static_edges",
+    "engine_static_graph",
+    "guarded_by",
+]

@@ -1,0 +1,63 @@
+"""Runtime-inert annotations consumed by the static analyzer.
+
+The concurrency contract of the engine is declared *in the source* with two
+lightweight decorators and one class-level map.  None of them change runtime
+behaviour — they only attach metadata that ``python -m repro.analysis`` (and
+nothing else) reads back out of the AST:
+
+``GUARDED_BY`` (class attribute)
+    A ``dict`` mapping attribute names to the lock that guards them, e.g.::
+
+        class Engine:
+            GUARDED_BY = {
+                "_instance_version": "_lock",        # all accesses need _lock
+                "_graph": "_lock:mutate",            # only writes need _lock
+            }
+
+    The plain form (``"_lock"``) requires every access to happen inside a
+    ``with self._lock`` region; the ``:mutate`` suffix only constrains
+    assignments/deletions — the idiom for atomically *published* references
+    whose point reads are deliberately lock-free.
+
+``@guarded_by("_lock")`` (method decorator)
+    Declares that the method must only ever be *called* with the named lock
+    already held.  The analyzer treats the whole body as a lock-held region
+    and checks every lexical call site for the lock.
+
+``@acquires("Engine._lock", ...)`` (method decorator)
+    Declares locks the method (transitively) acquires on *other* objects —
+    acquisitions the lexical analysis cannot see, e.g. a sharded router
+    calling into a per-shard session.  The lock-order graph uses these edges.
+
+Constructors (``__init__``) are exempt from ``GUARDED_BY`` checks: the object
+is not shared until it escapes its constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+#: Suffix on a ``GUARDED_BY`` value restricting the check to stores/deletes.
+MUTATE_SUFFIX = ":mutate"
+
+
+def guarded_by(lock: str) -> Callable[[_F], _F]:
+    """Mark a method as callable only while ``self.<lock>`` is held."""
+
+    def mark(func: _F) -> _F:
+        func.__repro_guarded_by__ = lock
+        return func
+
+    return mark
+
+
+def acquires(*locks: str) -> Callable[[_F], _F]:
+    """Declare qualified locks (``Class.attr``) this method acquires."""
+
+    def mark(func: _F) -> _F:
+        func.__repro_acquires__ = tuple(locks)
+        return func
+
+    return mark

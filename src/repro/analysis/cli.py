@@ -1,0 +1,127 @@
+"""Command-line driver: ``python -m repro.analysis [paths ...]``.
+
+Exit status: 0 when every finding is suppressed (or none exist), 1 when
+active violations remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .core import Report, analyze_paths
+from .rules import default_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Concurrency-contract static analyzer for the repro engine.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="primary output format on stdout",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="additionally write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="list suppressed findings in text output",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="print the static lock-acquisition graph",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="LIST",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    return parser
+
+
+def report_to_json(report: Report) -> dict:
+    payload = {
+        "files": len(report.files),
+        "violations": [v.to_json() for v in report.active],
+        "suppressed": [v.to_json() for v in report.suppressed],
+        "lock_graph": report.lock_graph.to_json() if report.lock_graph else None,
+    }
+    return payload
+
+
+def render_text(report: Report, show_suppressed: bool, graph: bool) -> str:
+    lines: list[str] = []
+    for violation in report.active:
+        lines.append(violation.format())
+    if show_suppressed:
+        for violation in report.suppressed:
+            lines.append(violation.format())
+    if graph and report.lock_graph is not None:
+        lines.append("lock-acquisition graph:")
+        for (src, dst), edge in sorted(report.lock_graph.edges.items()):
+            lines.append(f"  {src} -> {dst}  ({edge.path}:{edge.line})")
+        if not report.lock_graph.edges:
+            lines.append("  (no edges)")
+    lines.append(
+        f"{len(report.active)} violation(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.files)} file(s) analyzed"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    rules = default_rules()
+    if args.rules:
+        wanted = {name.strip() for name in args.rules.split(",") if name.strip()}
+        by_id = {rule.id: rule for rule in rules}
+        unknown = wanted - set(by_id)
+        if unknown:
+            print(
+                f"error: unknown rule(s): {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(sorted(by_id))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [by_id[name] for name in by_id if name in wanted]
+
+    report = analyze_paths(paths, rules=rules)
+
+    if args.format == "json":
+        print(json.dumps(report_to_json(report), indent=2, sort_keys=True))
+    else:
+        print(render_text(report, args.show_suppressed, args.graph))
+
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(report_to_json(report), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    return 1 if report.active else 0

@@ -1,0 +1,300 @@
+"""Static lock-acquisition graph and cycle detection.
+
+Nodes are qualified lock names (``Engine._lock``); a directed edge
+``A -> B`` means *somewhere in the analyzed tree, B is acquired while A is
+held*.  Edges come from three sources:
+
+1. lexically nested ``with`` lock regions inside one function;
+2. a call to ``self.m(...)`` inside a lock region, where ``m`` — resolved
+   through the class and its project-known bases, transitively through
+   further ``self`` calls — acquires locks of its own;
+3. explicit ``@acquires("Class.attr")`` declarations for acquisitions the
+   lexical analysis cannot see (calls into other objects).
+
+A cycle in this graph is a potential deadlock order and is rejected by the
+``LockOrder`` rule.  The same edge set is handed to the runtime witness
+(``repro.engine.telemetry.LockWitness``) which checks that acquisition
+orders *observed* under ``REPRO_LOCK_WITNESS=1`` stay consistent with it.
+
+Re-entrant acquisition of one lock (``A -> A``, an ``RLock``) is skipped;
+the graph orders distinct locks only.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .core import (
+    ClassInfo,
+    HeldLock,
+    LockWalker,
+    Project,
+    SourceFile,
+    callee_name,
+    collect_py_files,
+    iter_functions,
+    load_source_file,
+    walk_function,
+)
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    src: str
+    dst: str
+    path: str
+    line: int
+
+    def to_json(self) -> dict:
+        return {"src": self.src, "dst": self.dst, "path": self.path, "line": self.line}
+
+
+@dataclass
+class LockGraph:
+    nodes: set[str] = field(default_factory=set)
+    edges: dict[tuple[str, str], LockEdge] = field(default_factory=dict)
+
+    def add(self, edge: LockEdge) -> None:
+        self.nodes.add(edge.src)
+        self.nodes.add(edge.dst)
+        self.edges.setdefault((edge.src, edge.dst), edge)
+
+    def edge_pairs(self) -> set[tuple[str, str]]:
+        return set(self.edges)
+
+    def cycles(self) -> list[list[str]]:
+        return find_cycles(self.edge_pairs())
+
+    def to_json(self) -> dict:
+        return {
+            "nodes": sorted(self.nodes),
+            "edges": [self.edges[key].to_json() for key in sorted(self.edges)],
+            "cycles": self.cycles(),
+        }
+
+
+def find_cycles(pairs: Iterable[tuple[str, str]]) -> list[list[str]]:
+    """Every elementary cycle's node list (deduped by node set), sorted."""
+    graph: dict[str, list[str]] = {}
+    for src, dst in pairs:
+        graph.setdefault(src, []).append(dst)
+        graph.setdefault(dst, [])
+    cycles: list[list[str]] = []
+    seen_sets: set[frozenset[str]] = set()
+    # Iterative DFS with an explicit path stack; small graphs only.
+    state: dict[str, int] = {}  # 0 unvisited / 1 on stack / 2 done
+
+    def dfs(start: str, path: list[str]) -> None:
+        node = path[-1]
+        state[node] = 1
+        for nxt in sorted(graph.get(node, ())):
+            if state.get(nxt, 0) == 1:
+                idx = path.index(nxt)
+                cycle = path[idx:] + [nxt]
+                key = frozenset(cycle)
+                if key not in seen_sets:
+                    seen_sets.add(key)
+                    cycles.append(cycle)
+            elif state.get(nxt, 0) == 0:
+                dfs(start, path + [nxt])
+        state[node] = 2
+
+    for node in sorted(graph):
+        if state.get(node, 0) == 0:
+            dfs(node, [node])
+        # Allow revisiting finished nodes from new roots so cycles reachable
+        # from several components are still found once.
+        for key, value in list(state.items()):
+            if value == 1:
+                state[key] = 0
+    return sorted(cycles)
+
+
+# ---------------------------------------------------------------------------
+# Per-method acquisition summaries (pass 1).
+# ---------------------------------------------------------------------------
+
+
+class _CollectAcquires(LockWalker):
+    """Collect every lock lexically acquired plus every ``self.x()`` call."""
+
+    def __init__(self) -> None:
+        self.locks: set[str] = set()  # bare attr names
+        self.self_calls: set[str] = set()
+
+    def on_acquire(self, lock: HeldLock, held, site) -> None:
+        self.locks.add(lock.attr)
+
+    def on_node(self, node, held) -> None:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            self.self_calls.add(node.func.attr)
+
+
+def _method_summaries(
+    project: Project,
+) -> dict[tuple[str, str], tuple[set[str], set[str], tuple[str, ...]]]:
+    """(class, method) -> (bare locks acquired, self-calls, declared qualified)."""
+    summaries: dict[tuple[str, str], tuple[set[str], set[str], tuple[str, ...]]] = {}
+    for source in project.files:
+        for info in source.classes.values():
+            known = info.lock_names()
+            for method in info.methods.values():
+                collector = _CollectAcquires()
+                walk_function(method.node, known, collector, info=info)
+                summaries[(info.name, method.name)] = (
+                    collector.locks,
+                    collector.self_calls,
+                    method.declared_acquires,
+                )
+    return summaries
+
+
+def _transitive_acquires(
+    project: Project,
+) -> dict[tuple[str, str], set[str]]:
+    """Qualified locks each method acquires, following ``self`` calls."""
+    summaries = _method_summaries(project)
+    acquired: dict[tuple[str, str], set[str]] = {}
+    for (cls_name, method), (locks, _calls, declared) in summaries.items():
+        info = project.class_info(cls_name)
+        qualified: set[str] = set(declared)
+        if info is not None:
+            for attr in locks:
+                qualified.update(project.lock_owners(info, attr))
+        acquired[(cls_name, method)] = qualified
+
+    changed = True
+    while changed:
+        changed = False
+        for (cls_name, method), (_locks, calls, _declared) in summaries.items():
+            info = project.class_info(cls_name)
+            if info is None:
+                continue
+            current = acquired[(cls_name, method)]
+            for call in calls:
+                target = project.resolve_method(info, call)
+                if target is None:
+                    continue
+                # The resolved method may live on a base class; summaries are
+                # keyed by the class that lexically defines it.
+                for owner_cls, owner_method in summaries:
+                    if owner_method != call:
+                        continue
+                    owner_info = project.class_info(owner_cls)
+                    if owner_info is None:
+                        continue
+                    if owner_info.methods.get(call) is target:
+                        extra = acquired[(owner_cls, call)] - current
+                        if extra:
+                            current |= extra
+                            changed = True
+    return acquired
+
+
+# ---------------------------------------------------------------------------
+# Edge extraction (pass 2).
+# ---------------------------------------------------------------------------
+
+
+class _EdgeWalker(LockWalker):
+    def __init__(
+        self,
+        graph: LockGraph,
+        project: Project,
+        source: SourceFile,
+        info: ClassInfo,
+        acquired: dict[tuple[str, str], set[str]],
+    ) -> None:
+        self.graph = graph
+        self.project = project
+        self.source = source
+        self.info = info
+        self.acquired = acquired
+
+    def _qualify(self, lock: HeldLock) -> list[str]:
+        return self.project.lock_owners(self.info, lock.attr)
+
+    def _add_edges(self, held, targets: Iterable[str], node: ast.AST) -> None:
+        line = getattr(node, "lineno", 0)
+        for holder in held:
+            for src in self._qualify(holder):
+                for dst in targets:
+                    if src == dst:
+                        continue
+                    self.graph.add(LockEdge(src, dst, self.source.rel, line))
+
+    def on_acquire(self, lock: HeldLock, held, site) -> None:
+        if held:
+            self._add_edges(held, self._qualify(lock), site)
+
+    def on_node(self, node, held) -> None:
+        if not held or not isinstance(node, ast.Call):
+            return
+        name = callee_name(node)
+        if name is None:
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            target = self.project.resolve_method(self.info, name)
+            if target is None:
+                return
+            for (cls_name, method), locks in self.acquired.items():
+                owner = self.project.class_info(cls_name)
+                if (
+                    owner is not None
+                    and method == name
+                    and owner.methods.get(name) is target
+                ):
+                    self._add_edges(held, locks, node)
+
+
+def build_lock_graph(project: Project) -> LockGraph:
+    graph = LockGraph()
+    acquired = _transitive_acquires(project)
+    for source in project.files:
+        for info, func in iter_functions(source):
+            if info is None:
+                continue
+            walker = _EdgeWalker(graph, project, source, info, acquired)
+            walk_function(func, info.lock_names(), walker, info=info)
+            # Declared (@acquires) locks order after every lock this method
+            # holds: after the @guarded_by guard, and — coarsely — after any
+            # lock the body acquires lexically (the declared call happens
+            # somewhere inside the method; exact nesting is not visible).
+            method = info.methods.get(func.name)
+            if method is not None and method.declared_acquires:
+                collector = _CollectAcquires()
+                walk_function(method.node, info.lock_names(), collector, info=info)
+                holders = set(collector.locks)
+                if method.guarded_by:
+                    holders.add(method.guarded_by)
+                for attr in holders:
+                    holder = HeldLock(attr, "exclusive", func)
+                    walker._add_edges(
+                        (holder,), method.declared_acquires, method.node
+                    )
+    return graph
+
+
+def engine_static_graph() -> LockGraph:
+    """The lock graph of the installed ``repro`` tree (for the witness)."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    files = [load_source_file(p, root=root.parent) for p in collect_py_files([root])]
+    return build_lock_graph(Project(files=files))
+
+
+def engine_static_edges() -> set[tuple[str, str]]:
+    return engine_static_graph().edge_pairs()

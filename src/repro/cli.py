@@ -344,6 +344,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ) as server:
             listener = await serve_tcp(server, host, port)
             bound = listener.sockets[0].getsockname()
+            # repro: allow(LoopNeverBlocks) one-line startup banner before any request is served; stderr is line-buffered and the loop is otherwise idle
             print(f"serving on {bound[0]}:{bound[1]}", file=sys.stderr, flush=True)
             try:
                 async with listener:

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from ..exceptions import DatalogError
 from ..graph.instance import Instance, Oid

@@ -30,7 +30,6 @@ depends on anyone remembering to clear the cache around a rebuild.
 
 from __future__ import annotations
 
-import threading
 from array import array
 from collections import OrderedDict, deque
 from dataclasses import dataclass
@@ -39,6 +38,7 @@ from ..automata import minimize_dfa, nfa_to_dfa
 from ..query.path_query import RegularPathQuery
 from ..regex import Regex, to_string
 from .csr import CompiledGraph
+from .telemetry import witnessed_lock
 
 DEAD = -1
 
@@ -187,6 +187,14 @@ class QueryCompiler:
     insert simply wins.
     """
 
+    # ``hits``/``misses`` are ``:mutate``: incremented under the lock, but
+    # the registry gauges do lock-free point reads of one int each.
+    GUARDED_BY = {
+        "_cache": "_lock",
+        "hits": "_lock:mutate",
+        "misses": "_lock:mutate",
+    }
+
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ValueError("compile cache capacity must be positive")
@@ -194,7 +202,7 @@ class QueryCompiler:
         self._cache: "OrderedDict[tuple[str, tuple[str, ...]], CompiledQuery]" = (
             OrderedDict()
         )
-        self._lock = threading.Lock()
+        self._lock = witnessed_lock("QueryCompiler._lock")
         self.hits = 0
         self.misses = 0
 
@@ -249,7 +257,7 @@ class QueryCompiler:
                 self._cache.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._cache)
+        return len(self._cache)  # repro: allow(LockDiscipline) dict len() is atomic under the GIL
 
     def clear(self) -> None:
         with self._lock:

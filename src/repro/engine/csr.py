@@ -35,13 +35,13 @@ The whole compiled state round-trips through :meth:`CompiledGraph.to_parts`
 
 from __future__ import annotations
 
-import threading
 from array import array
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..exceptions import InstanceError
 from ..graph.instance import Instance, Oid
 from .interning import Interner
+from .telemetry import witnessed_lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy
@@ -74,6 +74,14 @@ class LabelEdges:
 
 class CompiledGraph:
     """A finite instance compiled to per-label CSR over dense integer ids."""
+
+    # The lazy numpy lowering cache is the only state of this class touched
+    # from concurrent reader threads; everything else is the caller's to
+    # serialize (see ``Engine._run_lock``).
+    GUARDED_BY = {
+        "_np_version": "_np_lock",
+        "_np_edges": "_np_lock",
+    }
 
     __slots__ = (
         "nodes",
@@ -119,7 +127,7 @@ class CompiledGraph:
         # flushes on threads); mutation is still the caller's to serialize.
         self._np_version = -1
         self._np_edges: list["LabelEdges | None"] = []
-        self._np_lock = threading.Lock()
+        self._np_lock = witnessed_lock("CompiledGraph._np_lock")
         self.version = 0
 
     # -- construction ---------------------------------------------------------

@@ -91,6 +91,7 @@ from .telemetry import (
     Telemetry,
     slow_log_json,
     trace_to_json,
+    witnessed_lock,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -126,6 +127,15 @@ class SuperstepScheduler:
     same time).
     """
 
+    # The counters are ``:mutate`` — written under the lock, point-read by
+    # registry gauges and ``__repr__`` without it (one int read each).
+    GUARDED_BY = {
+        "_in_flight": "_lock",
+        "steps": "_lock:mutate",
+        "barriers": "_lock:mutate",
+        "concurrent_steps": "_lock:mutate",
+    }
+
     def __init__(self, max_workers: int) -> None:
         if max_workers < 1:
             raise ReproError("a superstep scheduler needs at least one worker")
@@ -140,7 +150,7 @@ class SuperstepScheduler:
         for _ in range(max_workers):
             self._pool.submit(ready.wait)
         ready.wait()
-        self._lock = threading.Lock()
+        self._lock = witnessed_lock("SuperstepScheduler._lock")
         self._in_flight = 0
         self._closed = False
         self.steps = 0
@@ -151,7 +161,8 @@ class SuperstepScheduler:
         """Execute every thunk, in parallel, and join: the superstep barrier."""
         if self._closed:
             raise ReproError("the superstep scheduler has been closed")
-        self.barriers += 1
+        with self._lock:
+            self.barriers += 1
         if len(steps) <= 1:
             # One active shard: no parallelism to be had, skip the pool hop.
             return [self._tracked(step) for step in steps]
@@ -619,6 +630,7 @@ class QueryServer:
         constraints = getattr(self.engine, "constraints", None)
         try:
             if constraints is None or len(constraints) == 0:
+                # repro: allow(LoopNeverBlocks) unconstrained admission is parse+memo only (no rewrite search); the cold constrained path below hops to the pool
                 return self.engine.admission(query)
             key_prepared = await asyncio.get_running_loop().run_in_executor(
                 self._pool, self.engine.admission, query

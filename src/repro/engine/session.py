@@ -52,7 +52,8 @@ from ..regex import Regex
 from .compiled_query import CompiledQuery, QueryCompiler, query_key
 from .csr import CompiledGraph
 from .executor import BACKENDS, resolve_backend, run_all_pairs, run_batch, run_single
-from .telemetry import MetricsRegistry, Telemetry
+from . import telemetry
+from .telemetry import MetricsRegistry, Telemetry, witnessed_lock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..constraints.constraint import ConstraintSet
@@ -72,25 +73,42 @@ class _ReadWriteLock:
     starvation under a busy server); readers never block each other.
     """
 
-    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting")
+    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting", "_name")
 
-    def __init__(self) -> None:
+    def __init__(self, name: "str | None" = None) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        # Stable node name for the REPRO_LOCK_WITNESS recorder; read/write
+        # tokens report as one logical lock in the acquisition-order graph.
+        self._name = name
+
+    def _note_acquire(self) -> None:
+        if self._name is not None:
+            witness = telemetry.lock_witness()
+            if witness is not None:
+                witness.note_acquire(self._name)
+
+    def _note_release(self) -> None:
+        if self._name is not None:
+            witness = telemetry.lock_witness()
+            if witness is not None:
+                witness.note_release(self._name)
 
     def acquire_read(self) -> None:
         with self._cond:
             while self._writer or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        self._note_acquire()
 
     def release_read(self) -> None:
         with self._cond:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+        self._note_release()
 
     def acquire_write(self) -> None:
         with self._cond:
@@ -99,11 +117,13 @@ class _ReadWriteLock:
                 self._cond.wait()
             self._writers_waiting -= 1
             self._writer = True
+        self._note_acquire()
 
     def release_write(self) -> None:
         with self._cond:
             self._writer = False
             self._cond.notify_all()
+        self._note_release()
 
     @contextmanager
     def read(self):
@@ -212,6 +232,10 @@ class ServingSurface:
     (``constraints``, ``cost_model``, ``_rewrites``, ``_rewrite_lock``,
     ``stats.rewrites_applied``) plus the :attr:`_rewrite_capacity` hook.
     """
+
+    # The rewrite memo lives on the host session; every touch of the
+    # OrderedDict goes through the host's dedicated ``_rewrite_lock``.
+    GUARDED_BY = {"_rewrites": "_rewrite_lock"}
 
     @property
     def _rewrite_capacity(self) -> int:
@@ -334,6 +358,18 @@ class Engine(ServingSurface):
     after it — which one is the caller's ordering to decide.
     """
 
+    # The machine-checked half of the docstring above (``python -m
+    # repro.analysis``).  ``_graph`` is ``:mutate``: the reference is
+    # atomically *published* under ``_lock`` (refresh/rebuild) while point
+    # reads — the ``graph`` property, compile capture — are lock-free by
+    # design.  The version stamps are read and written under ``_lock`` only.
+    GUARDED_BY = {
+        "_graph": "_lock:mutate",
+        "_instance_version": "_lock",
+        "_edge_version": "_lock",
+        "_rewrites": "_rewrite_lock",
+    }
+
     def __init__(
         self,
         instance: Instance,
@@ -400,17 +436,17 @@ class Engine(ServingSurface):
         self._rewrites: "OrderedDict[str, Regex]" = OrderedDict()
         # Guards refresh and the stats counters against concurrent server
         # threads (see the class docstring).
-        self._lock = threading.RLock()
+        self._lock = witnessed_lock("Engine._lock", threading.RLock)
         # The rewrite memo gets its own short-lived lock: the serving
         # layer's admission path (admission_key) runs on the event loop and
         # must never wait behind an evaluation holding the session lock.
-        self._rewrite_lock = threading.Lock()
+        self._rewrite_lock = witnessed_lock("Engine._rewrite_lock")
         # Executor runs (shared) vs in-place graph mutation (exclusive):
         # add_edge/remove_edge mutate the live CSR overflow/tombstones/
         # interners that a concurrently running executor is reading, so
         # they drain in-flight runs first.  Never acquire ``_lock`` while
         # holding a read token (writers hold ``_lock`` when they wait).
-        self._run_lock = _ReadWriteLock()
+        self._run_lock = _ReadWriteLock("Engine._run_lock")
         if _graph is None:
             self._graph = CompiledGraph.from_instance(instance, labels=labels)
             self.stats.graph_builds += 1

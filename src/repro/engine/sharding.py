@@ -51,6 +51,7 @@ from collections import OrderedDict, defaultdict, deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
+from ..analysis.annotations import acquires, guarded_by
 from ..exceptions import ReproError
 from ..graph.instance import Instance, Oid
 from ..query.evaluation import EvaluationResult
@@ -58,13 +59,13 @@ from .compiled_query import query_key
 from .csr import CompiledGraph
 from .executor import BACKENDS, resolve_backend, run_batch
 from .session import Engine, ServingSurface
-from .telemetry import MetricsRegistry, Telemetry
+from .telemetry import MetricsRegistry, Telemetry, witnessed_lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..constraints.constraint import ConstraintSet
     from ..optimize.cost import CostModel
     from .compiled_query import CompiledQuery
-    from .serving import QueryServer, SuperstepScheduler
+    from .serving import SuperstepScheduler
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_FORMAT_VERSION = 1
@@ -398,6 +399,16 @@ class ShardedEngine(ServingSurface):
     queue (:meth:`as_server`) batches concurrent requests in front of it.
     """
 
+    # ``_subs``/``_shards`` are rebuilt references, atomically published
+    # under ``_lock``; read paths (properties, gauges, ghost cache) take
+    # lock-free point reads of whichever build they land on.  ``_rewrites``
+    # is inherited from :class:`ServingSurface` under ``_rewrite_lock``.
+    GUARDED_BY = {
+        "_subs": "_lock:mutate",
+        "_shards": "_lock:mutate",
+        "_instance_version": "_lock",
+    }
+
     def __init__(
         self,
         instance: Instance,
@@ -454,11 +465,11 @@ class ShardedEngine(ServingSurface):
         # Serializes evaluations and mutation against concurrent server
         # threads; per-shard superstep work happens on scheduler threads
         # *inside* an evaluation, while the caller's thread holds this lock.
-        self._lock = threading.RLock()
+        self._lock = witnessed_lock("ShardedEngine._lock", threading.RLock)
         # The rewrite memo gets its own short-lived lock so the serving
         # layer's admission path (admission_key, on the event loop) never
         # waits behind a whole scatter-gather evaluation holding _lock.
-        self._rewrite_lock = threading.Lock()
+        self._rewrite_lock = witnessed_lock("ShardedEngine._rewrite_lock")
         if concurrency is not None and concurrency < 1:
             raise ReproError("concurrency must be a positive worker count")
         self._scheduler: "SuperstepScheduler | None" = None
@@ -517,6 +528,7 @@ class ShardedEngine(ServingSurface):
         return HashShardMap(shards)
 
     # -- lifecycle ------------------------------------------------------------
+    @guarded_by("_lock")
     def _build(self) -> None:
         instance = self._instance
         self._sync_labels(instance.labels())
@@ -636,6 +648,7 @@ class ShardedEngine(ServingSurface):
             self._build()
             return True
 
+    @acquires("Engine._lock")
     def add_edge(self, source: Oid, label: str, destination: Oid) -> None:
         """Add one edge, routed to the shard that owns ``source``.
 
@@ -659,6 +672,7 @@ class ShardedEngine(ServingSurface):
                     self._subs[home].add_object(endpoint)
             self._instance_version = instance.version
 
+    @acquires("Engine._lock")
     def remove_edge(self, source: Oid, label: str, destination: Oid) -> None:
         """Remove one edge from the shard that owns ``source`` (tombstone)."""
         with self._lock:
@@ -676,6 +690,7 @@ class ShardedEngine(ServingSurface):
     def _rewrite_capacity(self) -> int:
         return self.cache_capacity
 
+    @acquires("Engine._lock")
     def _compiled_everywhere(self, prepared) -> list:
         """One compiled table per shard, compiled (at most) once overall.
 

@@ -81,6 +81,179 @@ def set_enabled(flag: bool) -> bool:
     return previous
 
 
+# -- lock witness --------------------------------------------------------------
+# Debug-mode runtime recorder for lock-acquisition order.  Off by default;
+# ``REPRO_LOCK_WITNESS=1`` makes the engine's locks (created through
+# :func:`witnessed_lock` / named ``_ReadWriteLock``) report every acquisition
+# so the per-thread nesting order can be checked against the static graph
+# that ``python -m repro.analysis`` builds (LockOrder rule).
+LOCK_WITNESS_ENV = "REPRO_LOCK_WITNESS"
+_ON_VALUES = {"1", "on", "true", "yes"}
+
+_witness_enabled = (
+    _os.environ.get(LOCK_WITNESS_ENV, "").strip().lower() in _ON_VALUES
+)
+
+
+class LockOrderError(ReproError):
+    """Observed lock-acquisition order is inconsistent (potential deadlock)."""
+
+
+class LockWitness:
+    """Records ``held -> acquired`` lock pairs per thread.
+
+    Each thread keeps a stack of the named locks it currently holds; when it
+    acquires lock ``B`` while holding ``A``, the edge ``A -> B`` is recorded.
+    :meth:`assert_consistent` then rejects any inversion — observing both
+    ``A -> B`` and ``B -> A`` (or a longer cycle, optionally combined with
+    the statically derived edges) means two threads can deadlock.
+
+    Re-entrant re-acquisition of one lock (``RLock``) records nothing: the
+    graph orders *distinct* locks.
+    """
+
+    def __init__(self) -> None:
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._edges: "dict[tuple[str, str], int]" = {}
+        self._inversions: "list[str]" = []
+
+    def _stack(self) -> "list[str]":
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def note_acquire(self, name: str) -> None:
+        stack = self._stack()
+        fresh = [(held, name) for held in stack if held != name]
+        stack.append(name)
+        if not fresh:
+            return
+        with self._lock:
+            for edge in fresh:
+                if edge not in self._edges:
+                    self._edges[edge] = 0
+                    inverse = (edge[1], edge[0])
+                    if inverse in self._edges:
+                        self._inversions.append(
+                            f"{edge[0]} and {edge[1]} each acquired while "
+                            f"the other was held"
+                        )
+                self._edges[edge] += 1
+
+    def note_release(self, name: str) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                return
+
+    def edges(self) -> "set[tuple[str, str]]":
+        with self._lock:
+            return set(self._edges)
+
+    def inversions(self) -> "list[str]":
+        with self._lock:
+            return list(self._inversions)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._edges.clear()
+            self._inversions.clear()
+
+    def assert_consistent(
+        self, static_edges: "set[tuple[str, str]] | None" = None
+    ) -> None:
+        """Raise :class:`LockOrderError` on inverted or cyclic order.
+
+        With ``static_edges`` (from ``repro.analysis.engine_static_edges``)
+        the observed edges are merged into the static graph first, so a
+        runtime order that contradicts the *declared* order also fails.
+        """
+        problems = self.inversions()
+        combined = self.edges() | set(static_edges or ())
+        from ..analysis.lockgraph import find_cycles
+
+        for cycle in find_cycles(combined):
+            problems.append("lock-order cycle: " + " -> ".join(cycle))
+        if problems:
+            raise LockOrderError("; ".join(problems))
+
+
+_witness: "LockWitness | None" = LockWitness() if _witness_enabled else None
+
+
+def witness_enabled() -> bool:
+    return _witness_enabled
+
+
+def set_witness_enabled(flag: bool) -> bool:
+    """Flip witness mode (tests); locks created *afterwards* are recorded."""
+    global _witness_enabled, _witness
+    previous = _witness_enabled
+    _witness_enabled = bool(flag)
+    if _witness_enabled and _witness is None:
+        _witness = LockWitness()
+    return previous
+
+
+def lock_witness() -> "LockWitness | None":
+    """The active recorder, or ``None`` when witness mode is off."""
+    return _witness if _witness_enabled else None
+
+
+class _WitnessedLock:
+    """Wraps a ``threading.Lock``/``RLock``, reporting to the witness."""
+
+    __slots__ = ("name", "_inner")
+
+    def __init__(self, name: str, inner) -> None:
+        self.name = name
+        self._inner = inner
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            witness = lock_witness()
+            if witness is not None:
+                witness.note_acquire(self.name)
+        return ok
+
+    def release(self) -> None:
+        self._inner.release()
+        witness = lock_witness()
+        if witness is not None:
+            witness.note_release(self.name)
+
+    def __enter__(self) -> "_WitnessedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_WitnessedLock({self.name!r}, {self._inner!r})"
+
+
+def witnessed_lock(name: str, factory: "Callable[[], object]" = threading.Lock):
+    """A lock that reports to the witness — or a plain one when mode is off.
+
+    The engine's long-lived locks are created through this factory with
+    stable ``Class.attr`` names matching the static graph's node names.
+    With ``REPRO_LOCK_WITNESS`` unset this returns ``factory()`` unchanged:
+    zero overhead on the production path.
+    """
+    inner = factory()
+    if not _witness_enabled:
+        return inner
+    return _WitnessedLock(name, inner)
+
+
 # -- metrics -------------------------------------------------------------------
 # Log-spaced seconds, tuned for query latencies between ~0.1ms and ~10s.
 DEFAULT_LATENCY_BUCKETS: "tuple[float, ...]" = (
@@ -105,6 +278,8 @@ class Counter:
 
     kind = "counter"
 
+    GUARDED_BY = {"_values": "_lock"}
+
     __slots__ = ("name", "help", "labelnames", "_values", "_lock")
 
     def __init__(self, name: str, help: str, labelnames: "tuple[str, ...]" = ()) -> None:
@@ -112,7 +287,7 @@ class Counter:
         self.help = help
         self.labelnames = tuple(labelnames)
         self._values: "dict[tuple[str, ...], float]" = {}
-        self._lock = threading.Lock()
+        self._lock = witnessed_lock("Counter._lock")
 
     def inc(self, amount: float = 1, *labelvalues: str) -> None:
         if len(labelvalues) != len(self.labelnames):
@@ -182,6 +357,16 @@ class Histogram:
 
     kind = "histogram"
 
+    # _sum/_count are ``:mutate``: the ``count``/``sum``/``summary``
+    # accessors do documented racy point-reads of one scalar each.
+    GUARDED_BY = {
+        "_counts": "_lock",
+        "_sum": "_lock:mutate",
+        "_count": "_lock:mutate",
+        "_min": "_lock",
+        "_max": "_lock",
+    }
+
     __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count",
                  "_min", "_max", "_lock")
 
@@ -199,7 +384,7 @@ class Histogram:
         self._count = 0
         self._min = float("inf")
         self._max = 0.0
-        self._lock = threading.Lock()
+        self._lock = witnessed_lock("Histogram._lock")
 
     def observe(self, value: float) -> None:
         if not _enabled:
@@ -307,9 +492,11 @@ class MetricsRegistry:
     re-points the serving gauges at its own stats).
     """
 
+    GUARDED_BY = {"_metrics": "_lock"}
+
     def __init__(self) -> None:
         self._metrics: "OrderedDict[str, object]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = witnessed_lock("MetricsRegistry._lock")
 
     def counter(
         self, name: str, help: str = "", labelnames: "tuple[str, ...]" = ()
@@ -353,10 +540,10 @@ class MetricsRegistry:
             return metric
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        return len(self._metrics)  # repro: allow(LockDiscipline) dict len() is atomic under the GIL
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        return name in self._metrics  # repro: allow(LockDiscipline) dict membership is atomic under the GIL
 
     def _items(self) -> "list[tuple[str, object]]":
         with self._lock:
@@ -464,6 +651,11 @@ class Trace:
     so a pathological fixpoint cannot grow a trace without limit.
     """
 
+    # ``spans`` is deliberately *not* guarded: workers append via ``_adopt``
+    # (under the lock) while the tree is live, and readers only walk it after
+    # the root span ended — the post-completion read is the documented idiom.
+    GUARDED_BY = {"dropped": "_lock:mutate"}
+
     __slots__ = ("trace_id", "tracer", "spans", "dropped", "max_spans", "_lock")
 
     def __init__(self, tracer: "Tracer | None", max_spans: int = 512) -> None:
@@ -472,7 +664,7 @@ class Trace:
         self.spans: "list[Span]" = []
         self.dropped = 0
         self.max_spans = max_spans
-        self._lock = threading.Lock()
+        self._lock = witnessed_lock("Trace._lock")
 
     def _adopt(self, span: "Span") -> bool:
         with self._lock:
@@ -702,6 +894,12 @@ class Tracer:
     a flood of fast ones.
     """
 
+    GUARDED_BY = {
+        "_traces": "_lock",
+        "_slow": "_lock",
+        "recorded": "_lock:mutate",
+    }
+
     def __init__(self, capacity: int = 128, slow_capacity: int = 32) -> None:
         if capacity < 1 or slow_capacity < 1:
             raise ReproError("tracer capacities must be positive")
@@ -709,7 +907,7 @@ class Tracer:
         self.slow_capacity = slow_capacity
         self._traces: "deque[Trace]" = deque(maxlen=capacity)
         self._slow: "list[Trace]" = []  # kept sorted, worst first
-        self._lock = threading.Lock()
+        self._lock = witnessed_lock("Tracer._lock")
         self.recorded = 0
 
     def record(self, trace: Trace) -> None:
@@ -746,7 +944,7 @@ class Tracer:
             return list(self._traces)
 
     def __len__(self) -> int:
-        return len(self._traces)
+        return len(self._traces)  # repro: allow(LockDiscipline) deque len() is atomic under the GIL
 
 
 class Telemetry:

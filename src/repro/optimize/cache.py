@@ -18,7 +18,7 @@ This module manages such caches on a concrete instance:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..constraints.constraint import ConstraintSet, PathEquality, path_equality
 from ..graph.instance import Instance, Oid

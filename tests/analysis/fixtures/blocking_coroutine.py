@@ -1,0 +1,28 @@
+"""Fixture: LoopNeverBlocks — blocking primitives inside async def bodies."""
+
+import asyncio
+import time
+
+
+async def bad_sleep():
+    time.sleep(0.1)  # line 8: blocking sleep on the loop
+
+
+async def bad_print(payload):
+    print(payload)  # line 12: console I/O on the loop
+
+
+async def bad_admission(engine, query):
+    return engine.admission(query)  # line 16: cold rewrite path
+
+
+async def good_sleep():
+    await asyncio.sleep(0.1)
+
+
+async def good_executor(loop, pool, engine, query):
+    return await loop.run_in_executor(pool, lambda: engine.admission(query))
+
+
+async def good_async_acquire(lock):
+    await lock.acquire()

@@ -1,0 +1,61 @@
+"""Fixture: a fully conforming module — the no-false-positive case."""
+
+import asyncio
+import threading
+
+from repro.analysis.annotations import acquires, guarded_by
+from repro.engine.executor import run_batch
+
+
+class Store:
+    GUARDED_BY = {
+        "_items": "_lock",
+        "_published": "_lock:mutate",
+    }
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._order_lock = threading.Lock()
+        self._items = []
+        self._published = ()
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._rebuild()
+
+    @guarded_by("_lock")
+    def _rebuild(self):
+        self._published = tuple(self._items)
+
+    def view(self):
+        return self._published  # :mutate — lock-free point read is the idiom
+
+    def ordered(self):
+        with self._lock:
+            with self._order_lock:  # consistent order everywhere: no cycle
+                return list(self._items)
+
+    @acquires("Helper._lock")
+    def delegate(self, helper):
+        with self._lock:
+            return helper.snapshot()
+
+    def evaluate(self, compiled, queries):
+        with self._lock:
+            prepared = list(queries)
+        return run_batch(compiled, prepared)
+
+
+class Helper:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def snapshot(self):
+        with self._lock:
+            return ()
+
+
+async def pump(loop, pool, store, compiled, queries):
+    await asyncio.sleep(0)
+    return await loop.run_in_executor(pool, store.evaluate, compiled, queries)

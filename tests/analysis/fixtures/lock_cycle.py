@@ -1,0 +1,19 @@
+"""Fixture: LockOrder — two locks acquired in opposite orders."""
+
+import threading
+
+
+class Router:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._publish_lock = threading.Lock()
+
+    def forward(self):
+        with self._lock:
+            with self._publish_lock:  # edge _lock -> _publish_lock
+                return 1
+
+    def backward(self):
+        with self._publish_lock:
+            with self._lock:  # edge _publish_lock -> _lock: cycle
+                return 2

@@ -1,0 +1,31 @@
+"""Fixture: NoRunUnderLock — executor entry points called under a lock."""
+
+import threading
+
+from repro.engine.executor import run_batch, run_single
+
+
+class Session:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._run_lock = None  # stand-in read/write lock
+
+    def bad_eval(self, compiled, queries):
+        with self._lock:
+            return run_batch(compiled, queries)  # line 15: run under lock
+
+    def good_eval(self, compiled, queries):
+        with self._lock:
+            compiled = self.prepare(compiled)
+        return run_batch(compiled, queries)
+
+    def good_eval_shared(self, compiled, query):
+        with self._run_lock.read():
+            return run_single(compiled, query)  # shared token: allowed
+
+    def bad_eval_write(self, compiled, query):
+        with self._run_lock.write():
+            return run_single(compiled, query)  # line 27: exclusive token
+
+    def prepare(self, compiled):
+        return compiled

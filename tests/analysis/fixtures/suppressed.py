@@ -1,0 +1,25 @@
+"""Fixture: suppression comments — justified, bare, and unknown-rule."""
+
+import threading
+
+
+class Cache:
+    GUARDED_BY = {"_entries": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def size(self):
+        return len(self._entries)  # repro: allow(LockDiscipline) len() of a dict is atomic under the GIL
+
+    def clear(self):
+        self._entries = {}  # repro: allow(LockDiscipline)
+
+    def peek(self):
+        # repro: allow(LockDiscipline) benign racy read used only in repr
+        return self._entries
+
+    def typo(self):
+        with self._lock:
+            return dict(self._entries)  # repro: allow(LockDisciplin) misspelled rule id

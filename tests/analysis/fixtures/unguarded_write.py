@@ -1,0 +1,31 @@
+"""Fixture: LockDiscipline — a guarded attribute written without the lock."""
+
+import threading
+
+
+class Counter:
+    GUARDED_BY = {
+        "_value": "_lock",
+        "_snapshot": "_lock:mutate",
+    }
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0  # constructor writes are exempt
+        self._snapshot = ()
+
+    def good_increment(self):
+        with self._lock:
+            self._value += 1
+
+    def bad_increment(self):
+        self._value += 1  # line 22: write without the lock
+
+    def bad_read(self):
+        return self._value  # line 25: read without the lock
+
+    def snapshot_read_is_fine(self):
+        return self._snapshot  # :mutate guard exempts loads
+
+    def bad_snapshot_write(self):
+        self._snapshot = (1, 2)  # line 31: mutate without the lock

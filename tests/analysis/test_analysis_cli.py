@@ -1,0 +1,116 @@
+"""CLI behaviour: exit codes, text/JSON output, and the self-check gate."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+ENV = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestExitCodes:
+    def test_clean_fixture_exits_zero(self, capsys):
+        code, out, _ = run_cli(capsys, str(FIXTURES / "clean.py"))
+        assert code == 0
+        assert "0 violation(s)" in out
+
+    def test_seeded_violations_exit_one(self, capsys):
+        code, out, _ = run_cli(capsys, str(FIXTURES / "unguarded_write.py"))
+        assert code == 1
+        assert "LockDiscipline" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        code, _, err = run_cli(capsys, str(FIXTURES / "nope.py"))
+        assert code == 2
+        assert "no such path" in err
+
+    def test_unknown_rule_filter_exits_two(self, capsys):
+        code, _, err = run_cli(capsys, "--rules", "NotARule", str(FIXTURES))
+        assert code == 2
+        assert "unknown rule" in err
+
+
+class TestOutput:
+    def test_text_lines_have_path_line_rule(self, capsys):
+        _, out, _ = run_cli(capsys, str(FIXTURES / "unguarded_write.py"))
+        assert ":22:" in out and "LockDiscipline:" in out
+
+    def test_json_format(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--format", "json", str(FIXTURES / "lock_cycle.py")
+        )
+        payload = json.loads(out)
+        assert code == 1
+        assert payload["files"] == 1
+        assert [v["rule"] for v in payload["violations"]] == ["LockOrder"]
+        assert payload["lock_graph"]["cycles"]
+
+    def test_json_out_file(self, tmp_path, capsys):
+        artifact = tmp_path / "report.json"
+        run_cli(
+            capsys, "--json-out", str(artifact), str(FIXTURES / "clean.py")
+        )
+        payload = json.loads(artifact.read_text())
+        assert payload["violations"] == []
+        assert payload["lock_graph"] is not None
+
+    def test_show_suppressed_lists_justifications(self, capsys):
+        _, out, _ = run_cli(
+            capsys, "--show-suppressed", str(FIXTURES / "suppressed.py")
+        )
+        assert "suppressed: " in out and "atomic under the GIL" in out
+
+    def test_rule_filter_runs_subset(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "--rules",
+            "LoopNeverBlocks",
+            str(FIXTURES / "unguarded_write.py"),
+        )
+        assert code == 0
+        assert "LockDiscipline" not in out
+
+
+class TestSelfCheck:
+    def test_annotated_engine_tree_is_clean(self):
+        """The acceptance gate: src/repro has zero unsuppressed violations."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src/repro"],
+            cwd=REPO,
+            env=ENV,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_module_entry_point_json(self):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                "--format",
+                "json",
+                "src/repro/analysis",
+            ],
+            cwd=REPO,
+            env=ENV,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["files"] >= 5

@@ -1,0 +1,117 @@
+"""Fixture-driven tests for the four concurrency-contract rules.
+
+Each fixture under ``fixtures/`` seeds specific violations; these tests pin
+the exact rule ids and line numbers so rule regressions are loud.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.core import BARE_ALLOW, UNKNOWN_RULE
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings(name, *, include_suppressed=False):
+    report = analyze_paths([FIXTURES / name])
+    rows = report.violations if include_suppressed else report.active
+    return [(v.rule, v.line) for v in rows], report
+
+
+class TestLockDiscipline:
+    def test_seeded_violations_fire_with_exact_lines(self):
+        rows, _ = findings("unguarded_write.py")
+        assert rows == [
+            ("LockDiscipline", 22),  # bad_increment: write without lock
+            ("LockDiscipline", 25),  # bad_read: read without lock
+            ("LockDiscipline", 31),  # bad_snapshot_write: mutate without lock
+        ]
+
+    def test_messages_name_attribute_and_lock(self):
+        report = analyze_paths([FIXTURES / "unguarded_write.py"])
+        messages = [v.message for v in report.active]
+        assert any("self._value" in m and "self._lock" in m for m in messages)
+        assert all("GUARDED_BY" in m for m in messages)
+
+
+class TestNoRunUnderLock:
+    def test_seeded_violations_fire_with_exact_lines(self):
+        rows, _ = findings("run_under_lock.py")
+        assert rows == [
+            ("NoRunUnderLock", 15),  # run_batch under self._lock
+            ("NoRunUnderLock", 28),  # run_single under write token
+        ]
+
+    def test_shared_read_token_is_sanctioned(self):
+        report = analyze_paths([FIXTURES / "run_under_lock.py"])
+        lines = {v.line for v in report.active}
+        assert 24 not in lines  # good_eval_shared
+
+
+class TestLoopNeverBlocks:
+    def test_seeded_violations_fire_with_exact_lines(self):
+        rows, _ = findings("blocking_coroutine.py")
+        assert rows == [
+            ("LoopNeverBlocks", 8),  # time.sleep
+            ("LoopNeverBlocks", 12),  # print
+            ("LoopNeverBlocks", 16),  # cold admission path
+        ]
+
+    def test_run_in_executor_and_await_paths_are_sanctioned(self):
+        report = analyze_paths([FIXTURES / "blocking_coroutine.py"])
+        lines = {v.line for v in report.active}
+        for sanctioned in (20, 24, 28):
+            assert sanctioned not in lines
+
+
+class TestLockOrder:
+    def test_cycle_is_reported(self):
+        rows, report = findings("lock_cycle.py")
+        assert [rule for rule, _ in rows] == ["LockOrder"]
+        [violation] = report.active
+        assert "Router._lock" in violation.message
+        assert "Router._publish_lock" in violation.message
+
+    def test_graph_edges_both_directions(self):
+        report = analyze_paths([FIXTURES / "lock_cycle.py"])
+        pairs = report.lock_graph.edge_pairs()
+        assert ("Router._lock", "Router._publish_lock") in pairs
+        assert ("Router._publish_lock", "Router._lock") in pairs
+
+
+class TestCleanFixture:
+    def test_no_false_positives(self):
+        rows, report = findings("clean.py", include_suppressed=True)
+        assert rows == []
+        assert report.lock_graph.cycles() == []
+
+    def test_declared_acquires_contributes_edges(self):
+        report = analyze_paths([FIXTURES / "clean.py"])
+        assert ("Store._lock", "Helper._lock") in report.lock_graph.edge_pairs()
+
+
+class TestSuppressions:
+    def test_justified_allow_suppresses(self):
+        report = analyze_paths([FIXTURES / "suppressed.py"])
+        suppressed = {(v.rule, v.line) for v in report.suppressed}
+        assert ("LockDiscipline", 14) in suppressed  # same-line allow
+        assert ("LockDiscipline", 21) in suppressed  # previous-line allow
+
+    def test_bare_allow_is_itself_a_violation(self):
+        report = analyze_paths([FIXTURES / "suppressed.py"])
+        active = {(v.rule, v.line) for v in report.active}
+        assert (BARE_ALLOW, 17) in active
+        # ... and the bare allow does NOT silence the underlying finding.
+        assert ("LockDiscipline", 17) in active
+
+    def test_unknown_rule_in_allow_is_flagged(self):
+        report = analyze_paths([FIXTURES / "suppressed.py"])
+        active = {(v.rule, v.line) for v in report.active}
+        assert (UNKNOWN_RULE, 25) in active
+
+    def test_suppressed_findings_keep_their_justification(self):
+        report = analyze_paths([FIXTURES / "suppressed.py"])
+        by_line = {v.line: v for v in report.suppressed}
+        assert "atomic under the GIL" in by_line[14].justification

@@ -52,3 +52,19 @@ def medium_random_graph():
 @pytest.fixture
 def rng():
     return random.Random(1234)
+
+
+# ---------------------------------------------------------------------------
+# Lock-order witness mode (REPRO_LOCK_WITNESS=1): after the whole session,
+# every lock acquisition order observed at runtime must be consistent with
+# the statically derived graph — inversions or cycles fail the run.
+# ---------------------------------------------------------------------------
+def pytest_sessionfinish(session, exitstatus):
+    from repro.engine.telemetry import lock_witness
+
+    witness = lock_witness()
+    if witness is None or not witness.edges():
+        return
+    from repro.analysis import engine_static_edges
+
+    witness.assert_consistent(engine_static_edges())

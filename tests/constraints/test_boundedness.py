@@ -1,6 +1,5 @@
 """Tests for the boundedness decision procedure (Theorem 4.10)."""
 
-import pytest
 
 from repro.automata import equivalent, regex_to_nfa
 from repro.constraints import (

@@ -17,7 +17,7 @@ from repro.constraints import (
     word_inclusion,
 )
 from repro.exceptions import ConstraintError
-from repro.graph import Instance, figure2_graph
+from repro.graph import Instance
 from repro.regex import parse
 
 

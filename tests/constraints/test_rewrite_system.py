@@ -6,7 +6,6 @@ from repro.automata import accepted_language_up_to, enumerate_accepted_words
 from repro.constraints import (
     ConstraintSet,
     PrefixRewriteSystem,
-    RewriteRule,
     path_inclusion,
     rewrite_to_language_nfa,
     rewrite_to_with_statistics,

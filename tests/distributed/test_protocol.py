@@ -17,7 +17,6 @@ from repro.distributed import (
 from repro.exceptions import DistributedProtocolError
 from repro.graph import (
     cycle_graph,
-    figure2_graph,
     infinite_binary_web,
     layered_dag,
     random_graph,

@@ -14,7 +14,7 @@ from _strategies import regexes, small_instances
 from repro.engine import Engine
 from repro.graph import layered_dag, random_graph, web_like_graph
 from repro.query import RegularPathQuery, evaluate_baseline
-from repro.regex import parse, to_string
+from repro.regex import to_string
 from repro.regex.ast import concat, star, union
 
 

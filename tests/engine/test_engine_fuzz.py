@@ -26,7 +26,6 @@ from repro.engine import (
     lower_query,
     numpy_available,
     run_all_pairs,
-    run_batch,
     run_single,
 )
 from repro.query import RegularPathQuery, evaluate_baseline

@@ -223,7 +223,7 @@ class TestEngineSession:
             assert oid in answers  # 'a*' accepts epsilon
 
     def test_constraint_prerewrite_keeps_answers(self):
-        from repro.constraints import ConstraintSet, parse_constraint
+        from repro.constraints import ConstraintSet
         from repro.optimize import materialize_cache
 
         instance, source = figure2_graph()

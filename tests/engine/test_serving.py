@@ -355,6 +355,28 @@ class TestSuperstepScheduler:
                 scheduler.run([failing, slow])
         assert joined.is_set()  # the healthy step still completed
 
+    def test_barrier_count_is_exact_under_concurrent_runs(self):
+        # Regression: ``barriers += 1`` used to run outside the lock, so
+        # concurrent ``run()`` callers (one per serving batch) could lose
+        # increments.  Hammer the scheduler from many threads and demand
+        # the counter match the number of calls exactly.
+        calls_per_thread, caller_count = 50, 8
+        with SuperstepScheduler(4) as scheduler:
+            start = threading.Barrier(caller_count)
+
+            def hammer():
+                start.wait()
+                for _ in range(calls_per_thread):
+                    scheduler.run([lambda: 1, lambda: 2])
+
+            callers = [threading.Thread(target=hammer) for _ in range(caller_count)]
+            for thread in callers:
+                thread.start()
+            for thread in callers:
+                thread.join()
+            assert scheduler.barriers == calls_per_thread * caller_count
+            assert scheduler.steps == 2 * calls_per_thread * caller_count
+
     def test_closed_scheduler_raises(self):
         scheduler = SuperstepScheduler(2)
         scheduler.close()

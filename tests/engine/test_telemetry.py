@@ -11,7 +11,6 @@ backends, the line protocol's control verbs, and the HTTP export surface.
 
 import asyncio
 import json
-import sys
 import urllib.request
 
 import pytest

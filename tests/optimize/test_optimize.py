@@ -1,6 +1,5 @@
 """Tests for the cost model, caches, the rewriter and the planner (Section 3.2)."""
 
-import pytest
 
 from repro.automata import equivalent, regex_to_nfa
 from repro.constraints import (

@@ -17,7 +17,6 @@ from repro.constraints import (
     rewrite_to_word_nfa,
     satisfies_all,
     word_equality,
-    word_inclusion,
 )
 from repro.constraints.armstrong import WordEqualityTheory
 from repro.query import answer_set

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import InstanceError
-from repro.graph import Instance, figure2_graph, infinite_binary_web, random_graph
+from repro.graph import infinite_binary_web, random_graph
 from repro.query import (
     RegularPathQuery,
     answer_set,

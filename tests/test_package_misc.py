@@ -1,6 +1,5 @@
 """Miscellaneous coverage: package exports, exceptions, and small helpers."""
 
-import pytest
 
 import repro
 from repro import exceptions

@@ -2,7 +2,7 @@
 
 from repro.constraints import satisfies_all
 from repro.query import answer_set
-from repro.regex import denotes_finite_language, parse
+from repro.regex import denotes_finite_language
 from repro.workloads import (
     alphabet_of,
     chained_idempotence_constraints,
