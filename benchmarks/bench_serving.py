@@ -56,7 +56,7 @@ import time
 
 from bench_sharded import build_workload
 
-from repro.engine import ShardedEngine, set_telemetry_enabled
+from repro.engine import QueryRequest, ShardedEngine, set_telemetry_enabled
 
 SPEEDUP_BOUND = 2.0
 OVERHEAD_BOUND = 1.05
@@ -119,7 +119,9 @@ def serve_concurrently(engine, queries, requests, *, max_batch, max_delay,
             futures = []
             for query_index, source in requests:
                 submitted_at = time.perf_counter()
-                future = server.submit_nowait(queries[query_index], source)
+                future = server.submit_nowait(
+                    QueryRequest(query=queries[query_index], sources=(source,))
+                )
                 if capture_latencies:
                     future.add_done_callback(
                         lambda _f, t0=submitted_at: latencies.append(
@@ -169,7 +171,11 @@ def serve_streaming(engine, queries, requests, *, max_batch, max_delay,
             tasks = []
             for query_index, source in requests:
                 submitted_at = time.perf_counter()
-                stream = server.submit_stream(queries[query_index], source)
+                stream = server.submit_stream(
+                    QueryRequest(
+                        query=queries[query_index], sources=(source,), stream=True
+                    )
+                )
                 tasks.append(
                     asyncio.get_running_loop().create_task(
                         consume(stream, submitted_at)

@@ -42,6 +42,9 @@
 #     telemetry-enabled serving within 5% of disabled; streamed first
 #     answers p99 below the recorded full-resolve p99 with the
 #     evaluation histograms flat)
+#   python benchmarks/bench_crpq.py --check                (cost-model join
+#     order >= 2x faster than the worst order; served == direct ==
+#     nested-loop reference)
 # All bench scripts write BENCH_*.json artifacts recording the numbers.
 
 set -euo pipefail
@@ -149,6 +152,15 @@ run_smoke() {
     echo "== bench smoke: async serving harness (pure-Python executor) =="
     REPRO_DISABLE_NUMPY=1 python benchmarks/bench_serving.py --smoke \
         --json BENCH_serving_nonumpy_smoke.json
+
+    echo
+    echo "== bench smoke: CRPQ join-planning harness =="
+    python benchmarks/bench_crpq.py --smoke --json BENCH_crpq_smoke.json
+
+    echo
+    echo "== bench smoke: CRPQ join-planning harness (pure-Python executor) =="
+    REPRO_DISABLE_NUMPY=1 python benchmarks/bench_crpq.py --smoke \
+        --json BENCH_crpq_nonumpy_smoke.json
 }
 
 step="${1:-all}"

@@ -266,6 +266,58 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_crpq(args: argparse.Namespace) -> int:
+    from .engine import Engine
+    from .engine.request import CRPQRequest, normalize
+
+    instance = _load_instance(args.graph)
+    constraints = _constraint_set(args.constraint) if args.constraint else None
+    if args.concurrency is not None and args.shards is None:
+        print(
+            "error: --concurrency schedules per-shard supersteps; it needs --shards N",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards is not None:
+        from .engine.sharding import ShardedEngine
+
+        engine = ShardedEngine.open(
+            instance,
+            shards=args.shards,
+            constraints=constraints,
+            backend=args.backend,
+            concurrency=args.concurrency,
+        )
+    else:
+        engine = Engine.open(instance, constraints=constraints, backend=args.backend)
+    try:
+        request = normalize(CRPQRequest(query=args.query, source=args.source))
+        result = engine.query_conjunctive(request.query, strategy=args.strategy)
+        if args.plan:
+            plan = result.plan
+            print(
+                f"# plan: strategy={plan.strategy} acyclic={plan.acyclic} "
+                f"estimated_cost={plan.estimated_cost:.1f}",
+                file=sys.stderr,
+            )
+            for step_index, step in enumerate(plan.describe()):
+                print(
+                    f"# step {step_index}: {step['atom']} "
+                    f"(prepared: {step['prepared']}, "
+                    f"~{step['estimated_pairs']:.0f} pairs)",
+                    file=sys.stderr,
+                )
+        print("# " + ", ".join(result.variables), file=sys.stderr)
+        for row in result.rows:
+            print(",".join(map(str, row)))
+        if args.stats:
+            _print_stats_snapshot(engine.telemetry())
+    finally:
+        if args.shards is not None:
+            engine.close()  # release the superstep scheduler's threads
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -493,9 +545,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine_parser.set_defaults(handler=_cmd_engine)
 
+    crpq_parser = subparsers.add_parser(
+        "crpq",
+        help="evaluate a conjunctive path query (MATCH … RETURN …) as a join plan",
+    )
+    crpq_parser.add_argument(
+        "graph", help="edge-list file: 'source label destination' per line"
+    )
+    crpq_parser.add_argument(
+        "query",
+        help="conjunctive query, e.g. \"MATCH x -[a]-> y, y -[b*]-> z RETURN x, z\"",
+    )
+    crpq_parser.add_argument(
+        "--source", "-s",
+        help="bind the first MATCH variable to this object (same slot the "
+        "wire protocol's source column fills)",
+    )
+    crpq_parser.add_argument(
+        "--constraint", "-c", action="append",
+        help="a path constraint enabling per-atom pre-rewrite (repeatable)",
+    )
+    crpq_parser.add_argument(
+        "--backend", choices=("auto", "python", "numpy"), default="auto",
+        help="executor backend: auto picks numpy when available (default: auto)",
+    )
+    crpq_parser.add_argument(
+        "--shards", type=int, metavar="N",
+        help="evaluate atoms through the sharded scatter-gather engine with "
+        "N hash shards",
+    )
+    crpq_parser.add_argument(
+        "--concurrency", type=int, metavar="N",
+        help="run each superstep's per-shard local fixpoints on N worker "
+        "threads (requires --shards)",
+    )
+    crpq_parser.add_argument(
+        "--strategy", choices=("optimized", "declared", "worst"),
+        default="optimized",
+        help="join order: cost-model greedy (default), declared atom order, "
+        "or the cost model's worst order (for comparison)",
+    )
+    crpq_parser.add_argument(
+        "--plan", "--explain", action="store_true",
+        help="print the chosen join order with cardinality estimates to stderr",
+    )
+    crpq_parser.add_argument(
+        "--stats", action="store_true",
+        help="print the engine's metrics-registry snapshot to stderr",
+    )
+    crpq_parser.set_defaults(handler=_cmd_crpq)
+
     serve_parser = subparsers.add_parser(
         "serve",
-        help="serve line-protocol queries through the async admission queue",
+        help="serve line-protocol queries (scalar and MATCH conjunctive) "
+        "through the async admission queue",
     )
     serve_parser.add_argument(
         "graph", help="edge-list file: 'source label destination' per line"

@@ -29,7 +29,18 @@ line protocol's ``!stats``/``!trace``/``!slow`` verbs, ``serve --metrics``).
 """
 
 from .compiled_query import CompiledQuery, QueryCompiler, lower_query, query_key
+from .conjunctive import (
+    Atom,
+    ConjunctiveQuery,
+    ConjunctiveResult,
+    JoinPlan,
+    PlanExecution,
+    nested_loop_rows,
+    parse_crpq,
+    plan_join,
+)
 from .csr import CompiledGraph, LabelEdges
+from .request import CRPQRequest, QueryRequest, normalize
 from .executor import (
     BACKENDS,
     BatchRun,
@@ -87,21 +98,28 @@ from .snapshot import (
 )
 
 __all__ = [
+    "Atom",
     "BACKENDS",
     "BatchRun",
     "CompiledGraph",
     "CompiledQuery",
+    "ConjunctiveQuery",
+    "ConjunctiveResult",
+    "CRPQRequest",
     "Engine",
     "EngineStats",
     "ExplicitShardMap",
     "HashShardMap",
     "Histogram",
     "Interner",
+    "JoinPlan",
     "LabelEdges",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PlanExecution",
     "QueryCompiler",
     "AnswerStream",
+    "QueryRequest",
     "QueryServer",
     "SNAPSHOT_CODECS",
     "SNAPSHOT_FORMAT_VERSION",
@@ -123,8 +141,12 @@ __all__ = [
     "load_engine",
     "load_payload",
     "lower_query",
+    "nested_loop_rows",
+    "normalize",
     "numpy_available",
+    "parse_crpq",
     "partition_instance",
+    "plan_join",
     "query_key",
     "render_text",
     "resolve_backend",

@@ -358,6 +358,24 @@ class CompiledGraph:
         transition tables (whose columns are label ids) are interchangeable."""
         return self.labels.fingerprint()
 
+    def label_edge_counts(self) -> dict[str, int]:
+        """Live edge count per label: CSR minus tombstones plus overflow.
+
+        O(labels + overflow buckets), no edge-set materialization — this is
+        the degree-statistics feed for the CRPQ join planner
+        (:func:`repro.optimize.cost.estimate_cardinality`), so it must stay
+        cheap enough to call per query.  Caller is responsible for
+        serializing against mutation, like every other bulk reader.
+        """
+        counts: dict[str, int] = {}
+        for label_id, label in enumerate(self.labels.fingerprint()):
+            live = len(self._targets[label_id]) - len(self._dead[label_id])
+            live += sum(
+                len(targets) for targets in self._overflow[label_id].values()
+            )
+            counts[label] = live
+        return counts
+
     def ensure_nodes(self, oids: Iterable[Oid]) -> int:
         """Intern any not-yet-known oids, in sorted-by-``repr`` order.
 

@@ -11,7 +11,10 @@ independent halves:
 * :class:`QueryServer` — an **admission queue** in front of an
   :class:`~repro.engine.session.Engine` or
   :class:`~repro.engine.sharding.ShardedEngine`.  Requests arrive as
-  ``await server.submit(query, source)``; in-flight requests whose queries
+  ``await server.submit(QueryRequest(query=..., sources=(source,)))`` (one
+  structured :class:`~repro.engine.request.QueryRequest`; the legacy
+  positional pair remains a one-release ``DeprecationWarning`` shim);
+  in-flight requests whose queries
   compile to the *same DFA* (same
   :meth:`~repro.engine.session.Engine.admission_key` — the canonical
   constraint-rewritten expression) are coalesced into one shared
@@ -76,6 +79,7 @@ import base64
 import hashlib
 import json
 import threading
+import warnings
 from bisect import bisect_right
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -84,6 +88,13 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
 from ..exceptions import ReproError
+from .conjunctive import (
+    ConjunctiveQuery,
+    ConjunctiveResult,
+    PlanExecution,
+    is_crpq_text,
+)
+from .request import CRPQRequest, QueryRequest, normalize
 from .telemetry import (
     DEFAULT_SIZE_BUCKETS,
     NULL_SPAN,
@@ -246,6 +257,11 @@ class ServingStats:
     merged: int = 0
     # Requests admitted through submit_stream (a subset of submitted).
     streamed: int = 0
+    # Conjunctive queries served end to end.  Their per-atom batches flow
+    # through the ordinary admission counters (each atom source is one
+    # submitted/served request), so these two count whole CRPQs on top.
+    crpq_submitted: int = 0
+    crpq_served: int = 0
 
     def summary(self) -> str:
         return (
@@ -270,6 +286,8 @@ class ServingStats:
         ("close_flushes", "flushes forced by close()"),
         ("merged", "requests attached to an in-flight batch of their key"),
         ("streamed", "requests admitted via submit_stream"),
+        ("crpq_submitted", "conjunctive queries admitted"),
+        ("crpq_served", "conjunctive queries answered end to end"),
     )
 
     def register(self, registry: MetricsRegistry, prefix: str = "serving") -> None:
@@ -318,7 +336,7 @@ class AnswerStream:
     Returned by :meth:`QueryServer.submit_stream`.  Iterate asynchronously to
     receive each answer the moment the engine derives its accepting fact::
 
-        stream = server.submit_stream(query, source)
+        stream = server.submit_stream(QueryRequest(query=..., sources=(source,)))
         async for answer in stream:
             ...                      # answers land per fixpoint round
         answers = await stream.result()   # the complete set, == submit()'s
@@ -434,7 +452,8 @@ class QueryServer:
     docstrings).  Usage::
 
         async with engine.as_server(max_batch=64, max_delay=0.002) as server:
-            answers = await server.submit("a (b + c)*", "p0")
+            request = QueryRequest(query="a (b + c)*", sources=("p0",))
+            answers = await server.submit(request)
 
     ``submit`` admits the request into the bucket of its
     :meth:`~repro.engine.session.Engine.admission_key`; the bucket flushes
@@ -521,8 +540,43 @@ class QueryServer:
         self._closed = False
 
     # -- admission ------------------------------------------------------------
-    def submit_nowait(self, query, source: "Oid") -> "asyncio.Future":
-        """Admit one request; returns the future its answers will resolve on.
+    def _lower(self, query, source, signature: str) -> QueryRequest:
+        """Lower a ``submit*`` argument pair to a canonical request.
+
+        Structured shapes (:class:`~repro.engine.request.QueryRequest`,
+        ``CRPQRequest``, ``ConjunctiveQuery``) pass through
+        :func:`~repro.engine.request.normalize` untouched; the legacy
+        positional ``(query string, source)`` form still works but emits a
+        :class:`DeprecationWarning` naming ``signature`` — it remains a
+        thin shim over the structured path for one release.
+        """
+        if isinstance(query, (QueryRequest, CRPQRequest, ConjunctiveQuery)):
+            return normalize(query) if source is None else normalize(query, source)
+        warnings.warn(
+            f"{signature} with a positional query is deprecated; pass a "
+            "repro.engine.request.QueryRequest (the shim lasts one release)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return normalize(query, source)
+
+    @staticmethod
+    def _single_source(request: QueryRequest, method: str) -> "Oid":
+        if len(request.sources) != 1:
+            raise ReproError(
+                f"{method} takes exactly one source "
+                f"(got {len(request.sources)}); use submit_many for fan-out"
+            )
+        return request.sources[0]
+
+    def submit_nowait(self, query, source: "Oid | None" = None) -> "asyncio.Future":
+        """Admit one scalar request; returns the future of its answer set.
+
+        Accepts a scalar :class:`~repro.engine.request.QueryRequest` (the
+        structured form) or the deprecated positional ``(query, source)``
+        pair.  Conjunctive requests need the awaitable paths
+        (:meth:`submit` / :meth:`submit_conjunctive`) — their joins cannot
+        resolve synchronously.
 
         Must be called from a running event loop (the flush timer and the
         result fan-out live on it).  Admission computes the request's
@@ -531,6 +585,13 @@ class QueryServer:
         sees a new query — the rewrite memo's lock is never held across
         that search, so admissions don't stall behind each other.
         """
+        request = self._lower(query, source, "QueryServer.submit_nowait(query, source)")
+        if request.is_conjunctive:
+            raise ReproError(
+                "conjunctive requests resolve through submit()/submit_conjunctive()"
+            )
+        query = request.query
+        source = self._single_source(request, "submit_nowait")
         if self._closed:
             raise ReproError("the query server has been closed")
         loop = asyncio.get_running_loop()
@@ -645,17 +706,25 @@ class QueryServer:
             raise ReproError("the query server has been closed")
         return key_prepared
 
-    async def submit(self, query, source: "Oid") -> "set[Oid]":
-        """Admit one request and await its answer set.
+    async def submit(self, query, source: "Oid | None" = None):
+        """Admit one request and await its result.
 
-        Unlike :meth:`submit_nowait` (synchronous contract, admission
-        inline), a cold constrained admission here runs off the event loop
-        — see :meth:`_admitted`.
+        Takes a :class:`~repro.engine.request.QueryRequest` (or the
+        deprecated positional pair).  A scalar request resolves to its
+        answer set; a conjunctive request is delegated to
+        :meth:`submit_conjunctive` and resolves to a
+        :class:`~repro.engine.conjunctive.ConjunctiveResult`.  Unlike
+        :meth:`submit_nowait` (synchronous contract, admission inline), a
+        cold constrained admission here runs off the event loop — see
+        :meth:`_admitted`.
         """
-        key, prepared = await self._admitted(query, 1)
-        return await self._admit(key, prepared, source)
+        request = self._lower(query, source, "QueryServer.submit(query, source)")
+        if request.is_conjunctive:
+            return await self.submit_conjunctive(request.query)
+        key, prepared = await self._admitted(request.query, 1)
+        return await self._admit(key, prepared, self._single_source(request, "submit"))
 
-    def submit_stream(self, query, source: "Oid") -> AnswerStream:
+    def submit_stream(self, query, source: "Oid | None" = None) -> AnswerStream:
         """Admit one request; answers stream out as the engine derives them.
 
         Synchronous like :meth:`submit_nowait` (event-loop only, admission
@@ -669,7 +738,17 @@ class QueryServer:
         never merge into an in-flight batch (its early rounds — and their
         answers — already happened); they always join or open a pending
         bucket.
+
+        Accepts a scalar :class:`~repro.engine.request.QueryRequest` (its
+        ``stream`` flag is implied) or the deprecated positional pair.
+        Conjunctive requests cannot stream — a join's rows are not known
+        until its last atom resolves.
         """
+        request = self._lower(query, source, "QueryServer.submit_stream(query, source)")
+        if request.is_conjunctive:
+            raise ReproError("conjunctive requests cannot stream (rows land at join completion)")
+        query = request.query
+        source = self._single_source(request, "submit_stream")
         if self._closed:
             raise ReproError("the query server has been closed")
         loop = asyncio.get_running_loop()
@@ -699,27 +778,136 @@ class QueryServer:
         return stream
 
     async def submit_many(
-        self, query, sources: "Iterable[Oid]"
+        self, query, sources: "Iterable[Oid] | None" = None
     ) -> "dict[Oid, set[Oid]]":
         """Admit one request per *distinct* source and await them all.
 
-        The admission key is computed once for the whole group (off the
-        event loop on a constrained session, like :meth:`submit`).  Sources
-        are deduplicated first (order-preserving): the returned mapping has
-        one entry per distinct source either way, so admitting a request
-        per duplicate only inflated ``submitted``/``served`` with phantom
-        requests no caller could observe — deduplicating keeps
-        ``submitted == served + failed`` an exact invariant under repeated
-        sources.
+        Takes a scalar :class:`~repro.engine.request.QueryRequest` whose
+        ``sources`` field carries the fan-out (or the deprecated positional
+        ``(query, sources)`` pair).  The admission key is computed once for
+        the whole group (off the event loop on a constrained session, like
+        :meth:`submit`).  Sources are deduplicated first
+        (order-preserving): the returned mapping has one entry per distinct
+        source either way, so admitting a request per duplicate only
+        inflated ``submitted``/``served`` with phantom requests no caller
+        could observe — deduplicating keeps ``submitted == served + failed``
+        an exact invariant under repeated sources.
         """
-        source_list = list(dict.fromkeys(sources))
+        if isinstance(query, (QueryRequest, CRPQRequest, ConjunctiveQuery)):
+            if sources is not None:
+                raise ReproError(
+                    "pass sources inside the QueryRequest, not alongside it"
+                )
+            request = normalize(query)
+        else:
+            warnings.warn(
+                "QueryServer.submit_many(query, sources) with a positional "
+                "query is deprecated; pass a repro.engine.request."
+                "QueryRequest (the shim lasts one release)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            request = normalize(query, sources=tuple(sources or ()))
+        if request.is_conjunctive:
+            raise ReproError(
+                "a conjunctive request answers one relation, not a per-source "
+                "mapping; use submit()/submit_conjunctive()"
+            )
+        source_list = list(dict.fromkeys(request.sources))
         if not source_list:
             return {}
-        key, prepared = await self._admitted(query, len(source_list))
+        key, prepared = await self._admitted(request.query, len(source_list))
         answers = await asyncio.gather(
             *(self._admit(key, prepared, source) for source in source_list)
         )
         return dict(zip(source_list, answers))
+
+    async def submit_conjunctive(
+        self, query, *, strategy: str = "optimized"
+    ) -> ConjunctiveResult:
+        """Evaluate a conjunctive query through the admission queue.
+
+        The CRPQ is planned on the thread pool (``crpq.plan`` span inside
+        the engine), then each planned atom fans out through
+        :meth:`_admitted`/:meth:`_admit` — one admitted request per source,
+        exactly like :meth:`submit_many`.  **Atoms get per-atom admission
+        keys** (the canonical rewritten form of the atom's expression, the
+        same key an identical scalar request gets — see
+        ``ServingSurface.admission``), so an atom's batch coalesces with
+        concurrent scalar traffic of that key, merges into covering
+        in-flight batches, and shares flushes with other CRPQs.  Hash
+        joins between atoms run on the thread pool, never on the event
+        loop.  Accepts ``MATCH …`` text, a ``ConjunctiveQuery``, or a
+        conjunctive :class:`~repro.engine.request.QueryRequest` /
+        ``CRPQRequest``.
+        """
+        if self._closed:
+            raise ReproError("the query server has been closed")
+        loop = asyncio.get_running_loop()
+        if isinstance(query, (QueryRequest, CRPQRequest)):
+            query = normalize(query).query
+        self.stats.crpq_submitted += 1
+        traced = self.metrics.enabled
+        root = (
+            self.metrics.span("serve.crpq", strategy=strategy)
+            if traced
+            else NULL_SPAN
+        )
+        try:
+            plan = await loop.run_in_executor(
+                self._pool,
+                lambda: self.engine.plan_conjunctive(query, strategy=strategy),
+            )
+            root.set(atoms=len(plan.order), acyclic=plan.acyclic)
+            execution = PlanExecution(plan)
+            while True:
+                # pending() scans/sorts the intermediate relation and feed()
+                # hash-joins it — both off the event loop, like every other
+                # engine round-trip on this server.
+                pending = await loop.run_in_executor(self._pool, execution.pending)
+                if pending is None:
+                    break
+                sources = list(pending.sources)
+                key, prepared = await self._admitted(
+                    pending.expression, len(sources)
+                )
+                atom_span = self.metrics.span_under(
+                    root,
+                    "crpq.atom",
+                    atom=pending.step.atom.text(),
+                    sources=len(sources),
+                )
+                answers = await asyncio.gather(
+                    *(self._admit(key, prepared, source) for source in sources)
+                )
+                atom_span.end()
+                pairs = dict(zip(sources, answers))
+                join_span = self.metrics.span_under(root, "crpq.join")
+                report = await loop.run_in_executor(
+                    self._pool, execution.feed, pairs
+                )
+                join_span.end(
+                    atom=report.atom, pairs=report.pairs, rows_out=report.rows_out
+                )
+            rows = await loop.run_in_executor(self._pool, execution.result_rows)
+            root.set(rows=len(rows))
+            self.stats.crpq_served += 1
+            registry = self.metrics.registry
+            registry.counter("crpq_queries", "conjunctive queries evaluated").inc()
+            registry.counter(
+                "crpq_atom_batches", "per-atom batch evaluations run for CRPQs"
+            ).inc(len(execution.steps))
+            registry.counter(
+                "crpq_join_rows", "rows produced across CRPQ join steps"
+            ).inc(sum(step.rows_out for step in execution.steps))
+            return ConjunctiveResult(
+                variables=plan.query.returns,
+                rows=rows,
+                plan=plan,
+                steps=tuple(execution.steps),
+            )
+        finally:
+            root.end()
 
     # -- flushing -------------------------------------------------------------
     def _flush(self, key: str, reason: str) -> None:
@@ -946,6 +1134,23 @@ def format_answers(answers: "set[Oid]") -> str:
     return " ".join(sorted(map(str, answers)))
 
 
+def format_result(result: "set[Oid] | ConjunctiveResult") -> str:
+    """The wire form of any submit() result.
+
+    Scalar answer sets render as sorted space-separated answers; a
+    conjunctive relation renders one comma-joined row per item (``RETURN``
+    column order), rows sorted — so a one-variable CRPQ's wire form is
+    indistinguishable from a scalar answer set.
+    """
+    if isinstance(result, ConjunctiveResult):
+        return " ".join(_wire_rows(result))
+    return format_answers(result)
+
+
+def _wire_rows(result: ConjunctiveResult) -> "list[str]":
+    return sorted(",".join(map(str, row)) for row in result.rows)
+
+
 def handle_control(server: QueryServer, line: str) -> str:
     """Answer one ``!``-prefixed control line against the live telemetry.
 
@@ -986,7 +1191,9 @@ def _page_digest(server: QueryServer, query, source: "Oid") -> str:
 
     Built from the *admission key* (the canonical rewritten form), so two
     spellings of the same query share cursors — exactly the requests that
-    share batches.
+    share batches.  A conjunctive query's key is its compound ``crpq:``
+    form, which already folds every ``WHERE`` binding in, so its cursors
+    are bound to the whole query (``source`` is empty for those).
     """
     key = server.engine.admission_key(query)
     material = f"{key}\x00{source}".encode("utf-8")
@@ -1028,31 +1235,38 @@ def decode_cursor(token: str, digest: str) -> str:
 
 
 async def _respond_page(
-    server: QueryServer, ident: str, source: str, query: str, tokens: "list[str]"
+    server: QueryServer, ident: str, request: QueryRequest
 ) -> str:
     """One ``LIMIT n [CURSOR c]`` page: a sorted slice plus a resume cursor."""
-    if len(tokens) not in (2, 4) or (len(tokens) == 4 and tokens[2] != "CURSOR"):
-        return f"{ident}\terror: malformed modifier (want LIMIT n [CURSOR c])"
+    digest_source = (
+        request.sources[0]
+        if (request.sources and not request.is_conjunctive)
+        else ""
+    )
     try:
-        limit = int(tokens[1])
-    except ValueError:
-        limit = 0
-    if limit < 1:
-        return f"{ident}\terror: LIMIT must be a positive integer"
-    try:
-        answers = await server.submit(query, source)
-        digest = _page_digest(server, query, source)
-        last = decode_cursor(tokens[3], digest) if len(tokens) == 4 else None
+        result = await server.submit(
+            QueryRequest(query=request.query, sources=request.sources)
+        )
+        digest = _page_digest(server, request.query, digest_source)
+        last = (
+            decode_cursor(request.cursor, digest)
+            if request.cursor is not None
+            else None
+        )
     except asyncio.CancelledError:  # pragma: no cover - shutdown path
         raise
     except Exception as error:
         return f"{ident}\terror: {error}"
-    # Pages slice the *sorted* wire order (the order format_answers emits),
-    # resuming strictly after the cursor's answer — so pagination stays
+    # Pages slice the *sorted* wire order (the order format_result emits),
+    # resuming strictly after the cursor's item — so pagination stays
     # correct even when the answer set grows between pages: new answers
     # after the resume point appear, and concatenated pages with a fixed
-    # snapshot equal the full set.
-    ordered = sorted(map(str, answers))
+    # snapshot equal the full set.  Conjunctive pages slice wire *rows*.
+    if isinstance(result, ConjunctiveResult):
+        ordered = _wire_rows(result)
+    else:
+        ordered = sorted(map(str, result))
+    limit = request.limit or 0
     start = bisect_right(ordered, last) if last is not None else 0
     page = ordered[start:start + limit]
     body = " ".join(page)
@@ -1065,8 +1279,7 @@ async def _respond_page(
 async def _respond_streaming(
     server: QueryServer,
     ident: str,
-    source: str,
-    query: str,
+    request: QueryRequest,
     emit: "Callable[[str], None] | None",
 ) -> str:
     """One ``STREAM`` request: chunk lines as answers land, then the close.
@@ -1077,7 +1290,9 @@ async def _respond_streaming(
     fronts) the request degrades to a plain full response.
     """
     try:
-        stream = server.submit_stream(query, source)
+        stream = server.submit_stream(
+            QueryRequest(query=request.query, sources=request.sources)
+        )
     except Exception as error:
         return f"{ident}\terror: {error}"
     try:
@@ -1092,12 +1307,89 @@ async def _respond_streaming(
     return f"{ident}\t{format_answers(answers)}"
 
 
+async def _respond_request(
+    server: QueryServer,
+    ident: str,
+    request: QueryRequest,
+    emit: "Callable[[str], None] | None",
+) -> str:
+    """Serve one structured request — the trunk both line grammars lower to."""
+    if request.stream:
+        return await _respond_streaming(server, ident, request, emit)
+    if request.limit is not None:
+        return await _respond_page(server, ident, request)
+    try:
+        result = await server.submit(request)
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        raise
+    except Exception as error:
+        return f"{ident}\terror: {error}"
+    return f"{ident}\t{format_result(result)}"
+
+
+def _build_line_request(
+    source: str, query: str, limit=None, cursor=None, stream=False
+) -> QueryRequest:
+    """Lower one v1 line's fields to a :class:`QueryRequest`.
+
+    The v1 grammar always carries a source slot; for a conjunctive body it
+    binds the first ``MATCH`` variable, with ``-`` meaning "no source —
+    every binding is in the WHERE clause".
+    """
+    if is_crpq_text(query) and source == "-":
+        return normalize(query, limit=limit, cursor=cursor, stream=stream)
+    return normalize(query, source, limit=limit, cursor=cursor, stream=stream)
+
+
+def _parse_v2(line: str) -> "tuple[str, QueryRequest | None, str | None]":
+    """Parse one ``V2<TAB>json`` line into ``(id, request, error)``."""
+    ident = "?"
+    try:
+        payload = json.loads(line[3:])
+        if not isinstance(payload, dict):
+            raise ValueError("payload is not an object")
+        ident = str(payload.get("id") or "") or "?"
+        if ident == "?":
+            raise ValueError("missing request id")
+        known = {"id", "query", "crpq", "source", "sources", "limit", "cursor", "stream"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown fields: {', '.join(sorted(unknown))}")
+        if ("query" in payload) == ("crpq" in payload):
+            raise ValueError("exactly one of 'query' and 'crpq' is required")
+        body = payload.get("query", payload.get("crpq"))
+        if not isinstance(body, str):
+            raise ValueError("'query'/'crpq' must be a string")
+        if "crpq" in payload and not is_crpq_text(body):
+            raise ValueError("'crpq' must be MATCH syntax")
+        if "source" in payload and "sources" in payload:
+            raise ValueError("pass 'source' or 'sources', not both")
+        sources = payload.get("sources")
+        if sources is not None and not isinstance(sources, list):
+            raise ValueError("'sources' must be a list")
+        if sources is None and "source" in payload:
+            sources = [payload["source"]]
+        stream = payload.get("stream", False)
+        if not isinstance(stream, bool):
+            raise ValueError("'stream' must be a boolean")
+        request = normalize(
+            body,
+            sources=tuple(sources) if sources is not None else None,
+            limit=payload.get("limit"),
+            cursor=payload.get("cursor"),
+            stream=stream,
+        )
+    except Exception as error:
+        return ident, None, f"{ident}\terror: bad v2 request: {error}"
+    return ident, request, None
+
+
 async def respond_line(
     server: QueryServer,
     line: str,
     emit: "Callable[[str], None] | None" = None,
 ) -> str:
-    """Serve one request line; never raises.  The grammar::
+    """Serve one request line; never raises.  The v1 grammar::
 
         request   = id TAB source TAB query [TAB modifier]
         modifier  = "LIMIT" SP n [SP "CURSOR" SP c]   ; one sorted page
@@ -1106,19 +1398,38 @@ async def respond_line(
                   | id TAB "+" TAB answer                ; STREAM chunk
                   | id TAB "error: " message
 
-    Unmodified requests answer with the full sorted answer set.  ``LIMIT``
-    answers at most ``n`` answers (sorted order) and, when more remain, a
-    trailing ``CURSOR`` field whose opaque token resumes the next page —
-    tokens are bound to the ``(query, source)`` pair and rejected with an
-    error line otherwise.  ``STREAM`` emits ``id<TAB>+<TAB>answer`` chunk
-    lines through ``emit`` as answers land, closed by the standard full
-    response line.  Malformed lines and evaluation errors come back as
+    ``query`` may be a scalar path expression or conjunctive ``MATCH …``
+    syntax; a conjunctive line's source binds the first ``MATCH`` variable
+    (``-`` for none), and its answers are comma-joined rows in ``RETURN``
+    order.  Unmodified requests answer with the full sorted answer set.
+    ``LIMIT`` answers at most ``n`` items (sorted wire order) and, when
+    more remain, a trailing ``CURSOR`` field whose opaque token resumes the
+    next page — tokens are bound to the ``(query, source)`` pair and
+    rejected with an error line otherwise.  ``STREAM`` emits
+    ``id<TAB>+<TAB>answer`` chunk lines through ``emit`` as answers land,
+    closed by the standard full response line.
+
+    The **v2 grammar** carries the structured request explicitly — one
+    ``V2`` tag, then one JSON object::
+
+        request = "V2" TAB json
+        json    = {"id": str, "query": expr | "crpq": match-text,
+                   "source": oid | "sources": [oid, ...],
+                   "limit": n, "cursor": c, "stream": bool}
+
+    modifiers are fields, not positional suffixes; responses are identical
+    to v1.  Malformed lines and evaluation errors come back as
     ``id<TAB>error: ...`` so one bad request cannot take down a connection.
     Lines starting with ``!`` are control verbs answered from live
     telemetry instead of the engine — see :func:`handle_control`.
     """
     if line.startswith("!"):
         return handle_control(server, line)
+    if line.startswith("V2\t"):
+        ident, request, error = _parse_v2(line)
+        if error is not None:
+            return error
+        return await _respond_request(server, ident, request, emit)
     parts = line.split("\t")
     if len(parts) not in (3, 4) or not parts[0]:
         ident = parts[0] if parts and parts[0] else "?"
@@ -1127,20 +1438,33 @@ async def respond_line(
             "(want id<TAB>source<TAB>query[<TAB>LIMIT n [CURSOR c] | STREAM])"
         )
     ident, source, query = parts[0], parts[1], parts[2]
+    limit = cursor = None
+    stream = False
     if len(parts) == 4:
         tokens = parts[3].split()
         if tokens and tokens[0] == "STREAM" and len(tokens) == 1:
-            return await _respond_streaming(server, ident, source, query, emit)
-        if tokens and tokens[0] == "LIMIT":
-            return await _respond_page(server, ident, source, query, tokens)
-        return f"{ident}\terror: unknown modifier (want LIMIT n [CURSOR c] or STREAM)"
+            stream = True
+        elif tokens and tokens[0] == "LIMIT":
+            if len(tokens) not in (2, 4) or (
+                len(tokens) == 4 and tokens[2] != "CURSOR"
+            ):
+                return f"{ident}\terror: malformed modifier (want LIMIT n [CURSOR c])"
+            try:
+                limit = int(tokens[1])
+            except ValueError:
+                limit = 0
+            if limit < 1:
+                return f"{ident}\terror: LIMIT must be a positive integer"
+            cursor = tokens[3] if len(tokens) == 4 else None
+        else:
+            return f"{ident}\terror: unknown modifier (want LIMIT n [CURSOR c] or STREAM)"
     try:
-        answers = await server.submit(query, source)
-    except asyncio.CancelledError:  # pragma: no cover - shutdown path
-        raise
+        request = _build_line_request(
+            source, query, limit=limit, cursor=cursor, stream=stream
+        )
     except Exception as error:
         return f"{ident}\terror: {error}"
-    return f"{ident}\t{format_answers(answers)}"
+    return await _respond_request(server, ident, request, emit)
 
 
 async def serve_request_lines(

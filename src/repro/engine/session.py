@@ -46,11 +46,23 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from ..exceptions import ReproError
 from ..graph.instance import Instance, Oid
+from ..optimize.cost import DegreeStats
 from ..query.evaluation import EvaluationResult
 from ..query.path_query import RegularPathQuery
 from ..regex import Regex
 from .compiled_query import CompiledQuery, QueryCompiler, query_key
+from .conjunctive import (
+    Atom,
+    ConjunctiveQuery,
+    ConjunctiveResult,
+    JoinPlan,
+    PlanExecution,
+    is_crpq_text,
+    parse_crpq,
+    plan_join,
+)
 from .csr import CompiledGraph
+from .request import CRPQRequest, QueryRequest, normalize
 from .executor import BACKENDS, resolve_backend, run_all_pairs, run_batch, run_single
 from . import telemetry
 from .telemetry import MetricsRegistry, Telemetry, witnessed_lock
@@ -61,6 +73,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .serving import QueryServer
 
 _SHARED_ENGINE_ATTR = "_repro_shared_engine"
+
+
+def _lower_batch_request(query, sources):
+    """Lower ``query_batch`` arguments: structured request or classic pair."""
+    if isinstance(query, (QueryRequest, CRPQRequest)):
+        if sources is not None:
+            raise ReproError(
+                "pass sources inside the QueryRequest, not alongside it"
+            )
+        request = normalize(query)
+        if request.is_conjunctive:
+            raise ReproError(
+                "conjunctive requests are answered by query_conjunctive()"
+            )
+        return request.query, request.sources
+    if sources is None:
+        raise TypeError("query_batch() missing sources (or pass a QueryRequest)")
+    return query, sources
 
 
 class _ReadWriteLock:
@@ -297,13 +327,133 @@ class ServingSurface:
         one shared batch and split the answers afterwards.  The prepared
         form rides along so the eventual batch evaluates it directly (a
         rewrite-memo fixed point) instead of re-deriving the rewrite.
+
+        Accepts the structured shapes of :mod:`repro.engine.request`
+        natively: a scalar :class:`~repro.engine.request.QueryRequest`
+        lowers to its expression, and a conjunctive body (a
+        ``ConjunctiveQuery``, ``CRPQRequest`` or ``MATCH …`` text) gets a
+        compound ``crpq:``-prefixed key over its per-atom rewritten forms.
+        Coalescing of conjunctive traffic is **per atom**, not per CRPQ:
+        the serving layer admits each planned atom back through this same
+        method with the atom's scalar expression, whose key equals the key
+        an identical scalar request gets — so a CRPQ atom merges into an
+        in-flight scalar batch (and vice versa).  The compound key exists
+        for cursor digests and cache identity, never as a batch bucket.
         """
+        if isinstance(query, (QueryRequest, CRPQRequest)):
+            query = normalize(query).query
+        if isinstance(query, ConjunctiveQuery) or (
+            isinstance(query, str) and is_crpq_text(query)
+        ):
+            prepared = self.prepare_conjunctive(query)
+            return "crpq:" + prepared.to_text(), prepared
         prepared = self._prepared(query)
         return query_key(prepared), prepared
 
     def admission_key(self, query) -> str:
         """The shared-batch coalescing key of ``query`` (see :meth:`admission`)."""
         return self.admission(query)[0]
+
+    # -- conjunctive queries ---------------------------------------------------
+
+    def degree_stats(self) -> DegreeStats:
+        """Per-label live edge counts feeding the CRPQ join planner."""
+        raise NotImplementedError  # pragma: no cover - hosts override
+
+    def _conjunctive_domain(self) -> "tuple[Oid, ...]":
+        """The active domain unbound-source atoms are seeded from."""
+        return tuple(sorted(self.instance.objects, key=repr))
+
+    def prepare_conjunctive(self, query) -> ConjunctiveQuery:
+        """Parse + constraint-rewrite a conjunctive query.
+
+        Returns a :class:`~repro.engine.conjunctive.ConjunctiveQuery` whose
+        atoms carry the *prepared* (constraint-rewritten) expressions, each
+        memoized through the same rewrite memo scalar admission uses — so
+        re-preparing an atom later (per-atom admission) is a memo hit.
+        """
+        if isinstance(query, (QueryRequest, CRPQRequest)):
+            query = normalize(query).query
+        if isinstance(query, str):
+            query = parse_crpq(query)
+        if not isinstance(query, ConjunctiveQuery):
+            raise ReproError(f"not a conjunctive query: {query!r}")
+        constraints = self.constraints
+        if constraints is None or len(constraints) == 0:
+            return query
+        return ConjunctiveQuery(
+            atoms=tuple(
+                Atom(atom.source, self._prepared(atom.expression), atom.target)
+                for atom in query.atoms
+            ),
+            bindings=query.bindings,
+            returns=query.returns,
+        )
+
+    def plan_conjunctive(self, query, *, strategy: str = "optimized") -> JoinPlan:
+        """The join order :meth:`query_conjunctive` would run, with estimates."""
+        crpq = self.prepare_conjunctive(query)
+        with self.metrics.span(
+            "crpq.plan", atoms=len(crpq.atoms), strategy=strategy
+        ) as plan_span:
+            stats = self.degree_stats()
+            plan = plan_join(
+                crpq,
+                stats,
+                self.cost_model,
+                strategy=strategy,
+                domain=self._conjunctive_domain(),
+            )
+            plan_span.set(
+                acyclic=plan.acyclic, estimated_cost=plan.estimated_cost
+            )
+        return plan
+
+    def query_conjunctive(self, query, *, strategy: str = "optimized") -> ConjunctiveResult:
+        """Evaluate a conjunctive query (text, ``ConjunctiveQuery`` or
+        structured request) as a join over batched atom evaluations.
+
+        Each planned atom runs through :meth:`query_batch` — the same
+        shared-traversal machinery scalar requests use — and the pair maps
+        are hash-joined by :class:`~repro.engine.conjunctive.PlanExecution`
+        in the planner's order.  Emits ``crpq.plan`` / ``crpq.atom`` /
+        ``crpq.join`` spans and bumps the ``crpq_*`` join-cardinality
+        counters (see README "Observability").
+        """
+        crpq = self.prepare_conjunctive(query)
+        with self.metrics.span("crpq.query", atoms=len(crpq.atoms)) as root:
+            plan = self.plan_conjunctive(crpq, strategy=strategy)
+            execution = PlanExecution(plan)
+            while (request := execution.pending()) is not None:
+                with self.metrics.span(
+                    "crpq.atom",
+                    atom=request.step.atom.text(),
+                    sources=len(request.sources),
+                ):
+                    pairs = self.query_batch(request.expression, request.sources)
+                with self.metrics.span("crpq.join") as join_span:
+                    report = execution.feed(pairs)
+                    join_span.set(
+                        atom=report.atom,
+                        pairs=report.pairs,
+                        rows_out=report.rows_out,
+                    )
+            rows = execution.result_rows()
+            root.set(rows=len(rows))
+        registry = self.metrics.registry
+        registry.counter("crpq_queries", "conjunctive queries evaluated").inc()
+        registry.counter(
+            "crpq_atom_batches", "per-atom batch evaluations run for CRPQs"
+        ).inc(len(execution.steps))
+        registry.counter(
+            "crpq_join_rows", "rows produced across CRPQ join steps"
+        ).inc(sum(step.rows_out for step in execution.steps))
+        return ConjunctiveResult(
+            variables=crpq.returns,
+            rows=rows,
+            plan=plan,
+            steps=tuple(execution.steps),
+        )
 
     def telemetry(self) -> dict:
         """One JSON-ready snapshot of the session's metrics registry.
@@ -783,12 +933,32 @@ class Engine(ServingSurface):
                 known_oids.append(source)
         return known, known_oids, unknown
 
+    def degree_stats(self) -> DegreeStats:
+        """Per-label live edge counts from the CSR arrays (planner input).
+
+        Derived from the compiled graph (CSR − tombstones + overflow), so
+        incremental edits are reflected without a recount of the instance.
+        """
+        with self._lock:
+            self.refresh()
+            graph = self._graph
+        return DegreeStats(
+            num_nodes=graph.num_nodes, label_counts=graph.label_edge_counts()
+        )
+
     def query_batch(
         self,
-        query: "RegularPathQuery | Regex | str",
-        sources: "Sequence[Oid] | Iterable[Oid]",
+        query: "QueryRequest | RegularPathQuery | Regex | str",
+        sources: "Sequence[Oid] | Iterable[Oid] | None" = None,
     ) -> dict[Oid, set[Oid]]:
-        """Evaluate one query from many sources in one shared traversal."""
+        """Evaluate one query from many sources in one shared traversal.
+
+        Accepts either the classic ``(expression, sources)`` pair or a
+        scalar :class:`~repro.engine.request.QueryRequest` (whose
+        ``sources`` field supplies the roots); conjunctive requests belong
+        to :meth:`query_conjunctive`.
+        """
+        query, sources = _lower_batch_request(query, sources)
         with self.metrics.span("engine.query", mode="batch") as query_span:
             results = self._query_batch(query, sources)
             query_span.set(sources=len(results))

@@ -57,8 +57,9 @@ from ..graph.instance import Instance, Oid
 from ..query.evaluation import EvaluationResult
 from .compiled_query import query_key
 from .csr import CompiledGraph
+from ..optimize.cost import DegreeStats
 from .executor import BACKENDS, resolve_backend, run_batch
-from .session import Engine, ServingSurface
+from .session import Engine, ServingSurface, _lower_batch_request
 from .telemetry import MetricsRegistry, Telemetry, witnessed_lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -959,12 +960,36 @@ class ShardedEngine(ServingSurface):
             visited_objects=visited_objects,
         )
 
+    def degree_stats(self) -> DegreeStats:
+        """Per-label live edge counts summed across shard CSRs.
+
+        Each edge lives on the shard owning its source, so summing the
+        per-shard :meth:`~repro.engine.csr.CompiledGraph.label_edge_counts`
+        counts every edge exactly once; ``num_nodes`` comes from the global
+        instance (shard graphs also intern ghost frontier nodes, which must
+        not inflate the domain size the planner divides by).
+        """
+        with self._lock:
+            self.refresh()
+            counts: "dict[str, int]" = {}
+            for engine in self._shards:
+                for label, count in engine.graph.label_edge_counts().items():
+                    counts[label] = counts.get(label, 0) + count
+            return DegreeStats(
+                num_nodes=len(self._instance.objects), label_counts=counts
+            )
+
     def query_batch(
         self,
         query,
-        sources: "Sequence[Oid] | Iterable[Oid]",
+        sources: "Sequence[Oid] | Iterable[Oid] | None" = None,
     ) -> "dict[Oid, set[Oid]]":
-        """Evaluate one query from many sources across all shards."""
+        """Evaluate one query from many sources across all shards.
+
+        Like :meth:`Engine.query_batch`, also accepts a scalar
+        :class:`~repro.engine.request.QueryRequest` in place of the pair.
+        """
+        query, sources = _lower_batch_request(query, sources)
         with self.metrics.span("sharded.query", mode="batch") as query_span:
             results = self._query_batch(query, sources)
             query_span.set(sources=len(results))

@@ -1,7 +1,13 @@
 """Constraint-aware optimization of path queries (Section 3.2)."""
 
 from .cache import CachedQuery, QueryCache, install_mirror, materialize_cache
-from .cost import DEFAULT_COST_MODEL, CostModel
+from .cost import (
+    DEFAULT_COST_MODEL,
+    STAR_EXPANSION,
+    CostModel,
+    DegreeStats,
+    estimate_cardinality,
+)
 from .planner import PlanReport, plan_and_evaluate
 from .rewriter import RewriteCandidate, RewriteOutcome, rewrite_query
 
@@ -9,10 +15,13 @@ __all__ = [
     "CachedQuery",
     "CostModel",
     "DEFAULT_COST_MODEL",
+    "DegreeStats",
     "PlanReport",
     "QueryCache",
     "RewriteCandidate",
     "RewriteOutcome",
+    "STAR_EXPANSION",
+    "estimate_cardinality",
     "install_mirror",
     "materialize_cache",
     "plan_and_evaluate",

@@ -20,9 +20,13 @@ recursive, cached beats remote, shorter beats longer).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
 
 from ..regex import Regex, parse
 from ..regex.ast import Concat, EmptySet, Epsilon, Star, Symbol, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..graph.instance import Instance
 
 
 @dataclass(frozen=True)
@@ -84,3 +88,83 @@ class CostModel:
 
 
 DEFAULT_COST_MODEL = CostModel()
+
+
+# How many reachable pairs one application of Kleene recursion is assumed to
+# add per direct pair.  Deliberately coarse: its only job is to rank closure
+# atoms far above plain-label atoms of comparable edge count, which is the
+# relative ordering the join planner (repro.engine.conjunctive) relies on.
+STAR_EXPANSION = 8.0
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Per-label edge counts of one graph, the planner's cardinality input.
+
+    Sessions derive this from the live per-label CSR arrays
+    (:meth:`repro.engine.csr.CompiledGraph.label_edge_counts`), so the
+    estimates track incremental edits without a statistics rebuild;
+    :meth:`from_instance` recounts a plain :class:`~repro.graph.instance.Instance`
+    for tests and benchmarks.
+    """
+
+    num_nodes: int
+    label_counts: Mapping[str, int]
+
+    @classmethod
+    def from_instance(cls, instance: "Instance") -> "DegreeStats":
+        counts: dict[str, int] = {}
+        for oid in instance.objects:
+            for label, _target in instance.out_edges(oid):
+                counts[label] = counts.get(label, 0) + 1
+        return cls(num_nodes=len(instance.objects), label_counts=counts)
+
+    def count(self, label: str) -> int:
+        """Number of live edges carrying ``label`` (0 for unknown labels)."""
+        return self.label_counts.get(label, 0)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(self.label_counts.values())
+
+
+def estimate_cardinality(
+    query: "Regex | str", stats: DegreeStats, model: "CostModel | None" = None
+) -> float:
+    """Expected number of (source, target) pairs ``query`` relates in a graph
+    shaped like ``stats``.
+
+    Unlike :meth:`CostModel.estimate` (per-traversal hop cost), this is a
+    *cardinality*: the size of the binary relation the expression denotes,
+    which is what join ordering needs.  The combinators use the classic
+    independence heuristics — concatenation composes through the shared
+    midpoint (``|a|·|b| / n``), union adds, Kleene closure blows a relation
+    up by :data:`STAR_EXPANSION` on top of the ``n`` trivial empty-path
+    pairs — all capped at ``n²``, the largest any relation can be.
+    ``model`` only matters for its ``cached_labels``-free structure today;
+    it is accepted so callers can thread one model through both estimates.
+    """
+    del model  # reserved: per-label weights may move onto CostModel later
+    expression = query if isinstance(query, Regex) else parse(query)
+    nodes = max(1, stats.num_nodes)
+    cap = float(nodes) * float(nodes)
+
+    def visit(node: Regex) -> float:
+        if isinstance(node, EmptySet):
+            return 0.0
+        if isinstance(node, Epsilon):
+            return float(nodes)
+        if isinstance(node, Symbol):
+            return float(stats.count(node.label))
+        if isinstance(node, Concat):
+            return min(cap, visit(node.left) * visit(node.right) / nodes)
+        if isinstance(node, Union):
+            return min(cap, visit(node.left) + visit(node.right))
+        if isinstance(node, Star):
+            inner = visit(node.inner)
+            if inner == 0.0:
+                return float(nodes)
+            return min(cap, float(nodes) + inner * STAR_EXPANSION)
+        raise TypeError(f"unknown regex node: {node!r}")
+
+    return visit(expression)

@@ -349,3 +349,71 @@ class TestEngineConcurrencyFlag:
         code = main(["serve", graph_file, "--tcp", "no.such.host.invalid:0"])
         assert code == 2
         assert "cannot listen on" in capsys.readouterr().err
+
+
+class TestCrpqCommand:
+    @pytest.fixture
+    def chain_file(self, tmp_path):
+        path = tmp_path / "chain.edges"
+        path.write_text(
+            "u a v\nu a w\nv b t\nw b t\n", encoding="utf-8"
+        )
+        return str(path)
+
+    def test_rows_in_return_order(self, chain_file, capsys):
+        code = main(
+            ["crpq", chain_file, "MATCH x -[a]-> y, y -[b]-> z RETURN x, z"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == ["u,t"]
+        assert "# x, z" in captured.err  # column header on stderr
+
+    def test_source_binds_first_variable(self, chain_file, capsys):
+        code = main(
+            ["crpq", chain_file, "MATCH x -[a]-> y RETURN y", "--source", "u"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.splitlines() == ["v", "w"]
+
+    def test_plan_prints_join_order(self, chain_file, capsys):
+        code = main(
+            [
+                "crpq", chain_file,
+                "MATCH x -[a]-> y, y -[b]-> z RETURN x", "--plan",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "# plan: strategy=optimized acyclic=True" in err
+        assert "# step 0:" in err and "# step 1:" in err
+
+    def test_sharded_and_strategy_flags(self, chain_file, capsys):
+        code = main(
+            [
+                "crpq", chain_file, "MATCH x -[a b]-> y RETURN x, y",
+                "--shards", "2", "--strategy", "worst",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.splitlines() == ["u,t"]
+
+    def test_stats_snapshot_carries_crpq_counters(self, chain_file, capsys):
+        code = main(
+            ["crpq", chain_file, "MATCH x -[a]-> y RETURN y", "--stats"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "crpq_queries 1" in err
+
+    def test_scalar_query_is_an_error(self, chain_file, capsys):
+        assert main(["crpq", chain_file, "a b"]) == 2
+        assert "MATCH" in capsys.readouterr().err
+
+    def test_concurrency_requires_shards(self, chain_file, capsys):
+        code = main(
+            ["crpq", chain_file, "MATCH x -[a]-> y RETURN y",
+             "--concurrency", "2"]
+        )
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err

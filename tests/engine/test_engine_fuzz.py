@@ -22,6 +22,7 @@ from _strategies import edit_scripts, regexes, small_instances
 from repro.engine import (
     CompiledGraph,
     Engine,
+    QueryRequest,
     ShardedEngine,
     lower_query,
     numpy_available,
@@ -253,7 +254,7 @@ def test_served_answers_match_direct_and_baseline(
     async def scenario():
         async with sharded.as_server(max_batch=3, max_delay=0.001) as server:
             futures = {
-                (query_index, source): server.submit_nowait(query, source)
+                (query_index, source): server.submit_nowait(QueryRequest(query=query, sources=(source,)))
                 for query_index, query in enumerate(queries)
                 for source in sources
             }
@@ -306,11 +307,11 @@ def test_streamed_answers_match_batch_submit_and_baseline(
     async def scenario():
         async with sharded.as_server(max_batch=3, max_delay=0.001) as server:
             streams = {
-                source: server.submit_stream(expression, source)
+                source: server.submit_stream(QueryRequest(query=expression, sources=(source,)))
                 for source in sources
             }
             plain = {
-                source: server.submit_nowait(expression, source)
+                source: server.submit_nowait(QueryRequest(query=expression, sources=(source,)))
                 for source in sources
             }
             collected = {}

@@ -17,6 +17,7 @@ import pytest
 
 from repro.engine import (
     Engine,
+    QueryRequest,
     QueryServer,
     ShardedEngine,
     SuperstepScheduler,
@@ -52,7 +53,7 @@ class TestAdmission:
 
         async def scenario():
             async with engine.as_server(max_batch=64, max_delay=0.01) as server:
-                return await server.submit_many("a (b + c)*", sources)
+                return await server.submit_many(QueryRequest(query="a (b + c)*", sources=tuple(sources)))
 
         served = asyncio.run(scenario())
         assert served == engine.query_batch("a (b + c)*", sources)
@@ -69,8 +70,8 @@ class TestAdmission:
 
         async def scenario():
             async with engine.as_server(max_delay=0.01) as server:
-                one = server.submit_nowait("(a b)", source)
-                two = server.submit_nowait("a b", source)
+                one = server.submit_nowait(QueryRequest(query="(a b)", sources=(source,)))
+                two = server.submit_nowait(QueryRequest(query="a b", sources=(source,)))
                 return await asyncio.gather(one, two)
 
         one, two = asyncio.run(scenario())
@@ -85,7 +86,7 @@ class TestAdmission:
         async def scenario():
             # max_delay high enough that only the size trigger can flush.
             async with engine.as_server(max_batch=3, max_delay=30.0) as server:
-                results = await server.submit_many("a b", sources)
+                results = await server.submit_many(QueryRequest(query="a b", sources=tuple(sources)))
                 return results, server.stats.size_flushes
 
         results, size_flushes = asyncio.run(scenario())
@@ -99,7 +100,7 @@ class TestAdmission:
 
         async def scenario():
             async with engine.as_server(max_batch=64, max_delay=0.001) as server:
-                answers = await server.submit("a b", source)
+                answers = await server.submit(QueryRequest(query="a b", sources=(source,)))
                 return answers, server.stats.delay_flushes
 
         answers, delay_flushes = asyncio.run(scenario())
@@ -113,7 +114,7 @@ class TestAdmission:
 
         async def scenario():
             async with engine.as_server(max_delay=0.0) as server:
-                results = await server.submit_many("a b", sources)
+                results = await server.submit_many(QueryRequest(query="a b", sources=tuple(sources)))
                 assert server.stats.immediate_flushes == 3
                 assert server.stats.size_flushes == 0
                 return results, server.stats.batches
@@ -131,8 +132,8 @@ class TestAdmission:
 
         async def scenario():
             async with engine.as_server(max_delay=0.01, concurrency=2) as server:
-                one = server.submit_nowait("a b", source)
-                two = server.submit_nowait("b a", source)
+                one = server.submit_nowait(QueryRequest(query="a b", sources=(source,)))
+                two = server.submit_nowait(QueryRequest(query="b a", sources=(source,)))
                 await asyncio.gather(one, two)
                 return server.stats.batches
 
@@ -147,7 +148,7 @@ class TestAdmission:
         async def scenario():
             async with engine.as_server(max_delay=0.001) as server:
                 with pytest.raises(Exception, match="parenthesis"):
-                    server.submit_nowait("(unbalanced", "p0")
+                    server.submit_nowait(QueryRequest(query="(unbalanced", sources=("p0",)))
                 # submitted == served + failed even for admission failures.
                 assert server.stats.submitted == 1
                 assert server.stats.failed == 1
@@ -171,7 +172,7 @@ class TestAdmission:
         async def scenario():
             async with QueryServer(ExplodingEngine(), max_delay=0.001) as server:
                 futures = [
-                    server.submit_nowait("a b", source) for source in sources
+                    server.submit_nowait(QueryRequest(query="a b", sources=(source,))) for source in sources
                 ]
                 outcomes = await asyncio.gather(*futures, return_exceptions=True)
                 return outcomes, server.stats.failed, server.stats.batches
@@ -189,7 +190,7 @@ class TestAdmission:
 
         async def scenario():
             server = engine.as_server(max_batch=64, max_delay=30.0)
-            future = server.submit_nowait("a b", source)
+            future = server.submit_nowait(QueryRequest(query="a b", sources=(source,)))
             await server.close()
             assert server.stats.close_flushes == 1
             return await future
@@ -205,7 +206,7 @@ class TestAdmission:
             server = engine.as_server()
             await server.close()
             with pytest.raises(ReproError, match="closed"):
-                server.submit_nowait("a", "p0")
+                server.submit_nowait(QueryRequest(query="a", sources=("p0",)))
 
         asyncio.run(scenario())
 
@@ -230,7 +231,7 @@ class TestAdmission:
         async def scenario():
             async with sharded.as_server(max_batch=8, max_delay=0.002) as server:
                 futures = {
-                    (query, source): server.submit_nowait(query, source)
+                    (query, source): server.submit_nowait(QueryRequest(query=query, sources=(source,)))
                     for query in queries
                     for source in sources
                 }
@@ -293,7 +294,7 @@ class TestAdmission:
 
         async def scenario():
             async with engine.as_server(max_delay=0.005) as server:
-                return await server.submit_many("a b", sources)
+                return await server.submit_many(QueryRequest(query="a b", sources=tuple(sources)))
 
         served = asyncio.run(scenario())
         assert served == engine.query_batch("a b", sources)
@@ -559,7 +560,7 @@ class TestLineProtocol:
         async def scenario():
             async with engine.as_server(max_delay=0.005) as server:
                 answers = await asyncio.gather(
-                    *(server.submit("a b", source) for source in sources)
+                    *(server.submit(QueryRequest(query="a b", sources=(source,))) for source in sources)
                 )
                 return dict(zip(sources, answers)), server.stats
 
@@ -875,7 +876,7 @@ class TestStreaming:
         async def scenario():
             async with engine.as_server(max_delay=0.005) as server:
                 streams = {
-                    source: server.submit_stream("a (b + c)*", source)
+                    source: server.submit_stream(QueryRequest(query="a (b + c)*", sources=(source,)))
                     for source in sources
                 }
                 collected = {}
@@ -904,8 +905,8 @@ class TestStreaming:
 
         async def scenario():
             async with engine.as_server(max_delay=0.01) as server:
-                stream = server.submit_stream("a (b + c)*", one)
-                plain = server.submit_nowait("a (b + c)*", two)
+                stream = server.submit_stream(QueryRequest(query="a (b + c)*", sources=(one,)))
+                plain = server.submit_nowait(QueryRequest(query="a (b + c)*", sources=(two,)))
                 streamed = [answer async for answer in stream]
                 return streamed, await plain, server.stats
 
@@ -926,7 +927,7 @@ class TestStreaming:
 
         async def scenario():
             async with engine.as_server(max_delay=0.001) as server:
-                stream = server.submit_stream("b b", "u")
+                stream = server.submit_stream(QueryRequest(query="b b", sources=("u",)))
                 streamed = [answer async for answer in stream]
                 return streamed, await stream.result()
 
@@ -948,7 +949,7 @@ class TestStreaming:
 
         async def scenario():
             async with engine.as_server(max_delay=0.001) as server:
-                stream = server.submit_stream("a", "u")
+                stream = server.submit_stream(QueryRequest(query="a", sources=("u",)))
                 with pytest.raises(Boom):
                     async for _ in stream:
                         pass
@@ -983,7 +984,7 @@ class TestStreaming:
             async with QueryServer(
                 BatchOnly(engine), max_delay=0.001
             ) as server:
-                stream = server.submit_stream("a (b + c)*", source)
+                stream = server.submit_stream(QueryRequest(query="a (b + c)*", sources=(source,)))
                 streamed = [answer async for answer in stream]
                 return streamed, await stream.result()
 
@@ -1007,7 +1008,7 @@ class TestStreaming:
 
         async def scenario():
             async with engine.as_server(max_delay=0.001) as server:
-                stream = server.submit_stream("a (b + c)*", source)
+                stream = server.submit_stream(QueryRequest(query="a (b + c)*", sources=(source,)))
                 async for _ in stream:
                     pass
                 await stream.result()
@@ -1034,7 +1035,7 @@ class TestAccountingRegressions:
 
         async def scenario():
             async with engine.as_server(max_delay=0.002) as server:
-                answers = await server.submit_many("a (b + c)*", sources)
+                answers = await server.submit_many(QueryRequest(query="a (b + c)*", sources=tuple(sources)))
                 return answers, server.stats
 
         answers, stats = asyncio.run(scenario())
@@ -1056,7 +1057,7 @@ class TestAccountingRegressions:
         async def scenario():
             async with engine.as_server(max_batch=3, max_delay=30.0) as server:
                 futures = [
-                    server.submit_nowait("a b", source) for _ in range(3)
+                    server.submit_nowait(QueryRequest(query="a b", sources=(source,))) for _ in range(3)
                 ]
                 # The third request hit max_batch: flushed by size, no timer.
                 assert server.stats.size_flushes == 1
@@ -1080,9 +1081,9 @@ class TestAccountingRegressions:
                 # max_delay=0 flushes immediately: the first request's batch
                 # is in flight when the second (same key, same source)
                 # arrives, so it merges instead of opening a new bucket.
-                first = server.submit_nowait("a (b + c)*", one)
-                merged = server.submit_nowait("a (b + c)*", one)
-                other = server.submit_nowait("a (b + c)*", two)
+                first = server.submit_nowait(QueryRequest(query="a (b + c)*", sources=(one,)))
+                merged = server.submit_nowait(QueryRequest(query="a (b + c)*", sources=(one,)))
+                other = server.submit_nowait(QueryRequest(query="a (b + c)*", sources=(two,)))
                 results = await asyncio.gather(first, merged, other)
                 return results, server.stats
 
@@ -1103,8 +1104,8 @@ class TestAccountingRegressions:
 
         async def scenario():
             async with engine.as_server(max_delay=0.0) as server:
-                plain = server.submit_nowait("a (b + c)*", source)
-                stream = server.submit_stream("a (b + c)*", source)
+                plain = server.submit_nowait(QueryRequest(query="a (b + c)*", sources=(source,)))
+                stream = server.submit_stream(QueryRequest(query="a (b + c)*", sources=(source,)))
                 streamed = [answer async for answer in stream]
                 return await plain, streamed, server.stats
 
@@ -1319,3 +1320,240 @@ class TestPageProtocol:
         assert set(answered["ok"].split()) == {str(oid) for oid in expected}
         assert stats.submitted == stats.served + stats.failed
         assert stats.failed == 0
+
+
+# ---------------------------------------------------------------------------
+# Conjunctive queries through the admission queue and the wire protocol.
+# ---------------------------------------------------------------------------
+class TestConjunctiveServing:
+    CRPQ = "MATCH x -[a]-> y, y -[(b + c)*]-> z RETURN x, z"
+
+    def test_submit_conjunctive_matches_engine(self):
+        instance, _ = web(40)
+        engine = Engine.open(instance)
+        expected = engine.query_conjunctive(self.CRPQ)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.002) as server:
+                result = await server.submit_conjunctive(self.CRPQ)
+                return result, server.stats
+
+        result, stats = asyncio.run(scenario())
+        assert result.rows == expected.rows
+        assert result.variables == expected.variables
+        assert (stats.crpq_submitted, stats.crpq_served) == (1, 1)
+        # Per-atom requests flow through the ordinary accounting.
+        assert stats.submitted == stats.served + stats.failed
+        assert stats.failed == 0
+
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_sharded_served_matches_direct(self, backend):
+        instance, _ = web(40)
+        direct = Engine.open(instance).query_conjunctive(self.CRPQ).rows
+        engine = ShardedEngine.open(instance, shards=3, backend=backend)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.002, concurrency=2) as server:
+                return await server.submit_conjunctive(self.CRPQ)
+
+        try:
+            assert asyncio.run(scenario()).rows == direct
+        finally:
+            engine.close()
+
+    def test_submit_routes_conjunctive_requests(self):
+        from repro.engine import ConjunctiveResult
+        from repro.engine.request import CRPQRequest, QueryRequest
+
+        instance = Instance([("u", "a", "v"), ("v", "b", "w")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.0) as server:
+                via_submit = await server.submit(
+                    QueryRequest(query="MATCH x -[a b]-> y RETURN y")
+                )
+                via_request = await server.submit(
+                    CRPQRequest(query="MATCH x -[a b]-> y RETURN y", source="u")
+                )
+                return via_submit, via_request
+
+        via_submit, via_request = asyncio.run(scenario())
+        assert isinstance(via_submit, ConjunctiveResult)
+        assert via_submit.rows == (("w",),)
+        assert via_request.rows == (("w",),)
+
+    def test_crpq_atom_coalesces_with_scalar_traffic(self):
+        # The satellite contract: a CRPQ atom gets the admission key an
+        # identical scalar request gets, so the two share one batch.  The
+        # scalar request opens the 'a' bucket (max_delay far away); the
+        # CRPQ's only atom keys 'a' too and closes it via the size flush.
+        from repro.engine.request import QueryRequest
+
+        instance = Instance([("u", "a", "v"), ("v", "b", "w")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with engine.as_server(max_batch=2, max_delay=30.0) as server:
+                scalar = server.submit_nowait(
+                    QueryRequest(query="a", sources=("u",))
+                )
+                crpq = await server.submit_conjunctive(
+                    "MATCH x -[a]-> y WHERE x = u RETURN y"
+                )
+                return await scalar, crpq, server.stats
+
+        scalar, crpq, stats = asyncio.run(scenario())
+        assert scalar == {"v"}
+        assert crpq.rows == (("v",),)
+        assert stats.batches == 1  # ONE shared flush for both
+        assert stats.coalesced == 2
+        assert stats.size_flushes == 1
+        assert engine.stats.batch_evaluations == 1
+
+    def test_conjunctive_rejected_where_it_cannot_resolve(self):
+        from repro.engine.request import QueryRequest
+
+        instance = Instance([("u", "a", "v")])
+        engine = Engine.open(instance)
+        request = QueryRequest(query="MATCH x -[a]-> y RETURN y")
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.0) as server:
+                with pytest.raises(ReproError, match="submit_conjunctive"):
+                    server.submit_nowait(request)
+                with pytest.raises(ReproError, match="cannot stream"):
+                    server.submit_stream(request)
+                with pytest.raises(ReproError, match="conjunctive"):
+                    await server.submit_many(request)
+
+        asyncio.run(scenario())
+
+    def test_v1_crpq_lines(self):
+        instance = Instance(
+            [("u", "a", "v"), ("u", "a", "w"), ("v", "b", "t")]
+        )
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.002) as server:
+                unbound = await respond_line(
+                    server, "1\t-\tMATCH x -[a]-> y RETURN x, y"
+                )
+                bound = await respond_line(
+                    server, "2\tu\tMATCH x -[a b]-> y RETURN y"
+                )
+                return unbound, bound, server.stats
+
+        unbound, bound, stats = asyncio.run(scenario())
+        assert unbound == "1\tu,v u,w"  # '-' leaves every variable free
+        assert bound == "2\tt"  # the source column binds the first variable
+        assert stats.submitted == stats.served + stats.failed
+        assert stats.failed == 0
+
+    def test_v2_lines_scalar_and_crpq(self):
+        import json
+
+        instance = Instance([("u", "a", "v"), ("v", "b", "w")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.002) as server:
+                scalar = await respond_line(
+                    server,
+                    "V2\t" + json.dumps(
+                        {"id": "s1", "query": "a b", "source": "u"}
+                    ),
+                )
+                crpq = await respond_line(
+                    server,
+                    "V2\t" + json.dumps(
+                        {
+                            "id": "c1",
+                            "crpq": "MATCH x -[a]-> y, y -[b]-> z RETURN x, z",
+                        }
+                    ),
+                )
+                return scalar, crpq
+
+        scalar, crpq = asyncio.run(scenario())
+        assert scalar == "s1\tw"
+        assert crpq == "c1\tu,w"
+
+    def test_v2_validation_errors(self):
+        import json
+
+        instance = Instance([("u", "a", "v")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.0) as server:
+                payloads = [
+                    "not json at all",
+                    json.dumps({"query": "a"}),  # missing id
+                    json.dumps({"id": "x"}),  # neither query nor crpq
+                    json.dumps({"id": "x", "query": "a", "crpq": "MATCH x -[a]-> y"}),
+                    json.dumps({"id": "x", "crpq": "a b"}),  # not MATCH syntax
+                    json.dumps({"id": "x", "query": "a", "bogus": 1}),
+                    json.dumps({"id": "x", "query": "a", "stream": "yes"}),
+                    json.dumps(
+                        {"id": "x", "query": "a", "source": "u", "sources": ["u"]}
+                    ),
+                ]
+                return [await respond_line(server, f"V2\t{p}") for p in payloads]
+
+        responses = asyncio.run(scenario())
+        for response in responses:
+            assert "\terror: bad v2 request" in response, response
+
+    def test_crpq_pages_concatenate_and_cursor_is_bound(self):
+        instance = Instance(
+            [("u", "a", "v"), ("u", "a", "w"), ("s", "a", "t")]
+        )
+        engine = Engine.open(instance)
+        crpq = "MATCH x -[a]-> y RETURN x, y"
+        expected = [
+            ",".join(map(str, row))
+            for row in engine.query_conjunctive(crpq).rows
+        ]
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.002) as server:
+                rows, cursor, hops = [], None, 0
+                while True:
+                    suffix = f" CURSOR {cursor}" if cursor else ""
+                    response = await respond_line(
+                        server, f"p{hops}\t-\t{crpq}\tLIMIT 2{suffix}"
+                    )
+                    fields = response.split("\t")
+                    assert not fields[1].startswith("error:"), response
+                    rows.extend(fields[1].split())
+                    hops += 1
+                    if len(fields) == 3:
+                        cursor = fields[2][len("CURSOR "):]
+                    else:
+                        break
+                # A scalar request must not accept a CRPQ cursor.
+                stolen = await respond_line(
+                    server, f"x\tu\ta\tLIMIT 2 CURSOR {cursor or 'gone'}"
+                )
+                return rows, hops, stolen
+
+        rows, hops, stolen = asyncio.run(scenario())
+        assert rows == expected
+        assert hops == 2  # 3 rows, page size 2
+        assert "error: invalid cursor" in stolen
+
+    def test_crpq_stream_modifier_is_rejected(self):
+        instance = Instance([("u", "a", "v")])
+        engine = Engine.open(instance)
+
+        async def scenario():
+            async with engine.as_server(max_delay=0.0) as server:
+                return await respond_line(
+                    server, "1\t-\tMATCH x -[a]-> y RETURN y\tSTREAM"
+                )
+
+        response = asyncio.run(scenario())
+        assert response.startswith("1\terror:")
+        assert "stream" in response

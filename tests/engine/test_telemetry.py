@@ -20,6 +20,7 @@ from repro.engine import (
     Engine,
     Histogram,
     MetricsRegistry,
+    QueryRequest,
     ShardedEngine,
     Telemetry,
     TelemetryHTTPServer,
@@ -493,7 +494,7 @@ class TestSessionInstrumentation:
 
         async def scenario():
             async with engine.as_server(max_batch=16, max_delay=0.005) as server:
-                await server.submit_many("a (b + c)*", sources)
+                await server.submit_many(QueryRequest(query="a (b + c)*", sources=tuple(sources)))
 
         asyncio.run(scenario())
         trace = engine.metrics.tracer.last()
@@ -516,7 +517,7 @@ class TestSessionInstrumentation:
 
         async def scenario():
             async with sharded.as_server(max_delay=0.001) as server:
-                await server.submit("a (b + c)*", source)
+                await server.submit(QueryRequest(query="a (b + c)*", sources=(source,)))
 
         asyncio.run(scenario())
         trace = sharded.metrics.tracer.last()
@@ -539,7 +540,7 @@ class TestControlVerbs:
 
         async def scenario():
             async with engine.as_server(max_delay=0.001) as server:
-                await server.submit_many("a (b + c)*", sources)
+                await server.submit_many(QueryRequest(query="a (b + c)*", sources=tuple(sources)))
                 for verb in verbs:
                     answers[verb] = handle_control(server, verb)
 
@@ -622,14 +623,14 @@ class TestAdmissionInvariant:
         async def scenario():
             async with engine.as_server(max_batch=4, max_delay=0.001) as server:
                 good = [
-                    server.submit_nowait("a (b + c)*", source)
+                    server.submit_nowait(QueryRequest(query="a (b + c)*", sources=(source,)))
                     for source in sources
                 ]
                 # Parse errors fail fast at admission but still count as
                 # submitted + failed.
                 for source in sources[:2]:
                     with pytest.raises(Exception):
-                        server.submit_nowait("((", source)
+                        server.submit_nowait(QueryRequest(query="((", sources=(source,)))
                 return await asyncio.gather(*good)
 
         asyncio.run(scenario())
