@@ -2,7 +2,7 @@
 # Repo health check: the tier-1 test suite (twice: numpy executor active,
 # then stubbed out) plus fast engine-benchmark smokes.
 #
-# Usage:  ./scripts/check.sh [lint|tests|serve|obs|smoke|all]
+# Usage:  ./scripts/check.sh [lint|tests|serve|obs|smoke|profile|all]
 #
 #   lint    the concurrency-contract static analyzer (python -m
 #           repro.analysis) over src/repro — lock discipline, event-loop
@@ -18,6 +18,9 @@
 #           queries over TCP, asks !stats/!slow, and scrapes /metrics and
 #           /healthz over HTTP (both numpy arms)
 #   smoke   the benchmark harness smokes (tiny sizes)
+#   profile the cProfile harness over the warm batched kernels, one pass
+#           per available backend (quick sizes); writes the gitignored
+#           PROFILE_report.txt so perf work starts from measurements
 #   all     everything, in order (the default — bare ./scripts/check.sh)
 #
 # Exits non-zero if any step fails.  The REPRO_DISABLE_NUMPY passes make
@@ -124,7 +127,13 @@ run_obs() {
 
 run_smoke() {
     echo "== bench smoke: engine throughput harness =="
-    python benchmarks/bench_engine_throughput.py --smoke
+    python benchmarks/bench_engine_throughput.py --smoke \
+        --json BENCH_throughput_smoke.json
+
+    echo
+    echo "== bench smoke: engine throughput harness (pure-Python executors) =="
+    REPRO_DISABLE_NUMPY=1 python benchmarks/bench_engine_throughput.py --smoke \
+        --json BENCH_throughput_nonumpy_smoke.json
 
     echo
     echo "== bench smoke: snapshot warm-start harness (npz codec when available) =="
@@ -163,6 +172,15 @@ run_smoke() {
         --json BENCH_crpq_nonumpy_smoke.json
 }
 
+run_profile() {
+    echo "== profile: cProfile over the warm batched kernels (quick) =="
+    python scripts/profile.py --quick
+
+    echo
+    echo "== profile: cProfile, pure-Python arm (quick) =="
+    REPRO_DISABLE_NUMPY=1 python scripts/profile.py --quick
+}
+
 step="${1:-all}"
 case "$step" in
     lint)
@@ -180,6 +198,9 @@ case "$step" in
     smoke)
         run_smoke
         ;;
+    profile)
+        run_profile
+        ;;
     all)
         run_lint
         echo
@@ -190,9 +211,11 @@ case "$step" in
         run_obs
         echo
         run_smoke
+        echo
+        run_profile
         ;;
     *)
-        echo "usage: $0 [lint|tests|serve|obs|smoke|all]" >&2
+        echo "usage: $0 [lint|tests|serve|obs|smoke|profile|all]" >&2
         exit 2
         ;;
 esac

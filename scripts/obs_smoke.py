@@ -69,9 +69,41 @@ def http_get(url: str) -> "tuple[int, str, str]":
         )
 
 
+def check_sharded_gauges() -> None:
+    """The sharded registry must export the superstep balance metrics.
+
+    Runs in-process (the TCP smoke serves the monolithic engine): one
+    scatter-gather evaluation, then the snapshot is checked for the
+    work-stealing counter and the skew gauge the README documents.
+    """
+    from repro.engine.sharding import ShardedEngine
+    from repro.graph import figure2_graph
+
+    instance, _ = figure2_graph()
+    engine = ShardedEngine.open(instance, shards=2)
+    try:
+        engine.query_batch("a.b*", sorted(instance.objects, key=str))
+        snapshot = engine.metrics.registry.snapshot()
+        for needle in (
+            "sharded_steal_events",
+            "sharded_superstep_skew_ratio",
+            "sharded_last_run_steal_events",
+        ):
+            if needle not in snapshot:
+                fail(f"sharded registry snapshot missing {needle!r}")
+        if snapshot["sharded_superstep_skew_ratio"] < 1.0:
+            fail(
+                "superstep_skew_ratio below 1.0: "
+                f"{snapshot['sharded_superstep_skew_ratio']}"
+            )
+    finally:
+        engine.close()
+
+
 def main() -> int:
     from repro.graph import figure2_graph, instance_to_edge_list
 
+    check_sharded_gauges()
     instance, _ = figure2_graph()
     with tempfile.TemporaryDirectory() as tmp:
         graph = Path(tmp) / "figure2.edges"
@@ -159,7 +191,8 @@ def main() -> int:
 
     print(
         "obs smoke ok: served 2 queries, !stats arithmetic holds, "
-        f"{len(traces)} slow traces sum within totals, /metrics + /healthz live"
+        f"{len(traces)} slow traces sum within totals, /metrics + /healthz "
+        "live, sharded steal/skew gauges exported"
     )
     return 0
 

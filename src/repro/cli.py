@@ -206,6 +206,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
                 constraints=constraints,
                 backend=args.backend,
                 concurrency=args.concurrency,
+                steal_threshold=args.steal_threshold or None,
             )
         elif args.shards is None:
             print(
@@ -221,6 +222,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
                 constraints=constraints,
                 backend=args.backend,
                 concurrency=args.concurrency,
+                steal_threshold=args.steal_threshold or None,
             )
     elif args.load_snapshot:
         # Warm-start from a persisted compiled graph + query cache; a stamp
@@ -235,6 +237,12 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     else:
         engine = Engine.open(instance, constraints=constraints, backend=args.backend)
     try:
+        if args.compact_ratio is not None:
+            # 0 means "never auto-compact"; anything else is the divisor of
+            # the overflow/tombstone threshold (see Engine.auto_compact_ratio).
+            engine.auto_compact_ratio = args.compact_ratio or None
+        if args.compact:
+            engine.compact_now()
         for query in queries:
             answers_by_source = engine.query_batch(query, sources)
             for source in sources:
@@ -502,8 +510,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="a path constraint enabling pre-rewrite optimization (repeatable)",
     )
     engine_parser.add_argument(
-        "--backend", choices=("auto", "python", "numpy"), default="auto",
-        help="executor backend: auto picks numpy when available (default: auto)",
+        "--backend", choices=("auto", "python", "packed", "numpy"), default="auto",
+        help="executor backend: auto picks numpy when available, else the "
+        "packed-bitset fallback for wide batches (default: auto)",
+    )
+    engine_parser.add_argument(
+        "--compact", action="store_true",
+        help="compact the compiled graph before serving (fold overflow in, "
+        "tombstones out, sort per-label target runs)",
+    )
+    engine_parser.add_argument(
+        "--compact-ratio", type=int, metavar="N",
+        help="auto-compact when overflow/tombstones exceed edges/N "
+        "(default 4; 0 disables auto-compaction)",
     )
     engine_parser.add_argument(
         "--save-snapshot", metavar="PATH",
@@ -533,6 +552,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--concurrency", type=int, metavar="N",
         help="run each superstep's per-shard local fixpoints on N worker "
         "threads (requires --shards / a sharded --snapshot-dir)",
+    )
+    engine_parser.add_argument(
+        "--steal-threshold", type=int, metavar="W", default=2,
+        help="split sharded local fixpoints into stealable word-column "
+        "chunks once the packed batch spans W 64-bit words (0 disables "
+        "work-stealing; default 2)",
     )
     engine_parser.add_argument(
         "--stats", action="store_true",
@@ -566,7 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="a path constraint enabling per-atom pre-rewrite (repeatable)",
     )
     crpq_parser.add_argument(
-        "--backend", choices=("auto", "python", "numpy"), default="auto",
+        "--backend", choices=("auto", "python", "packed", "numpy"), default="auto",
         help="executor backend: auto picks numpy when available (default: auto)",
     )
     crpq_parser.add_argument(
@@ -632,7 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="a path constraint enabling pre-rewrite optimization (repeatable)",
     )
     serve_parser.add_argument(
-        "--backend", choices=("auto", "python", "numpy"), default="auto",
+        "--backend", choices=("auto", "python", "packed", "numpy"), default="auto",
         help="executor backend: auto picks numpy when available (default: auto)",
     )
     serve_parser.add_argument(

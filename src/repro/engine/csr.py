@@ -97,6 +97,7 @@ class CompiledGraph:
         "_np_version",
         "_np_edges",
         "_np_lock",
+        "auto_compact_ratio",
         "version",
         "__weakref__",
     )
@@ -128,6 +129,13 @@ class CompiledGraph:
         self._np_version = -1
         self._np_edges: list["LabelEdges | None"] = []
         self._np_lock = witnessed_lock("CompiledGraph._np_lock")
+        # Auto-compaction fires when overflow edges (on add) or tombstones
+        # (on remove) outgrow ``max(64, edge_count // auto_compact_ratio)``
+        # — the smaller the ratio, the lazier the graph.  ``None`` disables
+        # auto-compaction entirely (callers then drive :meth:`compact`
+        # explicitly, e.g. through ``Engine.compact_now``).  A runtime
+        # tuning knob, deliberately not persisted in snapshots.
+        self.auto_compact_ratio: "int | None" = 4
         self.version = 0
 
     # -- construction ---------------------------------------------------------
@@ -224,7 +232,12 @@ class CompiledGraph:
         self._dead = []
         self._dead_edges = 0
         for lid in range(len(self.labels)):
-            edges = buckets.get(lid, ())
+            # Sorting by (source, target) makes each source's target run
+            # ascending: traversals walk monotone node ids (cache- and
+            # branch-friendly), the numpy lowering's gather reads dense
+            # arrays in near-sequential order, and rebuilds of the same
+            # edge set are bit-identical regardless of set-iteration order.
+            edges = sorted(buckets.get(lid, ()))
             counts = [0] * (n + 1)
             for sid, _ in edges:
                 counts[sid + 1] += 1
@@ -273,8 +286,7 @@ class CompiledGraph:
             return
         self._overflow[lid].setdefault(sid, []).append(did)
         self._overflow_edges += 1
-        if self._overflow_edges > max(64, self.edge_count() // 4):
-            self.compact()
+        self._maybe_auto_compact(self._overflow_edges)
 
     def remove_edge(self, source: Oid, label: str, destination: Oid) -> None:
         """Incrementally delete one edge without rebuilding the CSR.
@@ -304,8 +316,7 @@ class CompiledGraph:
             raise InstanceError(f"edge {(source, label, destination)!r} not compiled")
         self._dead[lid].add(position)
         self._dead_edges += 1
-        if self._dead_edges > max(64, self.edge_count() // 4):
-            self.compact()
+        self._maybe_auto_compact(self._dead_edges)
 
     def _csr_positions(self, sid: int, lid: int, did: int) -> Iterator[int]:
         indptr = self._indptr[lid]
@@ -331,8 +342,21 @@ class CompiledGraph:
                 return position
         return None
 
+    def _maybe_auto_compact(self, pending: int) -> None:
+        ratio = self.auto_compact_ratio
+        if ratio is not None and pending > max(64, self.edge_count() // ratio):
+            self.compact()
+
     def compact(self) -> None:
-        """Fold overflow edges in and tombstoned edges out of the CSR arrays."""
+        """Fold overflow edges in and tombstoned edges out of the CSR arrays.
+
+        Compaction is where the cache tuning happens: tombstone masks are
+        fused away (the rebuilt dense arrays contain live edges only, so
+        neither the scalar traversals nor the numpy lowering filter
+        anything afterwards) and every source's target run comes out
+        sorted (see :meth:`_build_csr`).  A no-op when the graph is
+        already fully dense.
+        """
         if (
             not self._overflow_edges
             and not self._dead_edges

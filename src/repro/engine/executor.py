@@ -1,22 +1,31 @@
 """Backend dispatch for product-BFS execution: numpy when possible.
 
-Two executors implement the same three entry points over the same compiled
+Three executors implement the same entry points over the same compiled
 structures:
 
 * :mod:`repro.engine.executor_py` — the pure-Python reference: scalar BFS
   with bytearray visited sets and arbitrary-precision bitmask frontiers;
+* :mod:`repro.engine.executor_pb` — the packed-bitset fallback: the same
+  arbitrary-precision masks advanced in delta-driven rounds that propagate
+  whole packed words per edge visit, with per-run adjacency caching —
+  faster than the reference on mid-size and wide batches, pure Python;
 * :mod:`repro.engine.executor_np` — the vectorized twin: boolean frontier
   matrices and packed ``uint64`` mask tensors advanced with numpy
   gather/scatter over flat per-label edge arrays.
 
 This module is the only place that decides between them.  ``backend="auto"``
-(the default everywhere) picks numpy when it imports, falling back to pure
-Python otherwise — numpy is strictly optional.  ``backend="python"`` and
-``backend="numpy"`` force a specific executor; forcing numpy when it is not
-importable raises :class:`~repro.exceptions.ReproError`.  Setting the
-environment variable ``REPRO_DISABLE_NUMPY`` (to any non-empty value) makes
-the dispatcher treat numpy as absent, which is how ``scripts/check.sh``
-exercises the fallback path on machines that do have numpy installed.
+(the default everywhere) picks numpy when it imports; without numpy it
+picks the packed-bitset executor for batches at least
+``REPRO_PACKED_MIN_BATCH`` bits wide (default 16 — measured in mask bits,
+so the choice is stable across a sharded evaluation's supersteps, whose
+``num_bits`` is fixed up front) and the scalar reference below that —
+numpy is strictly optional.  ``backend="python"``, ``backend="packed"``
+and ``backend="numpy"`` force a specific executor; forcing numpy when it
+is not importable raises :class:`~repro.exceptions.ReproError`.  Setting
+the environment variable ``REPRO_DISABLE_NUMPY`` (to any non-empty value)
+makes the dispatcher treat numpy as absent, which is how
+``scripts/check.sh`` exercises the fallback paths on machines that do
+have numpy installed.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ from typing import Mapping, Sequence
 from ..exceptions import ReproError
 from .compiled_query import CompiledQuery
 from .csr import CompiledGraph
-from . import executor_py
+from . import executor_pb, executor_py
 from .executor_py import BatchRun, SingleRun
 
 try:  # pragma: no cover - exercised via both arms of scripts/check.sh
@@ -36,7 +45,13 @@ try:  # pragma: no cover - exercised via both arms of scripts/check.sh
 except ImportError:  # pragma: no cover
     _executor_np = None
 
-BACKENDS = ("auto", "python", "numpy")
+BACKENDS = ("auto", "python", "packed", "numpy")
+
+# Batch width (in mask bits) from which ``auto`` without numpy prefers the
+# packed-bitset executor over the scalar reference.  Below this the queue
+# executor's lighter per-pair bookkeeping wins; above it, whole-word
+# propagation amortizes each edge visit across the batch.
+_PACKED_MIN_BATCH = 16
 
 
 def numpy_available() -> bool:
@@ -45,11 +60,28 @@ def numpy_available() -> bool:
 
 
 def available_backends() -> tuple[str, ...]:
-    return ("python", "numpy") if numpy_available() else ("python",)
+    return ("python", "packed", "numpy") if numpy_available() else ("python", "packed")
+
+
+def packed_min_batch() -> int:
+    """The auto-selection width threshold, env-overridable for benches/CI."""
+    raw = os.environ.get("REPRO_PACKED_MIN_BATCH")
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return _PACKED_MIN_BATCH
 
 
 def resolve_backend(backend: str = "auto") -> str:
-    """Map a requested backend to the executor that will actually run."""
+    """Map a requested backend to the executor family that will serve it.
+
+    ``auto`` resolves to the *fallback family* when numpy is absent: the
+    dispatcher still picks packed vs. scalar per batch (by width), so the
+    resolved name describes capability ("python executors will run"), not
+    the exact module of every future call.
+    """
     if backend not in BACKENDS:
         raise ReproError(
             f"unknown engine backend {backend!r}; expected one of {BACKENDS}"
@@ -64,8 +96,35 @@ def resolve_backend(backend: str = "auto") -> str:
     return backend
 
 
+_MODULES = {"python": executor_py, "packed": executor_pb}
+
+
 def _module(backend: str):
-    return _executor_np if resolve_backend(backend) == "numpy" else executor_py
+    resolved = resolve_backend(backend)
+    if resolved == "numpy":
+        return _executor_np
+    return _MODULES[resolved]
+
+
+def _batch_module(
+    backend: str,
+    sources: Sequence[int],
+    num_bits: "int | None",
+):
+    """Pick the executor for one batched run.
+
+    Forced backends map straight to their module.  ``auto`` without numpy
+    weighs the batch width — ``num_bits`` when the caller sized the mask
+    universe (the sharded engine does, identically for every superstep of
+    an evaluation), the distinct-source count otherwise — against
+    :func:`packed_min_batch`.
+    """
+    if backend == "auto" and not numpy_available():
+        width = num_bits if num_bits else len(set(sources))
+        if width >= packed_min_batch():
+            return executor_pb
+        return executor_py
+    return _module(backend)
 
 
 def run_single(
@@ -112,7 +171,7 @@ def run_batch(
     :func:`repro.engine.executor_py.run_batch`.
     """
     started = perf_counter()
-    run = _module(backend).run_batch(
+    run = _batch_module(backend, sources, num_bits).run_batch(
         graph, query, sources, witnesses=witnesses, seeds=seeds, known=known,
         num_bits=num_bits, answer_sink=answer_sink,
     )
@@ -129,6 +188,8 @@ def run_all_pairs(
 ) -> BatchRun:
     """Batched evaluation from every node, on the chosen backend."""
     started = perf_counter()
-    run = _module(backend).run_all_pairs(graph, query, witnesses=witnesses)
+    run = _batch_module(backend, (), graph.num_nodes).run_all_pairs(
+        graph, query, witnesses=witnesses
+    )
     run.elapsed = perf_counter() - started
     return run

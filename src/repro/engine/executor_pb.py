@@ -1,0 +1,379 @@
+"""Packed-bitset pure-Python batch executor: whole-word delta propagation.
+
+The third backend behind :mod:`repro.engine.executor`, sitting between the
+scalar reference (:mod:`repro.engine.executor_py`) and the numpy twin
+(:mod:`repro.engine.executor_np`).  It evaluates the same batched product
+fixpoint, but restructures the pure-Python hot loop around the batch's
+*width* instead of its individual bits:
+
+* masks stay arbitrary-precision Python ints (one per packed ``(state,
+  node)`` pair, exactly the queue executor's layout), so every edge visit
+  propagates the whole packed word of source bits in one ``|`` — no
+  per-(node, bit) work anywhere in the loop;
+* propagation is *delta-driven and round-based* (semi-naive): each round
+  pushes only the bits a pair gained since it was last expanded, where the
+  queue executor re-pushes a pair's full mask on every growth event and
+  re-expands it once per growth;
+* adjacency is resolved once per ``(label, node)`` into a per-run cache —
+  the tombstone filter and overflow concatenation run once instead of once
+  per expansion.
+
+The wins compound with batch width: the wider the mask word, the more
+sources each cached edge visit serves.  For narrow batches the queue
+executor's lighter bookkeeping still wins, which is why the dispatcher
+auto-selects this backend only for mid-size batches (and only when numpy
+is absent — the tensor executor dominates whenever it imports).
+
+Results are bit-for-bit identical to the other executors, including the
+``visited_pairs``/``visited_objects`` accounting, the streaming
+``answer_sink`` at-most-once contract, and the :class:`PyFrontier`
+exchange handle — a packed run can continue a queue run's frontier and
+vice versa, which keeps sharded superstep chains backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Mapping, Sequence
+
+from .compiled_query import CompiledQuery
+from .csr import CompiledGraph
+from . import executor_py
+from .executor_py import BatchRun, PyFrontier, SingleRun, restricted_witness
+
+# Flattened product adjacency, memoized across runs: per graph (weakly
+# held), per compiled query, the successor tuples ``build_successors``
+# resolves — stamped with the graph version they were derived against and
+# discarded wholesale when it moves on.  Warm repeated batches (the
+# serving layer's steady state) then run the fixpoint as pure whole-word
+# merges with zero adjacency work.  Queries are keyed by identity (their
+# ``array`` fields are unhashable); each entry holds a weak reference to
+# its query so a recycled ``id`` after garbage collection can never serve
+# another query's adjacency.  Runs only execute under the engine's reader
+# lock and mutations drain readers first, so the version cannot move
+# mid-run; concurrent same-version fills are idempotent dict writes.  The
+# per-graph table is cleared (not LRU-chained) when it outgrows
+# ``_MEMO_QUERIES`` distinct queries — the engine's own compile cache is
+# the real LRU, this is just a backstop against unbounded growth.
+_SUCC_MEMO: "weakref.WeakKeyDictionary[CompiledGraph, dict[int, dict]]" = (
+    weakref.WeakKeyDictionary()
+)
+_MEMO_QUERIES = 16
+
+
+def _kernel_cache(graph: CompiledGraph, query: CompiledQuery) -> dict:
+    per_graph = _SUCC_MEMO.get(graph)
+    if per_graph is None:
+        per_graph = {}
+        _SUCC_MEMO[graph] = per_graph
+    entry = per_graph.get(id(query))
+    if (
+        entry is None
+        or entry["ref"]() is not query
+        or entry["version"] != graph.version
+    ):
+        if len(per_graph) >= _MEMO_QUERIES:
+            per_graph.clear()
+        entry = {
+            "ref": weakref.ref(query),
+            "version": graph.version,
+            "adj": {},
+            "plain": {},
+            "stream": {},
+        }
+        per_graph[id(query)] = entry
+    return entry
+
+
+def run_single(graph: CompiledGraph, query: CompiledQuery, source: int) -> SingleRun:
+    """Single-source runs have a one-bit mask: packing buys nothing, so
+    delegate to the queue executor and restamp the backend."""
+    run = executor_py.run_single(graph, query, source)
+    run.backend = "packed"
+    return run
+
+
+def run_batch(
+    graph: CompiledGraph,
+    query: CompiledQuery,
+    sources: Sequence[int],
+    *,
+    witnesses: bool = False,
+    seeds: "Mapping[tuple[int, int], int] | None" = None,
+    known: "Mapping[tuple[int, int], int] | PyFrontier | None" = None,
+    num_bits: "int | None" = None,
+    answer_sink: "Callable[[int, Sequence[int]], None] | None" = None,
+) -> BatchRun:
+    """Batched evaluation with whole-word delta rounds.
+
+    Same contract as :func:`repro.engine.executor_py.run_batch` (see there
+    for the ``seeds``/``known``/``answer_sink`` semantics); ``num_bits`` is
+    accepted for API symmetry and otherwise ignored — Python ints are
+    arbitrary-precision.
+    """
+    n = graph.num_nodes
+    run = BatchRun(sources=tuple(sources))
+    run.backend = "packed"
+    run.answers = [set() for _ in sources]
+    if n == 0 or (not sources and not seeds and known is None):
+        return run
+    if witnesses and (seeds or known):
+        raise ValueError("witnesses=True is not supported with seeds/known frontiers")
+    bit_of: dict[int, int] = {}
+    for source in sources:
+        if source not in bit_of:
+            bit_of[source] = len(bit_of)
+
+    num_states = query.num_states
+    moves = query.moves
+    accepting = query.accepting
+    dead_of = graph.dead_positions
+    if isinstance(known, PyFrontier):
+        if known.n != n or len(known.masks) != num_states * n:
+            raise ValueError("known frontier does not match this graph/query")
+        if known.version is not None and known.version != graph.version:
+            raise ValueError(
+                "known frontier is stale: the graph mutated since it was "
+                "derived (re-run the batch instead of continuing the handle)"
+            )
+        masks = known.masks  # ownership transfer: continued in place
+    else:
+        masks = [0] * (num_states * n)
+        if known:
+            for (state, node), mask in known.items():
+                masks[state * n + node] |= mask
+
+    accept_union: "list[int] | None" = None
+    sink_bucket: "dict[int, list[int]]" = {}
+
+    def flush_sink() -> None:
+        for bit, group in sink_bucket.items():
+            answer_sink(bit, group)
+        sink_bucket.clear()
+
+    if answer_sink is not None:
+        if isinstance(known, PyFrontier):
+            accept_union = known.accept_union
+        if accept_union is None:
+            accept_union = [0] * n
+            # Only a continued/known frontier without a carried union needs
+            # the full rescan; a fresh run's masks are still empty here.
+            if known is not None:
+                for state in range(num_states):
+                    if accepting[state]:
+                        base = state * n
+                        for node, mask in enumerate(masks[base:base + n]):
+                            if mask:
+                                accept_union[node] |= mask
+
+    # ``changed`` doubles as the activation set: a pair's first activation
+    # pushes its *full* mask next round (matching the queue executor, which
+    # expands the full mask of every enqueued pair — known bits included),
+    # later growth pushes only the delta.
+    changed: set[int] = set()
+    delta: dict[int, int] = {}
+    initial_base = query.initial * n
+    for source, bit in bit_of.items():
+        key = initial_base + source
+        masks[key] |= 1 << bit
+        changed.add(key)
+        delta[key] = masks[key]
+    if seeds:
+        for (state, node), mask in seeds.items():
+            key = state * n + node
+            new = mask & ~masks[key]
+            if new:
+                masks[key] |= new
+                if key in changed:
+                    delta[key] |= new
+                else:
+                    changed.add(key)
+                    delta[key] = masks[key]
+    if accept_union is not None:
+        # Injected bits landing on accepting pairs are answers already —
+        # stream them before the fixpoint starts (same pass as executor_py).
+        for key in sorted(changed):
+            state, node = divmod(key, n)
+            if accepting[state]:
+                fresh = masks[key] & ~accept_union[node]
+                if fresh:
+                    accept_union[node] |= fresh
+                    while fresh:
+                        low = fresh & -fresh
+                        sink_bucket.setdefault(low.bit_length() - 1, []).append(node)
+                        fresh ^= low
+        if sink_bucket:
+            flush_sink()
+
+    # Per-run successor cache: for each packed product pair, the complete
+    # flattened out-neighborhood in product space, resolved once — move
+    # iteration, CSR slicing, the tombstone filter and overflow
+    # concatenation all fuse into one tuple.  The fixpoint's inner loop is
+    # then a pure whole-word mask merge per successor, which is this
+    # backend's actual speed: the queue executor re-resolves adjacency on
+    # every expansion of every pair.  Two cache shapes: bare successor
+    # keys when nothing streams, ``(key, target, accepts)`` triples when an
+    # ``answer_sink`` needs accepting growth during the fixpoint.
+    streaming = accept_union is not None
+    kernel = _kernel_cache(graph, query)
+    adj_cache: "dict[int, tuple[int, ...]]" = kernel["adj"]
+    succ_cache: "dict[int, tuple]" = kernel["stream" if streaming else "plain"]
+    succ_get = succ_cache.get
+    adj_get = adj_cache.get
+
+    def build_successors(key: int) -> tuple:
+        state, node = divmod(key, n)
+        out: list = []
+        for label_id, next_state in moves[state]:
+            cache_key = label_id * n + node
+            targets = adj_get(cache_key)
+            if targets is None:
+                buffer, lo, hi = graph.successor_slice(node, label_id)
+                dead = dead_of(label_id)
+                if dead:
+                    targets = tuple(
+                        buffer[position]
+                        for position in range(lo, hi)
+                        if position not in dead
+                    )
+                else:
+                    targets = tuple(buffer[lo:hi])
+                extra = graph.overflow_successors(node, label_id)
+                if extra is not None:
+                    targets = targets + tuple(extra)
+                adj_cache[cache_key] = targets
+            base = next_state * n
+            if streaming:
+                accepts = accepting[next_state]
+                for target in targets:
+                    out.append((base + target, target, accepts))
+            else:
+                for target in targets:
+                    out.append(base + target)
+        flat = tuple(out)
+        succ_cache[key] = flat
+        return flat
+
+    current = delta
+    while current:
+        next_delta: dict[int, int] = {}
+        if streaming:
+            for key, bits in current.items():
+                successors = succ_get(key)
+                if successors is None:
+                    successors = build_successors(key)
+                for successor_key, target, accepts in successors:
+                    old = masks[successor_key]
+                    merged = old | bits
+                    if merged == old:
+                        continue
+                    new = merged ^ old
+                    masks[successor_key] = merged
+                    if successor_key in changed:
+                        if successor_key in next_delta:
+                            next_delta[successor_key] |= new
+                        else:
+                            next_delta[successor_key] = new
+                    else:
+                        changed.add(successor_key)
+                        next_delta[successor_key] = merged
+                    if accepts:
+                        fresh = merged & ~accept_union[target]
+                        if fresh:
+                            accept_union[target] |= fresh
+                            while fresh:
+                                low = fresh & -fresh
+                                sink_bucket.setdefault(
+                                    low.bit_length() - 1, []
+                                ).append(target)
+                                fresh ^= low
+            if sink_bucket:
+                flush_sink()
+        else:
+            for key, bits in current.items():
+                successors = succ_get(key)
+                if successors is None:
+                    successors = build_successors(key)
+                for successor_key in successors:
+                    old = masks[successor_key]
+                    merged = old | bits
+                    if merged == old:
+                        continue
+                    masks[successor_key] = merged
+                    if successor_key in changed:
+                        if successor_key in next_delta:
+                            next_delta[successor_key] |= merged ^ old
+                        else:
+                            next_delta[successor_key] = merged ^ old
+                    else:
+                        changed.add(successor_key)
+                        next_delta[successor_key] = merged
+        current = next_delta
+
+    # A pair is "visited" on its first activation — one expansion per pair,
+    # which is exactly what the queue executor's ``expanded`` flags count.
+    run.visited_pairs = len(changed)
+
+    # Collect answers word-at-a-time too: union the accepting masks per
+    # node, group nodes by *identical* mask words, and expand each distinct
+    # word's bits once for its whole node group (a ``set.update`` per bit
+    # instead of a ``set.add`` per (bit, node) — reachability is clustered,
+    # so distinct words are few compared to accepting pairs).
+    local_bits = (1 << len(bit_of)) - 1
+    touched = bytearray(n)
+    accept_final = [0] * n
+    for state in range(num_states):
+        base = state * n
+        if accepting[state]:
+            for node, mask in enumerate(masks[base:base + n]):
+                if mask:
+                    touched[node] = 1
+                    accept_final[node] |= mask
+        else:
+            for node, mask in enumerate(masks[base:base + n]):
+                if mask:
+                    touched[node] = 1
+    run.visited_objects = sum(touched)
+    groups: dict[int, list[int]] = {}
+    for node, mask in enumerate(accept_final):
+        mask &= local_bits
+        if mask:
+            groups.setdefault(mask, []).append(node)
+    per_source: dict[int, set[int]] = {bit: set() for bit in bit_of.values()}
+    for mask, nodes in groups.items():
+        while mask:
+            low = mask & -mask
+            per_source[low.bit_length() - 1].update(nodes)
+            mask ^= low
+    for position, source in enumerate(sources):
+        run.answers[position] = per_source[bit_of[source]]
+
+    run.frontier = PyFrontier(masks, n, changed, graph.version, accept_union)
+    if witnesses:
+        bits = dict(bit_of)
+        snapshot_version = graph.version
+
+        def resolver(source: int, target: int) -> "tuple[int, ...] | None":
+            if graph.version != snapshot_version:
+                raise ValueError(
+                    "graph mutated since the batched run; resolve witnesses "
+                    "before add_edge/remove_edge (or re-run the batch)"
+                )
+            bit = bits.get(source)
+            if bit is None:
+                return None
+            flag = 1 << bit
+            return restricted_witness(
+                graph, query, lambda key: bool(masks[key] & flag), source, target
+            )
+
+        run.witness_resolver = resolver
+    return run
+
+
+def run_all_pairs(
+    graph: CompiledGraph, query: CompiledQuery, *, witnesses: bool = False
+) -> BatchRun:
+    """Evaluate the query from every node — the widest batch there is, and
+    the shape this backend is best at."""
+    return run_batch(graph, query, tuple(range(graph.num_nodes)), witnesses=witnesses)

@@ -222,6 +222,83 @@ class SuperstepScheduler:
         )
 
 
+class StealQueue:
+    """A work-stealing pool of chunk tasks for one superstep.
+
+    The sharded engine splits an oversized shard-local fixpoint into
+    word-aligned bit-range chunks (disjoint word columns of the packed mask
+    tensor, so chunks of the same shard never write the same memory) and
+    tags each task with the shard that owns it.  Every superstep step drains
+    the queue through :meth:`drain`: a claimant takes its *own* oldest task
+    first (FIFO — owners work through their chunks in seeding order), and
+    only once its own work is gone does it **steal** the newest foreign task
+    from the tail — the classic deque discipline, which keeps thieves away
+    from the cache lines the owner is about to touch.  A claim whose owner
+    differs from the claimant counts as one steal event
+    (``sharded_steal_events``); that is the observable proof that an idle
+    worker relieved the slowest shard instead of waiting at the barrier.
+
+    Tasks run *outside* the queue lock (claims are O(queue) pointer moves),
+    so the pool never serializes the fixpoints it exists to parallelize.
+    """
+
+    # ``puts``/``steals`` are written under the lock and point-read by the
+    # superstep barrier and gauges after the pool has drained.
+    GUARDED_BY = {
+        "_tasks": "_lock",
+        "puts": "_lock:mutate",
+        "steals": "_lock:mutate",
+    }
+
+    def __init__(self) -> None:
+        self._lock = witnessed_lock("StealQueue._lock")
+        self._tasks: "deque[tuple[int, Callable[[], None]]]" = deque()
+        self.puts = 0
+        self.steals = 0
+
+    def put(self, owner: int, task: "Callable[[], None]") -> None:
+        """Enqueue one chunk task on behalf of ``owner``."""
+        with self._lock:
+            self._tasks.append((owner, task))
+            self.puts += 1
+
+    def claim(self, claimant: int) -> "tuple[int, Callable[[], None]] | None":
+        """Pop one task: the claimant's own oldest, else steal the newest.
+
+        Returns ``(owner, task)`` or ``None`` when the pool is empty; a
+        foreign claim increments :attr:`steals`.
+        """
+        with self._lock:
+            if not self._tasks:
+                return None
+            for index, (owner, task) in enumerate(self._tasks):
+                if owner == claimant:
+                    del self._tasks[index]
+                    return owner, task
+            owner, task = self._tasks.pop()
+            self.steals += 1
+            return owner, task
+
+    def drain(self, claimant: int) -> "tuple[int, int]":
+        """Run tasks until the pool is empty; returns ``(own, stolen)``.
+
+        Tasks execute outside the lock; an exception aborts this claimant's
+        drain (the raising task's superstep step re-raises at the barrier)
+        while other steps keep draining what remains.
+        """
+        own = stolen = 0
+        while True:
+            claimed = self.claim(claimant)
+            if claimed is None:
+                return own, stolen
+            owner, task = claimed
+            if owner == claimant:
+                own += 1
+            else:
+                stolen += 1
+            task()
+
+
 @dataclass
 class ServingStats:
     """Counters of one :class:`QueryServer`'s lifetime.

@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 from ..exceptions import ReproError
 from ..graph.instance import Instance, Oid
 from ..optimize.cost import DegreeStats
+from ..optimize.planner import choose_batch_strategy
 from ..query.evaluation import EvaluationResult
 from ..query.path_query import RegularPathQuery
 from ..regex import Regex
@@ -73,6 +74,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .serving import QueryServer
 
 _SHARED_ENGINE_ATTR = "_repro_shared_engine"
+
+
+def _strategy_expression(prepared):
+    """The raw path expression of a prepared query (for the shape check)."""
+    return getattr(prepared, "expression", prepared)
 
 
 def _lower_batch_request(query, sources):
@@ -529,6 +535,7 @@ class Engine(ServingSurface):
         cache_capacity: int = 128,
         backend: str = "auto",
         labels: "Sequence[str] | None" = None,
+        auto_compact_ratio: "int | None" = 4,
         _graph: "CompiledGraph | None" = None,
     ) -> None:
         self._instance: "Instance | weakref.ref[Instance]" = instance
@@ -597,6 +604,10 @@ class Engine(ServingSurface):
         # they drain in-flight runs first.  Never acquire ``_lock`` while
         # holding a read token (writers hold ``_lock`` when they wait).
         self._run_lock = _ReadWriteLock("Engine._run_lock")
+        # Auto-compaction tuning, re-applied to every graph this session
+        # builds or restores (the knob lives on the session, the live value
+        # on the graph).
+        self._auto_compact_ratio = auto_compact_ratio
         if _graph is None:
             self._graph = CompiledGraph.from_instance(instance, labels=labels)
             self.stats.graph_builds += 1
@@ -605,6 +616,7 @@ class Engine(ServingSurface):
             # is already consistent with ``instance`` — no build to pay.
             self._graph = _graph
             self.stats.snapshot_restores += 1
+        self._graph.auto_compact_ratio = auto_compact_ratio
         self._instance_version = instance.version
         self._edge_version = instance.edge_version
 
@@ -784,6 +796,7 @@ class Engine(ServingSurface):
             self._graph = CompiledGraph.from_instance(
                 instance, labels=self._label_seed
             )
+            self._graph.auto_compact_ratio = self._auto_compact_ratio
             self._instance_version = instance.version
             self._edge_version = instance.edge_version
             self.stats.graph_builds += 1
@@ -823,6 +836,42 @@ class Engine(ServingSurface):
             self._instance_version = instance.version
             self._edge_version = instance.edge_version
             self.stats.incremental_removals += 1
+
+    def compact_now(self) -> bool:
+        """Compact the compiled graph immediately: fold overflow edges into
+        the dense CSR arrays and drop tombstones, leaving every per-label
+        target run sorted (the cache-tuned layout both executors and the
+        numpy lowering are fastest on).  Equivalent to what auto-compaction
+        does when overflow or tombstones outgrow the
+        :attr:`auto_compact_ratio` threshold, but on demand — e.g. after a
+        bulk edit burst, before a latency-sensitive serving window.
+        Returns ``True`` when the layout actually changed.
+        """
+        with self._lock:
+            self.refresh()
+            with self._run_lock.write():
+                before = self._graph.version
+                self._graph.compact()
+                return self._graph.version != before
+
+    @property
+    def auto_compact_ratio(self) -> "int | None":
+        """The graph's auto-compaction threshold divisor (``None`` = off).
+
+        Compaction triggers when pending overflow edges (on add) or
+        tombstones (on remove) exceed ``max(64, edges // ratio)``.  The
+        setter applies to the live graph and is remembered across rebuilds.
+        """
+        with self._lock:
+            return self._graph.auto_compact_ratio
+
+    @auto_compact_ratio.setter
+    def auto_compact_ratio(self, ratio: "int | None") -> None:
+        if ratio is not None and ratio < 1:
+            raise ReproError("auto_compact_ratio must be a positive int or None")
+        with self._lock:
+            self._auto_compact_ratio = ratio
+            self._graph.auto_compact_ratio = ratio
 
     # -- query compilation ----------------------------------------------------
     @property
@@ -1023,19 +1072,43 @@ class Engine(ServingSurface):
                 emit(order[bit], [oid_of[node] for node in nodes])
 
         if known:
+            # Constant-time trichotomy check (Bagan et al.): wide batches of
+            # easy-shaped queries run the whole-graph kernel — node ids
+            # double as mask bits, so one all-pairs fixpoint replaces
+            # seeding most of the graph source by source.  Streaming stays
+            # per-source (its bit->oid mapping follows the request order).
+            strategy = choose_batch_strategy(
+                _strategy_expression(self._prepared(query)),
+                len(set(known)),
+                graph.num_nodes,
+            )
+            all_pairs = strategy.strategy == "all-pairs" and answer_sink is None
             with self._run_lock.read():
                 with self.metrics.span("engine.run", mode="batch") as run_span:
-                    run = run_batch(
-                        graph, compiled, known, backend=self.backend,
-                        answer_sink=answer_sink,
+                    if all_pairs:
+                        run = run_all_pairs(graph, compiled, backend=self.backend)
+                    else:
+                        run = run_batch(
+                            graph, compiled, known, backend=self.backend,
+                            answer_sink=answer_sink,
+                        )
+                    run_span.set(
+                        backend=run.backend,
+                        visited=run.visited_pairs,
+                        strategy=strategy.strategy,
+                        shape=strategy.shape,
                     )
-                    run_span.set(backend=run.backend, visited=run.visited_pairs)
             self._hist_run.observe(run.elapsed)
             with self._lock:
                 self.stats.visited_pairs += run.visited_pairs
                 self.stats.record_backend(run.backend)
-            for oid, answer_nodes in zip(known_oids, run.answers):
-                results[oid] = graph.oids_of(answer_nodes)
+            if all_pairs:
+                # ``run_all_pairs`` answers are positioned by node id.
+                for oid, node in zip(known_oids, known):
+                    results[oid] = graph.oids_of(run.answers[node])
+            else:
+                for oid, answer_nodes in zip(known_oids, run.answers):
+                    results[oid] = graph.oids_of(answer_nodes)
         return results
 
     def query_batch_results(

@@ -58,7 +58,7 @@ from ..query.evaluation import EvaluationResult
 from .compiled_query import query_key
 from .csr import CompiledGraph
 from ..optimize.cost import DegreeStats
-from .executor import BACKENDS, resolve_backend, run_batch
+from .executor import BACKENDS, available_backends, resolve_backend, run_batch
 from .session import Engine, ServingSurface, _lower_batch_request
 from .telemetry import MetricsRegistry, Telemetry, witnessed_lock
 
@@ -245,11 +245,13 @@ class SuperstepCounters:
     supersteps: int = 0
     local_runs: int = 0
     exchanged_facts: int = 0
+    steal_events: int = 0
 
     def reset(self) -> None:
         self.supersteps = 0
         self.local_runs = 0
         self.exchanged_facts = 0
+        self.steal_events = 0
 
 
 @dataclass
@@ -277,6 +279,11 @@ class ShardedStats:
     visited_pairs: int = 0
     visited_objects: int = 0
     rewrites_applied: int = 0
+    steal_events: int = 0
+    # max/mean per-step wall time of the most recent multi-step superstep:
+    # 1.0 means perfectly balanced shards, >>1 means one shard held the
+    # barrier while the others idled (the skew work-stealing exists to fix).
+    superstep_skew_ratio: float = 1.0
     # Which executor served each local run (cumulative, one per run_batch).
     backend_runs: dict[str, int] = field(default_factory=dict)
     # One count per logical evaluation — the monolithic-comparable tally.
@@ -303,6 +310,7 @@ class ShardedStats:
         ("visited_pairs", "(node, state) pairs visited across shards"),
         ("visited_objects", "objects visited across shards"),
         ("rewrites_applied", "queries improved by the constraint rewriter"),
+        ("steal_events", "superstep chunk tasks claimed by a non-owner worker"),
     )
 
     def register(self, registry: MetricsRegistry, prefix: str = "sharded") -> None:
@@ -329,12 +337,17 @@ class ShardedStats:
             lambda: dict(self.backend_evaluations),
             labelnames=("backend",),
         )
-        for attr in ("supersteps", "local_runs", "exchanged_facts"):
+        for attr in ("supersteps", "local_runs", "exchanged_facts", "steal_events"):
             registry.gauge(
                 f"{prefix}_last_run_{attr}",
                 f"{attr} of the most recent evaluation, in isolation",
                 lambda a=attr: getattr(self.last_run, a),
             )
+        registry.gauge(
+            f"{prefix}_superstep_skew_ratio",
+            "max/mean per-step wall time of the most recent multi-step superstep",
+            lambda: self.superstep_skew_ratio,
+        )
 
     def summary(self, engine: "ShardedEngine") -> str:
         backends = (
@@ -355,12 +368,31 @@ class ShardedStats:
             f"evaluations: {self.single_evaluations} single, "
             f"{self.batch_evaluations} batched ({self.batched_sources} sources); "
             f"supersteps: {self.supersteps} ({self.local_runs} local runs, "
-            f"{self.exchanged_facts} cross-shard frontier exports; last "
+            f"{self.exchanged_facts} cross-shard frontier exports, "
+            f"{self.steal_events} chunk steals; last "
             f"evaluation {last.supersteps} supersteps / "
             f"{last.local_runs} runs); "
             f"backend evaluations/runs: {backends}; "
             f"visited pairs: {self.visited_pairs}"
         )
+
+
+@dataclass
+class _StealPool:
+    """One superstep's chunked local fixpoints, shared across scheduler steps.
+
+    ``queue`` holds the stealable chunk tasks
+    (:class:`~repro.engine.serving.StealQueue`); ``shards`` maps each shard
+    with unabsorbed seeds to ``(masks, chunk_runs, graph, version)`` — the
+    shared packed tensor its chunks write disjoint word columns of, the list
+    each finished chunk appends its ``touched`` matrix to (list appends are
+    atomic under the GIL; chunks of one shard may finish on different
+    workers), and the graph/version the merged frontier is stamped with.
+    A shard absent from ``shards`` absorbed its whole import already.
+    """
+
+    queue: object
+    shards: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -421,6 +453,7 @@ class ShardedEngine(ServingSurface):
         cache_capacity: int = 128,
         backend: str = "auto",
         concurrency: "int | None" = None,
+        steal_threshold: "int | None" = 2,
         _restored: "tuple[list[Instance], list[Engine], list[str]] | None" = None,
     ) -> None:
         self._map = self._resolve_map(shards, shard_map)
@@ -473,6 +506,16 @@ class ShardedEngine(ServingSurface):
         self._rewrite_lock = witnessed_lock("ShardedEngine._rewrite_lock")
         if concurrency is not None and concurrency < 1:
             raise ReproError("concurrency must be a positive worker count")
+        if steal_threshold is not None and steal_threshold < 1:
+            raise ReproError(
+                "steal_threshold must be a positive word count (or None "
+                "to disable superstep work-stealing)"
+            )
+        # Minimum packed width, in 64-bit words, before a shard's local
+        # fixpoint is split into stealable word-range chunks (None disables).
+        # Chunking needs at least two words to split, so the effective floor
+        # is max(2, steal_threshold).
+        self._steal_threshold = steal_threshold
         self._scheduler: "SuperstepScheduler | None" = None
         if concurrency is not None and concurrency > 1:
             from .serving import SuperstepScheduler
@@ -612,6 +655,21 @@ class ShardedEngine(ServingSurface):
         """The concurrent superstep scheduler, or ``None`` when sequential."""
         return self._scheduler
 
+    @property
+    def steal_threshold(self) -> "int | None":
+        """Minimum packed width (64-bit words) before local fixpoints are
+        split into stealable word-range chunks; ``None`` disables stealing."""
+        return self._steal_threshold
+
+    @steal_threshold.setter
+    def steal_threshold(self, threshold: "int | None") -> None:
+        if threshold is not None and threshold < 1:
+            raise ReproError(
+                "steal_threshold must be a positive word count (or None "
+                "to disable superstep work-stealing)"
+            )
+        self._steal_threshold = threshold
+
     def close(self) -> None:
         """Release the superstep scheduler's worker threads (idempotent)."""
         if self._scheduler is not None:
@@ -683,6 +741,31 @@ class ShardedEngine(ServingSurface):
             self._shards[owner].remove_edge(source, label, destination)
             self._instance_version = self._instance.version
 
+    @acquires("Engine._lock")
+    def compact_now(self) -> bool:
+        """Compact every shard graph now (see ``Engine.compact_now``).
+
+        Returns ``True`` when any shard's layout changed.  Each shard
+        drains its own in-flight runs independently — there is no global
+        barrier, matching how incremental edits land shard-locally.
+        """
+        with self._lock:
+            self.refresh()
+            compacted = [engine.compact_now() for engine in self._shards]
+            return any(compacted)
+
+    @property
+    def auto_compact_ratio(self) -> "int | None":
+        """The shards' shared auto-compaction divisor (see ``Engine``)."""
+        return self._shards[0].auto_compact_ratio
+
+    @auto_compact_ratio.setter
+    @acquires("Engine._lock")
+    def auto_compact_ratio(self, ratio: "int | None") -> None:
+        with self._lock:
+            for engine in self._shards:
+                engine.auto_compact_ratio = ratio
+
     # -- evaluation -----------------------------------------------------------
     # _prepared comes from ServingSurface and runs exactly once for all
     # shards: the rewritten expression is what every shard compiles, so the
@@ -738,15 +821,7 @@ class ShardedEngine(ServingSurface):
         stable), and ``backend`` is ``None`` when the imported frontier was
         fully absorbed already and no executor run was needed.
         """
-        # Bits the shard absorbed since the export was computed (it derived
-        # the same fact itself later that round) are dropped; a fully
-        # absorbed frontier costs no local run at all.
-        seeds = {}
-        for (state, node), mask in pending.items():
-            absorbed = frontier.mask_at(state, node) if frontier else 0
-            new_bits = mask & ~absorbed
-            if new_bits:
-                seeds[(state, node)] = new_bits
+        seeds = self._filter_seeds(pending, frontier)
         if not seeds:
             return frontier, (), None
         graph = self._shards[shard].graph
@@ -760,18 +835,184 @@ class ShardedEngine(ServingSurface):
             answer_sink=answer_sink,
             backend=self.backend,
         )
+        exports = self._fresh_exports(shard, graph, run.frontier)
+        return run.frontier, exports, run.backend
+
+    @staticmethod
+    def _filter_seeds(pending: "Mapping[tuple[int, int], int]", frontier) -> dict:
+        """Drop bits the shard absorbed since the export was computed (it
+        derived the same fact itself later that round); a fully absorbed
+        frontier costs no local run at all."""
+        seeds: "dict[tuple[int, int], int]" = {}
+        for (state, node), mask in pending.items():
+            absorbed = frontier.mask_at(state, node) if frontier else 0
+            new_bits = mask & ~absorbed
+            if new_bits:
+                seeds[(state, node)] = new_bits
+        return seeds
+
+    def _fresh_exports(
+        self, shard: int, graph: CompiledGraph, frontier
+    ) -> "list[tuple[Oid, int, int]]":
+        """The ``(oid, state, mask)`` facts that grew onto ghost nodes."""
         self._ghost_nodes(shard)  # refresh the cache (this shard's only)
         ghost_list = self._ghost_lists[shard]
-        exports: "list[tuple[Oid, int, int]]" = []
-        if ghost_list:
-            oid_of = graph.nodes.backing_list()
-            exports = [
-                (oid_of[node], state, mask)
-                for state, node, mask in run.frontier.items(
-                    fresh_only=True, restrict=ghost_list
+        if not ghost_list:
+            return []
+        oid_of = graph.nodes.backing_list()
+        return [
+            (oid_of[node], state, mask)
+            for state, node, mask in frontier.items(
+                fresh_only=True, restrict=ghost_list
+            )
+        ]
+
+    def _build_steal_pool(
+        self, active, pending, frontiers, compiled, num_bits: int, sink_factory
+    ) -> "_StealPool | None":
+        """Split this superstep's local fixpoints into stealable word chunks.
+
+        The packed fixpoint is bitwise-parallel: every source bit's
+        reachability closure is independent of every other's, so a word-
+        aligned column slice ``masks[:, :, lo:hi]`` of a shard's tensor is a
+        complete, self-contained sub-fixpoint.  Splitting pays off twice:
+
+        * **balance** — chunks go into one :class:`StealQueue`, so a worker
+          whose shard converged early steals columns from the slowest shard
+          instead of idling at the barrier;
+        * **early exit** — the monolithic kernel moves *all* ``W`` words per
+          edge visit until the *last* bit converges, paying
+          ``O(edges x W x R_max)``; per-word chunks each stop at their own
+          round count, ``O(edges x sum(R_chunk))``, which is strictly less
+          whenever convergence is skewed across sources.
+
+        Returns ``None`` when chunking does not apply — stealing disabled,
+        width under the threshold (or a single word: nothing to split), the
+        numpy executor unavailable or not selected, or a shard carrying a
+        foreign/width-drifted frontier handle — in which case the caller
+        falls back to the monolithic per-shard path.
+        """
+        threshold = self._steal_threshold
+        words = max(1, (num_bits + 63) >> 6)
+        if threshold is None or words < max(2, threshold):
+            return None
+        if "numpy" not in available_backends():
+            return None
+        if resolve_backend(self.backend) != "numpy":
+            return None
+        from . import executor_np
+        from .serving import StealQueue
+
+        np = executor_np.np
+        for shard in active:
+            frontier = frontiers[shard]
+            if frontier is not None and (
+                not isinstance(frontier, executor_np.NpFrontier)
+                or frontier.words != words
+            ):
+                return None
+        pool = _StealPool(StealQueue())
+        word_mask = (1 << 64) - 1
+        for shard in active:
+            seeds = self._filter_seeds(pending[shard], frontiers[shard])
+            if not seeds:
+                continue
+            graph = self._shards[shard].graph
+            frontier = frontiers[shard]
+            if frontier is None:
+                masks = np.zeros(
+                    (compiled[shard].num_states, graph.num_nodes, words),
+                    dtype=np.uint64,
                 )
-            ]
-        return run.frontier, exports, run.backend
+            else:
+                masks = frontier.masks
+            chunk_runs: list = []
+            pool.shards[shard] = (masks, chunk_runs, graph, graph.version)
+            sink = sink_factory(shard) if sink_factory is not None else None
+            for word in range(words):
+                lo_bit = word << 6
+                chunk_seeds = {
+                    key: bits
+                    for key, mask in seeds.items()
+                    if (bits := (mask >> lo_bit) & word_mask)
+                }
+                if not chunk_seeds:
+                    continue
+                pool.queue.put(
+                    shard,
+                    self._chunk_task(
+                        executor_np,
+                        graph,
+                        compiled[shard],
+                        masks,
+                        word,
+                        chunk_seeds,
+                        sink,
+                        chunk_runs,
+                    ),
+                )
+        return pool
+
+    @staticmethod
+    def _chunk_task(
+        executor_np, graph, query, masks, word: int, chunk_seeds, sink, chunk_runs
+    ):
+        """One stealable unit: the fixpoint of a single 64-bit word column.
+
+        Chunks of one shard write disjoint word columns of the shared
+        tensor, so any two chunks — same shard or not — run on different
+        workers without synchronization.  Seeds arrive pre-shifted into the
+        chunk's local bit space; streamed answer bits shift back before
+        reaching the shard sink, and the chunk's ``touched`` matrix lands in
+        ``chunk_runs`` for the barrier's OR-merge.
+        """
+        np = executor_np.np
+        version = graph.version
+        base = word << 6
+        chunk_sink = None
+        if sink is not None:
+
+            def chunk_sink(bit, nodes):
+                sink(bit + base, nodes)
+
+        def task() -> None:
+            view = masks[:, :, word : word + 1]
+            known = executor_np.NpFrontier(
+                view, np.zeros(view.shape[:2], dtype=bool), version
+            )
+            run = executor_np.run_batch(
+                graph,
+                query,
+                (),
+                seeds=chunk_seeds,
+                known=known,
+                answer_sink=chunk_sink,
+            )
+            chunk_runs.append(run.frontier.touched)
+
+        return task
+
+    def _finalize_steal_shard(self, pool: _StealPool, shard: int, previous):
+        """Merge one shard's chunk runs into a superstep result triple.
+
+        Runs at the barrier, after every chunk has completed: the per-chunk
+        ``touched`` matrices OR into the merged frontier's fresh set (a pair
+        is fresh iff *any* word column grew there — exactly the monolithic
+        kernel's semantics), and ghost exports are computed off the merged
+        handle so each fact ships its full cross-column mask once.
+        """
+        entry = pool.shards.get(shard)
+        if entry is None:
+            return previous, (), None
+        from . import executor_np
+
+        masks, chunk_runs, graph, version = entry
+        touched = chunk_runs[0]
+        for extra in chunk_runs[1:]:
+            touched = touched | extra
+        frontier = executor_np.NpFrontier(masks, touched, version)
+        exports = self._fresh_exports(shard, graph, frontier)
+        return frontier, exports, "numpy"
 
     def _evaluate(
         self, query, sources: "Sequence[Oid]", answer_sink=None
@@ -858,40 +1099,91 @@ class ShardedEngine(ServingSurface):
             superstep_span = tele.span(
                 "sharded.superstep", round=counters.supersteps, shards=len(active)
             )
+            # Chunked, work-stealing supersteps: when the packed width spans
+            # several words and the numpy kernel serves, each shard's local
+            # fixpoint splits into word-column chunks pooled in one steal
+            # queue — populated *before* any step runs, so a worker going
+            # idle immediately relieves the slowest shard.
+            sink_factory = make_shard_sink if answer_sink is not None else None
+            pool = (
+                self._build_steal_pool(
+                    active, pending, frontiers, compiled, num_bits, sink_factory
+                )
+                if self._scheduler is not None and len(active) > 1
+                else None
+            )
+            durations: "list[float]" = []
 
-            def make_step(shard: int):
-                def step():
-                    local_span = tele.span_under(
-                        superstep_span, "sharded.local_fixpoint", shard=shard
-                    )
-                    try:
-                        frontier, exports, backend = self._local_fixpoint(
-                            shard,
-                            pending[shard],
-                            frontiers[shard],
-                            compiled[shard],
-                            num_bits,
-                            answer_sink=(
-                                make_shard_sink(shard)
-                                if answer_sink is not None
-                                else None
-                            ),
+            if pool is not None:
+                queue = pool.queue
+
+                def make_steal_step(shard: int):
+                    def step():
+                        local_span = tele.span_under(
+                            superstep_span, "sharded.local_fixpoint", shard=shard
                         )
-                    finally:
-                        local_span.end()
-                    local_span.set(
-                        exports=len(exports), backend=backend or "absorbed"
-                    )
-                    self._hist_local.observe(local_span.duration)
-                    return frontier, exports, backend
+                        try:
+                            own, stolen = queue.drain(shard)
+                        finally:
+                            local_span.end()
+                        local_span.set(chunks=own, stolen=stolen, backend="numpy")
+                        self._hist_local.observe(local_span.duration)
+                        durations.append(local_span.duration)
 
-                return step
+                    return step
 
-            steps = [make_step(shard) for shard in active]
-            if self._scheduler is not None and len(steps) > 1:
-                results = self._scheduler.run(steps)
+                self._scheduler.run([make_steal_step(shard) for shard in active])
+                results = [
+                    self._finalize_steal_shard(pool, shard, frontiers[shard])
+                    for shard in active
+                ]
+                stolen_chunks = queue.steals
+                if stolen_chunks:
+                    self.stats.steal_events += stolen_chunks
+                    counters.steal_events += stolen_chunks
             else:
-                results = [step() for step in steps]
+
+                def make_step(shard: int):
+                    def step():
+                        local_span = tele.span_under(
+                            superstep_span, "sharded.local_fixpoint", shard=shard
+                        )
+                        try:
+                            frontier, exports, backend = self._local_fixpoint(
+                                shard,
+                                pending[shard],
+                                frontiers[shard],
+                                compiled[shard],
+                                num_bits,
+                                answer_sink=(
+                                    sink_factory(shard)
+                                    if sink_factory is not None
+                                    else None
+                                ),
+                            )
+                        finally:
+                            local_span.end()
+                        local_span.set(
+                            exports=len(exports), backend=backend or "absorbed"
+                        )
+                        self._hist_local.observe(local_span.duration)
+                        durations.append(local_span.duration)
+                        return frontier, exports, backend
+
+                    return step
+
+                steps = [make_step(shard) for shard in active]
+                if self._scheduler is not None and len(steps) > 1:
+                    results = self._scheduler.run(steps)
+                else:
+                    results = [step() for step in steps]
+            # Superstep balance: max/mean per-step wall time (1.0 = even).
+            if len(durations) > 1:
+                total = sum(durations)
+                if total > 0.0:
+                    self.stats.superstep_skew_ratio = (
+                        max(durations) * len(durations) / total
+                    )
             # Barrier, part 1: adopt every shard's new frontier before any
             # absorbed-bit check reads one.
             all_exports: "list[tuple[Oid, int, int]]" = []
@@ -1278,6 +1570,7 @@ class ShardedEngine(ServingSurface):
         cache_capacity: int = 128,
         backend: str = "auto",
         concurrency: "int | None" = None,
+        steal_threshold: "int | None" = 2,
     ) -> "ShardedEngine":
         """Return a ready-to-serve sharded session.
 
@@ -1301,6 +1594,7 @@ class ShardedEngine(ServingSurface):
                 cache_capacity=cache_capacity,
                 backend=backend,
                 concurrency=concurrency,
+                steal_threshold=steal_threshold,
             )
         if instance is not None:
             raise ReproError(
@@ -1315,6 +1609,7 @@ class ShardedEngine(ServingSurface):
             cache_capacity=cache_capacity,
             backend=backend,
             concurrency=concurrency,
+            steal_threshold=steal_threshold,
         )
 
     @classmethod
@@ -1330,6 +1625,7 @@ class ShardedEngine(ServingSurface):
         cache_capacity: int,
         backend: str,
         concurrency: "int | None",
+        steal_threshold: "int | None",
     ) -> "ShardedEngine":
         manifest_path = os.path.join(os.fspath(directory), MANIFEST_NAME)
         try:
@@ -1367,6 +1663,7 @@ class ShardedEngine(ServingSurface):
                     cache_capacity=cache_capacity,
                     backend=backend,
                     concurrency=concurrency,
+                    steal_threshold=steal_threshold,
                 )
             resolved_map = shard_map
         else:
@@ -1425,5 +1722,6 @@ class ShardedEngine(ServingSurface):
             cache_capacity=cache_capacity,
             backend=backend,
             concurrency=concurrency,
+            steal_threshold=steal_threshold,
             _restored=(subs, engines, labels),
         )

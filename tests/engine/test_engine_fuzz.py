@@ -31,7 +31,9 @@ from repro.engine import (
 )
 from repro.query import RegularPathQuery, evaluate_baseline
 
-EXECUTOR_BACKENDS = ("python", "numpy") if numpy_available() else ("python",)
+EXECUTOR_BACKENDS = (
+    ("python", "packed", "numpy") if numpy_available() else ("python", "packed")
+)
 SHARD_COUNTS = (1, 2, 7)
 
 

@@ -1,0 +1,116 @@
+"""The constant-time query-shape classifier and batch-strategy chooser.
+
+``classify_query_shape`` is a syntactic approximation of the
+Bagan–Bonifati–Groz trichotomy: concatenations of (starred) letter
+alternations are the tractable class; anything with a star over a compound
+body falls out.  ``choose_batch_strategy`` turns that plus the batch/graph
+widths into the per-source vs all-pairs decision the engine acts on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimize.planner import (
+    ALL_PAIRS_FRACTION,
+    StrategyReport,
+    choose_batch_strategy,
+    classify_query_shape,
+)
+from repro.regex import parse
+
+
+class TestClassifyQueryShape:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "a",
+            "a|b",
+            "a|b|c",
+            "a*",
+            "(a|b)*",
+            "a.b.c",
+            "a.(b|c)*.d",
+            "(a|b)*.c.(b|c)*",
+            "a*.b*.c",
+        ],
+    )
+    def test_tractable_shapes(self, expression):
+        tractable, reason = classify_query_shape(expression)
+        assert tractable, (expression, reason)
+        assert reason == "concatenation of (starred) letter factors"
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "(a.b)*",
+            "(a*.b)*",
+            "(a.b)*.c",
+            "a.((b|c).d)*",
+            "((a|b).c)*",
+        ],
+    )
+    def test_hard_shapes(self, expression):
+        tractable, reason = classify_query_shape(expression)
+        assert not tractable, expression
+        assert "is not a (starred) letter" in reason
+
+    def test_accepts_parsed_expressions(self):
+        assert classify_query_shape(parse("a.(b|c)*"))[0]
+        assert not classify_query_shape(parse("(a.b)*"))[0]
+
+    def test_first_violating_factor_is_named(self):
+        _, reason = classify_query_shape("a.(b.c)*.d")
+        assert "(b c)*" in reason  # to_string renders concatenation as juxtaposition
+
+    def test_nested_star_over_a_letter_normalizes_tractable(self):
+        # The parser collapses (a*)* to a*, so the classifier sees the
+        # normalized — genuinely tractable — expression.
+        tractable, _ = classify_query_shape("(a*)*")
+        assert tractable
+
+    def test_linear_in_expression_size(self):
+        # A deep concatenation chain must classify without recursion errors
+        # (the walker is iterative): 2000 factors is far beyond the default
+        # recursion limit if each factor cost a stack frame.
+        deep = ".".join(["a"] * 2000)
+        tractable, _ = classify_query_shape(deep)
+        assert tractable
+
+
+class TestChooseBatchStrategy:
+    def test_narrow_batch_stays_per_source(self):
+        report = choose_batch_strategy("a.b*", num_sources=10, num_nodes=1000)
+        assert isinstance(report, StrategyReport)
+        assert report.strategy == "per-source"
+        assert report.tractable
+
+    def test_wide_batch_goes_all_pairs(self):
+        report = choose_batch_strategy("a.b*", num_sources=600, num_nodes=1000)
+        assert report.strategy == "all-pairs"
+
+    def test_threshold_is_the_fraction(self):
+        nodes = 100
+        at = int(ALL_PAIRS_FRACTION * nodes)
+        assert choose_batch_strategy("a", at, nodes).strategy == "all-pairs"
+        assert choose_batch_strategy("a", at - 1, nodes).strategy == "per-source"
+
+    def test_single_source_never_all_pairs(self):
+        # Even on a one-node graph a singleton batch is cheaper per-source.
+        assert choose_batch_strategy("a", 1, 1).strategy == "per-source"
+
+    def test_empty_graph_is_per_source(self):
+        assert choose_batch_strategy("a", 0, 0).strategy == "per-source"
+
+    def test_custom_fraction(self):
+        report = choose_batch_strategy(
+            "a", num_sources=10, num_nodes=100, all_pairs_fraction=0.1
+        )
+        assert report.strategy == "all-pairs"
+
+    def test_summary_mentions_everything(self):
+        report = choose_batch_strategy("(a.b)*", 3, 10)
+        text = report.summary()
+        assert "hard" in text
+        assert "per-source" in text
+        assert "[3/10 sources]" in text
